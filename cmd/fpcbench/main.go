@@ -1,0 +1,161 @@
+// Command fpcbench regenerates the paper's evaluation artifacts: Table 1
+// and the scatter data behind Figures 8-19.
+//
+// Usage:
+//
+//	fpcbench -figure 8            # one figure (8-19)
+//	fpcbench -all                 # every figure
+//	fpcbench -table1              # print Table 1
+//	fpcbench -stages              # print Figure 1 (the 4 algorithms' stages)
+//	fpcbench -figure 12 -values 1048576 -reps 5 -csv
+//
+// GPU figures (8-11, 14-17) model throughput with internal/gpusim; CPU
+// figures (12-13, 18-19) measure wall-clock throughput on this host.
+// Compression ratios always come from running the real implementations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fpcompress/internal/baselines"
+	"fpcompress/internal/core"
+	"fpcompress/internal/eval"
+	"fpcompress/internal/sdr"
+)
+
+func main() {
+	var (
+		figureID = flag.Int("figure", 0, "paper figure number to regenerate (8-19)")
+		all      = flag.Bool("all", false, "regenerate every figure")
+		table1   = flag.Bool("table1", false, "print Table 1 (the comparison compressors)")
+		stages   = flag.Bool("stages", false, "print the stages of the 4 algorithms (Figure 1)")
+		values   = flag.Int("values", 1<<16, "values per synthetic file (file size = 4 or 8 x this)")
+		reps     = flag.Int("reps", 3, "timed repetitions per measurement (median is used)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
+		plot     = flag.Bool("plot", false, "also draw an ASCII scatter plot")
+		svgDir   = flag.String("svg", "", "directory to write figureNN.svg files into")
+		verify   = flag.Bool("verify", true, "verify lossless roundtrip of every file")
+		domains  = flag.String("domains", "", "per-domain ratio matrix: single|double")
+		grid2d   = flag.Bool("grid2d", false, "lay field domains out as 2-D grids (dimension-aware baselines get the shape)")
+	)
+	flag.Parse()
+
+	switch {
+	case *table1:
+		printTable1()
+	case *stages:
+		printStages()
+	case *domains != "":
+		if err := printDomains(*domains, *values, *grid2d); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case *all:
+		for _, fig := range eval.Figures {
+			if err := runFigure(fig, *values, *reps, *grid2d, *csv, *plot, *verify, *svgDir); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+	case *figureID != 0:
+		fig, err := eval.FigureByID(*figureID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := runFigure(fig, *values, *reps, *grid2d, *csv, *plot, *verify, *svgDir); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runFigure(fig eval.Figure, values, reps int, grid2d, csv, plot, verify bool, svgDir string) error {
+	start := time.Now()
+	results, front, err := fig.Run(sdr.Config{ValuesPerFile: values, Grid2D: grid2d}, eval.Config{Reps: reps, Verify: verify})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== Figure %d: %s ===\n", fig.ID, fig.Title)
+	if csv {
+		fmt.Print(eval.CSV(results, front))
+	} else {
+		fmt.Print(eval.FormatTable(results, front, fig.Decomp))
+	}
+	if plot {
+		fmt.Print(eval.Scatter(results, front, fig.Decomp, fig.LogX, 72, 20))
+	}
+	if svgDir != "" {
+		if err := os.MkdirAll(svgDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(svgDir, fmt.Sprintf("figure%02d.svg", fig.ID))
+		svg := eval.SVG(fmt.Sprintf("Figure %d: %s", fig.ID, fig.Title), results, front, fig.Decomp, fig.LogX)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote %s)\n", path)
+	}
+	fmt.Printf("(%d compressors, %.1fs)\n\n", len(results), time.Since(start).Seconds())
+	return nil
+}
+
+func printTable1() {
+	fmt.Println("Table 1. Lossless compressors used in comparison")
+	fmt.Printf("%-10s %-10s %-14s\n", "Device", "Compressor", "Datatype")
+	for _, e := range baselines.Table1() {
+		fmt.Printf("%-10s %-10s %-14s\n", e.Device, e.Name, e.Datatype)
+	}
+}
+
+func printStages() {
+	fmt.Println("Figure 1. The stages (transformations) of the 4 algorithms")
+	for _, a := range core.All() {
+		fmt.Printf("%-8s: %s\n", a.Name(), strings.Join(a.Stages(), " -> "))
+	}
+}
+
+func printDomains(precision string, values int, grid2d bool) error {
+	var prec sdr.Precision
+	var files []*sdr.File
+	cfg := sdr.Config{ValuesPerFile: values, Grid2D: grid2d}
+	switch precision {
+	case "single":
+		prec = sdr.Single
+		files = sdr.SingleFiles(cfg)
+	case "double":
+		prec = sdr.Double
+		files = sdr.DoubleFiles(cfg)
+	default:
+		return fmt.Errorf("-domains must be single or double")
+	}
+	subjects, err := eval.FigureSubjects(prec, false)
+	if err != nil {
+		return err
+	}
+	ratios, domains, err := eval.DomainRatios(files, subjects)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s", "compressor")
+	for _, d := range domains {
+		fmt.Printf(" %12s", d)
+	}
+	fmt.Println()
+	for _, s := range subjects {
+		fmt.Printf("%-12s", s.Name)
+		for _, d := range domains {
+			fmt.Printf(" %12.3f", ratios[s.Name][d])
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpcompress/internal/eval"
+)
+
+func TestRunFigureGPUSmall(t *testing.T) {
+	fig, err := eval.FigureByID(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runFigure(fig, 4096, 1, false, false, false, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigureWithSVGAndCSV(t *testing.T) {
+	fig, _ := eval.FigureByID(14)
+	dir := t.TempDir()
+	if err := runFigure(fig, 4096, 1, false, true, true, true, dir); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "figure14.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svg) < 1000 {
+		t.Errorf("suspiciously small SVG: %d bytes", len(svg))
+	}
+}
+
+func TestRunFigureGrid2D(t *testing.T) {
+	fig, _ := eval.FigureByID(10)
+	if err := runFigure(fig, 4096, 1, true, false, false, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintersDoNotPanic(t *testing.T) {
+	printTable1()
+	printStages()
+	if err := printDomains("double", 2048, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := printDomains("bogus", 2048, false); err == nil {
+		t.Error("bogus precision accepted")
+	}
+}

@@ -1,0 +1,127 @@
+// Command fpcvalidate is the release-qualification tool: it runs every
+// compressor in the repository — the paper's four algorithms and all 18
+// Table 1 baselines in both precisions and every mode — over the full
+// synthetic dataset suite plus adversarial inputs (random bytes, all
+// zeros, tiny and empty inputs), verifying bit-exact lossless roundtrips
+// everywhere, and prints a pass/fail matrix.
+//
+// Usage:
+//
+//	fpcvalidate             # full matrix (a few minutes)
+//	fpcvalidate -values 8192 -quick
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fpcompress/internal/eval"
+	"fpcompress/internal/sdr"
+)
+
+func main() {
+	var (
+		values = flag.Int("values", 16384, "values per synthetic file")
+		quick  = flag.Bool("quick", false, "first file per domain only")
+	)
+	flag.Parse()
+
+	cfg := sdr.Config{ValuesPerFile: *values}
+	fails := 0
+
+	for _, prec := range []sdr.Precision{sdr.Single, sdr.Double} {
+		var files []*sdr.File
+		if prec == sdr.Single {
+			files = sdr.SingleFiles(cfg)
+		} else {
+			files = sdr.DoubleFiles(cfg)
+		}
+		if *quick {
+			files = firstPerDomain(files)
+		}
+		files = append(files, adversarialFiles(prec)...)
+
+		for _, gpu := range []bool{false, true} {
+			subjects, err := eval.FigureSubjects(prec, gpu)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fpcvalidate:", err)
+				os.Exit(1)
+			}
+			kind := "CPU"
+			if gpu {
+				kind = "GPU"
+			}
+			for _, s := range subjects {
+				bad := 0
+				for _, f := range files {
+					if !roundtrips(s, f) {
+						bad++
+					}
+				}
+				status := "ok"
+				if bad > 0 {
+					status = fmt.Sprintf("FAIL on %d/%d files", bad, len(files))
+					fails++
+				}
+				fmt.Printf("%-4s %-12s %-12s %s\n", kind, precName(prec), s.Name, status)
+			}
+		}
+	}
+	if fails > 0 {
+		fmt.Printf("\n%d compressor/precision combinations FAILED\n", fails)
+		os.Exit(1)
+	}
+	fmt.Println("\nall compressors lossless on all inputs")
+}
+
+func roundtrips(s eval.Subject, f *sdr.File) bool {
+	compress, decompress := s.Compress, s.Decompress
+	if s.ForFile != nil {
+		compress, decompress = s.ForFile(f)
+	}
+	enc, err := compress(f.Data)
+	if err != nil {
+		return false
+	}
+	dec, err := decompress(enc)
+	return err == nil && bytes.Equal(dec, f.Data)
+}
+
+func firstPerDomain(files []*sdr.File) []*sdr.File {
+	seen := map[string]bool{}
+	var out []*sdr.File
+	for _, f := range files {
+		if !seen[f.Domain] {
+			seen[f.Domain] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// adversarialFiles are the worst-case inputs every compressor must survive.
+func adversarialFiles(prec sdr.Precision) []*sdr.File {
+	rnd := make([]byte, 100001)
+	rand.New(rand.NewSource(99)).Read(rnd)
+	mk := func(name string, data []byte) *sdr.File {
+		return &sdr.File{Name: name, Domain: "adversarial", Precision: prec,
+			Dims: []int{len(data) / int(prec)}, Data: data}
+	}
+	return []*sdr.File{
+		mk("random", rnd),
+		mk("zeros", make([]byte, 65536)),
+		mk("ones", bytes.Repeat([]byte{0xFF}, 65537)),
+		mk("tiny", []byte{1, 2, 3}),
+		mk("empty", nil),
+	}
+}
+
+func precName(p sdr.Precision) string {
+	if p == sdr.Single {
+		return "float32"
+	}
+	return "float64"
+}

@@ -1,0 +1,198 @@
+// Command fpcz is the command-line compressor: it compresses or
+// decompresses files (or stdin/stdout) with one of the four algorithms from
+// the paper.
+//
+// Usage:
+//
+//	fpcz -c -a spratio  input.f32 output.fpcz     # compress
+//	fpcz -d             output.fpcz restored.f32  # decompress
+//	fpcz -c -a dpspeed < input.f64 > out.fpcz     # streams via stdin/stdout
+//	fpcz -info out.fpcz                           # inspect a compressed file
+//
+// The algorithm is recorded in the output, so decompression needs no -a.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"fpcompress"
+)
+
+func main() {
+	var (
+		compress   = flag.Bool("c", false, "compress")
+		decompress = flag.Bool("d", false, "decompress")
+		info       = flag.Bool("info", false, "describe a compressed file")
+		algName    = flag.String("a", "spspeed", "algorithm: spspeed|spratio|dpspeed|dpratio")
+		chunkSize  = flag.Int("chunk", 0, "chunk size in bytes (0 = 16384, the paper's default)")
+		parallel   = flag.Int("p", 0, "worker goroutines (0 = all CPUs)")
+		quiet      = flag.Bool("q", false, "suppress the statistics line")
+		stream     = flag.Bool("stream", false, "framed streaming mode: constant memory, for inputs larger than RAM")
+	)
+	flag.Parse()
+
+	if err := run(*compress, *decompress, *info, *stream, *algName, *chunkSize, *parallel, *quiet, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "fpcz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(compress, decompress, info, stream bool, algName string, chunkSize, parallel int, quiet bool, args []string) error {
+	switch {
+	case info:
+		if len(args) != 1 {
+			return fmt.Errorf("-info needs exactly one file")
+		}
+		return describe(args[0])
+	case compress == decompress:
+		return fmt.Errorf("exactly one of -c or -d is required")
+	}
+
+	in, out, closeAll, err := openFiles(args)
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+
+	if stream {
+		opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel}
+		start := time.Now()
+		var n int64
+		if compress {
+			alg, err := parseAlg(algName)
+			if err != nil {
+				return err
+			}
+			w := fpcompress.NewWriter(out, alg, 0, opts)
+			if n, err = io.Copy(w, in); err != nil {
+				return err
+			}
+			if err := w.Close(); err != nil {
+				return err
+			}
+		} else {
+			if n, err = io.Copy(out, fpcompress.NewReader(in, opts)); err != nil {
+				return err
+			}
+		}
+		if !quiet {
+			elapsed := time.Since(start)
+			fmt.Fprintf(os.Stderr, "streamed %d bytes in %v (%.1f MB/s)\n",
+				n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds()/1e6)
+		}
+		return nil
+	}
+
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel}
+	start := time.Now()
+	var result []byte
+	if compress {
+		alg, err := parseAlg(algName)
+		if err != nil {
+			return err
+		}
+		result, err = fpcompress.Compress(alg, data, opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		result, err = fpcompress.Decompress(data, opts)
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	if _, err := out.Write(result); err != nil {
+		return err
+	}
+	if !quiet {
+		ratio := float64(len(result)) / float64(len(data))
+		if compress {
+			ratio = float64(len(data)) / float64(len(result))
+		}
+		fmt.Fprintf(os.Stderr, "%d -> %d bytes (ratio %.3f) in %v (%.1f MB/s)\n",
+			len(data), len(result), ratio, elapsed.Round(time.Millisecond),
+			float64(len(data))/elapsed.Seconds()/1e6)
+	}
+	return nil
+}
+
+func parseAlg(name string) (fpcompress.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "spspeed":
+		return fpcompress.SPspeed, nil
+	case "spratio":
+		return fpcompress.SPratio, nil
+	case "dpspeed":
+		return fpcompress.DPspeed, nil
+	case "dpratio":
+		return fpcompress.DPratio, nil
+	case "spbalance":
+		return fpcompress.SPbalance, nil
+	case "dpbalance":
+		return fpcompress.DPbalance, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func openFiles(args []string) (io.Reader, io.Writer, func(), error) {
+	var in io.Reader = os.Stdin
+	var out io.Writer = os.Stdout
+	var closers []func()
+	if len(args) >= 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		in = f
+		closers = append(closers, func() { f.Close() })
+	}
+	if len(args) >= 2 {
+		f, err := os.Create(args[1])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		out = f
+		closers = append(closers, func() { f.Close() })
+	}
+	if len(args) > 2 {
+		return nil, nil, nil, fmt.Errorf("too many arguments")
+	}
+	return in, out, func() {
+		for _, c := range closers {
+			c()
+		}
+	}, nil
+}
+
+func describe(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	alg, err := fpcompress.CompressedAlgorithm(data)
+	if err != nil {
+		return err
+	}
+	stages, err := fpcompress.Stages(alg)
+	if err != nil {
+		return err
+	}
+	dec, err := fpcompress.Decompress(data, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %v (%s), %d compressed bytes, %d original bytes, ratio %.3f\n",
+		path, alg, strings.Join(stages, " -> "), len(data), len(dec),
+		float64(len(dec))/float64(len(data)))
+	return nil
+}

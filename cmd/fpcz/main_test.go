@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpcompress"
+)
+
+func writeTempValues(t *testing.T, n int) (string, []byte) {
+	t.Helper()
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(10 + math.Sin(float64(i)/40))
+	}
+	raw := fpcompress.Float32Bytes(vals)
+	path := filepath.Join(t.TempDir(), "in.f32")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+func TestRunCompressDecompressFiles(t *testing.T) {
+	in, raw := writeTempValues(t, 50000)
+	dir := filepath.Dir(in)
+	packed := filepath.Join(dir, "out.fpcz")
+	restored := filepath.Join(dir, "back.f32")
+
+	if err := run(true, false, false, false, "spratio", 0, 0, true, []string{in, packed}); err != nil {
+		t.Fatal(err)
+	}
+	pinfo, _ := os.Stat(packed)
+	if pinfo.Size() >= int64(len(raw)) {
+		t.Error("compression produced no gain on smooth data")
+	}
+	if err := run(false, true, false, false, "", 0, 0, true, []string{packed, restored}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(restored)
+	if !bytes.Equal(got, raw) {
+		t.Error("file roundtrip mismatch")
+	}
+}
+
+func TestRunStreamMode(t *testing.T) {
+	in, raw := writeTempValues(t, 80000)
+	dir := filepath.Dir(in)
+	packed := filepath.Join(dir, "out.fpczs")
+	restored := filepath.Join(dir, "back.f32")
+	if err := run(true, false, false, true, "spspeed", 0, 0, true, []string{in, packed}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, true, false, true, "", 0, 0, true, []string{packed, restored}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(restored)
+	if !bytes.Equal(got, raw) {
+		t.Error("stream roundtrip mismatch")
+	}
+}
+
+func TestRunInfo(t *testing.T) {
+	in, _ := writeTempValues(t, 1000)
+	packed := filepath.Join(filepath.Dir(in), "o.fpcz")
+	if err := run(true, false, false, false, "dpbalance", 0, 0, true, []string{in, packed}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, false, true, false, "", 0, 0, true, []string{packed}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(false, false, false, false, "", 0, 0, true, nil); err == nil {
+		t.Error("neither -c nor -d accepted")
+	}
+	if err := run(true, true, false, false, "spspeed", 0, 0, true, nil); err == nil {
+		t.Error("both -c and -d accepted")
+	}
+	in, _ := writeTempValues(t, 10)
+	if err := run(true, false, false, false, "nope", 0, 0, true, []string{in, in + ".x"}); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := run(true, false, false, false, "spspeed", 0, 0, true, []string{"a", "b", "c"}); err == nil {
+		t.Error("too many args accepted")
+	}
+}
+
+func TestParseAlgAll(t *testing.T) {
+	for name, want := range map[string]fpcompress.Algorithm{
+		"spspeed": fpcompress.SPspeed, "SPRATIO": fpcompress.SPratio,
+		"dpspeed": fpcompress.DPspeed, "dpratio": fpcompress.DPratio,
+		"spbalance": fpcompress.SPbalance, "dpbalance": fpcompress.DPbalance,
+	} {
+		got, err := parseAlg(name)
+		if err != nil || got != want {
+			t.Errorf("parseAlg(%q) = %v, %v", name, got, err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command sdrgen materializes the synthetic SDRBench/FPdouble stand-in
+// datasets to disk so they can be inspected or fed to external tools.
+//
+// Usage:
+//
+//	sdrgen -out ./data -values 262144          # all 110 files
+//	sdrgen -out ./data -precision double -list # just list what would be written
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fpcompress/internal/sdr"
+)
+
+func main() {
+	var (
+		outDir    = flag.String("out", "sdr-data", "output directory")
+		values    = flag.Int("values", 1<<18, "values per file")
+		precision = flag.String("precision", "both", "single|double|both")
+		list      = flag.Bool("list", false, "list files without writing")
+	)
+	flag.Parse()
+
+	cfg := sdr.Config{ValuesPerFile: *values}
+	var files []*sdr.File
+	if *precision == "single" || *precision == "both" {
+		files = append(files, sdr.SingleFiles(cfg)...)
+	}
+	if *precision == "double" || *precision == "both" {
+		files = append(files, sdr.DoubleFiles(cfg)...)
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "sdrgen: -precision must be single, double, or both")
+		os.Exit(2)
+	}
+
+	total := 0
+	for _, f := range files {
+		total += len(f.Data)
+		if *list {
+			fmt.Printf("%-40s %-14s %8d values %10d bytes\n", f.Name, f.Domain, f.Values(), len(f.Data))
+			continue
+		}
+		path := filepath.Join(*outDir, filepath.FromSlash(f.Name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sdrgen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, f.Data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sdrgen:", err)
+			os.Exit(1)
+		}
+	}
+	action := "wrote"
+	if *list {
+		action = "listed"
+	}
+	fmt.Printf("%s %d files, %.1f MB total%s\n", action, len(files),
+		float64(total)/1e6, map[bool]string{true: "", false: " to " + *outDir}[*list])
+}

@@ -1,0 +1,211 @@
+// Package fpcompress is a pure-Go implementation of the four lossless
+// floating-point compression algorithms from the ASPLOS'25 paper "Efficient
+// Lossless Compression of Scientific Floating-Point Data on CPUs and GPUs"
+// (Azami, Fallin, Burtscher): SPspeed and SPratio for single-precision data,
+// DPspeed and DPratio for double-precision data.
+//
+// The algorithms treat IEEE 754 values as raw 32/64-bit integer words —
+// compression is exact and decompression restores every input bit. Inputs
+// are processed in independent 16 kB chunks compressed in parallel, and
+// compressed output is a single contiguous, self-describing block, so
+// Decompress needs no side information:
+//
+//	packed, _ := fpcompress.CompressFloat32s(fpcompress.SPratio, samples, nil)
+//	back, _ := fpcompress.DecompressFloat32s(packed, nil)
+//
+// Speed variants (SPspeed/DPspeed) use two cheap transform stages and favor
+// throughput; ratio variants (SPratio/DPratio) use more and slower stages
+// and favor compression ratio. All four handle arbitrary byte lengths, but
+// the SP algorithms assume 4-byte-aligned value streams and the DP
+// algorithms 8-byte-aligned streams for good ratios.
+package fpcompress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fpcompress/internal/container"
+	"fpcompress/internal/core"
+)
+
+// Algorithm selects one of the paper's four compression pipelines.
+type Algorithm = core.ID
+
+// The four algorithms of the paper (§3, Figure 1).
+const (
+	// SPspeed compresses single-precision data with maximum throughput
+	// (stages: DIFFMS, MPLG).
+	SPspeed = core.SPspeed
+	// SPratio compresses single-precision data with maximum ratio
+	// (stages: DIFFMS, BIT, RZE).
+	SPratio = core.SPratio
+	// DPspeed compresses double-precision data with maximum throughput
+	// (stages: DIFFMS, MPLG at 64-bit granularity).
+	DPspeed = core.DPspeed
+	// DPratio compresses double-precision data with maximum ratio
+	// (stages: FCM, DIFFMS, RAZE, RARE).
+	DPratio = core.DPratio
+	// SPbalance and DPbalance are repository extensions (not in the
+	// paper): the DIFFMS -> MPLG -> RZE midpoint pipelines that the
+	// miniature LC-framework search (internal/lcsynth, cmd/lcsearch)
+	// ranks between the speed and ratio modes on both axes.
+	SPbalance = core.SPbalance
+	// DPbalance is the double-precision extension pipeline.
+	DPbalance = core.DPbalance
+)
+
+// Options tunes compression and decompression. The zero value (and a nil
+// *Options) selects the paper's defaults: 16 kB chunks and one worker per
+// available CPU.
+type Options struct {
+	// ChunkSize overrides the 16 kB chunk granularity. Smaller chunks
+	// increase parallelism and per-chunk adaptivity but add per-chunk
+	// overhead; the paper picked 16 kB to fit two chunk buffers in L1/shared
+	// memory.
+	ChunkSize int
+	// Parallelism caps the number of worker goroutines (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o *Options) params() container.Params {
+	if o == nil {
+		return container.Params{}
+	}
+	return container.Params{ChunkSize: o.ChunkSize, Parallelism: o.Parallelism}
+}
+
+// ErrNotAligned reports a typed-value call whose byte length is not a
+// multiple of the value size.
+var ErrNotAligned = errors.New("fpcompress: data length not a multiple of the value size")
+
+// Compress encodes src with the chosen algorithm and returns a
+// self-describing compressed block.
+func Compress(alg Algorithm, src []byte, opts *Options) ([]byte, error) {
+	a, err := core.New(alg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Compress(src, opts.params()), nil
+}
+
+// Decompress decodes a block produced by Compress. The algorithm is read
+// from the block header.
+func Decompress(data []byte, opts *Options) ([]byte, error) {
+	a, err := core.FromContainer(data)
+	if err != nil {
+		return nil, err
+	}
+	return a.Decompress(data, opts.params())
+}
+
+// CompressedAlgorithm reports which algorithm produced a compressed block.
+func CompressedAlgorithm(data []byte) (Algorithm, error) {
+	id, err := container.AlgorithmID(data)
+	if err != nil {
+		return 0, err
+	}
+	return Algorithm(id), nil
+}
+
+// Stages lists the transformation stages of an algorithm in application
+// order, matching Figure 1 of the paper.
+func Stages(alg Algorithm) ([]string, error) {
+	a, err := core.New(alg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Stages(), nil
+}
+
+// CompressFloat32s compresses a single-precision value slice. alg must be
+// SPspeed or SPratio.
+func CompressFloat32s(alg Algorithm, vals []float32, opts *Options) ([]byte, error) {
+	if alg != SPspeed && alg != SPratio && alg != SPbalance {
+		return nil, fmt.Errorf("fpcompress: %v is not a single-precision algorithm", alg)
+	}
+	return Compress(alg, Float32Bytes(vals), opts)
+}
+
+// DecompressFloat32s decodes a block holding single-precision values.
+func DecompressFloat32s(data []byte, opts *Options) ([]float32, error) {
+	raw, err := Decompress(data, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%4 != 0 {
+		return nil, ErrNotAligned
+	}
+	return BytesFloat32(raw), nil
+}
+
+// CompressFloat64s compresses a double-precision value slice. alg must be
+// DPspeed or DPratio.
+func CompressFloat64s(alg Algorithm, vals []float64, opts *Options) ([]byte, error) {
+	if alg != DPspeed && alg != DPratio && alg != DPbalance {
+		return nil, fmt.Errorf("fpcompress: %v is not a double-precision algorithm", alg)
+	}
+	return Compress(alg, Float64Bytes(vals), opts)
+}
+
+// DecompressFloat64s decodes a block holding double-precision values.
+func DecompressFloat64s(data []byte, opts *Options) ([]float64, error) {
+	raw, err := Decompress(data, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%8 != 0 {
+		return nil, ErrNotAligned
+	}
+	return BytesFloat64(raw), nil
+}
+
+// Float32Bytes serializes values to their little-endian IEEE 754 bytes.
+func Float32Bytes(vals []float32) []byte {
+	b := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		u := math.Float32bits(v)
+		b[i*4] = byte(u)
+		b[i*4+1] = byte(u >> 8)
+		b[i*4+2] = byte(u >> 16)
+		b[i*4+3] = byte(u >> 24)
+	}
+	return b
+}
+
+// BytesFloat32 deserializes little-endian IEEE 754 bytes to values.
+func BytesFloat32(b []byte) []float32 {
+	n := len(b) / 4
+	vals := make([]float32, n)
+	for i := 0; i < n; i++ {
+		u := uint32(b[i*4]) | uint32(b[i*4+1])<<8 | uint32(b[i*4+2])<<16 | uint32(b[i*4+3])<<24
+		vals[i] = math.Float32frombits(u)
+	}
+	return vals
+}
+
+// Float64Bytes serializes values to their little-endian IEEE 754 bytes.
+func Float64Bytes(vals []float64) []byte {
+	b := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		u := math.Float64bits(v)
+		for j := 0; j < 8; j++ {
+			b[i*8+j] = byte(u >> (8 * j))
+		}
+	}
+	return b
+}
+
+// BytesFloat64 deserializes little-endian IEEE 754 bytes to values.
+func BytesFloat64(b []byte) []float64 {
+	n := len(b) / 8
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var u uint64
+		for j := 0; j < 8; j++ {
+			u |= uint64(b[i*8+j]) << (8 * j)
+		}
+		vals[i] = math.Float64frombits(u)
+	}
+	return vals
+}

@@ -1,0 +1,220 @@
+package fpcompress
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleFloats32(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float32, n)
+	v := 25.0
+	for i := range vals {
+		v += math.Sin(float64(i)/60) + rng.NormFloat64()*0.03
+		vals[i] = float32(v)
+	}
+	return vals
+}
+
+func sampleFloats64(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	v := -3.5e4
+	for i := range vals {
+		v += math.Cos(float64(i)/45)*3 + rng.NormFloat64()*0.01
+		vals[i] = v
+	}
+	return vals
+}
+
+func TestFloat32Roundtrip(t *testing.T) {
+	vals := sampleFloats32(50000, 1)
+	for _, alg := range []Algorithm{SPspeed, SPratio} {
+		blob, err := CompressFloat32s(alg, vals, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blob) >= len(vals)*4 {
+			t.Errorf("%v: smooth data did not compress (%d -> %d)", alg, len(vals)*4, len(blob))
+		}
+		back, err := DecompressFloat32s(blob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(vals) {
+			t.Fatalf("%v: got %d values back", alg, len(back))
+		}
+		for i := range vals {
+			if math.Float32bits(back[i]) != math.Float32bits(vals[i]) {
+				t.Fatalf("%v: value %d differs", alg, i)
+			}
+		}
+	}
+}
+
+func TestFloat64Roundtrip(t *testing.T) {
+	vals := sampleFloats64(30000, 2)
+	for _, alg := range []Algorithm{DPspeed, DPratio} {
+		blob, err := CompressFloat64s(alg, vals, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecompressFloat64s(blob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if math.Float64bits(back[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("%v: value %d differs", alg, i)
+			}
+		}
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	vals := []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1),
+		math.NaN(), math.MaxFloat64, math.SmallestNonzeroFloat64,
+		-math.MaxFloat64, 1e-300, -1e300}
+	for _, alg := range []Algorithm{DPspeed, DPratio} {
+		blob, err := CompressFloat64s(alg, vals, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecompressFloat64s(blob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			// Bit-exact comparison: NaN payloads and signed zeros must
+			// survive.
+			if math.Float64bits(back[i]) != math.Float64bits(vals[i]) {
+				t.Errorf("%v: special value %d: %x != %x", alg, i,
+					math.Float64bits(back[i]), math.Float64bits(vals[i]))
+			}
+		}
+	}
+}
+
+func TestWrongPrecisionRejected(t *testing.T) {
+	if _, err := CompressFloat32s(DPspeed, []float32{1}, nil); err == nil {
+		t.Error("DPspeed accepted for float32")
+	}
+	if _, err := CompressFloat64s(SPratio, []float64{1}, nil); err == nil {
+		t.Error("SPratio accepted for float64")
+	}
+}
+
+func TestCompressedAlgorithm(t *testing.T) {
+	for _, alg := range []Algorithm{SPspeed, SPratio, DPspeed, DPratio} {
+		blob, err := Compress(alg, make([]byte, 1000), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CompressedAlgorithm(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != alg {
+			t.Errorf("got %v, want %v", got, alg)
+		}
+	}
+}
+
+func TestStages(t *testing.T) {
+	s, err := Stages(DPratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 4 || s[0] != "FCM64" {
+		t.Errorf("DPratio stages = %v", s)
+	}
+	if _, err := Stages(Algorithm(99)); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	if _, err := Decompress([]byte("not a container"), nil); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Decompress(nil, nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestOptionsRespected(t *testing.T) {
+	src := Float32Bytes(sampleFloats32(100000, 3))
+	a, err := Compress(SPratio, src, &Options{ChunkSize: 4096, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compress(SPratio, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("chunk size option had no effect")
+	}
+	back, err := Decompress(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Error("roundtrip with options failed")
+	}
+}
+
+func TestByteConversionQuick(t *testing.T) {
+	f32 := func(raw []uint32) bool {
+		vals := make([]float32, len(raw))
+		for i, u := range raw {
+			vals[i] = math.Float32frombits(u)
+		}
+		back := BytesFloat32(Float32Bytes(vals))
+		for i := range raw {
+			if math.Float32bits(back[i]) != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f32, nil); err != nil {
+		t.Error(err)
+	}
+	f64 := func(raw []uint64) bool {
+		vals := make([]float64, len(raw))
+		for i, u := range raw {
+			vals[i] = math.Float64frombits(u)
+		}
+		back := BytesFloat64(Float64Bytes(vals))
+		for i := range raw {
+			if math.Float64bits(back[i]) != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f64, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundtripPublicAPI(t *testing.T) {
+	for _, alg := range []Algorithm{SPspeed, SPratio, DPspeed, DPratio} {
+		alg := alg
+		f := func(src []byte) bool {
+			blob, err := Compress(alg, src, nil)
+			if err != nil {
+				return false
+			}
+			back, err := Decompress(blob, nil)
+			return err == nil && bytes.Equal(back, src)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%v: %v", alg, err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package fpcompress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundtrip drives every algorithm over arbitrary byte streams; any
+// input where decompress(compress(x)) != x is a correctness bug.
+func FuzzRoundtrip(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(1))
+	f.Add(Float32Bytes(sampleFloats32(100, 1)), uint8(2))
+	f.Add(Float64Bytes(sampleFloats64(100, 2)), uint8(3))
+	f.Add(make([]byte, 40000), uint8(0))
+	algs := []Algorithm{SPspeed, SPratio, DPspeed, DPratio}
+	f.Fuzz(func(t *testing.T, data []byte, sel uint8) {
+		if len(data) > 1<<20 {
+			return
+		}
+		alg := algs[int(sel)%len(algs)]
+		blob, err := Compress(alg, data, nil)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		back, err := Decompress(blob, nil)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("roundtrip mismatch: %d in, %d out", len(data), len(back))
+		}
+	})
+}
+
+// FuzzDecompress feeds arbitrary bytes to the decoder; it must never
+// panic, hang, or allocate unboundedly.
+func FuzzDecompress(f *testing.F) {
+	blob, _ := Compress(SPratio, Float32Bytes(sampleFloats32(500, 3)), nil)
+	f.Add(blob)
+	f.Add([]byte("FPCZ"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		Decompress(data, nil) // errors are fine; panics are not
+		if ra, err := OpenRandomAccess(data); err == nil {
+			buf := make([]byte, 64)
+			ra.ReadAt(buf, 0)
+		}
+	})
+}

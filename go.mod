@@ -1,0 +1,3 @@
+module fpcompress
+
+go 1.22

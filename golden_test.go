@@ -1,0 +1,81 @@
+package fpcompress
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// goldenInput is a fixed pseudo-random-but-smooth byte stream; it must
+// never change (format stability depends on it).
+func goldenInput(n int) []byte {
+	b := make([]byte, n)
+	state := uint64(0x9E3779B97F4A7C15)
+	acc := uint64(1 << 40)
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		acc += state >> 58 // small increments: smooth-ish word stream
+		b[i] = byte(acc >> ((i % 8) * 8) * 0x01)
+	}
+	return b
+}
+
+// TestGoldenCompressedDigests pins the exact compressed bytes for fixed
+// inputs. These digests define the on-disk format: if one changes, the
+// format changed, existing compressed files become unreadable, and the
+// container version byte must be bumped. Update the constants only
+// together with a version bump.
+func TestGoldenCompressedDigests(t *testing.T) {
+	want := map[Algorithm]string{
+		SPspeed: "898382c3bbed4b47c4fe1cff9ba81c01fe4cbdf9cef5e6df0afd0b44c54b02fc",
+		SPratio: "3aa807248c2e6e601f03e4ce870c569c6f5f3afd88798ae1fe062cafa3eb7ea6",
+		DPspeed: "acaa6c76bf1dd73b57bae7ba3b3e6cf98f1df03873fba4164ae1a2cecca2758e",
+		DPratio: "78c2b3cef4bf2ae794f88bc25a643ba49ffc5ac3e0698cfe50454caaa537f072",
+	}
+	src := goldenInput(100000)
+	for alg, wantHex := range want {
+		blob, err := Compress(alg, src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(blob)
+		got := hex.EncodeToString(sum[:])
+		if got != wantHex {
+			t.Errorf("%v: compressed digest %s, want %s — the on-disk format changed", alg, got, wantHex)
+		}
+		// Whatever the bytes, they must still decode to the input.
+		back, err := Decompress(blob, nil)
+		if err != nil || len(back) != len(src) {
+			t.Fatalf("%v: golden decode failed: %v", alg, err)
+		}
+	}
+}
+
+// TestFrozenContainerDecodes pins decode-side compatibility: this hex blob
+// was produced by version 1 of the format and must decode to the same
+// eight float32 values forever (stronger than the digest test, which only
+// pins the encoder).
+func TestFrozenContainerDecodes(t *testing.T) {
+	const frozenHex = "4650435a01021ae864cf20808001011d2032222222807fc0806040404030"
+	blob, err := hex.DecodeString(frozenHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := CompressedAlgorithm(blob)
+	if err != nil || alg != SPratio {
+		t.Fatalf("algorithm = %v, err %v", alg, err)
+	}
+	vals, err := DecompressFloat32s(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5}
+	if len(vals) != len(want) {
+		t.Fatalf("got %d values", len(vals))
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("value %d = %v, want %v", i, vals[i], want[i])
+		}
+	}
+}

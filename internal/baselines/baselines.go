@@ -1,0 +1,99 @@
+// Package baselines defines the common interface implemented by the 18
+// comparison compressors from Table 1 of the paper, and a registry carrying
+// the table's metadata (device, datatype) for the evaluation harness.
+//
+// Every baseline is a from-scratch Go implementation of the published
+// algorithm family. Compression ratios are determined by the algorithms
+// themselves and are therefore faithful for the floating-point-specific
+// codes (FPC, pFPC, GFC, MPC, SPDP, ndzip-, fpzip-, zfp-class); the
+// general-purpose LZ-family baselines are our own members of the same
+// family (documented per package) rather than bit-compatible ports.
+package baselines
+
+// Compressor is a lossless byte-stream compressor.
+type Compressor interface {
+	// Name identifies the compressor (and mode, e.g. "Zstd-best").
+	Name() string
+	// Compress encodes src. Implementations must handle arbitrary input,
+	// including empty and incompressible data.
+	Compress(src []byte) ([]byte, error)
+	// Decompress restores the exact original bytes.
+	Decompress(enc []byte) ([]byte, error)
+}
+
+// Device says where the original implementation of a baseline runs,
+// mirroring Table 1's Device column.
+type Device int
+
+const (
+	// CPU-only compressors (Table 1: Bzip2, FPC, FPzip, Gzip, pFPC, SPDP, ZFP).
+	CPU Device = iota
+	// GPU-only compressors (Table 1: ANS, Bitcomp, Cascaded, Deflate,
+	// Gdeflate, GFC, LZ4, MPC, Snappy).
+	GPU
+	// Both covers Ndzip and ZSTD (separate, incompatible sources).
+	Both
+)
+
+// String implements fmt.Stringer.
+func (d Device) String() string {
+	switch d {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	default:
+		return "CPU+GPU"
+	}
+}
+
+// Datatype mirrors Table 1's Datatype column.
+type Datatype int
+
+const (
+	// General-purpose compressors accept any byte stream.
+	General Datatype = iota
+	// FP32 compressors are designed for single-precision streams.
+	FP32
+	// FP64 compressors are designed for double-precision streams.
+	FP64
+	// FP32And64 compressors handle both precisions.
+	FP32And64
+)
+
+// String implements fmt.Stringer.
+func (dt Datatype) String() string {
+	switch dt {
+	case FP32:
+		return "FP32"
+	case FP64:
+		return "FP64"
+	case FP32And64:
+		return "FP32 & FP64"
+	default:
+		return "General"
+	}
+}
+
+// SupportsSingle reports whether the datatype admits float32 streams.
+func (dt Datatype) SupportsSingle() bool { return dt != FP64 }
+
+// SupportsDouble reports whether the datatype admits float64 streams.
+func (dt Datatype) SupportsDouble() bool { return dt != FP32 }
+
+// Entry is one row of Table 1.
+type Entry struct {
+	// Name as printed in Table 1 (mode suffixes added by the harness).
+	Name string
+	// Device and Datatype follow Table 1.
+	Device   Device
+	Datatype Datatype
+	// NvComp marks nvCOMP-library codecs, which process the input as
+	// independent ~64 kB batches (and leave the compressed chunks
+	// unconcatenated — §5.1). The GPU harness wraps these with Batched so
+	// their LZ windows and statistics reset per batch, as on the real GPU.
+	NvComp bool
+	// New constructs the compressor. For precision-sensitive baselines the
+	// word size (4 or 8) is passed in.
+	New func(wordSize int) Compressor
+}

@@ -1,0 +1,137 @@
+package bitpack
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpcompress/internal/wordio"
+)
+
+func TestRoundtrip(t *testing.T) {
+	rnd := make([]byte, 90001)
+	rand.New(rand.NewSource(1)).Read(rnd)
+	smooth := make([]byte, 80000)
+	v := 1.5
+	for i := 0; i < len(smooth)/8; i++ {
+		v += 0.001
+		wordio.PutU64(smooth, i, math.Float64bits(v))
+	}
+	inputs := [][]byte{
+		{}, {3}, {1, 2, 3, 4, 5, 6, 7},
+		make([]byte, 50000),
+		smooth, rnd,
+	}
+	for _, ws := range []int{4, 8} {
+		b := &Bitcomp{WordSize: ws}
+		for i, src := range inputs {
+			enc, err := b.Compress(src)
+			if err != nil {
+				t.Fatalf("ws %d input %d: %v", ws, i, err)
+			}
+			dec, err := b.Decompress(enc)
+			if err != nil {
+				t.Fatalf("ws %d input %d: %v", ws, i, err)
+			}
+			if !bytes.Equal(dec, src) {
+				t.Fatalf("ws %d input %d: mismatch", ws, i)
+			}
+		}
+	}
+}
+
+func TestSmallIntegersPackTightly(t *testing.T) {
+	n := 1 << 16
+	b := make([]byte, n*4)
+	rng := rand.New(rand.NewSource(2))
+	base := uint32(1000)
+	for i := 0; i < n; i++ {
+		base += uint32(rng.Intn(16))
+		wordio.PutU32(b, i, base)
+	}
+	enc, _ := (&Bitcomp{}).Compress(b)
+	// Deltas fit ~5 bits: expect better than 4x.
+	if ratio := float64(len(b)) / float64(len(enc)); ratio < 4 {
+		t.Errorf("ratio %.2f on 5-bit deltas, want > 4", ratio)
+	}
+}
+
+func TestDoubleNoiseBarelyCompresses(t *testing.T) {
+	// The Bitcomp-class signature from Figure 14: ~1.0x on noisy doubles.
+	n := 1 << 15
+	b := make([]byte, n*8)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		wordio.PutU64(b, i, math.Float64bits(rng.NormFloat64()))
+	}
+	enc, _ := (&Bitcomp{WordSize: 8}).Compress(b)
+	ratio := float64(len(b)) / float64(len(enc))
+	if ratio < 0.95 || ratio > 1.4 {
+		t.Errorf("ratio %.3f on random doubles, expected ~1.0-1.3", ratio)
+	}
+}
+
+func TestQuick(t *testing.T) {
+	for _, ws := range []int{4, 8} {
+		b := &Bitcomp{WordSize: ws}
+		f := func(src []byte) bool {
+			enc, err := b.Compress(src)
+			if err != nil {
+				return false
+			}
+			dec, err := b.Decompress(enc)
+			return err == nil && bytes.Equal(dec, src)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("ws %d: %v", ws, err)
+		}
+	}
+}
+
+func TestGarbage(t *testing.T) {
+	b := &Bitcomp{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		junk := make([]byte, rng.Intn(100))
+		rng.Read(junk)
+		b.Decompress(junk)
+	}
+}
+
+func TestModesRoundtripAndNames(t *testing.T) {
+	smooth := make([]byte, 40000)
+	v := 100.0
+	for i := 0; i < len(smooth)/8; i++ {
+		v += 0.25
+		wordio.PutU64(smooth, i, math.Float64bits(v))
+	}
+	rnd := make([]byte, 30000)
+	rand.New(rand.NewSource(7)).Read(rnd)
+	sizes := map[Mode]int{}
+	for _, mode := range []Mode{ModeI0, ModeB0, ModeB1} {
+		b := &Bitcomp{WordSize: 8, Mode: mode}
+		if b.Name() != "Bitcomp-"+mode.String() {
+			t.Errorf("name %q", b.Name())
+		}
+		for _, src := range [][]byte{smooth, rnd, nil} {
+			enc, err := b.Compress(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := b.Decompress(enc)
+			if err != nil || !bytes.Equal(dec, src) {
+				t.Fatalf("mode %v roundtrip failed", mode)
+			}
+			if bytes.Equal(src, smooth) {
+				sizes[mode] = len(enc)
+			}
+		}
+	}
+	// On smoothly drifting data, arithmetic delta (i0) must beat raw
+	// packing (b0); XOR delta (b1) sits between or near i0.
+	if sizes[ModeI0] >= sizes[ModeB0] {
+		t.Errorf("i0 (%d) should beat b0 (%d) on smooth data", sizes[ModeI0], sizes[ModeB0])
+	}
+}

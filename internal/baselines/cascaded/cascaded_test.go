@@ -1,0 +1,87 @@
+package cascaded
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpcompress/internal/wordio"
+)
+
+func TestRoundtrip(t *testing.T) {
+	rnd := make([]byte, 80002)
+	rand.New(rand.NewSource(1)).Read(rnd)
+	runs := make([]byte, 40000)
+	for i := 0; i < len(runs)/4; i++ {
+		wordio.PutU32(runs, i, uint32(i/100))
+	}
+	inputs := [][]byte{
+		{}, {9}, {1, 2, 3, 4},
+		make([]byte, 65536),
+		runs, rnd,
+	}
+	c := Cascaded{}
+	for i, src := range inputs {
+		enc, err := c.Compress(src)
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		dec, err := c.Decompress(enc)
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("input %d: mismatch", i)
+		}
+	}
+}
+
+func TestExcelsOnRuns(t *testing.T) {
+	// Cascaded's home turf: runs of small integers.
+	n := 1 << 16
+	b := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		wordio.PutU32(b, i, uint32(i/512))
+	}
+	enc, _ := (Cascaded{}).Compress(b)
+	if ratio := float64(len(b)) / float64(len(enc)); ratio < 50 {
+		t.Errorf("ratio %.1f on run data, want > 50", ratio)
+	}
+}
+
+func TestPoorOnFloatNoise(t *testing.T) {
+	// And its documented weakness: floating-point noise. It must not
+	// explode, but will not compress either.
+	src := make([]byte, 1<<18)
+	rand.New(rand.NewSource(2)).Read(src)
+	enc, _ := (Cascaded{}).Compress(src)
+	if len(enc) > len(src)+len(src)/10+1024 {
+		t.Errorf("random data expanded: %d -> %d", len(src), len(enc))
+	}
+}
+
+func TestQuick(t *testing.T) {
+	c := Cascaded{}
+	f := func(src []byte) bool {
+		enc, err := c.Compress(src)
+		if err != nil {
+			return false
+		}
+		dec, err := c.Decompress(enc)
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGarbage(t *testing.T) {
+	c := Cascaded{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		junk := make([]byte, rng.Intn(100))
+		rng.Read(junk)
+		c.Decompress(junk)
+	}
+}

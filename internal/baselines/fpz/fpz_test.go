@@ -1,0 +1,228 @@
+package fpz
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpcompress/internal/wordio"
+)
+
+func smooth32(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n*4)
+	v := 42.0
+	for i := 0; i < n; i++ {
+		v += math.Sin(float64(i)/55) + rng.NormFloat64()*0.01
+		wordio.PutU32(b, i, math.Float32bits(float32(v)))
+	}
+	return b
+}
+
+func smooth64(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n*8)
+	v := -9000.0
+	for i := 0; i < n; i++ {
+		v += math.Cos(float64(i)/85)*4 + rng.NormFloat64()*0.002
+		wordio.PutU64(b, i, math.Float64bits(v))
+	}
+	return b
+}
+
+func TestRangeCoderRoundtrip(t *testing.T) {
+	// Static split encode/decode over many symbols.
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]int, 5000)
+	for i := range syms {
+		syms[i] = rng.Intn(33)
+	}
+	e := newRCEncoder(4096)
+	m := newAdaptiveModel(33)
+	for _, s := range syms {
+		m.encodeSym(e, s)
+	}
+	buf := e.finish()
+	d := newRCDecoder(buf)
+	m2 := newAdaptiveModel(33)
+	for i, want := range syms {
+		if got := m2.decodeSym(d); got != want {
+			t.Fatalf("symbol %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestRangeCoderBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	type item struct {
+		v uint32
+		n uint
+	}
+	items := make([]item, 3000)
+	e := newRCEncoder(4096)
+	for i := range items {
+		n := uint(rng.Intn(16) + 1)
+		v := rng.Uint32() & (1<<n - 1)
+		items[i] = item{v, n}
+		e.encodeBits(v, n)
+	}
+	d := newRCDecoder(e.finish())
+	for i, it := range items {
+		if got := d.decodeBits(it.n); got != it.v {
+			t.Fatalf("item %d: got %d want %d (n=%d)", i, got, it.v, it.n)
+		}
+	}
+}
+
+func TestRangeCoderCompressesSkew(t *testing.T) {
+	// A heavily skewed symbol stream must code well below 1 byte/symbol.
+	e := newRCEncoder(4096)
+	m := newAdaptiveModel(64)
+	n := 20000
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		s := 0
+		if rng.Float64() < 0.05 {
+			s = rng.Intn(64)
+		}
+		m.encodeSym(e, s)
+	}
+	buf := e.finish()
+	if len(buf) > n/2 {
+		t.Errorf("skewed stream: %d bytes for %d symbols", len(buf), n)
+	}
+}
+
+func TestRoundtripBothSizes(t *testing.T) {
+	rnd := make([]byte, 30001)
+	rand.New(rand.NewSource(4)).Read(rnd)
+	inputs := [][]byte{
+		{}, {7}, {1, 2, 3, 4, 5},
+		smooth32(10000, 5),
+		smooth64(5000, 6),
+		make([]byte, 8192),
+		rnd,
+	}
+	for _, ws := range []int{4, 8} {
+		f := &FPzip{WordSize: ws}
+		for i, src := range inputs {
+			enc, err := f.Compress(src)
+			if err != nil {
+				t.Fatalf("ws %d input %d: %v", ws, i, err)
+			}
+			dec, err := f.Decompress(enc)
+			if err != nil {
+				t.Fatalf("ws %d input %d: %v", ws, i, err)
+			}
+			if !bytes.Equal(dec, src) {
+				t.Fatalf("ws %d input %d: mismatch", ws, i)
+			}
+		}
+	}
+}
+
+func TestHighRatioOnSmoothSingles(t *testing.T) {
+	src := smooth32(1<<17, 7)
+	enc, _ := (&FPzip{WordSize: 4}).Compress(src)
+	ratio := float64(len(src)) / float64(len(enc))
+	// FPzip is the strongest SP CPU compressor in the paper; expect a
+	// clearly strong ratio on smooth data.
+	if ratio < 1.6 {
+		t.Errorf("ratio %.3f on smooth singles, want > 1.6", ratio)
+	}
+}
+
+func TestOrderMapMonotonic(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ma := mapOrder64(math.Float64bits(a))
+		mb := mapOrder64(math.Float64bits(b))
+		if a < b {
+			return ma < mb
+		}
+		if a > b {
+			return ma > mb
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	g := func(u uint64) bool { return unmapOrder64(mapOrder64(u)) == u }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+	h := func(u uint32) bool { return unmapOrder32(mapOrder32(u)) == u }
+	if err := quick.Check(h, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuick(t *testing.T) {
+	for _, ws := range []int{4, 8} {
+		f := &FPzip{WordSize: ws}
+		fn := func(src []byte) bool {
+			enc, err := f.Compress(src)
+			if err != nil {
+				return false
+			}
+			dec, err := f.Decompress(enc)
+			return err == nil && bytes.Equal(dec, src)
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("ws %d: %v", ws, err)
+		}
+	}
+}
+
+func TestGarbage(t *testing.T) {
+	f := &FPzip{}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		junk := make([]byte, rng.Intn(100))
+		rng.Read(junk)
+		f.Decompress(junk)
+	}
+}
+
+func TestLorenzo2DPredictorBeats1D(t *testing.T) {
+	w, h := 200, 150
+	b := make([]byte, w*h*4)
+	rng := rand.New(rand.NewSource(20))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 30*math.Sin(float64(x)/25) + 20*math.Cos(float64(y)/18) + rng.NormFloat64()*0.01
+			wordio.PutU32(b, y*w+x, math.Float32bits(float32(v)))
+		}
+	}
+	e1, _ := (&FPzip{}).Compress(b)
+	e2, _ := (&FPzip{Dims: []int{w, h}}).Compress(b)
+	if len(e2) >= len(e1) {
+		t.Errorf("2-D predictor (%d) should beat 1-D (%d) on a 2-D field", len(e2), len(e1))
+	}
+	dec, err := (&FPzip{Dims: []int{w, h}}).Decompress(e2)
+	if err != nil || !bytes.Equal(dec, b) {
+		t.Fatal("2-D roundtrip failed")
+	}
+}
+
+func TestDimsQuick(t *testing.T) {
+	for _, ws := range []int{4, 8} {
+		f := &FPzip{WordSize: ws, Dims: []int{13, 7}}
+		fn := func(src []byte) bool {
+			enc, err := f.Compress(src)
+			if err != nil {
+				return false
+			}
+			dec, err := f.Decompress(enc)
+			return err == nil && bytes.Equal(dec, src)
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("ws %d: %v", ws, err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package fpz
+
+// This file implements a byte-oriented carry-handling range coder (the
+// LZMA-style formulation of Subbotin's coder) plus a small adaptive
+// frequency model. FPzip couples a Lorenzo predictor with exactly this kind
+// of fast entropy coder.
+
+const (
+	rcTopBits = 24
+	rcTop     = 1 << rcTopBits
+)
+
+// rcEncoder encodes symbols into a byte buffer.
+type rcEncoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+}
+
+func newRCEncoder(capacity int) *rcEncoder {
+	return &rcEncoder{rng: 0xFFFFFFFF, cacheSize: 1, out: make([]byte, 0, capacity)}
+}
+
+func (e *rcEncoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
+		temp := e.cache
+		for {
+			e.out = append(e.out, temp+byte(e.low>>32))
+			temp = 0xFF
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low & 0x00FFFFFF) << 8
+}
+
+// encode narrows the range to [start, start+size) out of total.
+func (e *rcEncoder) encode(start, size, total uint32) {
+	r := e.rng / total
+	e.low += uint64(start) * uint64(r)
+	e.rng = r * size
+	for e.rng < rcTop {
+		e.shiftLow()
+		e.rng <<= 8
+	}
+}
+
+// encodeBits writes n raw bits (n <= 16 per call).
+func (e *rcEncoder) encodeBits(v uint32, n uint) {
+	e.encode(v, 1, 1<<n)
+}
+
+// finish flushes the coder state and returns the encoded bytes.
+func (e *rcEncoder) finish() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// rcDecoder mirrors rcEncoder.
+type rcDecoder struct {
+	code uint32
+	rng  uint32
+	in   []byte
+	pos  int
+}
+
+func newRCDecoder(in []byte) *rcDecoder {
+	d := &rcDecoder{rng: 0xFFFFFFFF, in: in}
+	d.pos = 1 // first encoder byte is always a leading zero from the cache
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return d
+}
+
+func (d *rcDecoder) next() byte {
+	if d.pos < len(d.in) {
+		b := d.in[d.pos]
+		d.pos++
+		return b
+	}
+	d.pos++
+	return 0
+}
+
+// getFreq returns the scaled position of the code within total.
+func (d *rcDecoder) getFreq(total uint32) uint32 {
+	d.rng /= total
+	f := d.code / d.rng
+	if f >= total {
+		f = total - 1 // clamp the final flush slack
+	}
+	return f
+}
+
+// decode consumes the symbol previously located with getFreq.
+func (d *rcDecoder) decode(start, size uint32) {
+	d.code -= start * d.rng
+	d.rng *= size
+	for d.rng < rcTop {
+		d.code = d.code<<8 | uint32(d.next())
+		d.rng <<= 8
+	}
+}
+
+// decodeBits reads n raw bits (n <= 16).
+func (d *rcDecoder) decodeBits(n uint) uint32 {
+	f := d.getFreq(1 << n)
+	d.decode(f, 1)
+	return f
+}
+
+// overread reports whether the decoder consumed past its input (corrupt
+// stream).
+func (d *rcDecoder) overread() bool { return d.pos > len(d.in)+5 }
+
+// adaptiveModel is an order-0 adaptive frequency table over nsym symbols.
+type adaptiveModel struct {
+	freq  []uint32
+	total uint32
+}
+
+const (
+	modelIncrement = 32
+	modelLimit     = 1 << 16
+)
+
+func newAdaptiveModel(nsym int) *adaptiveModel {
+	m := &adaptiveModel{freq: make([]uint32, nsym)}
+	for i := range m.freq {
+		m.freq[i] = 1
+	}
+	m.total = uint32(nsym)
+	return m
+}
+
+func (m *adaptiveModel) update(sym int) {
+	m.freq[sym] += modelIncrement
+	m.total += modelIncrement
+	if m.total > modelLimit {
+		m.total = 0
+		for i := range m.freq {
+			m.freq[i] = (m.freq[i] + 1) / 2
+			m.total += m.freq[i]
+		}
+	}
+}
+
+// encodeSym writes sym with the current statistics, then adapts.
+func (m *adaptiveModel) encodeSym(e *rcEncoder, sym int) {
+	var start uint32
+	for i := 0; i < sym; i++ {
+		start += m.freq[i]
+	}
+	e.encode(start, m.freq[sym], m.total)
+	m.update(sym)
+}
+
+// decodeSym reads a symbol and adapts.
+func (m *adaptiveModel) decodeSym(d *rcDecoder) int {
+	f := d.getFreq(m.total)
+	var start uint32
+	sym := 0
+	for start+m.freq[sym] <= f {
+		start += m.freq[sym]
+		sym++
+	}
+	d.decode(start, m.freq[sym])
+	m.update(sym)
+	return sym
+}

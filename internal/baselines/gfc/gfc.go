@@ -1,0 +1,138 @@
+// Package gfc implements GFC (O'Neil & Burtscher, GPGPU 2011), the paper's
+// GPU baseline for double-precision data. GFC splits the input into chunks
+// compressed independently (one per GPU warp). Within a chunk every double
+// is differenced against the value 32 elements earlier — the warp width, so
+// each of the 32 lanes owns an interleaved subsequence — negative
+// differences are negated, and each residual is encoded as a nibble (sign
+// bit + 3-bit leading-zero-byte count) followed by its surviving bytes.
+package gfc
+
+import (
+	"errors"
+
+	"fpcompress/internal/bitio"
+	"fpcompress/internal/wordio"
+)
+
+// ErrCorrupt reports undecodable input.
+var ErrCorrupt = errors.New("gfc: corrupt input")
+
+// warpWidth is the lane count: differences reach back 32 elements so all 32
+// GPU lanes can compute them independently.
+const warpWidth = 32
+
+// chunkValues is the per-chunk double count (GFC used multiples of the warp
+// size; 1024 doubles = 8 kB chunks).
+const chunkValues = 1024
+
+// GFC is the compressor. The zero value is ready to use.
+type GFC struct{}
+
+// Name implements baselines.Compressor.
+func (GFC) Name() string { return "GFC" }
+
+// Compress implements baselines.Compressor.
+func (GFC) Compress(src []byte) ([]byte, error) {
+	n := len(src) / 8
+	tail := src[n*8:]
+	out := bitio.AppendUvarint(nil, uint64(len(src)))
+
+	nibbles := make([]byte, 0, n)
+	data := make([]byte, 0, n*4)
+	for start := 0; start < n; start += chunkValues {
+		end := start + chunkValues
+		if end > n {
+			end = n
+		}
+		for i := start; i < end; i++ {
+			v := wordio.U64(src, i)
+			var prior uint64
+			if i-start >= warpWidth {
+				prior = wordio.U64(src, i-warpWidth)
+			}
+			diff := int64(v - prior)
+			sign := 0
+			if diff < 0 {
+				sign = 1
+				diff = -diff
+			}
+			r := uint64(diff)
+			lzb := wordio.Clz64(r) / 8
+			if lzb > 7 {
+				lzb = 7 // zero residual still stores one zero byte
+			}
+			nibbles = append(nibbles, byte(sign<<3|lzb))
+			for b := 7 - lzb; b >= 0; b-- {
+				data = append(data, byte(r>>(8*b)))
+			}
+		}
+	}
+	// Pack nibbles two per byte, then append residual bytes.
+	for i := 0; i < len(nibbles); i += 2 {
+		b := nibbles[i] << 4
+		if i+1 < len(nibbles) {
+			b |= nibbles[i+1]
+		}
+		out = append(out, b)
+	}
+	out = append(out, data...)
+	return append(out, tail...), nil
+}
+
+// Decompress implements baselines.Compressor.
+func (GFC) Decompress(enc []byte) ([]byte, error) {
+	declen64, hn := bitio.Uvarint(enc)
+	if hn == 0 || declen64 > uint64(len(enc))*17+64 {
+		return nil, ErrCorrupt
+	}
+	declen := int(declen64)
+	n := declen / 8
+	tailLen := declen - n*8
+	nibbleBytes := (n + 1) / 2
+	if len(enc) < hn+nibbleBytes+tailLen {
+		return nil, ErrCorrupt
+	}
+	nibbleBuf := enc[hn : hn+nibbleBytes]
+	data := enc[hn+nibbleBytes : len(enc)-tailLen]
+
+	dst := make([]byte, declen)
+	pos := 0
+	for start := 0; start < n; start += chunkValues {
+		end := start + chunkValues
+		if end > n {
+			end = n
+		}
+		for i := start; i < end; i++ {
+			nib := nibbleBuf[i/2]
+			if i&1 == 0 {
+				nib >>= 4
+			}
+			nib &= 0x0F
+			sign := int(nib >> 3)
+			lzb := int(nib & 7)
+			resBytes := 8 - lzb
+			if pos+resBytes > len(data) {
+				return nil, ErrCorrupt
+			}
+			var r uint64
+			for b := 0; b < resBytes; b++ {
+				r = r<<8 | uint64(data[pos])
+				pos++
+			}
+			diff := int64(r)
+			if sign == 1 {
+				diff = -diff
+			}
+			var prior uint64
+			if i-start >= warpWidth {
+				prior = wordio.U64(dst, i-warpWidth)
+			}
+			wordio.PutU64(dst, i, prior+uint64(diff))
+		}
+	}
+	if pos != len(data) {
+		return nil, ErrCorrupt
+	}
+	copy(dst[n*8:], enc[len(enc)-tailLen:])
+	return dst, nil
+}

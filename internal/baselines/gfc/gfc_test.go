@@ -1,0 +1,114 @@
+package gfc
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpcompress/internal/wordio"
+)
+
+func smooth64(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n*8)
+	v := -700.0
+	for i := 0; i < n; i++ {
+		v += math.Sin(float64(i)/90)*2 + rng.NormFloat64()*0.01
+		wordio.PutU64(b, i, math.Float64bits(v))
+	}
+	return b
+}
+
+func TestRoundtrip(t *testing.T) {
+	g := GFC{}
+	inputs := [][]byte{
+		{}, {9}, {1, 2, 3, 4, 5, 6, 7, 8, 9},
+		smooth64(5000, 1),
+		make([]byte, 16000),
+	}
+	rnd := make([]byte, 80001)
+	rand.New(rand.NewSource(2)).Read(rnd)
+	inputs = append(inputs, rnd)
+	for i, src := range inputs {
+		enc, err := g.Compress(src)
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		dec, err := g.Decompress(enc)
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("input %d: mismatch", i)
+		}
+	}
+}
+
+func TestCompressesInterleavedStreams(t *testing.T) {
+	// GFC differences across 32 lanes: 32 interleaved smooth sequences are
+	// its best case.
+	n := 1 << 15
+	b := make([]byte, n*8)
+	lanes := make([]float64, 32)
+	for i := range lanes {
+		lanes[i] = float64(i) * 1000
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		lane := i % 32
+		lanes[lane] += 0.5 + rng.NormFloat64()*0.001
+		wordio.PutU64(b, i, math.Float64bits(lanes[lane]))
+	}
+	enc, _ := (GFC{}).Compress(b)
+	if ratio := float64(len(b)) / float64(len(enc)); ratio < 1.3 {
+		t.Errorf("ratio %.3f on lane-smooth data, want > 1.5", ratio)
+	}
+}
+
+func TestSignHandling(t *testing.T) {
+	// Alternating up/down steps exercise both signs of the difference.
+	n := 4096
+	b := make([]byte, n*8)
+	v := 0.0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			v += 1.0
+		} else {
+			v -= 0.5
+		}
+		wordio.PutU64(b, i, math.Float64bits(v))
+	}
+	g := GFC{}
+	enc, _ := g.Compress(b)
+	dec, err := g.Decompress(enc)
+	if err != nil || !bytes.Equal(dec, b) {
+		t.Fatal("sign roundtrip failed")
+	}
+}
+
+func TestQuick(t *testing.T) {
+	g := GFC{}
+	f := func(src []byte) bool {
+		enc, err := g.Compress(src)
+		if err != nil {
+			return false
+		}
+		dec, err := g.Decompress(enc)
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGarbage(t *testing.T) {
+	g := GFC{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		junk := make([]byte, rng.Intn(100))
+		rng.Read(junk)
+		g.Decompress(junk)
+	}
+}

@@ -1,0 +1,67 @@
+// Package gzipw wraps the standard library's DEFLATE implementation
+// (compress/flate) as the Gzip / Deflate / Gdeflate-class baseline: LZ77
+// with Huffman coding, exactly the algorithm behind all three of those
+// Table 1 rows. Levels 1 and 9 stand in for the paper's "fastest" and
+// "best" modes.
+package gzipw
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCorrupt reports undecodable input.
+var ErrCorrupt = errors.New("gzipw: corrupt input")
+
+// Gzip is the compressor.
+type Gzip struct {
+	// Level is the flate level 1..9 (0 = 6, the gzip default).
+	Level int
+	// Label overrides Name for Table 1 aliases ("Deflate", "Gdeflate").
+	Label string
+}
+
+// Name implements baselines.Compressor.
+func (g *Gzip) Name() string {
+	if g.Label != "" {
+		return g.Label
+	}
+	return fmt.Sprintf("Gzip-%d", g.level())
+}
+
+func (g *Gzip) level() int {
+	if g.Level < 1 || g.Level > 9 {
+		return 6
+	}
+	return g.Level
+}
+
+// Compress implements baselines.Compressor.
+func (g *Gzip) Compress(src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, g.level())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(src); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress implements baselines.Compressor.
+func (g *Gzip) Decompress(enc []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(enc))
+	defer r.Close()
+	out, err := io.ReadAll(io.LimitReader(r, 1<<31))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package gzipw
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRoundtrip(t *testing.T) {
+	rnd := make([]byte, 100000)
+	rand.New(rand.NewSource(1)).Read(rnd)
+	inputs := [][]byte{
+		{}, {1}, []byte("hello"),
+		[]byte(strings.Repeat("data ", 50000)),
+		make([]byte, 200000),
+		rnd,
+	}
+	for _, level := range []int{1, 6, 9} {
+		g := &Gzip{Level: level}
+		for i, src := range inputs {
+			enc, err := g.Compress(src)
+			if err != nil {
+				t.Fatalf("level %d input %d: %v", level, i, err)
+			}
+			dec, err := g.Decompress(enc)
+			if err != nil {
+				t.Fatalf("level %d input %d: %v", level, i, err)
+			}
+			if !bytes.Equal(dec, src) {
+				t.Fatalf("level %d input %d: mismatch", level, i)
+			}
+		}
+	}
+}
+
+func TestLevelsAndNames(t *testing.T) {
+	if (&Gzip{}).Name() != "Gzip-6" {
+		t.Error("default name wrong")
+	}
+	if (&Gzip{Label: "Deflate"}).Name() != "Deflate" {
+		t.Error("label ignored")
+	}
+	src := []byte(strings.Repeat("abcdefgh", 40000))
+	e1, _ := (&Gzip{Level: 1}).Compress(src)
+	e9, _ := (&Gzip{Level: 9}).Compress(src)
+	if len(e9) > len(e1) {
+		t.Errorf("level 9 (%d) worse than level 1 (%d)", len(e9), len(e1))
+	}
+}
+
+func TestGarbage(t *testing.T) {
+	g := &Gzip{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		junk := make([]byte, rng.Intn(100))
+		rng.Read(junk)
+		g.Decompress(junk)
+	}
+}

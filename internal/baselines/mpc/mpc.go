@@ -1,0 +1,223 @@
+// Package mpc implements MPC (Yang, Mukka, Hesaaraki & Burtscher, CLUSTER
+// 2015), the paper's massively-parallel GPU baseline for single- and
+// double-precision data. MPC chains delta encoding (dimension-aware: each
+// value is differenced against the previous value of the same tuple
+// component) with a bit transposition, producing many all-zero words that
+// are recorded in a bitmap and removed from the value stream.
+package mpc
+
+import (
+	"errors"
+	"fmt"
+
+	"fpcompress/internal/bitio"
+	"fpcompress/internal/wordio"
+)
+
+// ErrCorrupt reports undecodable input.
+var ErrCorrupt = errors.New("mpc: corrupt input")
+
+// MPC is the compressor. WordSize must be 4 or 8; Dim is the tuple size the
+// original requires as user input (1 for scalar streams).
+type MPC struct {
+	// WordSize is 4 (float32) or 8 (float64); 0 defaults to 4.
+	WordSize int
+	// Dim is the tuple size (delta stride); 0 defaults to 1.
+	Dim int
+}
+
+// Name implements baselines.Compressor.
+func (m *MPC) Name() string { return fmt.Sprintf("MPC%d", m.wordBits()) }
+
+func (m *MPC) wordSize() int {
+	if m.WordSize == 8 {
+		return 8
+	}
+	return 4
+}
+
+func (m *MPC) wordBits() int { return m.wordSize() * 8 }
+
+func (m *MPC) dim() int {
+	if m.Dim <= 0 {
+		return 1
+	}
+	return m.Dim
+}
+
+// Compress implements baselines.Compressor.
+func (m *MPC) Compress(src []byte) ([]byte, error) {
+	ws := m.wordSize()
+	n := len(src) / ws
+	tail := src[n*ws:]
+	d := m.dim()
+
+	// Stage 1: dimension-aware delta in magnitude-sign form, so small
+	// negative differences also produce leading zeros (and hence zero words
+	// after the transposition).
+	delta := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		var v, prior uint64
+		if ws == 4 {
+			v = uint64(wordio.U32(src, i))
+			if i >= d {
+				prior = uint64(wordio.U32(src, i-d))
+			}
+			delta[i] = uint64(wordio.ZigZag32(uint32(v) - uint32(prior)))
+		} else {
+			v = wordio.U64(src, i)
+			if i >= d {
+				prior = wordio.U64(src, i-d)
+			}
+			delta[i] = wordio.ZigZag64(v - prior)
+		}
+	}
+
+	// Stage 2: bit transposition in square blocks (32 words for f32,
+	// 64 for f64), like the warp-level shuffle of the original.
+	trans := transposeWords(delta, m.wordBits())
+
+	// Stage 3: bitmap of non-zero words + compaction.
+	out := bitio.AppendUvarint(nil, uint64(len(src)))
+	bm := make([]byte, (n+7)/8)
+	var kept []uint64
+	for i, w := range trans {
+		if w != 0 {
+			bm[i>>3] |= 0x80 >> (i & 7)
+			kept = append(kept, w)
+		}
+	}
+	out = append(out, bm...)
+	for _, w := range kept {
+		if ws == 4 {
+			var b [4]byte
+			wordio.PutU32(b[:], 0, uint32(w))
+			out = append(out, b[:]...)
+		} else {
+			var b [8]byte
+			wordio.PutU64(b[:], 0, w)
+			out = append(out, b[:]...)
+		}
+	}
+	return append(out, tail...), nil
+}
+
+// Decompress implements baselines.Compressor.
+func (m *MPC) Decompress(enc []byte) ([]byte, error) {
+	ws := m.wordSize()
+	declen64, hn := bitio.Uvarint(enc)
+	if hn == 0 || declen64 > uint64(len(enc))*uint64(ws)*9+64 {
+		return nil, ErrCorrupt
+	}
+	declen := int(declen64)
+	n := declen / ws
+	tailLen := declen - n*ws
+	bmLen := (n + 7) / 8
+	if len(enc) < hn+bmLen+tailLen {
+		return nil, ErrCorrupt
+	}
+	bm := enc[hn : hn+bmLen]
+	data := enc[hn+bmLen : len(enc)-tailLen]
+
+	trans := make([]uint64, n)
+	pos := 0
+	for i := 0; i < n; i++ {
+		if bm[i>>3]&(0x80>>(i&7)) == 0 {
+			continue
+		}
+		if pos+ws > len(data) {
+			return nil, ErrCorrupt
+		}
+		if ws == 4 {
+			trans[i] = uint64(wordio.U32(data[pos:], 0))
+		} else {
+			trans[i] = wordio.U64(data[pos:], 0)
+		}
+		pos += ws
+	}
+	if pos != len(data) {
+		return nil, ErrCorrupt
+	}
+
+	delta := untransposeWords(trans, m.wordBits())
+
+	d := m.dim()
+	dst := make([]byte, declen)
+	for i := 0; i < n; i++ {
+		if ws == 4 {
+			var prior uint32
+			if i >= d {
+				prior = wordio.U32(dst, i-d)
+			}
+			wordio.PutU32(dst, i, prior+wordio.UnZigZag32(uint32(delta[i])))
+		} else {
+			var prior uint64
+			if i >= d {
+				prior = wordio.U64(dst, i-d)
+			}
+			wordio.PutU64(dst, i, prior+wordio.UnZigZag64(delta[i]))
+		}
+	}
+	copy(dst[n*ws:], enc[len(enc)-tailLen:])
+	return dst, nil
+}
+
+// transposeWords bit-transposes full square blocks; the ragged tail is
+// passed through unchanged.
+func transposeWords(words []uint64, bits int) []uint64 {
+	out := make([]uint64, len(words))
+	copy(out, words)
+	if bits == 32 {
+		var blk [32]uint32
+		for s := 0; s+32 <= len(words); s += 32 {
+			for j := 0; j < 32; j++ {
+				blk[j] = uint32(words[s+j])
+			}
+			transpose32(&blk)
+			for j := 0; j < 32; j++ {
+				out[s+j] = uint64(blk[j])
+			}
+		}
+		return out
+	}
+	var blk [64]uint64
+	for s := 0; s+64 <= len(words); s += 64 {
+		copy(blk[:], words[s:s+64])
+		transpose64(&blk)
+		copy(out[s:s+64], blk[:])
+	}
+	return out
+}
+
+// untransposeWords inverts transposeWords (block transposition is an
+// involution).
+func untransposeWords(words []uint64, bits int) []uint64 {
+	return transposeWords(words, bits)
+}
+
+// transpose32 is the in-place 32x32 bit-matrix transpose (Hacker's
+// Delight fig. 7-3).
+func transpose32(a *[32]uint32) {
+	m := uint32(0x0000FFFF)
+	for j := uint(16); j != 0; j >>= 1 {
+		for k := 0; k < 32; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k+int(j)] >> j)) & m
+			a[k] ^= t
+			a[k+int(j)] ^= t << j
+		}
+		m ^= m << (j >> 1)
+	}
+}
+
+// transpose64 is the 64x64 variant.
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; j >>= 1 {
+		for k := 0; k < 64; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k+int(j)] >> j)) & m
+			a[k] ^= t
+			a[k+int(j)] ^= t << j
+		}
+		m ^= m << (j >> 1)
+	}
+}

@@ -1,0 +1,130 @@
+package mpc
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpcompress/internal/wordio"
+)
+
+func smooth32(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n*4)
+	v := 55.0
+	for i := 0; i < n; i++ {
+		v += math.Cos(float64(i)/65) + rng.NormFloat64()*0.01
+		wordio.PutU32(b, i, math.Float32bits(float32(v)))
+	}
+	return b
+}
+
+func TestRoundtripBothWordSizes(t *testing.T) {
+	rnd := make([]byte, 40001)
+	rand.New(rand.NewSource(1)).Read(rnd)
+	inputs := [][]byte{
+		{}, {5}, {1, 2, 3, 4, 5},
+		smooth32(10000, 2),
+		make([]byte, 9999),
+		rnd,
+	}
+	for _, ws := range []int{4, 8} {
+		m := &MPC{WordSize: ws}
+		for i, src := range inputs {
+			enc, err := m.Compress(src)
+			if err != nil {
+				t.Fatalf("ws %d input %d: %v", ws, i, err)
+			}
+			dec, err := m.Decompress(enc)
+			if err != nil {
+				t.Fatalf("ws %d input %d: %v", ws, i, err)
+			}
+			if !bytes.Equal(dec, src) {
+				t.Fatalf("ws %d input %d: mismatch", ws, i)
+			}
+		}
+	}
+}
+
+func TestDimAwareDelta(t *testing.T) {
+	// 3-component tuples: each component smooth on its own. Dim=3 must beat
+	// Dim=1 clearly.
+	n := 30000
+	b := make([]byte, n*4)
+	comps := []float64{1, 1000, -500}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		c := i % 3
+		comps[c] += rng.NormFloat64() * 0.01
+		wordio.PutU32(b, i, math.Float32bits(float32(comps[c])))
+	}
+	e1, _ := (&MPC{Dim: 1}).Compress(b)
+	e3, _ := (&MPC{Dim: 3}).Compress(b)
+	if len(e3) >= len(e1) {
+		t.Errorf("dim=3 (%d bytes) should beat dim=1 (%d bytes) on tuple data", len(e3), len(e1))
+	}
+	dec, err := (&MPC{Dim: 3}).Decompress(e3)
+	if err != nil || !bytes.Equal(dec, b) {
+		t.Fatal("dim=3 roundtrip failed")
+	}
+}
+
+func TestCompressesSmooth(t *testing.T) {
+	src := smooth32(1<<16, 4)
+	enc, _ := (&MPC{}).Compress(src)
+	if ratio := float64(len(src)) / float64(len(enc)); ratio < 1.15 {
+		t.Errorf("ratio %.3f, want > 1.15", ratio)
+	}
+}
+
+func TestQuick(t *testing.T) {
+	for _, ws := range []int{4, 8} {
+		m := &MPC{WordSize: ws}
+		f := func(src []byte) bool {
+			enc, err := m.Compress(src)
+			if err != nil {
+				return false
+			}
+			dec, err := m.Decompress(enc)
+			return err == nil && bytes.Equal(dec, src)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("ws %d: %v", ws, err)
+		}
+	}
+}
+
+func TestGarbage(t *testing.T) {
+	m := &MPC{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		junk := make([]byte, rng.Intn(90))
+		rng.Read(junk)
+		m.Decompress(junk)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(words []uint64) bool {
+		for _, bits := range []int{32, 64} {
+			in := append([]uint64(nil), words...)
+			if bits == 32 {
+				for i := range in {
+					in[i] = uint64(uint32(in[i]))
+				}
+			}
+			back := untransposeWords(transposeWords(in, bits), bits)
+			for i := range in {
+				if back[i] != in[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,387 @@
+// Package ndz implements an ndzip-class compressor (Knorr, Thoman &
+// Fahringer, DCC/SC 2021), the only baseline besides the paper's own
+// algorithms with compatible CPU and GPU implementations. Like ndzip it
+// processes fixed hypercube blocks with an integer Lorenzo transform
+// (first-order difference per dimension, here along the innermost
+// dimension), bit-transposes the residuals in warp-width groups, and
+// compacts each group behind a head word whose bits mark the non-zero
+// transposed rows.
+//
+// Unlike the original, the dimensionality is a parameter with a 1-D
+// default; the paper notes ndzip "requires the user to provide the
+// dimensionality of the input data".
+package ndz
+
+import (
+	"errors"
+	"fmt"
+
+	"fpcompress/internal/bitio"
+	"fpcompress/internal/wordio"
+)
+
+// ErrCorrupt reports undecodable input.
+var ErrCorrupt = errors.New("ndz: corrupt input")
+
+// blockValues is the hypercube block size (ndzip uses 4096-value blocks).
+const blockValues = 4096
+
+// Ndzip is the compressor. WordSize must be 4 or 8.
+type Ndzip struct {
+	// WordSize is 4 (float32) or 8 (float64); 0 defaults to 4.
+	WordSize int
+	// Dim is the innermost extent used as a delta stride when no grid
+	// shape is given (0 = 1-D).
+	Dim int
+	// Dims, when it has two or three extents (innermost first), switches
+	// the first stage to the full multidimensional integer Lorenzo
+	// transform of the original ndzip: each residual subtracts the
+	// inclusion-exclusion sum of the value's lower-corner neighbors.
+	Dims []int
+}
+
+// Name implements baselines.Compressor.
+func (z *Ndzip) Name() string { return fmt.Sprintf("Ndzip%d", z.wordSize()*8) }
+
+func (z *Ndzip) wordSize() int {
+	if z.WordSize == 8 {
+		return 8
+	}
+	return 4
+}
+
+func (z *Ndzip) dim() int {
+	if z.Dim <= 0 {
+		return 1
+	}
+	return z.Dim
+}
+
+// Compress implements baselines.Compressor.
+func (z *Ndzip) Compress(src []byte) ([]byte, error) {
+	ws := z.wordSize()
+	n := len(src) / ws
+	tail := src[n*ws:]
+	d := z.dim()
+	out := bitio.AppendUvarint(nil, uint64(len(src)))
+
+	words := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		if ws == 4 {
+			words[i] = uint64(wordio.U32(src, i))
+		} else {
+			words[i] = wordio.U64(src, i)
+		}
+	}
+	// Integer Lorenzo transform in magnitude-sign form: the full
+	// multidimensional version over the grid when Dims is given, otherwise
+	// a per-block delta at stride d.
+	var res []uint64
+	if len(z.Dims) >= 2 {
+		res = lorenzoForward(words, z.Dims, ws)
+	} else {
+		res = make([]uint64, n)
+		for s := 0; s < n; s += blockValues {
+			e := s + blockValues
+			if e > n {
+				e = n
+			}
+			for i := s; i < e; i++ {
+				var prior uint64
+				if i-s >= d {
+					prior = words[i-d]
+				}
+				if ws == 4 {
+					res[i] = uint64(wordio.ZigZag32(uint32(words[i]) - uint32(prior)))
+				} else {
+					res[i] = wordio.ZigZag64(words[i] - prior)
+				}
+			}
+		}
+	}
+
+	// Transpose in word-width groups and compact behind head bitmaps.
+	wbits := ws * 8
+	group := wbits
+	for s := 0; s < n; s += group {
+		if s+group <= n {
+			var head uint64
+			var kept []uint64
+			if ws == 4 {
+				var blk [32]uint32
+				for j := 0; j < 32; j++ {
+					blk[j] = uint32(res[s+j])
+				}
+				transpose32(&blk)
+				for j := 0; j < 32; j++ {
+					if blk[j] != 0 {
+						head |= 1 << uint(j)
+						kept = append(kept, uint64(blk[j]))
+					}
+				}
+				var hb [4]byte
+				wordio.PutU32(hb[:], 0, uint32(head))
+				out = append(out, hb[:]...)
+			} else {
+				var blk [64]uint64
+				copy(blk[:], res[s:s+64])
+				transpose64(&blk)
+				for j := 0; j < 64; j++ {
+					if blk[j] != 0 {
+						head |= 1 << uint(j)
+						kept = append(kept, blk[j])
+					}
+				}
+				var hb [8]byte
+				wordio.PutU64(hb[:], 0, head)
+				out = append(out, hb[:]...)
+			}
+			for _, w := range kept {
+				if ws == 4 {
+					var b [4]byte
+					wordio.PutU32(b[:], 0, uint32(w))
+					out = append(out, b[:]...)
+				} else {
+					var b [8]byte
+					wordio.PutU64(b[:], 0, w)
+					out = append(out, b[:]...)
+				}
+			}
+		} else {
+			// Ragged tail group: stored verbatim.
+			for i := s; i < n; i++ {
+				if ws == 4 {
+					var b [4]byte
+					wordio.PutU32(b[:], 0, uint32(res[i]))
+					out = append(out, b[:]...)
+				} else {
+					var b [8]byte
+					wordio.PutU64(b[:], 0, res[i])
+					out = append(out, b[:]...)
+				}
+			}
+		}
+	}
+	return append(out, tail...), nil
+}
+
+// Decompress implements baselines.Compressor.
+func (z *Ndzip) Decompress(enc []byte) ([]byte, error) {
+	ws := z.wordSize()
+	declen64, hn := bitio.Uvarint(enc)
+	if hn == 0 || declen64 > uint64(len(enc))*uint64(ws)*9+64 {
+		return nil, ErrCorrupt
+	}
+	declen := int(declen64)
+	n := declen / ws
+	tailLen := declen - n*ws
+	if len(enc) < hn+tailLen {
+		return nil, ErrCorrupt
+	}
+	data := enc[hn : len(enc)-tailLen]
+	pos := 0
+	readWord := func() (uint64, error) {
+		if pos+ws > len(data) {
+			return 0, ErrCorrupt
+		}
+		var w uint64
+		if ws == 4 {
+			w = uint64(wordio.U32(data[pos:], 0))
+		} else {
+			w = wordio.U64(data[pos:], 0)
+		}
+		pos += ws
+		return w, nil
+	}
+
+	group := ws * 8
+	res := make([]uint64, n)
+	for s := 0; s < n; s += group {
+		if s+group <= n {
+			head, err := readWord()
+			if err != nil {
+				return nil, err
+			}
+			if ws == 4 {
+				var blk [32]uint32
+				for j := 0; j < 32; j++ {
+					if head&(1<<uint(j)) != 0 {
+						w, err := readWord()
+						if err != nil {
+							return nil, err
+						}
+						blk[j] = uint32(w)
+					}
+				}
+				transpose32(&blk)
+				for j := 0; j < 32; j++ {
+					res[s+j] = uint64(blk[j])
+				}
+			} else {
+				var blk [64]uint64
+				for j := 0; j < 64; j++ {
+					if head&(1<<uint(j)) != 0 {
+						w, err := readWord()
+						if err != nil {
+							return nil, err
+						}
+						blk[j] = w
+					}
+				}
+				transpose64(&blk)
+				copy(res[s:s+64], blk[:])
+			}
+		} else {
+			for i := s; i < n; i++ {
+				w, err := readWord()
+				if err != nil {
+					return nil, err
+				}
+				res[i] = w
+			}
+		}
+	}
+	if pos != len(data) {
+		return nil, ErrCorrupt
+	}
+
+	d := z.dim()
+	dst := make([]byte, declen)
+	var words []uint64
+	if len(z.Dims) >= 2 {
+		words = lorenzoInverse(res, z.Dims, ws)
+	} else {
+		words = make([]uint64, n)
+		for s := 0; s < n; s += blockValues {
+			e := s + blockValues
+			if e > n {
+				e = n
+			}
+			for i := s; i < e; i++ {
+				var prior uint64
+				if i-s >= d {
+					prior = words[i-d]
+				}
+				if ws == 4 {
+					words[i] = uint64(uint32(prior) + wordio.UnZigZag32(uint32(res[i])))
+				} else {
+					words[i] = prior + wordio.UnZigZag64(res[i])
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if ws == 4 {
+			wordio.PutU32(dst, i, uint32(words[i]))
+		} else {
+			wordio.PutU64(dst, i, words[i])
+		}
+	}
+	copy(dst[n*ws:], enc[len(enc)-tailLen:])
+	return dst, nil
+}
+
+// lorenzoPred returns the multidimensional Lorenzo prediction for the
+// value at flat index i: the inclusion-exclusion sum over its lower-corner
+// neighbors (out-of-grid neighbors count as zero). Values beyond the grid
+// (n not a multiple of the slab size) fall back to 1-D prediction.
+func lorenzoPred(vals []uint64, dims []int, i int, mask uint64) uint64 {
+	w := dims[0]
+	h := 1
+	if len(dims) >= 2 {
+		h = dims[1]
+	}
+	slab := w * h
+	x := i % w
+	y := (i / w) % h
+	zc := i / slab
+	var pred uint64
+	add := func(dx, dy, dz, sign int) {
+		if x-dx < 0 || y-dy < 0 || zc-dz < 0 {
+			return
+		}
+		j := i - dx - dy*w - dz*slab
+		if j < 0 {
+			return
+		}
+		if sign > 0 {
+			pred += vals[j]
+		} else {
+			pred -= vals[j]
+		}
+	}
+	add(1, 0, 0, +1)
+	add(0, 1, 0, +1)
+	add(1, 1, 0, -1)
+	if len(dims) >= 3 {
+		add(0, 0, 1, +1)
+		add(1, 0, 1, -1)
+		add(0, 1, 1, -1)
+		add(1, 1, 1, +1)
+	}
+	return pred & mask
+}
+
+// lorenzoForward computes magnitude-sign Lorenzo residuals over the grid.
+func lorenzoForward(words []uint64, dims []int, ws int) []uint64 {
+	mask := ^uint64(0)
+	if ws == 4 {
+		mask = 0xFFFFFFFF
+	}
+	res := make([]uint64, len(words))
+	for i := range words {
+		d := (words[i] - lorenzoPred(words, dims, i, mask)) & mask
+		if ws == 4 {
+			res[i] = uint64(wordio.ZigZag32(uint32(d)))
+		} else {
+			res[i] = wordio.ZigZag64(d)
+		}
+	}
+	return res
+}
+
+// lorenzoInverse reconstructs values in flat order; every neighbor a
+// prediction needs has a smaller flat index, so one pass suffices.
+func lorenzoInverse(res []uint64, dims []int, ws int) []uint64 {
+	mask := ^uint64(0)
+	if ws == 4 {
+		mask = 0xFFFFFFFF
+	}
+	words := make([]uint64, len(res))
+	for i := range res {
+		var d uint64
+		if ws == 4 {
+			d = uint64(wordio.UnZigZag32(uint32(res[i])))
+		} else {
+			d = wordio.UnZigZag64(res[i])
+		}
+		words[i] = (lorenzoPred(words, dims, i, mask) + d) & mask
+	}
+	return words
+}
+
+// transpose32 is the in-place 32x32 bit-matrix transpose.
+func transpose32(a *[32]uint32) {
+	m := uint32(0x0000FFFF)
+	for j := uint(16); j != 0; j >>= 1 {
+		for k := 0; k < 32; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k+int(j)] >> j)) & m
+			a[k] ^= t
+			a[k+int(j)] ^= t << j
+		}
+		m ^= m << (j >> 1)
+	}
+}
+
+// transpose64 is the 64x64 variant.
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; j >>= 1 {
+		for k := 0; k < 64; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k+int(j)] >> j)) & m
+			a[k] ^= t
+			a[k+int(j)] ^= t << j
+		}
+		m ^= m << (j >> 1)
+	}
+}

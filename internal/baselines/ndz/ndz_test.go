@@ -1,0 +1,190 @@
+package ndz
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpcompress/internal/wordio"
+)
+
+func smooth32(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n*4)
+	v := 5.0
+	for i := 0; i < n; i++ {
+		v += math.Sin(float64(i)/45) + rng.NormFloat64()*0.02
+		wordio.PutU32(b, i, math.Float32bits(float32(v)))
+	}
+	return b
+}
+
+func TestRoundtrip(t *testing.T) {
+	rnd := make([]byte, 70003)
+	rand.New(rand.NewSource(1)).Read(rnd)
+	inputs := [][]byte{
+		{}, {1}, {1, 2, 3, 4, 5, 6, 7, 8},
+		smooth32(20000, 2),
+		make([]byte, 12345),
+		rnd,
+	}
+	for _, ws := range []int{4, 8} {
+		z := &Ndzip{WordSize: ws}
+		for i, src := range inputs {
+			enc, err := z.Compress(src)
+			if err != nil {
+				t.Fatalf("ws %d input %d: %v", ws, i, err)
+			}
+			dec, err := z.Decompress(enc)
+			if err != nil {
+				t.Fatalf("ws %d input %d: %v", ws, i, err)
+			}
+			if !bytes.Equal(dec, src) {
+				t.Fatalf("ws %d input %d: mismatch", ws, i)
+			}
+		}
+	}
+}
+
+func TestCompressesSmooth(t *testing.T) {
+	src := smooth32(1<<16, 3)
+	enc, _ := (&Ndzip{}).Compress(src)
+	if ratio := float64(len(src)) / float64(len(enc)); ratio < 1.1 {
+		t.Errorf("ratio %.3f, want > 1.1", ratio)
+	}
+}
+
+func TestDimParameter(t *testing.T) {
+	// Two interleaved smooth components: dim=2 must beat dim=1.
+	n := 40000
+	b := make([]byte, n*4)
+	comps := []float64{3, -4000}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < n; i++ {
+		c := i % 2
+		comps[c] += rng.NormFloat64() * 0.005
+		wordio.PutU32(b, i, math.Float32bits(float32(comps[c])))
+	}
+	e1, _ := (&Ndzip{Dim: 1}).Compress(b)
+	e2, _ := (&Ndzip{Dim: 2}).Compress(b)
+	if len(e2) >= len(e1) {
+		t.Errorf("dim=2 (%d) should beat dim=1 (%d)", len(e2), len(e1))
+	}
+	dec, err := (&Ndzip{Dim: 2}).Decompress(e2)
+	if err != nil || !bytes.Equal(dec, b) {
+		t.Fatal("dim=2 roundtrip failed")
+	}
+}
+
+func TestQuick(t *testing.T) {
+	for _, ws := range []int{4, 8} {
+		z := &Ndzip{WordSize: ws}
+		f := func(src []byte) bool {
+			enc, err := z.Compress(src)
+			if err != nil {
+				return false
+			}
+			dec, err := z.Decompress(enc)
+			return err == nil && bytes.Equal(dec, src)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("ws %d: %v", ws, err)
+		}
+	}
+}
+
+func TestGarbage(t *testing.T) {
+	z := &Ndzip{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		junk := make([]byte, rng.Intn(100))
+		rng.Read(junk)
+		z.Decompress(junk)
+	}
+}
+
+// field2D builds a w x h grid smooth in both axes.
+func field2D(w, h int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, w*h*4)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 40*math.Sin(float64(x)/30) + 25*math.Cos(float64(y)/20) +
+				5*math.Sin(float64(x+y)/15) + rng.NormFloat64()*0.01
+			wordio.PutU32(b, y*w+x, math.Float32bits(float32(v)))
+		}
+	}
+	return b
+}
+
+func TestLorenzo2DBeats1D(t *testing.T) {
+	w, h := 256, 200
+	src := field2D(w, h, 9)
+	e1, _ := (&Ndzip{}).Compress(src)
+	e2, _ := (&Ndzip{Dims: []int{w, h}}).Compress(src)
+	if len(e2) >= len(e1) {
+		t.Errorf("2-D Lorenzo (%d bytes) should beat 1-D (%d bytes) on a 2-D field", len(e2), len(e1))
+	}
+	dec, err := (&Ndzip{Dims: []int{w, h}}).Decompress(e2)
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Fatal("2-D roundtrip failed")
+	}
+}
+
+func TestLorenzo3DRoundtrip(t *testing.T) {
+	w, h, d := 16, 12, 10
+	rng := rand.New(rand.NewSource(10))
+	src := make([]byte, w*h*d*8)
+	for i := 0; i < w*h*d; i++ {
+		wordio.PutU64(src, i, math.Float64bits(rng.NormFloat64()*100))
+	}
+	z := &Ndzip{WordSize: 8, Dims: []int{w, h, d}}
+	enc, err := z.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := z.Decompress(enc)
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Fatal("3-D roundtrip failed")
+	}
+}
+
+func TestLorenzoQuickAllShapes(t *testing.T) {
+	shapes := [][]int{{7, 5}, {32, 32}, {4, 3, 5}, {1, 1}, {100, 1}}
+	for _, ws := range []int{4, 8} {
+		for _, dims := range shapes {
+			z := &Ndzip{WordSize: ws, Dims: dims}
+			f := func(src []byte) bool {
+				enc, err := z.Compress(src)
+				if err != nil {
+					return false
+				}
+				dec, err := z.Decompress(enc)
+				return err == nil && bytes.Equal(dec, src)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Errorf("ws %d dims %v: %v", ws, dims, err)
+			}
+		}
+	}
+}
+
+// TestLorenzoMismatchedGrid: data shorter or longer than the declared grid
+// must still roundtrip (the predictor degrades, losslessness must not).
+func TestLorenzoMismatchedGrid(t *testing.T) {
+	z := &Ndzip{Dims: []int{64, 64}}
+	for _, n := range []int{100, 64*64*4 - 12, 64*64*4 + 400} {
+		src := make([]byte, n)
+		rand.New(rand.NewSource(int64(n))).Read(src)
+		enc, err := z.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := z.Decompress(enc)
+		if err != nil || !bytes.Equal(dec, src) {
+			t.Fatalf("n=%d: mismatch", n)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package baselines
+
+import (
+	"fpcompress/internal/baselines/bitpack"
+	"fpcompress/internal/baselines/bwz"
+	"fpcompress/internal/baselines/cascaded"
+	"fpcompress/internal/baselines/fpc"
+	"fpcompress/internal/baselines/fpz"
+	"fpcompress/internal/baselines/gfc"
+	"fpcompress/internal/baselines/gzipw"
+	"fpcompress/internal/baselines/lzb"
+	"fpcompress/internal/baselines/mpc"
+	"fpcompress/internal/baselines/ndz"
+	"fpcompress/internal/baselines/rans"
+	"fpcompress/internal/baselines/spdp"
+	"fpcompress/internal/baselines/zfpx"
+	"fpcompress/internal/baselines/zstdx"
+)
+
+// Table1 returns the 18 comparison compressors exactly as listed in Table 1
+// of the paper (name, device, datatype). Compressors with fast/best modes
+// are expanded by the harness via the Modes field of eval.
+func Table1() []Entry {
+	return []Entry{
+		// CPU+GPU (Table 1 lists these first).
+		{Name: "Ndzip", Device: Both, Datatype: FP32And64,
+			New: func(ws int) Compressor { return &ndz.Ndzip{WordSize: ws} }},
+		{Name: "ZSTD", Device: Both, NvComp: true, Datatype: General,
+			New: func(ws int) Compressor { return &zstdx.Zstd{} }},
+		// GPU.
+		{Name: "ANS", Device: GPU, NvComp: true, Datatype: FP32And64,
+			New: func(ws int) Compressor { return rans.ANS{} }},
+		{Name: "Bitcomp", Device: GPU, NvComp: true, Datatype: FP32And64,
+			New: func(ws int) Compressor { return &bitpack.Bitcomp{WordSize: ws} }},
+		{Name: "Cascaded", Device: GPU, NvComp: true, Datatype: General,
+			New: func(ws int) Compressor { return cascaded.Cascaded{} }},
+		{Name: "Deflate", Device: GPU, NvComp: true, Datatype: General,
+			New: func(ws int) Compressor { return &gzipw.Gzip{Level: 6, Label: "Deflate"} }},
+		{Name: "Gdeflate", Device: GPU, NvComp: true, Datatype: General,
+			New: func(ws int) Compressor { return &gzipw.Gzip{Level: 6, Label: "Gdeflate"} }},
+		{Name: "GFC", Device: GPU, Datatype: FP64,
+			New: func(ws int) Compressor { return gfc.GFC{} }},
+		{Name: "LZ4", Device: GPU, NvComp: true, Datatype: General,
+			New: func(ws int) Compressor { return &lzb.LZ{Probes: 8, Label: "LZ4"} }},
+		{Name: "MPC", Device: GPU, Datatype: FP32And64,
+			New: func(ws int) Compressor { return &mpc.MPC{WordSize: ws} }},
+		{Name: "Snappy", Device: GPU, NvComp: true, Datatype: General,
+			New: func(ws int) Compressor { return &lzb.LZ{Probes: 1, Label: "Snappy"} }},
+		// CPU.
+		{Name: "Bzip2", Device: CPU, Datatype: General,
+			New: func(ws int) Compressor { return &bwz.BWZ{} }},
+		{Name: "FPC", Device: CPU, Datatype: FP64,
+			New: func(ws int) Compressor { return &fpc.FPC{} }},
+		{Name: "FPzip", Device: CPU, Datatype: FP32And64,
+			New: func(ws int) Compressor { return &fpz.FPzip{WordSize: ws} }},
+		{Name: "Gzip", Device: CPU, Datatype: General,
+			New: func(ws int) Compressor { return &gzipw.Gzip{} }},
+		{Name: "pFPC", Device: CPU, Datatype: FP64,
+			New: func(ws int) Compressor { return &fpc.PFPC{} }},
+		{Name: "SPDP", Device: CPU, Datatype: FP32And64,
+			New: func(ws int) Compressor { return &spdp.SPDP{} }},
+		{Name: "ZFP", Device: CPU, Datatype: FP32And64,
+			New: func(ws int) Compressor { return &zfpx.ZFP{WordSize: ws} }},
+	}
+}

@@ -1,0 +1,140 @@
+package baselines
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestTable1HasEighteenEntries(t *testing.T) {
+	entries := Table1()
+	if len(entries) != 18 {
+		t.Fatalf("Table 1 lists 18 compressors, registry has %d", len(entries))
+	}
+	byDevice := map[Device]int{}
+	names := map[string]bool{}
+	for _, e := range entries {
+		byDevice[e.Device]++
+		if names[e.Name] {
+			t.Errorf("duplicate entry %q", e.Name)
+		}
+		names[e.Name] = true
+		if e.New == nil {
+			t.Errorf("%s: no constructor", e.Name)
+		}
+	}
+	// Table 1: 2 CPU+GPU, 9 GPU, 7 CPU.
+	if byDevice[Both] != 2 || byDevice[GPU] != 9 || byDevice[CPU] != 7 {
+		t.Errorf("device split = %v, want Both:2 GPU:9 CPU:7", byDevice)
+	}
+}
+
+func TestEveryEntryRoundtrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	smooth := make([]byte, 40000)
+	for i := range smooth {
+		smooth[i] = byte(i/64) + byte(rng.Intn(2))
+	}
+	inputs := [][]byte{smooth, make([]byte, 16000), {}}
+	for _, e := range Table1() {
+		for _, ws := range []int{4, 8} {
+			if ws == 4 && !e.Datatype.SupportsSingle() {
+				continue
+			}
+			if ws == 8 && !e.Datatype.SupportsDouble() {
+				continue
+			}
+			c := e.New(ws)
+			for i, src := range inputs {
+				enc, err := c.Compress(src)
+				if err != nil {
+					t.Fatalf("%s ws%d input %d: %v", e.Name, ws, i, err)
+				}
+				dec, err := c.Decompress(enc)
+				if err != nil {
+					t.Fatalf("%s ws%d input %d: %v", e.Name, ws, i, err)
+				}
+				if !bytes.Equal(dec, src) {
+					t.Fatalf("%s ws%d input %d: mismatch", e.Name, ws, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDatatypeFilters(t *testing.T) {
+	if FP64.SupportsSingle() {
+		t.Error("FP64 must not claim float32 support")
+	}
+	if FP32.SupportsDouble() {
+		t.Error("FP32 must not claim float64 support")
+	}
+	if !General.SupportsSingle() || !General.SupportsDouble() {
+		t.Error("General supports both")
+	}
+	if !FP32And64.SupportsSingle() || !FP32And64.SupportsDouble() {
+		t.Error("FP32And64 supports both")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" || Both.String() != "CPU+GPU" {
+		t.Error("device strings")
+	}
+	if FP32And64.String() != "FP32 & FP64" || General.String() != "General" {
+		t.Error("datatype strings")
+	}
+}
+
+func TestBatchedRoundtrip(t *testing.T) {
+	inner := Table1()[1].New(4) // ZSTD-class
+	b := &Batched{Inner: inner}
+	if b.Name() != inner.Name() {
+		t.Error("batched wrapper changed the name")
+	}
+	rng := rand.New(rand.NewSource(2))
+	long := make([]byte, BatchSize*3+12345)
+	for i := range long {
+		long[i] = byte(i/512) ^ byte(rng.Intn(4))
+	}
+	for _, src := range [][]byte{nil, {1}, make([]byte, BatchSize), long} {
+		enc, err := b.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := b.Decompress(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("batched roundtrip mismatch at %d bytes", len(src))
+		}
+	}
+}
+
+func TestBatchedWindowIsolation(t *testing.T) {
+	// A repeat two batches apart must NOT be exploitable by the batched
+	// LZ (that isolation is the point of the wrapper).
+	inner := &Batched{Inner: Table1()[1].New(4)}
+	half := make([]byte, BatchSize*2)
+	rand.New(rand.NewSource(3)).Read(half)
+	src := append(append([]byte{}, half...), half...)
+	enc, _ := inner.Compress(src)
+	whole, _ := Table1()[1].New(4).Compress(src)
+	if len(enc) <= len(whole)+len(whole)/10 {
+		t.Errorf("batched (%d) should lose to whole-input (%d) on far repeats", len(enc), len(whole))
+	}
+}
+
+func TestBatchedGarbage(t *testing.T) {
+	b := &Batched{Inner: Table1()[1].New(4)}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		junk := make([]byte, rng.Intn(120))
+		rng.Read(junk)
+		b.Decompress(junk)
+	}
+	if _, err := b.Decompress([]byte{0xFF, 0xFF}); err == nil {
+		t.Error("garbage batch header accepted")
+	}
+}

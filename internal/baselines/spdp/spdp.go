@@ -1,0 +1,267 @@
+// Package spdp implements the SPDP compressor (Claggett, Azimi & Burtscher,
+// DCC 2018), a CPU baseline for both single- and double-precision data that
+// was synthesized from a component search: difference coding on 32-bit
+// words, an 8-way byte shuffle, byte-granular difference coding, and a
+// byte-level LZ stage. The paper's level parameter (1-9) trades LZ search
+// effort for throughput; we expose the same knob.
+package spdp
+
+import (
+	"errors"
+	"fmt"
+
+	"fpcompress/internal/bitio"
+	"fpcompress/internal/wordio"
+)
+
+// ErrCorrupt reports undecodable input.
+var ErrCorrupt = errors.New("spdp: corrupt input")
+
+// SPDP is the compressor. The zero value uses level 5.
+type SPDP struct {
+	// Level 1 (fastest) to 9 (best ratio) controls LZ match effort.
+	Level int
+}
+
+// Name implements baselines.Compressor.
+func (s *SPDP) Name() string {
+	return fmt.Sprintf("SPDP-%d", s.level())
+}
+
+func (s *SPDP) level() int {
+	if s.Level < 1 || s.Level > 9 {
+		return 5
+	}
+	return s.Level
+}
+
+// stage1 subtracts the 32-bit word two positions earlier (SPDP's LNVs2).
+func stage1(src []byte) []byte {
+	dst := make([]byte, len(src))
+	n := len(src) / 4
+	for i := 0; i < n; i++ {
+		v := wordio.U32(src, i)
+		var prior uint32
+		if i >= 2 {
+			prior = wordio.U32(src, i-2)
+		}
+		wordio.PutU32(dst, i, v-prior)
+	}
+	copy(dst[n*4:], src[n*4:])
+	return dst
+}
+
+func unstage1(enc []byte) []byte {
+	dst := make([]byte, len(enc))
+	n := len(enc) / 4
+	for i := 0; i < n; i++ {
+		d := wordio.U32(enc, i)
+		var prior uint32
+		if i >= 2 {
+			prior = wordio.U32(dst, i-2)
+		}
+		wordio.PutU32(dst, i, d+prior)
+	}
+	copy(dst[n*4:], enc[n*4:])
+	return dst
+}
+
+// stage2 is the DIM8 byte shuffle: bytes are regrouped so that every 8th
+// byte becomes contiguous, aligning the corresponding bytes of consecutive
+// doubles (or pairs of floats).
+func stage2(src []byte) []byte {
+	dst := make([]byte, len(src))
+	n := len(src) / 8 * 8
+	rows := n / 8
+	idx := 0
+	for lane := 0; lane < 8; lane++ {
+		for r := 0; r < rows; r++ {
+			dst[idx] = src[r*8+lane]
+			idx++
+		}
+	}
+	copy(dst[n:], src[n:])
+	return dst
+}
+
+func unstage2(enc []byte) []byte {
+	dst := make([]byte, len(enc))
+	n := len(enc) / 8 * 8
+	rows := n / 8
+	idx := 0
+	for lane := 0; lane < 8; lane++ {
+		for r := 0; r < rows; r++ {
+			dst[r*8+lane] = enc[idx]
+			idx++
+		}
+	}
+	copy(dst[n:], enc[n:])
+	return dst
+}
+
+// stage3 is byte-granular difference coding (LNVs1 at byte width).
+func stage3(src []byte) []byte {
+	dst := make([]byte, len(src))
+	prev := byte(0)
+	for i, c := range src {
+		dst[i] = c - prev
+		prev = c
+	}
+	return dst
+}
+
+func unstage3(enc []byte) []byte {
+	dst := make([]byte, len(enc))
+	prev := byte(0)
+	for i, c := range enc {
+		prev += c
+		dst[i] = prev
+	}
+	return dst
+}
+
+// lz is a byte-level LZSS: literals and (length,distance) matches found via
+// a hash-of-4 table with level-scaled chain search. Tokens are grouped
+// under control bytes of 8 flags (1 = match).
+const (
+	lzMinMatch = 6 // SPDP's LZa6 component requires long-ish matches
+	lzWindow   = 1 << 16
+)
+
+func (s *SPDP) lzCompress(src []byte) []byte {
+	out := bitio.AppendUvarint(nil, uint64(len(src)))
+	var hashTable [1 << 15]int32
+	for i := range hashTable {
+		hashTable[i] = -1
+	}
+	chain := make([]int32, len(src))
+	maxChain := s.level() * s.level() // 1..81 probes
+	hash := func(i int) uint32 {
+		v := uint32(src[i]) | uint32(src[i+1])<<8 | uint32(src[i+2])<<16 | uint32(src[i+3])<<24
+		return (v * 2654435761) >> 17
+	}
+	var ctrl byte
+	var ctrlBits int
+	tokens := make([]byte, 0, 16)
+	flushCtrl := func() {
+		out = append(out, ctrl)
+		out = append(out, tokens...)
+		ctrl, ctrlBits = 0, 0
+		tokens = tokens[:0]
+	}
+	i := 0
+	for i < len(src) {
+		bestLen, bestDist := 0, 0
+		if i+lzMinMatch <= len(src) && i+4 <= len(src) {
+			h := hash(i)
+			cand := hashTable[h]
+			probes := 0
+			// Strict window bound: the distance must fit two bytes, so
+			// i-cand may be at most lzWindow-1.
+			for cand >= 0 && probes < maxChain && int(cand) > i-lzWindow {
+				l := matchLen(src, int(cand), i)
+				if l > bestLen {
+					bestLen, bestDist = l, i-int(cand)
+				}
+				cand = chain[cand]
+				probes++
+			}
+		}
+		if bestLen >= lzMinMatch {
+			// Match token: varint length-min, 2-byte distance.
+			ctrl |= 1 << ctrlBits
+			tokens = bitio.AppendUvarint(tokens, uint64(bestLen-lzMinMatch))
+			tokens = append(tokens, byte(bestDist), byte(bestDist>>8))
+			end := i + bestLen
+			for ; i < end && i+4 <= len(src); i++ {
+				h := hash(i)
+				chain[i] = hashTable[h]
+				hashTable[h] = int32(i)
+			}
+			i = end
+		} else {
+			tokens = append(tokens, src[i])
+			if i+4 <= len(src) {
+				h := hash(i)
+				chain[i] = hashTable[h]
+				hashTable[h] = int32(i)
+			}
+			i++
+		}
+		ctrlBits++
+		if ctrlBits == 8 {
+			flushCtrl()
+		}
+	}
+	if ctrlBits > 0 {
+		flushCtrl()
+	}
+	return out
+}
+
+func matchLen(src []byte, a, b int) int {
+	n := 0
+	maxLen := len(src) - b
+	if maxLen > 1<<16 {
+		maxLen = 1 << 16
+	}
+	for n < maxLen && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+func lzDecompress(enc []byte) ([]byte, error) {
+	declen64, hn := bitio.Uvarint(enc)
+	if hn == 0 || declen64 > uint64(len(enc))*(1<<17)+64 {
+		return nil, ErrCorrupt
+	}
+	dst := make([]byte, 0, declen64)
+	pos := hn
+	for len(dst) < int(declen64) {
+		if pos >= len(enc) {
+			return nil, ErrCorrupt
+		}
+		ctrl := enc[pos]
+		pos++
+		for bit := 0; bit < 8 && len(dst) < int(declen64); bit++ {
+			if ctrl&(1<<bit) != 0 {
+				l64, n := bitio.Uvarint(enc[pos:])
+				if n == 0 || pos+n+2 > len(enc) {
+					return nil, ErrCorrupt
+				}
+				pos += n
+				dist := int(enc[pos]) | int(enc[pos+1])<<8
+				pos += 2
+				length := int(l64) + lzMinMatch
+				if dist <= 0 || dist > len(dst) || len(dst)+length > int(declen64) {
+					return nil, ErrCorrupt
+				}
+				for k := 0; k < length; k++ {
+					dst = append(dst, dst[len(dst)-dist])
+				}
+			} else {
+				if pos >= len(enc) {
+					return nil, ErrCorrupt
+				}
+				dst = append(dst, enc[pos])
+				pos++
+			}
+		}
+	}
+	return dst, nil
+}
+
+// Compress implements baselines.Compressor.
+func (s *SPDP) Compress(src []byte) ([]byte, error) {
+	return s.lzCompress(stage3(stage2(stage1(src)))), nil
+}
+
+// Decompress implements baselines.Compressor.
+func (s *SPDP) Decompress(enc []byte) ([]byte, error) {
+	b, err := lzDecompress(enc)
+	if err != nil {
+		return nil, err
+	}
+	return unstage1(unstage2(unstage3(b))), nil
+}

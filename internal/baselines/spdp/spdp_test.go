@@ -1,0 +1,119 @@
+package spdp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpcompress/internal/wordio"
+)
+
+func smooth32(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n*4)
+	v := 10.0
+	for i := 0; i < n; i++ {
+		v += math.Sin(float64(i)/70) + rng.NormFloat64()*0.02
+		wordio.PutU32(b, i, math.Float32bits(float32(v)))
+	}
+	return b
+}
+
+func TestRoundtrip(t *testing.T) {
+	s := &SPDP{}
+	inputs := [][]byte{
+		{}, {1}, {1, 2, 3, 4, 5, 6, 7},
+		smooth32(20000, 1),
+		make([]byte, 10000),
+		bytes.Repeat([]byte{0xAB, 0xCD}, 5000),
+	}
+	rnd := make([]byte, 50000)
+	rand.New(rand.NewSource(2)).Read(rnd)
+	inputs = append(inputs, rnd)
+	for i, src := range inputs {
+		enc, err := s.Compress(src)
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		dec, err := s.Decompress(enc)
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("input %d: mismatch", i)
+		}
+	}
+}
+
+func TestLevelsTradeRatioForEffort(t *testing.T) {
+	src := smooth32(1<<16, 3)
+	fast := &SPDP{Level: 1}
+	best := &SPDP{Level: 9}
+	fe, _ := fast.Compress(src)
+	be, _ := best.Compress(src)
+	if len(be) > len(fe) {
+		t.Errorf("level 9 output (%d) larger than level 1 (%d)", len(be), len(fe))
+	}
+	for _, enc := range [][]byte{fe, be} {
+		dec, err := fast.Decompress(enc) // levels share the format
+		if err != nil || !bytes.Equal(dec, src) {
+			t.Error("cross-level decode failed")
+		}
+	}
+}
+
+func TestCompressesSmooth(t *testing.T) {
+	src := smooth32(1<<16, 4)
+	enc, _ := (&SPDP{}).Compress(src)
+	if ratio := float64(len(src)) / float64(len(enc)); ratio < 1.2 {
+		t.Errorf("ratio %.3f, want > 1.2", ratio)
+	}
+}
+
+func TestStagesInvert(t *testing.T) {
+	f := func(src []byte) bool {
+		if !bytes.Equal(unstage1(stage1(src)), src) {
+			return false
+		}
+		if !bytes.Equal(unstage2(stage2(src)), src) {
+			return false
+		}
+		return bytes.Equal(unstage3(stage3(src)), src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuick(t *testing.T) {
+	s := &SPDP{Level: 2}
+	f := func(src []byte) bool {
+		enc, err := s.Compress(src)
+		if err != nil {
+			return false
+		}
+		dec, err := s.Decompress(enc)
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGarbage(t *testing.T) {
+	s := &SPDP{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		junk := make([]byte, rng.Intn(80))
+		rng.Read(junk)
+		s.Decompress(junk)
+	}
+}
+
+func TestName(t *testing.T) {
+	if (&SPDP{}).Name() != "SPDP-5" || (&SPDP{Level: 9}).Name() != "SPDP-9" {
+		t.Error("bad names")
+	}
+}

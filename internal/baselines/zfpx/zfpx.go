@@ -1,0 +1,216 @@
+// Package zfpx implements a ZFP-class lossless compressor (Lindstrom,
+// "Fixed-rate compressed floating-point arrays", TVCG 2014 — here its
+// lossless CPU mode). Like ZFP it operates on fixed blocks, decorrelates
+// each block with a reversible integer transform, and encodes the
+// coefficients from most to least significant bits. Our transform is a
+// multi-level reversible difference pyramid over the order-preserving
+// integer mapping of the values (ZFP's lifted transform restricted to
+// integer arithmetic, which keeps the mode exactly lossless), followed by
+// per-group bit-width packing of the magnitude-sign coefficients.
+package zfpx
+
+import (
+	"errors"
+	"fmt"
+
+	"fpcompress/internal/bitio"
+	"fpcompress/internal/wordio"
+)
+
+// ErrCorrupt reports undecodable input.
+var ErrCorrupt = errors.New("zfpx: corrupt input")
+
+// blockWords is the block size (ZFP uses 4^d values; 64 matches d=3).
+const blockWords = 64
+
+// groupWords is the bit-packing granularity inside a block.
+const groupWords = 16
+
+// ZFP is the compressor. WordSize must be 4 or 8.
+type ZFP struct {
+	// WordSize is 4 (float32) or 8 (float64); 0 defaults to 4.
+	WordSize int
+}
+
+// Name implements baselines.Compressor.
+func (z *ZFP) Name() string { return fmt.Sprintf("ZFP%d", z.wordSize()*8) }
+
+func (z *ZFP) wordSize() int {
+	if z.WordSize == 8 {
+		return 8
+	}
+	return 4
+}
+
+// mapOrder converts IEEE bits to an order-preserving integer (same map
+// FPzip uses), so numeric smoothness becomes integer smoothness.
+func mapOrder(u uint64, wbits int) uint64 {
+	sign := uint64(1) << uint(wbits-1)
+	if u&sign != 0 {
+		return (^u) & (sign<<1 - 1)
+	}
+	return u | sign
+}
+
+func unmapOrder(m uint64, wbits int) uint64 {
+	sign := uint64(1) << uint(wbits-1)
+	if m&sign != 0 {
+		return m &^ sign
+	}
+	return (^m) & (sign<<1 - 1)
+}
+
+// liftForward applies the reversible difference pyramid in place: level h
+// replaces each element at odd multiples of h with its difference from the
+// element h positions earlier. All arithmetic wraps at the word width
+// (mask), which keeps every level exactly reversible. Within a level the
+// updated positions never serve as a subtrahend, so order is free.
+func liftForward(blk []uint64, mask uint64) {
+	for h := 1; h < len(blk); h <<= 1 {
+		for i := h; i < len(blk); i += 2 * h {
+			blk[i] = (blk[i] - blk[i-h]) & mask
+		}
+	}
+}
+
+// liftInverse inverts liftForward by adding back, levels in reverse order.
+func liftInverse(blk []uint64, mask uint64) {
+	top := 1
+	for top < len(blk) {
+		top <<= 1
+	}
+	for h := top >> 1; h >= 1; h >>= 1 {
+		for i := h; i < len(blk); i += 2 * h {
+			blk[i] = (blk[i] + blk[i-h]) & mask
+		}
+	}
+}
+
+// Compress implements baselines.Compressor.
+func (z *ZFP) Compress(src []byte) ([]byte, error) {
+	ws := z.wordSize()
+	wbits := ws * 8
+	n := len(src) / ws
+	tail := src[n*ws:]
+	out := bitio.AppendUvarint(nil, uint64(len(src)))
+
+	blk := make([]uint64, 0, blockWords)
+	for s := 0; s < n; s += blockWords {
+		e := s + blockWords
+		if e > n {
+			e = n
+		}
+		blk = blk[:0]
+		for i := s; i < e; i++ {
+			var u uint64
+			if ws == 4 {
+				u = uint64(wordio.U32(src, i))
+			} else {
+				u = wordio.U64(src, i)
+			}
+			blk = append(blk, mapOrder(u, wbits))
+		}
+		mask := ^uint64(0)
+		if ws == 4 {
+			mask = 0xFFFFFFFF
+		}
+		liftForward(blk, mask)
+		// Magnitude-sign so small +/- coefficients pack tightly. The first
+		// element is the block's base value and stays as-is.
+		for i := 1; i < len(blk); i++ {
+			if ws == 4 {
+				blk[i] = uint64(wordio.ZigZag32(uint32(blk[i])))
+			} else {
+				blk[i] = wordio.ZigZag64(blk[i])
+			}
+		}
+		// Per-group width packing.
+		for g := 0; g < len(blk); g += groupWords {
+			ge := g + groupWords
+			if ge > len(blk) {
+				ge = len(blk)
+			}
+			width := uint(0)
+			for _, v := range blk[g:ge] {
+				if w := uint(64 - wordio.Clz64(v)); w > width {
+					width = w
+				}
+			}
+			out = append(out, byte(width))
+			out = append(out, bitio.PackWidth64(blk[g:ge], width)...)
+		}
+	}
+	return append(out, tail...), nil
+}
+
+// Decompress implements baselines.Compressor.
+func (z *ZFP) Decompress(enc []byte) ([]byte, error) {
+	ws := z.wordSize()
+	wbits := ws * 8
+	declen64, hn := bitio.Uvarint(enc)
+	if hn == 0 || declen64 > uint64(len(enc))*groupWords*uint64(ws)+64 {
+		return nil, ErrCorrupt
+	}
+	declen := int(declen64)
+	n := declen / ws
+	tailLen := declen - n*ws
+	dst := make([]byte, declen)
+	pos := hn
+	blk := make([]uint64, 0, blockWords)
+	for s := 0; s < n; s += blockWords {
+		e := s + blockWords
+		if e > n {
+			e = n
+		}
+		blk = blk[:0]
+		for g := 0; g < e-s; g += groupWords {
+			ge := g + groupWords
+			if ge > e-s {
+				ge = e - s
+			}
+			if pos >= len(enc) {
+				return nil, ErrCorrupt
+			}
+			width := uint(enc[pos])
+			pos++
+			if width > uint(wbits) {
+				return nil, ErrCorrupt
+			}
+			nb := ((ge-g)*int(width) + 7) / 8
+			if pos+nb > len(enc) {
+				return nil, ErrCorrupt
+			}
+			vals, err := bitio.UnpackWidth64(enc[pos:pos+nb], ge-g, width)
+			if err != nil {
+				return nil, err
+			}
+			pos += nb
+			blk = append(blk, vals...)
+		}
+		for i := 1; i < len(blk); i++ {
+			if ws == 4 {
+				blk[i] = uint64(wordio.UnZigZag32(uint32(blk[i])))
+			} else {
+				blk[i] = wordio.UnZigZag64(blk[i])
+			}
+		}
+		mask := ^uint64(0)
+		if ws == 4 {
+			mask = 0xFFFFFFFF
+		}
+		liftInverse(blk, mask)
+		for i := s; i < e; i++ {
+			u := unmapOrder(blk[i-s], wbits)
+			if ws == 4 {
+				wordio.PutU32(dst, i, uint32(u))
+			} else {
+				wordio.PutU64(dst, i, u)
+			}
+		}
+	}
+	if len(enc)-pos != tailLen {
+		return nil, ErrCorrupt
+	}
+	copy(dst[n*ws:], enc[pos:])
+	return dst, nil
+}

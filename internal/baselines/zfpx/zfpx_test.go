@@ -1,0 +1,126 @@
+package zfpx
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpcompress/internal/wordio"
+)
+
+func TestLiftRoundtrip(t *testing.T) {
+	f := func(vals []uint64, is32 bool) bool {
+		mask := ^uint64(0)
+		if is32 {
+			mask = 0xFFFFFFFF
+			for i := range vals {
+				vals[i] &= mask
+			}
+		}
+		orig := append([]uint64(nil), vals...)
+		liftForward(vals, mask)
+		liftInverse(vals, mask)
+		for i := range vals {
+			if vals[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapOrderRoundtrip(t *testing.T) {
+	f32 := func(u uint32) bool {
+		return uint32(unmapOrder(mapOrder(uint64(u), 32), 32)) == u
+	}
+	if err := quick.Check(f32, nil); err != nil {
+		t.Error(err)
+	}
+	f64 := func(u uint64) bool {
+		return unmapOrder(mapOrder(u, 64), 64) == u
+	}
+	if err := quick.Check(f64, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundtrip(t *testing.T) {
+	rnd := make([]byte, 64001)
+	rand.New(rand.NewSource(1)).Read(rnd)
+	smooth := make([]byte, 40000)
+	v := 3.0
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < len(smooth)/4; i++ {
+		v += math.Sin(float64(i)/30)*0.1 + rng.NormFloat64()*0.001
+		wordio.PutU32(smooth, i, math.Float32bits(float32(v)))
+	}
+	inputs := [][]byte{
+		{}, {1}, {1, 2, 3, 4, 5, 6, 7},
+		smooth,
+		make([]byte, 33333),
+		rnd,
+	}
+	for _, ws := range []int{4, 8} {
+		z := &ZFP{WordSize: ws}
+		for i, src := range inputs {
+			enc, err := z.Compress(src)
+			if err != nil {
+				t.Fatalf("ws %d input %d: %v", ws, i, err)
+			}
+			dec, err := z.Decompress(enc)
+			if err != nil {
+				t.Fatalf("ws %d input %d: %v", ws, i, err)
+			}
+			if !bytes.Equal(dec, src) {
+				t.Fatalf("ws %d input %d: mismatch", ws, i)
+			}
+		}
+	}
+}
+
+func TestCompressesSmooth(t *testing.T) {
+	n := 1 << 16
+	b := make([]byte, n*4)
+	v := 100.0
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		v += math.Sin(float64(i)/40) + rng.NormFloat64()*0.01
+		wordio.PutU32(b, i, math.Float32bits(float32(v)))
+	}
+	enc, _ := (&ZFP{}).Compress(b)
+	if ratio := float64(len(b)) / float64(len(enc)); ratio < 1.2 {
+		t.Errorf("ratio %.3f on smooth singles, want > 1.2", ratio)
+	}
+}
+
+func TestQuick(t *testing.T) {
+	for _, ws := range []int{4, 8} {
+		z := &ZFP{WordSize: ws}
+		f := func(src []byte) bool {
+			enc, err := z.Compress(src)
+			if err != nil {
+				return false
+			}
+			dec, err := z.Decompress(enc)
+			return err == nil && bytes.Equal(dec, src)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("ws %d: %v", ws, err)
+		}
+	}
+}
+
+func TestGarbage(t *testing.T) {
+	z := &ZFP{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		junk := make([]byte, rng.Intn(100))
+		rng.Read(junk)
+		z.Decompress(junk)
+	}
+}

@@ -1,0 +1,163 @@
+package bitio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFFFF, 16)
+	w.WriteBits(0, 5)
+	w.WriteBits(1, 1)
+	w.WriteBits(0x123456789ABCDEF0, 64)
+	b := w.Bytes()
+
+	r := NewReader(b)
+	checks := []struct {
+		n    uint
+		want uint64
+	}{
+		{3, 0b101}, {16, 0xFFFF}, {5, 0}, {1, 1}, {64, 0x123456789ABCDEF0},
+	}
+	for i, c := range checks {
+		got, err := r.ReadBits(c.n)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got != c.want {
+			t.Errorf("read %d: got %#x, want %#x", i, got, c.want)
+		}
+	}
+}
+
+func TestBitRoundtripQuick(t *testing.T) {
+	f := func(vals []uint64, widthSeed uint8) bool {
+		width := uint(widthSeed%64) + 1
+		w := NewWriter(len(vals) * 8)
+		masked := make([]uint64, len(vals))
+		for i, v := range vals {
+			if width < 64 {
+				masked[i] = v & ((1 << width) - 1)
+			} else {
+				masked[i] = v
+			}
+			w.WriteBits(v, width)
+		}
+		got, err := UnpackWidth64(w.Bytes(), len(vals), width)
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if got[i] != masked[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackUnpackWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for width := uint(0); width <= 64; width++ {
+		vals := make([]uint64, 100)
+		for i := range vals {
+			if width > 0 {
+				vals[i] = rng.Uint64() & (uint64(1)<<width - 1)
+			}
+			if width == 64 {
+				vals[i] = rng.Uint64()
+			}
+		}
+		packed := PackWidth64(vals, width)
+		if want := (100*int(width) + 7) / 8; len(packed) != want && width > 0 {
+			t.Errorf("width %d: packed %d bytes, want %d", width, len(packed), want)
+		}
+		got, err := UnpackWidth64(packed, 100, width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("width %d index %d: got %#x want %#x", width, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	if _, err := r.ReadBits(9); !errors.Is(err, ErrTruncated) {
+		t.Errorf("want ErrTruncated, got %v", err)
+	}
+	if _, err := UnpackWidth64([]byte{1}, 3, 7); !errors.Is(err, ErrTruncated) {
+		t.Errorf("unpack: want ErrTruncated, got %v", err)
+	}
+}
+
+func TestAlignAndRest(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(1, 1)
+	w.Align()
+	if got := w.BitLen(); got != 8 {
+		t.Errorf("BitLen after align = %d, want 8", got)
+	}
+	buf := append(w.Bytes(), 0xCD, 0xEF)
+	r := NewReader(buf)
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	rest := r.Rest()
+	if !bytes.Equal(rest, []byte{0xCD, 0xEF}) {
+		t.Errorf("Rest = %x", rest)
+	}
+}
+
+func TestUvarint(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1, 1 << 63, ^uint64(0)}
+	for _, v := range cases {
+		b := AppendUvarint(nil, v)
+		if len(b) != UvarintLen(v) {
+			t.Errorf("UvarintLen(%d) = %d, encoded %d bytes", v, UvarintLen(v), len(b))
+		}
+		got, n := Uvarint(b)
+		if n != len(b) || got != v {
+			t.Errorf("Uvarint(%d): got %d consumed %d of %d", v, got, n, len(b))
+		}
+	}
+	if _, n := Uvarint([]byte{0x80, 0x80}); n != 0 {
+		t.Error("truncated varint accepted")
+	}
+	if _, n := Uvarint(bytes.Repeat([]byte{0x80}, 11)); n != 0 {
+		t.Error("overlong varint accepted")
+	}
+	if _, n := Uvarint([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x7F}); n != 0 {
+		t.Error("overflowing varint accepted")
+	}
+}
+
+func TestUvarintQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		got, n := Uvarint(AppendUvarint(nil, v))
+		return got == v && n > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteBitsMasksHighBits(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(^uint64(0), 4) // only low 4 bits should land
+	b := w.Bytes()
+	if b[0] != 0xF0 {
+		t.Errorf("got %#x, want 0xF0", b[0])
+	}
+}

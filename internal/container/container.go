@@ -1,0 +1,355 @@
+// Package container implements the chunked compressed-data container shared
+// by all four algorithms, together with the parallel compression engine.
+//
+// Following paper §3, the input is split into independent 16 kB chunks that
+// are compressed and decompressed in parallel: chunks are handed to worker
+// goroutines dynamically (an atomic work counter stands in for the paper's
+// worklist) to maximize load balance, and the compressed chunks are
+// concatenated into one contiguous block — the paper stresses that, unlike
+// nvCOMP, its compressors pay for this concatenation. Decompression first
+// computes a prefix sum over the stored compressed-chunk sizes to obtain
+// each chunk's read position, after which every chunk decodes independently
+// because decompressed chunk sizes are known a priori.
+//
+// To cap worst-case expansion, any chunk whose encoding is not smaller than
+// the chunk itself is stored raw and marked as such (§3).
+package container
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fpcompress/internal/bitio"
+)
+
+// DefaultChunkSize is 16 kB, chosen by the paper so two chunk buffers fit in
+// a GPU's shared memory and a CPU's L1 data cache.
+const DefaultChunkSize = 16384
+
+// magic identifies the container format.
+var magic = [4]byte{'F', 'P', 'C', 'Z'}
+
+// formatVersion is bumped on incompatible layout changes.
+const formatVersion = 1
+
+// ErrFormat reports an invalid or corrupt container.
+var ErrFormat = errors.New("container: invalid format")
+
+// ErrChecksum reports decompressed data whose CRC32-C does not match the
+// checksum recorded at compression time.
+var ErrChecksum = errors.New("container: checksum mismatch")
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on amd64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Codec compresses and decompresses one chunk. Implementations must be safe
+// for concurrent use (the engine calls them from many goroutines).
+type Codec interface {
+	Forward(chunk []byte) []byte
+	Inverse(enc []byte) ([]byte, error)
+}
+
+// Params tunes the engine.
+type Params struct {
+	// ChunkSize is the chunk granularity in bytes; 0 means DefaultChunkSize.
+	ChunkSize int
+	// Parallelism is the worker count; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+func (p Params) chunkSize() int {
+	if p.ChunkSize <= 0 {
+		return DefaultChunkSize
+	}
+	return p.ChunkSize
+}
+
+func (p Params) workers(nChunks int) int {
+	w := p.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > nChunks {
+		w = nChunks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Header describes a parsed container.
+type Header struct {
+	Algorithm   byte
+	OriginalLen int
+	ChunkSize   int
+	ChunkCount  int
+	// CRC is the CRC32-C of the original (pre-compression) bytes; verified
+	// after decompression so corruption that survives decoding is caught.
+	CRC uint32
+	// entries[i] = compressed size <<1 | compressedFlag
+	entries []uint64
+	// payload is the concatenated chunk data.
+	payload []byte
+}
+
+// Compress runs codec over every chunk of src in parallel and assembles the
+// container. algID is recorded so Decompress can route to the right codec.
+func Compress(src []byte, algID byte, codec Codec, p Params) []byte {
+	cs := p.chunkSize()
+	nChunks := (len(src) + cs - 1) / cs
+	results := make([][]byte, nChunks)
+	rawFlags := make([]bool, nChunks)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers(nChunks); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nChunks {
+					return
+				}
+				lo := i * cs
+				hi := lo + cs
+				if hi > len(src) {
+					hi = len(src)
+				}
+				chunk := src[lo:hi]
+				enc := codec.Forward(chunk)
+				if len(enc) >= len(chunk) {
+					// Worst-case cap: emit the original data for chunks
+					// that do not compress.
+					results[i] = chunk
+					rawFlags[i] = true
+				} else {
+					results[i] = enc
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	sizes := make([]int, nChunks)
+	payload := make([]byte, 0, len(src)/2)
+	for i, r := range results {
+		sizes[i] = len(r)
+		payload = append(payload, r...)
+	}
+	return Assemble(algID, crc32.Checksum(src, crcTable), len(src), cs, sizes, rawFlags, payload)
+}
+
+// Assemble builds the container byte layout from already-compressed chunk
+// data: header, size table, then the payload (the chunks concatenated in
+// order). It is shared by the goroutine engine above and by the
+// SIMT-structured kernels in internal/simt, which scatter their chunk
+// outputs into the payload at offsets from a decoupled-look-back scan —
+// both must produce byte-identical containers.
+func Assemble(algID byte, crc uint32, srcLen, chunkSize int, sizes []int, rawFlags []bool, payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+len(sizes)*3+32)
+	out = append(out, magic[:]...)
+	out = append(out, formatVersion, algID)
+	out = append(out, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+	out = bitio.AppendUvarint(out, uint64(srcLen))
+	out = bitio.AppendUvarint(out, uint64(chunkSize))
+	out = bitio.AppendUvarint(out, uint64(len(sizes)))
+	for i, s := range sizes {
+		entry := uint64(s) << 1
+		if !rawFlags[i] {
+			entry |= 1
+		}
+		out = bitio.AppendUvarint(out, entry)
+	}
+	return append(out, payload...)
+}
+
+// ChecksumOf exposes the container's CRC32-C for external assemblers.
+func ChecksumOf(src []byte) uint32 { return crc32.Checksum(src, crcTable) }
+
+// Parse validates the container layout and returns its header without
+// decompressing anything.
+func Parse(data []byte) (*Header, error) {
+	if len(data) < 10 || [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if data[4] != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, data[4])
+	}
+	h := &Header{Algorithm: data[5]}
+	h.CRC = uint32(data[6]) | uint32(data[7])<<8 | uint32(data[8])<<16 | uint32(data[9])<<24
+	pos := 10
+	for _, dst := range []*int{&h.OriginalLen, &h.ChunkSize, &h.ChunkCount} {
+		v, n := bitio.Uvarint(data[pos:])
+		if n == 0 || v > uint64(1)<<56 {
+			return nil, fmt.Errorf("%w: bad header varint", ErrFormat)
+		}
+		*dst = int(v)
+		pos += n
+	}
+	if h.ChunkSize <= 0 {
+		return nil, fmt.Errorf("%w: zero chunk size", ErrFormat)
+	}
+	want := (h.OriginalLen + h.ChunkSize - 1) / h.ChunkSize
+	if h.ChunkCount != want {
+		return nil, fmt.Errorf("%w: chunk count %d, expected %d", ErrFormat, h.ChunkCount, want)
+	}
+	h.entries = make([]uint64, h.ChunkCount)
+	total := 0
+	for i := range h.entries {
+		v, n := bitio.Uvarint(data[pos:])
+		if n == 0 {
+			return nil, fmt.Errorf("%w: bad size table", ErrFormat)
+		}
+		h.entries[i] = v
+		total += int(v >> 1)
+		pos += n
+	}
+	if len(data)-pos != total {
+		return nil, fmt.Errorf("%w: payload is %d bytes, size table says %d", ErrFormat, len(data)-pos, total)
+	}
+	h.payload = data[pos:]
+	return h, nil
+}
+
+// CompressedPayloadLen reports the concatenated chunk bytes (excluding the
+// header and size table), for ratio accounting.
+func (h *Header) CompressedPayloadLen() int { return len(h.payload) }
+
+// Decompress reverses Compress. The codec must match the one recorded under
+// the container's algorithm ID (the caller routes via h.Algorithm).
+func Decompress(data []byte, codec Codec, p Params) ([]byte, error) {
+	h, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	// Prefix sum over compressed sizes yields each chunk's read position.
+	offsets := make([]int, h.ChunkCount+1)
+	for i, e := range h.entries {
+		offsets[i+1] = offsets[i] + int(e>>1)
+	}
+	dst := make([]byte, h.OriginalLen)
+	var firstErr atomic.Pointer[error]
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers(h.ChunkCount); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= h.ChunkCount || firstErr.Load() != nil {
+					return
+				}
+				lo := i * h.ChunkSize
+				hi := lo + h.ChunkSize
+				if hi > h.OriginalLen {
+					hi = h.OriginalLen
+				}
+				enc := h.payload[offsets[i]:offsets[i+1]]
+				if h.entries[i]&1 == 0 {
+					// Raw chunk.
+					if len(enc) != hi-lo {
+						err := fmt.Errorf("%w: raw chunk %d has %d bytes, want %d", ErrFormat, i, len(enc), hi-lo)
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+					copy(dst[lo:hi], enc)
+					continue
+				}
+				dec, err := codec.Inverse(enc)
+				if err != nil {
+					err = fmt.Errorf("chunk %d: %w", i, err)
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				if len(dec) != hi-lo {
+					err := fmt.Errorf("%w: chunk %d decoded to %d bytes, want %d", ErrFormat, i, len(dec), hi-lo)
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				copy(dst[lo:hi], dec)
+			}
+		}()
+	}
+	wg.Wait()
+	if ep := firstErr.Load(); ep != nil {
+		return nil, *ep
+	}
+	if got := crc32.Checksum(dst, crcTable); got != h.CRC {
+		return nil, fmt.Errorf("%w: got %08x, header says %08x", ErrChecksum, got, h.CRC)
+	}
+	return dst, nil
+}
+
+// ChunkPayload returns the stored bytes of chunk i and whether the chunk
+// is raw (uncompressed fallback). The slice aliases the parsed container.
+func (h *Header) ChunkPayload(i int) ([]byte, bool, error) {
+	if i < 0 || i >= h.ChunkCount {
+		return nil, false, fmt.Errorf("%w: chunk %d of %d", ErrFormat, i, h.ChunkCount)
+	}
+	off := 0
+	for j := 0; j < i; j++ {
+		off += int(h.entries[j] >> 1)
+	}
+	return h.payload[off : off+int(h.entries[i]>>1)], h.entries[i]&1 == 0, nil
+}
+
+// DecompressChunk decodes a single chunk of a parsed container, enabling
+// random access without touching the rest of the block (each chunk is
+// independent by construction). The chunk's decoded bytes cover
+// [i*ChunkSize, min((i+1)*ChunkSize, OriginalLen)) of the original data.
+// No whole-data checksum can be verified on a single chunk; callers
+// needing end-to-end integrity should use Decompress.
+func (h *Header) DecompressChunk(i int, codec Codec) ([]byte, error) {
+	if i < 0 || i >= h.ChunkCount {
+		return nil, fmt.Errorf("%w: chunk %d of %d", ErrFormat, i, h.ChunkCount)
+	}
+	off := 0
+	for j := 0; j < i; j++ {
+		off += int(h.entries[j] >> 1)
+	}
+	enc := h.payload[off : off+int(h.entries[i]>>1)]
+	lo := i * h.ChunkSize
+	hi := lo + h.ChunkSize
+	if hi > h.OriginalLen {
+		hi = h.OriginalLen
+	}
+	if h.entries[i]&1 == 0 {
+		if len(enc) != hi-lo {
+			return nil, fmt.Errorf("%w: raw chunk %d size mismatch", ErrFormat, i)
+		}
+		return append([]byte(nil), enc...), nil
+	}
+	dec, err := codec.Inverse(enc)
+	if err != nil {
+		return nil, fmt.Errorf("chunk %d: %w", i, err)
+	}
+	if len(dec) != hi-lo {
+		return nil, fmt.Errorf("%w: chunk %d decoded to %d bytes, want %d", ErrFormat, i, len(dec), hi-lo)
+	}
+	return dec, nil
+}
+
+// AlgorithmID extracts the algorithm byte without a full parse.
+func AlgorithmID(data []byte) (byte, error) {
+	if len(data) < 6 || [4]byte(data[:4]) != magic {
+		return 0, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	return data[5], nil
+}
+
+// HeaderOverhead computes the container's own bytes (header + size table)
+// for a given compressed blob; useful in ratio breakdowns.
+func HeaderOverhead(data []byte) (int, error) {
+	h, err := Parse(data)
+	if err != nil {
+		return 0, err
+	}
+	return len(data) - len(h.payload), nil
+}

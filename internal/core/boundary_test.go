@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"fpcompress/internal/container"
+)
+
+// TestOddChunkSizes drives every algorithm with chunk sizes that do not
+// divide the word size or the input evenly, so chunk boundaries fall in
+// the middle of words and transform tails are exercised on every chunk.
+func TestOddChunkSizes(t *testing.T) {
+	src := smoothDP(40000, 21)
+	spSrc := smoothSP(40000, 22)
+	for _, a := range All() {
+		data := src
+		if a.Word == 4 {
+			data = spSrc
+		}
+		for _, cs := range []int{1000, 4097, 16383, 16385, 100003} {
+			p := container.Params{ChunkSize: cs}
+			blob := a.Compress(data, p)
+			dec, err := a.Decompress(blob, container.Params{})
+			if err != nil {
+				t.Fatalf("%s chunk %d: %v", a.Name(), cs, err)
+			}
+			if !bytes.Equal(dec, data) {
+				t.Fatalf("%s chunk %d: mismatch", a.Name(), cs)
+			}
+		}
+	}
+}
+
+// TestDPratioChunkingOfDoubledStream verifies the FCM-then-chunk layering:
+// the container's original length must be the FCM output length (2x input
+// + header), while the user-visible decode returns the input length.
+func TestDPratioChunkingOfDoubledStream(t *testing.T) {
+	a, _ := New(DPratio)
+	src := smoothDP(10000, 23)
+	blob := a.Compress(src, container.Params{})
+	h, err := container.Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.OriginalLen != len(src)*2+8 {
+		t.Errorf("container holds %d bytes, want doubled stream %d", h.OriginalLen, len(src)*2+8)
+	}
+	dec, err := a.Decompress(blob, container.Params{})
+	if err != nil || len(dec) != len(src) {
+		t.Fatalf("decode: %v, %d bytes", err, len(dec))
+	}
+}
+
+// TestCrossParamsDecode: data compressed under any Params decodes under
+// any other Params (chunk size and parallelism are encoder-side only).
+func TestCrossParamsDecode(t *testing.T) {
+	src := smoothSP(30000, 24)
+	a, _ := New(SPratio)
+	blob := a.Compress(src, container.Params{ChunkSize: 4096, Parallelism: 3})
+	for _, p := range []container.Params{{}, {ChunkSize: 123}, {Parallelism: 16}} {
+		dec, err := a.Decompress(blob, p)
+		if err != nil || !bytes.Equal(dec, src) {
+			t.Fatalf("params %+v: decode failed: %v", p, err)
+		}
+	}
+}

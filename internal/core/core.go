@@ -1,0 +1,226 @@
+// Package core composes the transformations from internal/transforms into
+// the four compression algorithms the paper introduces (§3, Figure 1):
+//
+//	SPspeed: DIFFMS32 -> MPLG32
+//	SPratio: DIFFMS32 -> BIT32 -> RZE
+//	DPspeed: DIFFMS64 -> MPLG64
+//	DPratio: FCM64 (whole input) -> DIFFMS64 -> RAZE -> RARE (per chunk)
+//
+// The "SP" algorithms treat the input as 32-bit words (single precision),
+// the "DP" algorithms as 64-bit words (double precision); "speed" variants
+// use two cheap stages, "ratio" variants trade stages for compression.
+// Decompression applies the inverse stages in reverse order.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fpcompress/internal/container"
+	"fpcompress/internal/transforms"
+	"fpcompress/internal/wordio"
+)
+
+// ID enumerates the algorithms. The byte values are persisted in the
+// container header and must not be renumbered.
+type ID byte
+
+const (
+	// SPspeed targets single-precision data and maximum throughput.
+	SPspeed ID = 1
+	// SPratio targets single-precision data and maximum compression ratio.
+	SPratio ID = 2
+	// DPspeed targets double-precision data and maximum throughput.
+	DPspeed ID = 3
+	// DPratio targets double-precision data and maximum compression ratio.
+	DPratio ID = 4
+	// SPbalance and DPbalance are repository extensions, not part of the
+	// paper: the midpoint pipelines (DIFFMS -> MPLG -> RZE) that the
+	// lcsynth search ranks Pareto-optimal between the speed and ratio
+	// modes. They demonstrate the paper's design methodology end to end.
+	SPbalance ID = 5
+	// DPbalance is the double-precision extension pipeline.
+	DPbalance ID = 6
+)
+
+// String implements fmt.Stringer.
+func (id ID) String() string {
+	switch id {
+	case SPspeed:
+		return "SPspeed"
+	case SPratio:
+		return "SPratio"
+	case DPspeed:
+		return "DPspeed"
+	case DPratio:
+		return "DPratio"
+	case SPbalance:
+		return "SPbalance"
+	case DPbalance:
+		return "DPbalance"
+	}
+	return fmt.Sprintf("ID(%d)", byte(id))
+}
+
+// ErrUnknownAlgorithm reports an unregistered algorithm ID in a container.
+var ErrUnknownAlgorithm = errors.New("core: unknown algorithm")
+
+// Algorithm is one complete compression pipeline: an optional whole-input
+// pre-stage (only DPratio's FCM uses it) followed by a per-chunk pipeline
+// run under the parallel container engine.
+type Algorithm struct {
+	ID   ID
+	Word wordio.WordSize
+	// Pre runs over the entire input before chunking (inverse runs after
+	// de-chunking). Nil for all algorithms except DPratio.
+	Pre transforms.Transform
+	// Chunked is applied independently to every 16 kB chunk.
+	Chunked transforms.Pipeline
+}
+
+// Name returns the paper's name for the algorithm.
+func (a *Algorithm) Name() string { return a.ID.String() }
+
+// Stages lists the stage names in application order, including the
+// whole-input pre-stage.
+func (a *Algorithm) Stages() []string {
+	var s []string
+	if a.Pre != nil {
+		s = append(s, a.Pre.Name())
+	}
+	return append(s, a.Chunked.Names()...)
+}
+
+// Compress encodes src into a self-describing container.
+func (a *Algorithm) Compress(src []byte, p container.Params) []byte {
+	buf := src
+	if a.Pre != nil {
+		buf = a.Pre.Forward(src)
+	}
+	return container.Compress(buf, byte(a.ID), chunkCodec{a.Chunked}, p)
+}
+
+// Decompress decodes a container produced by Compress. It verifies the
+// container's algorithm ID matches.
+func (a *Algorithm) Decompress(data []byte, p container.Params) ([]byte, error) {
+	id, err := container.AlgorithmID(data)
+	if err != nil {
+		return nil, err
+	}
+	if ID(id) != a.ID {
+		return nil, fmt.Errorf("%w: container says %s, decoding as %s", ErrUnknownAlgorithm, ID(id), a.ID)
+	}
+	buf, err := container.Decompress(data, chunkCodec{a.Chunked}, p)
+	if err != nil {
+		return nil, err
+	}
+	if a.Pre != nil {
+		return a.Pre.Inverse(buf)
+	}
+	return buf, nil
+}
+
+// chunkCodec adapts a transform pipeline to the container.Codec interface.
+type chunkCodec struct{ p transforms.Pipeline }
+
+func (c chunkCodec) Forward(chunk []byte) []byte        { return c.p.Forward(chunk) }
+func (c chunkCodec) Inverse(enc []byte) ([]byte, error) { return c.p.Inverse(enc) }
+
+// New constructs the named algorithm.
+func New(id ID) (*Algorithm, error) {
+	switch id {
+	case SPspeed:
+		return &Algorithm{
+			ID:   SPspeed,
+			Word: wordio.W32,
+			Chunked: transforms.Pipeline{
+				transforms.DiffMS{Word: wordio.W32},
+				transforms.MPLG{Word: wordio.W32},
+			},
+		}, nil
+	case SPratio:
+		return &Algorithm{
+			ID:   SPratio,
+			Word: wordio.W32,
+			Chunked: transforms.Pipeline{
+				transforms.DiffMS{Word: wordio.W32},
+				transforms.Bit{Word: wordio.W32},
+				transforms.RZE{},
+			},
+		}, nil
+	case DPspeed:
+		return &Algorithm{
+			ID:   DPspeed,
+			Word: wordio.W64,
+			Chunked: transforms.Pipeline{
+				transforms.DiffMS{Word: wordio.W64},
+				transforms.MPLG{Word: wordio.W64},
+			},
+		}, nil
+	case DPratio:
+		return &Algorithm{
+			ID:   DPratio,
+			Word: wordio.W64,
+			Pre:  transforms.FCM{},
+			Chunked: transforms.Pipeline{
+				transforms.DiffMS{Word: wordio.W64},
+				transforms.RAZE{},
+				transforms.RARE{},
+			},
+		}, nil
+	case SPbalance:
+		return &Algorithm{
+			ID:   SPbalance,
+			Word: wordio.W32,
+			Chunked: transforms.Pipeline{
+				transforms.DiffMS{Word: wordio.W32},
+				transforms.MPLG{Word: wordio.W32},
+				transforms.RZE{},
+			},
+		}, nil
+	case DPbalance:
+		return &Algorithm{
+			ID:   DPbalance,
+			Word: wordio.W64,
+			Chunked: transforms.Pipeline{
+				transforms.DiffMS{Word: wordio.W64},
+				transforms.MPLG{Word: wordio.W64},
+				transforms.RZE{},
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: id %d", ErrUnknownAlgorithm, byte(id))
+}
+
+// All returns the paper's four algorithms in paper order.
+func All() []*Algorithm {
+	return build(SPspeed, SPratio, DPspeed, DPratio)
+}
+
+// AllExtended returns the paper's algorithms plus the repository's
+// lcsynth-derived extensions.
+func AllExtended() []*Algorithm {
+	return build(SPspeed, SPratio, DPspeed, DPratio, SPbalance, DPbalance)
+}
+
+func build(ids ...ID) []*Algorithm {
+	out := make([]*Algorithm, 0, len(ids))
+	for _, id := range ids {
+		a, err := New(id)
+		if err != nil {
+			panic(err) // unreachable: ids are the package's own constants
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// FromContainer inspects compressed data and constructs the matching
+// algorithm for decompression.
+func FromContainer(data []byte) (*Algorithm, error) {
+	id, err := container.AlgorithmID(data)
+	if err != nil {
+		return nil, err
+	}
+	return New(ID(id))
+}

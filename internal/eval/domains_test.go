@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"testing"
+
+	"fpcompress/internal/sdr"
+)
+
+func TestDomainRatios(t *testing.T) {
+	files := sdr.DoubleFiles(sdr.Config{ValuesPerFile: 4096})
+	subjects, err := OurSubjects(sdr.Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios, domains, err := DomainRatios(files, subjects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(domains) != 5 {
+		t.Fatalf("domains = %v", domains)
+	}
+	for _, s := range subjects {
+		m := ratios[s.Name]
+		if len(m) != 5 {
+			t.Fatalf("%s: %d domains", s.Name, len(m))
+		}
+		for d, r := range m {
+			if r <= 0 {
+				t.Errorf("%s/%s: ratio %f", s.Name, d, r)
+			}
+		}
+	}
+	// DPratio's FCM must show its MPI-domain advantage over DPspeed.
+	if ratios["DPratio"]["MPI"] <= ratios["DPspeed"]["MPI"] {
+		t.Errorf("DPratio MPI %.3f should beat DPspeed %.3f",
+			ratios["DPratio"]["MPI"], ratios["DPspeed"]["MPI"])
+	}
+}
+
+func TestForFileDimsReachBaselines(t *testing.T) {
+	// In grid2d mode the Ndzip subject must receive 2-D dims and produce a
+	// different (better) encoding on gridded climate files than with the
+	// shape withheld.
+	files := sdr.SingleFiles(sdr.Config{ValuesPerFile: 16384, Grid2D: true})
+	var grid *sdr.File
+	for _, f := range files {
+		if f.Domain == "SCALE-LETKF" && len(f.Dims) == 2 {
+			grid = f
+			break
+		}
+	}
+	if grid == nil {
+		t.Fatal("no gridded file found")
+	}
+	subjects, err := BaselineSubjects(sdr.Single, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subjects {
+		if s.Name != "Ndzip" {
+			continue
+		}
+		if s.ForFile == nil {
+			t.Fatal("Ndzip subject has no ForFile hook")
+		}
+		compress, decompress := s.ForFile(grid)
+		enc, err := compress(grid.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := decompress(enc)
+		if err != nil || len(dec) != len(grid.Data) {
+			t.Fatal("dims-aware roundtrip failed")
+		}
+		flat, err := s.Compress(grid.Data) // shape withheld
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) >= len(flat) {
+			t.Errorf("dims-aware Ndzip (%d bytes) should beat 1-D (%d bytes) on a 2-D field",
+				len(enc), len(flat))
+		}
+		return
+	}
+	t.Fatal("Ndzip subject missing")
+}

@@ -1,0 +1,251 @@
+// Package eval implements the paper's experimental methodology (§4): it
+// runs a set of compressors over the synthetic SDRBench/FPdouble datasets,
+// computes per-domain geometric means of compression ratio and throughput
+// and the geometric mean of those geo-means (so domains with more files are
+// not over-weighted), finds the Pareto front, and renders the scatter data
+// behind Figures 8-19.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"fpcompress/internal/gpusim"
+	"fpcompress/internal/sdr"
+)
+
+// Subject is one compressor under evaluation.
+type Subject struct {
+	// Name as plotted ("SPratio", "Zstd-best", ...).
+	Name string
+	// Ours marks the paper's own four algorithms for highlighting.
+	Ours bool
+	// Compress and Decompress run the real implementation.
+	Compress   func([]byte) ([]byte, error)
+	Decompress func([]byte) ([]byte, error)
+	// ForFile, when set, supplies a file-specific compressor pair — used
+	// for dimension-aware baselines (FPzip, ndzip) that the paper
+	// configures with each input's grid shape (§4: "We provided this
+	// information for all runs").
+	ForFile func(f *sdr.File) (compress, decompress func([]byte) ([]byte, error))
+	// Model, when a GPU device is simulated, supplies the throughput
+	// estimate; ratios always come from the real run.
+	Model *gpusim.CostModel
+}
+
+// Config controls a run.
+type Config struct {
+	// Device, when non-nil, switches throughput to the GPU model.
+	Device *gpusim.Device
+	// Reps is the number of timed repetitions; the median is used (the
+	// paper uses the median of five). 0 = 3.
+	Reps int
+	// Verify re-decompresses and compares every file (lossless check).
+	Verify bool
+}
+
+func (c Config) reps() int {
+	if c.Reps <= 0 {
+		return 3
+	}
+	return c.Reps
+}
+
+// Result is one compressor's aggregate over a file set.
+type Result struct {
+	Name string
+	Ours bool
+	// Ratio is the geo-mean-of-geo-means compression ratio.
+	Ratio float64
+	// CompGBps and DecompGBps are the aggregate throughputs in GB/s
+	// (original bytes / time, per §4).
+	CompGBps   float64
+	DecompGBps float64
+	// Files and Errors count processed inputs and lossless failures.
+	Files  int
+	Errors int
+}
+
+// fileMetrics holds per-file raw measurements.
+type fileMetrics struct {
+	domain               string
+	ratio                float64
+	compGBps, decompGBps float64
+}
+
+// geoMean returns the geometric mean of xs (1.0 for empty).
+func geoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// aggregate computes the geo-mean of per-domain geo-means for one metric.
+func aggregate(ms []fileMetrics, metric func(fileMetrics) float64) float64 {
+	byDomain := map[string][]float64{}
+	var order []string
+	for _, m := range ms {
+		if _, ok := byDomain[m.domain]; !ok {
+			order = append(order, m.domain)
+		}
+		byDomain[m.domain] = append(byDomain[m.domain], metric(m))
+	}
+	var domainMeans []float64
+	for _, d := range order {
+		domainMeans = append(domainMeans, geoMean(byDomain[d]))
+	}
+	return geoMean(domainMeans)
+}
+
+// medianTime runs f reps times and returns the median duration.
+func medianTime(reps int, f func()) time.Duration {
+	times := make([]time.Duration, reps)
+	for i := range times {
+		start := time.Now()
+		f()
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	return times[len(times)/2]
+}
+
+// Run evaluates every subject over the files.
+func Run(files []*sdr.File, subjects []Subject, cfg Config) ([]Result, error) {
+	results := make([]Result, 0, len(subjects))
+	for _, s := range subjects {
+		var ms []fileMetrics
+		errs := 0
+		for _, f := range files {
+			m, err := runOne(f, s, cfg)
+			if err != nil {
+				errs++
+				continue
+			}
+			ms = append(ms, m)
+		}
+		results = append(results, Result{
+			Name: s.Name, Ours: s.Ours,
+			Ratio:      aggregate(ms, func(m fileMetrics) float64 { return m.ratio }),
+			CompGBps:   aggregate(ms, func(m fileMetrics) float64 { return m.compGBps }),
+			DecompGBps: aggregate(ms, func(m fileMetrics) float64 { return m.decompGBps }),
+			Files:      len(ms),
+			Errors:     errs,
+		})
+	}
+	return results, nil
+}
+
+// runOne measures one (file, subject) pair.
+func runOne(f *sdr.File, s Subject, cfg Config) (fileMetrics, error) {
+	if s.ForFile != nil {
+		s.Compress, s.Decompress = s.ForFile(f)
+	}
+	src := f.Data
+	enc, err := s.Compress(src)
+	if err != nil {
+		return fileMetrics{}, err
+	}
+	dec, err := s.Decompress(enc)
+	if err != nil {
+		return fileMetrics{}, err
+	}
+	if cfg.Verify {
+		if len(dec) != len(src) {
+			return fileMetrics{}, fmt.Errorf("%s on %s: decoded %d bytes, want %d", s.Name, f.Name, len(dec), len(src))
+		}
+		for i := range src {
+			if dec[i] != src[i] {
+				return fileMetrics{}, fmt.Errorf("%s on %s: byte %d differs", s.Name, f.Name, i)
+			}
+		}
+	}
+	m := fileMetrics{
+		domain: f.Domain,
+		ratio:  float64(len(src)) / float64(len(enc)),
+	}
+	if cfg.Device != nil && s.Model != nil {
+		// The paper's inputs are hundreds of MB; synthetic files are small
+		// to keep ratio runs fast. Ratios are size-invariant for these
+		// generators, so scale the modeled workload to a nominal paper-
+		// scale transfer to keep launch overhead amortized as it was.
+		const nominal = 128 << 20
+		scale := float64(nominal) / float64(len(src))
+		in := int(float64(len(src)) * scale)
+		out := int(float64(len(enc)) * scale)
+		m.compGBps = cfg.Device.ThroughputGBps(s.Model.Compress, in, in, out)
+		m.decompGBps = cfg.Device.ThroughputGBps(s.Model.Decompress, in, out, in)
+		return m, nil
+	}
+	// Measured CPU path: median wall time over reps.
+	reps := cfg.reps()
+	runtime.GC()
+	ct := medianTime(reps, func() { enc, _ = s.Compress(src) })
+	dt := medianTime(reps, func() { dec, _ = s.Decompress(enc) })
+	m.compGBps = float64(len(src)) / ct.Seconds() / 1e9
+	m.decompGBps = float64(len(src)) / dt.Seconds() / 1e9
+	return m, nil
+}
+
+// DomainRatios computes, for each subject, the per-domain geometric-mean
+// compression ratio — the level beneath the headline geo-mean-of-geo-means,
+// useful for understanding where an algorithm wins (e.g. FCM on MPI
+// traces). The returned map is subject -> domain -> ratio; domains lists
+// the domains in dataset order.
+func DomainRatios(files []*sdr.File, subjects []Subject) (map[string]map[string]float64, []string, error) {
+	domains := sdr.Domains(files)
+	out := make(map[string]map[string]float64, len(subjects))
+	for _, s := range subjects {
+		byDomain := map[string][]float64{}
+		for _, f := range files {
+			compress := s.Compress
+			if s.ForFile != nil {
+				compress, _ = s.ForFile(f)
+			}
+			enc, err := compress(f.Data)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s on %s: %w", s.Name, f.Name, err)
+			}
+			byDomain[f.Domain] = append(byDomain[f.Domain], float64(len(f.Data))/float64(len(enc)))
+		}
+		m := make(map[string]float64, len(domains))
+		for _, d := range domains {
+			m[d] = geoMean(byDomain[d])
+		}
+		out[s.Name] = m
+	}
+	return out, domains, nil
+}
+
+// Pareto returns, for each result, whether it lies on the Pareto front of
+// (Ratio, throughput) where throughput is selected by decomp.
+func Pareto(results []Result, decomp bool) []bool {
+	tp := func(r Result) float64 {
+		if decomp {
+			return r.DecompGBps
+		}
+		return r.CompGBps
+	}
+	front := make([]bool, len(results))
+	for i, r := range results {
+		dominated := false
+		for j, o := range results {
+			if i == j {
+				continue
+			}
+			if o.Ratio >= r.Ratio && tp(o) >= tp(r) && (o.Ratio > r.Ratio || tp(o) > tp(r)) {
+				dominated = true
+				break
+			}
+		}
+		front[i] = !dominated
+	}
+	return front
+}

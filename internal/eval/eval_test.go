@@ -1,0 +1,219 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fpcompress/internal/gpusim"
+	"fpcompress/internal/sdr"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := geoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geoMean(2,8) = %f", g)
+	}
+	if g := geoMean(nil); g != 1 {
+		t.Errorf("geoMean(nil) = %f", g)
+	}
+}
+
+func TestAggregateWeighsDomainsEqually(t *testing.T) {
+	// Domain A has 4 files at ratio 2; domain B has 1 file at ratio 8.
+	// Per-file mean would be 2^(4/5)*8^(1/5); per-domain must be sqrt(2*8)=4.
+	var ms []fileMetrics
+	for i := 0; i < 4; i++ {
+		ms = append(ms, fileMetrics{domain: "A", ratio: 2})
+	}
+	ms = append(ms, fileMetrics{domain: "B", ratio: 8})
+	got := aggregate(ms, func(m fileMetrics) float64 { return m.ratio })
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("aggregate = %f, want 4 (geo-mean of per-domain geo-means)", got)
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	results := []Result{
+		{Name: "fast-weak", Ratio: 1.2, CompGBps: 100},
+		{Name: "slow-strong", Ratio: 3.0, CompGBps: 1},
+		{Name: "dominated", Ratio: 1.1, CompGBps: 50},
+		{Name: "balanced", Ratio: 2.0, CompGBps: 10},
+	}
+	front := Pareto(results, false)
+	want := []bool{true, true, false, true}
+	for i := range want {
+		if front[i] != want[i] {
+			t.Errorf("%s: pareto=%v, want %v", results[i].Name, front[i], want[i])
+		}
+	}
+}
+
+func TestOurSubjects(t *testing.T) {
+	sp, err := OurSubjects(sdr.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) != 2 || sp[0].Name != "SPspeed" || sp[1].Name != "SPratio" {
+		t.Errorf("single subjects: %v", names(sp))
+	}
+	dp, err := OurSubjects(sdr.Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dp) != 2 || dp[0].Name != "DPspeed" || dp[1].Name != "DPratio" {
+		t.Errorf("double subjects: %v", names(dp))
+	}
+	for _, s := range append(sp, dp...) {
+		if s.Model == nil {
+			t.Errorf("%s: missing GPU model", s.Name)
+		}
+		if !s.Ours {
+			t.Errorf("%s: not marked ours", s.Name)
+		}
+	}
+}
+
+func names(ss []Subject) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func TestBaselineSubjectCounts(t *testing.T) {
+	// GPU single-precision: 11 GPU compressors minus GFC (FP64 only) plus
+	// the two Both-device entries = 10; CPU single-precision: 7 CPU entries
+	// minus FPC/pFPC (FP64) = 5, of which Bzip2/Gzip/SPDP/ZSTD expand to
+	// two modes each, plus Ndzip = ... count explicitly.
+	gpuSP, err := BaselineSubjects(sdr.Single, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 11 GPU-capable codes minus GFC (FP64 only), with Bitcomp expanded
+	// into its -i0/-b0/-b1 versions as in the paper's figures.
+	if len(gpuSP) != 12 {
+		t.Errorf("GPU SP subjects = %d (%v), want 12", len(gpuSP), names(gpuSP))
+	}
+	gpuDP, err := BaselineSubjects(sdr.Double, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gpuDP) != 13 {
+		t.Errorf("GPU DP subjects = %d (%v), want 13", len(gpuDP), names(gpuDP))
+	}
+	cpuSP, err := BaselineSubjects(sdr.Single, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPU+Both, SP-capable: Ndzip, ZSTD(x2), Bzip2(x2), FPzip, Gzip(x2),
+	// SPDP(x2), ZFP = 11.
+	if len(cpuSP) != 11 {
+		t.Errorf("CPU SP subjects = %d (%v), want 11", len(cpuSP), names(cpuSP))
+	}
+	cpuDP, err := BaselineSubjects(sdr.Double, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adds FPC and pFPC = 13.
+	if len(cpuDP) != 13 {
+		t.Errorf("CPU DP subjects = %d (%v), want 13", len(cpuDP), names(cpuDP))
+	}
+	for _, s := range gpuSP {
+		if s.Model == nil {
+			t.Errorf("GPU subject %s missing model", s.Name)
+		}
+	}
+}
+
+func TestRunSmallGPUFigure(t *testing.T) {
+	files := sdr.SingleFiles(sdr.Config{ValuesPerFile: 4096})[:10]
+	subjects, err := FigureSubjects(sdr.Single, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpusim.RTX4090
+	results, err := Run(files, subjects, Config{Device: &dev, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Errors > 0 {
+			t.Errorf("%s: %d lossless failures", r.Name, r.Errors)
+		}
+		if r.Ratio <= 0 || math.IsNaN(r.Ratio) {
+			t.Errorf("%s: bad ratio %f", r.Name, r.Ratio)
+		}
+		if r.CompGBps <= 0 || r.DecompGBps <= 0 {
+			t.Errorf("%s: bad throughput", r.Name)
+		}
+	}
+	front := Pareto(results, false)
+	onFront := 0
+	for _, f := range front {
+		if f {
+			onFront++
+		}
+	}
+	if onFront == 0 || onFront == len(results) {
+		t.Errorf("degenerate Pareto front: %d of %d", onFront, len(results))
+	}
+}
+
+func TestRunMeasuredCPU(t *testing.T) {
+	files := sdr.DoubleFiles(sdr.Config{ValuesPerFile: 2048})[:3]
+	subjects, err := OurSubjects(sdr.Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(files, subjects, Config{Reps: 1, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.CompGBps <= 0 || r.DecompGBps <= 0 {
+			t.Errorf("%s: non-positive measured throughput", r.Name)
+		}
+	}
+}
+
+func TestFigureSpecs(t *testing.T) {
+	if len(Figures) != 12 {
+		t.Fatalf("want 12 figures (8-19), have %d", len(Figures))
+	}
+	for i, f := range Figures {
+		if f.ID != i+8 {
+			t.Errorf("figure %d has ID %d", i, f.ID)
+		}
+		if (f.Device == "cpu") != f.LogX {
+			t.Errorf("figure %d: CPU figures use log x-axes in the paper", f.ID)
+		}
+	}
+	if _, err := FigureByID(7); err == nil {
+		t.Error("figure 7 should not resolve")
+	}
+	f, err := FigureByID(14)
+	if err != nil || f.Precision != sdr.Double || f.Device != "rtx4090" || f.Decomp {
+		t.Errorf("figure 14 spec wrong: %+v, err %v", f, err)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	results := []Result{
+		{Name: "SPspeed", Ours: true, Ratio: 1.41, CompGBps: 518, DecompGBps: 550, Files: 90},
+		{Name: "Snappy", Ratio: 1.02, CompGBps: 30, DecompGBps: 80, Files: 90},
+	}
+	front := Pareto(results, false)
+	table := FormatTable(results, front, false)
+	if !strings.Contains(table, "SPspeed") || !strings.Contains(table, "Pareto") {
+		t.Error("table missing content")
+	}
+	csv := CSV(results, front)
+	if !strings.Contains(csv, "SPspeed,true,1.41") {
+		t.Errorf("csv malformed:\n%s", csv)
+	}
+	plot := Scatter(results, front, false, true, 60, 15)
+	if !strings.Contains(plot, "#") {
+		t.Error("scatter missing our marker")
+	}
+}

@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"fmt"
+
+	"fpcompress/internal/gpusim"
+	"fpcompress/internal/sdr"
+)
+
+// Figure describes one of the paper's evaluation figures (8-19).
+type Figure struct {
+	// ID is the paper's figure number.
+	ID int
+	// Title matches the paper's caption.
+	Title string
+	// Precision selects the 90 single- or 20 double-precision files.
+	Precision sdr.Precision
+	// Device is "rtx4090", "a100" (modeled) or "cpu" (measured on host).
+	Device string
+	// Decomp selects decompression throughput for the x-axis.
+	Decomp bool
+	// LogX mirrors the paper's logarithmic x-axes on the CPU figures.
+	LogX bool
+}
+
+// Figures lists every evaluation figure of the paper in order.
+var Figures = []Figure{
+	{8, "RTX 4090 compression ratio vs. compression throughput, single-precision", sdr.Single, "rtx4090", false, false},
+	{9, "RTX 4090 compression ratio vs. decompression throughput, single-precision", sdr.Single, "rtx4090", true, false},
+	{10, "A100 compression ratio vs. compression throughput, single-precision", sdr.Single, "a100", false, false},
+	{11, "A100 compression ratio vs. decompression throughput, single-precision", sdr.Single, "a100", true, false},
+	{12, "CPU compression ratio vs. compression throughput, single-precision (Ryzen in the paper)", sdr.Single, "cpu", false, true},
+	{13, "CPU compression ratio vs. decompression throughput, single-precision (Ryzen in the paper)", sdr.Single, "cpu", true, true},
+	{14, "RTX 4090 compression ratio vs. compression throughput, double-precision", sdr.Double, "rtx4090", false, false},
+	{15, "RTX 4090 compression ratio vs. decompression throughput, double-precision", sdr.Double, "rtx4090", true, false},
+	{16, "A100 compression ratio vs. compression throughput, double-precision", sdr.Double, "a100", false, false},
+	{17, "A100 compression ratio vs. decompression throughput, double-precision", sdr.Double, "a100", true, false},
+	{18, "CPU compression ratio vs. compression throughput, double-precision (Ryzen in the paper)", sdr.Double, "cpu", false, true},
+	{19, "CPU compression ratio vs. decompression throughput, double-precision (Ryzen in the paper)", sdr.Double, "cpu", true, true},
+}
+
+// FigureByID finds a figure spec.
+func FigureByID(id int) (Figure, error) {
+	for _, f := range Figures {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("eval: no figure %d (valid: 8-19)", id)
+}
+
+// RunFigure evaluates one figure and returns the results with their Pareto
+// membership.
+func (fig Figure) Run(dataCfg sdr.Config, runCfg Config) ([]Result, []bool, error) {
+	var files []*sdr.File
+	if fig.Precision == sdr.Single {
+		files = sdr.SingleFiles(dataCfg)
+	} else {
+		files = sdr.DoubleFiles(dataCfg)
+	}
+	gpu := fig.Device != "cpu"
+	subjects, err := FigureSubjects(fig.Precision, gpu)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := runCfg
+	if gpu {
+		dev, err := gpusim.DeviceByName(fig.Device)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Device = &dev
+	} else {
+		cfg.Device = nil
+	}
+	results, err := Run(files, subjects, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return results, Pareto(results, fig.Decomp), nil
+}

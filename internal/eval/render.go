@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// FormatTable renders results as an aligned text table, Pareto-front rows
+// marked with '*', sorted by descending ratio.
+func FormatTable(results []Result, front []bool, decomp bool) string {
+	type row struct {
+		r       Result
+		onFront bool
+	}
+	rows := make([]row, len(results))
+	for i := range results {
+		rows[i] = row{results[i], front[i]}
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].r.Ratio > rows[b].r.Ratio })
+
+	var b strings.Builder
+	dir := "comp"
+	if decomp {
+		dir = "decomp"
+	}
+	fmt.Fprintf(&b, "%-2s %-12s %8s %12s %14s %6s\n", "", "compressor", "ratio", "comp GB/s", "decomp GB/s", "files")
+	for _, r := range rows {
+		mark := " "
+		if r.onFront {
+			mark = "*"
+		}
+		ours := " "
+		if r.r.Ours {
+			ours = "+"
+		}
+		fmt.Fprintf(&b, "%s%s %-12s %8.3f %12.3f %14.3f %6d", mark, ours, r.r.Name,
+			r.r.Ratio, r.r.CompGBps, r.r.DecompGBps, r.r.Files)
+		if r.r.Errors > 0 {
+			fmt.Fprintf(&b, "  (%d errors)", r.r.Errors)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(* = Pareto front for ratio vs %s throughput, + = this paper's algorithms)\n", dir)
+	return b.String()
+}
+
+// CSV renders results as comma-separated values for external plotting.
+func CSV(results []Result, front []bool) string {
+	var b strings.Builder
+	b.WriteString("name,ours,ratio,comp_gbps,decomp_gbps,files,errors,pareto\n")
+	for i, r := range results {
+		fmt.Fprintf(&b, "%s,%t,%.6f,%.6f,%.6f,%d,%d,%t\n",
+			r.Name, r.Ours, r.Ratio, r.CompGBps, r.DecompGBps, r.Files, r.Errors, front[i])
+	}
+	return b.String()
+}
+
+// Scatter renders an ASCII scatter plot like the paper's figures: y axis is
+// compression ratio, x axis is throughput (optionally logarithmic), Pareto
+// points drawn as '*', others 'o', our algorithms as '#'.
+func Scatter(results []Result, front []bool, decomp, logX bool, width, height int) string {
+	if width < 20 {
+		width = 64
+	}
+	if height < 8 {
+		height = 20
+	}
+	tp := func(r Result) float64 {
+		if decomp {
+			return r.DecompGBps
+		}
+		return r.CompGBps
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, r := range results {
+		x := tp(r)
+		if logX {
+			x = math.Log10(math.Max(x, 1e-6))
+		}
+		xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+		yMin, yMax = math.Min(yMin, r.Ratio), math.Max(yMax, r.Ratio)
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	labels := make([]string, 0, len(results))
+	for i, r := range results {
+		x := tp(r)
+		if logX {
+			x = math.Log10(math.Max(x, 1e-6))
+		}
+		cx := int(float64(width-1) * (x - xMin) / (xMax - xMin))
+		cy := height - 1 - int(float64(height-1)*(r.Ratio-yMin)/(yMax-yMin))
+		ch := byte('o')
+		if front[i] {
+			ch = '*'
+		}
+		if r.Ours {
+			ch = '#'
+		}
+		grid[cy][cx] = ch
+		labels = append(labels, fmt.Sprintf("%c %-12s (%.3f, %.2f GB/s)", ch, r.Name, r.Ratio, tp(r)))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ratio %.2f\n", yMax)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	xlo, xhi := xMin, xMax
+	unit := "GB/s"
+	if logX {
+		xlo, xhi = math.Pow(10, xMin), math.Pow(10, xMax)
+		unit = "GB/s (log)"
+	}
+	fmt.Fprintf(&b, "   %.3g .. %.3g %s   (ratio %.2f at bottom)\n", xlo, xhi, unit, yMin)
+	sort.Strings(labels)
+	for _, l := range labels {
+		b.WriteString("  " + l + "\n")
+	}
+	return b.String()
+}

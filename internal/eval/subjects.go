@@ -1,0 +1,191 @@
+package eval
+
+import (
+	"fmt"
+
+	"fpcompress/internal/baselines"
+	"fpcompress/internal/baselines/bitpack"
+	"fpcompress/internal/baselines/bwz"
+	"fpcompress/internal/baselines/fpz"
+	"fpcompress/internal/baselines/gzipw"
+	"fpcompress/internal/baselines/ndz"
+	"fpcompress/internal/baselines/spdp"
+	"fpcompress/internal/baselines/zstdx"
+	"fpcompress/internal/container"
+	"fpcompress/internal/core"
+	"fpcompress/internal/gpusim"
+	"fpcompress/internal/sdr"
+)
+
+// OurSubjects returns the paper's two algorithms for the given precision,
+// with GPU cost models attached.
+func OurSubjects(prec sdr.Precision) ([]Subject, error) {
+	var ids []core.ID
+	if prec == sdr.Single {
+		ids = []core.ID{core.SPspeed, core.SPratio}
+	} else {
+		ids = []core.ID{core.DPspeed, core.DPratio}
+	}
+	var out []Subject
+	for _, id := range ids {
+		a, err := core.New(id)
+		if err != nil {
+			return nil, err
+		}
+		model, ok := gpusim.ModelFor(a.Name())
+		if !ok {
+			return nil, fmt.Errorf("eval: no GPU cost model for %s", a.Name())
+		}
+		m := model
+		out = append(out, Subject{
+			Name: a.Name(),
+			Ours: true,
+			Compress: func(src []byte) ([]byte, error) {
+				return a.Compress(src, container.Params{}), nil
+			},
+			Decompress: func(enc []byte) ([]byte, error) {
+				return a.Decompress(enc, container.Params{})
+			},
+			Model: &m,
+		})
+	}
+	return out, nil
+}
+
+// modeExpansions lists the multi-level CPU compressors the paper evaluates
+// at their fastest and best-compressing modes (§4).
+func modeExpansions(name string, ws int) []Subject {
+	mk := func(label string, c baselines.Compressor) Subject {
+		return Subject{
+			Name:       label,
+			Compress:   c.Compress,
+			Decompress: c.Decompress,
+		}
+	}
+	switch name {
+	case "ZSTD":
+		return []Subject{
+			mk("Zstd-fast", &zstdx.Zstd{Level: 1}),
+			mk("Zstd-best", &zstdx.Zstd{Level: 19}),
+		}
+	case "Bzip2":
+		return []Subject{
+			mk("Bzip2-fast", &bwz.BWZ{Level: 1}),
+			mk("Bzip2-best", &bwz.BWZ{Level: 9}),
+		}
+	case "Gzip":
+		return []Subject{
+			mk("Gzip-fast", &gzipw.Gzip{Level: 1}),
+			mk("Gzip-best", &gzipw.Gzip{Level: 9}),
+		}
+	case "SPDP":
+		return []Subject{
+			mk("SPDP-fast", &spdp.SPDP{Level: 1}),
+			mk("SPDP-best", &spdp.SPDP{Level: 9}),
+		}
+	}
+	return nil
+}
+
+// gpuModeExpansions expands GPU codecs that the paper plots in multiple
+// versions: Bitcomp appears as -i0, -b0, and -b1 in Figures 8-11/14-17.
+func gpuModeExpansions(e baselines.Entry, ws int) []Subject {
+	if e.Name != "Bitcomp" {
+		return nil
+	}
+	var out []Subject
+	for _, mode := range []bitpack.Mode{bitpack.ModeI0, bitpack.ModeB0, bitpack.ModeB1} {
+		c := baselines.Compressor(&bitpack.Bitcomp{WordSize: ws, Mode: mode})
+		c = &baselines.Batched{Inner: c}
+		out = append(out, Subject{
+			Name:       "Bitcomp-" + mode.String(),
+			Compress:   c.Compress,
+			Decompress: c.Decompress,
+		})
+	}
+	return out
+}
+
+// BaselineSubjects returns the Table 1 compressors applicable to the given
+// precision and target (GPU figures take Device GPU/Both, CPU figures take
+// CPU/Both). GPU subjects carry their cost model.
+func BaselineSubjects(prec sdr.Precision, gpu bool) ([]Subject, error) {
+	ws := int(prec)
+	var out []Subject
+	for _, e := range baselines.Table1() {
+		if prec == sdr.Single && !e.Datatype.SupportsSingle() {
+			continue
+		}
+		if prec == sdr.Double && !e.Datatype.SupportsDouble() {
+			continue
+		}
+		if gpu && e.Device == baselines.CPU {
+			continue
+		}
+		if !gpu && e.Device == baselines.GPU {
+			continue
+		}
+		var subs []Subject
+		if gpu {
+			subs = gpuModeExpansions(e, ws)
+		} else {
+			subs = modeExpansions(e.Name, ws)
+		}
+		if subs == nil {
+			c := e.New(ws)
+			if gpu && e.NvComp {
+				// nvCOMP codecs see the input as independent 64 kB batches.
+				c = &baselines.Batched{Inner: c}
+			}
+			sub := Subject{
+				Name:       e.Name,
+				Compress:   c.Compress,
+				Decompress: c.Decompress,
+			}
+			// The paper supplies each input's grid shape to the
+			// dimension-requiring codes (§4).
+			switch e.Name {
+			case "FPzip":
+				sub.ForFile = func(f *sdr.File) (func([]byte) ([]byte, error), func([]byte) ([]byte, error)) {
+					fc := &fpz.FPzip{WordSize: ws, Dims: f.Dims}
+					return fc.Compress, fc.Decompress
+				}
+			case "Ndzip":
+				sub.ForFile = func(f *sdr.File) (func([]byte) ([]byte, error), func([]byte) ([]byte, error)) {
+					var zc baselines.Compressor = &ndz.Ndzip{WordSize: ws, Dims: f.Dims}
+					return zc.Compress, zc.Decompress
+				}
+			}
+			subs = []Subject{sub}
+		}
+		if gpu {
+			for i := range subs {
+				name := subs[i].Name
+				model, ok := gpusim.ModelFor(name)
+				if !ok {
+					model, ok = gpusim.ModelFor(e.Name)
+				}
+				if !ok {
+					return nil, fmt.Errorf("eval: no GPU cost model for %s", name)
+				}
+				m := model
+				subs[i].Model = &m
+			}
+		}
+		out = append(out, subs...)
+	}
+	return out, nil
+}
+
+// FigureSubjects combines our algorithms with the applicable baselines.
+func FigureSubjects(prec sdr.Precision, gpu bool) ([]Subject, error) {
+	ours, err := OurSubjects(prec)
+	if err != nil {
+		return nil, err
+	}
+	base, err := BaselineSubjects(prec, gpu)
+	if err != nil {
+		return nil, err
+	}
+	return append(ours, base...), nil
+}

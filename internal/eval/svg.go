@@ -1,0 +1,243 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SVG renders one figure as a standalone SVG scatter plot in the style of
+// the paper's Figures 8-19: compression ratio on the y axis, throughput on
+// the x axis (logarithmic for the CPU figures), every compressor as one
+// labeled point, and the Pareto front marked.
+//
+// Visual design follows the repository's chart conventions: a single axis
+// pair, identity encoded by a fixed two-color scheme (blue = this paper's
+// algorithms, gray = baselines; Pareto membership is a dark ring — a shape
+// cue, not a third color), thin recessive grid lines, direct labels in
+// neutral ink, and a legend naming both series.
+func SVG(title string, results []Result, front []bool, decomp, logX bool) string {
+	const (
+		width, height          = 860, 520
+		padL, padR, padT, padB = 70, 30, 56, 64
+		surface                = "#fcfcfb"
+		textPrimary            = "#0b0b0b"
+		textSecondary          = "#52514e"
+		gridColor              = "#e4e3df"
+		oursColor              = "#2a78d6" // categorical slot 1
+		baseColor              = "#8a8984" // neutral baseline marker
+	)
+	plotW := float64(width - padL - padR)
+	plotH := float64(height - padT - padB)
+
+	tp := func(r Result) float64 {
+		if decomp {
+			return r.DecompGBps
+		}
+		return r.CompGBps
+	}
+	xval := func(r Result) float64 {
+		x := tp(r)
+		if logX {
+			return math.Log10(math.Max(x, 1e-6))
+		}
+		return x
+	}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, r := range results {
+		xMin, xMax = math.Min(xMin, xval(r)), math.Max(xMax, xval(r))
+		yMin, yMax = math.Min(yMin, r.Ratio), math.Max(yMax, r.Ratio)
+	}
+	if !(xMax > xMin) {
+		xMax = xMin + 1
+	}
+	// Pad the data range slightly so markers do not clip.
+	xPad, yPad := (xMax-xMin)*0.06, (yMax-yMin)*0.08
+	if yPad == 0 {
+		yPad = 0.1
+	}
+	xMin, xMax = xMin-xPad, xMax+xPad
+	yMin, yMax = yMin-yPad, yMax+yPad
+
+	px := func(x float64) float64 { return float64(padL) + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 { return float64(padT) + plotH - (y-yMin)/(yMax-yMin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`,
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`, width, height, surface)
+	fmt.Fprintf(&b, `<text x="%d" y="26" font-size="15" fill="%s">%s</text>`, padL, textPrimary, escape(title))
+
+	// Grid and axis ticks.
+	for _, t := range yTicks(yMin, yMax) {
+		y := py(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			padL, y, width-padR, y, gridColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" fill="%s" text-anchor="end">%.2f</text>`,
+			padL-8, y+4, textSecondary, t)
+	}
+	for _, t := range xTicks(xMin, xMax, logX) {
+		x := px(t.v)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="1"/>`,
+			x, padT, x, height-padB, gridColor)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`,
+			x, height-padB+18, textSecondary, t.label)
+	}
+	// Axis titles.
+	dir := "compression"
+	if decomp {
+		dir = "decompression"
+	}
+	scale := ""
+	if logX {
+		scale = ", log scale"
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="%s" text-anchor="middle">%s throughput (GB/s%s)</text>`,
+		padL+int(plotW/2), height-18, textPrimary, dir, scale)
+	fmt.Fprintf(&b, `<text x="18" y="%d" font-size="12" fill="%s" text-anchor="middle" transform="rotate(-90 18 %d)">compression ratio</text>`,
+		padT+int(plotH/2), textPrimary, padT+int(plotH/2))
+
+	// Pareto front polyline (sorted by x among front members).
+	type pt struct {
+		x, y float64
+	}
+	var frontPts []pt
+	for i, r := range results {
+		if front[i] {
+			frontPts = append(frontPts, pt{px(xval(r)), py(r.Ratio)})
+		}
+	}
+	sort.Slice(frontPts, func(a, c int) bool { return frontPts[a].x < frontPts[c].x })
+	if len(frontPts) > 1 {
+		var path strings.Builder
+		for i, p := range frontPts {
+			if i == 0 {
+				fmt.Fprintf(&path, "M%.1f %.1f", p.x, p.y)
+			} else {
+				fmt.Fprintf(&path, " L%.1f %.1f", p.x, p.y)
+			}
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5" stroke-dasharray="5 4" opacity="0.55"/>`,
+			path.String(), textSecondary)
+	}
+
+	// Points with direct labels; alternate label side to reduce collisions.
+	order := make([]int, len(results))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, c int) bool { return results[order[a]].Ratio > results[order[c]].Ratio })
+	for rank, i := range order {
+		r := results[i]
+		x, y := px(xval(r)), py(r.Ratio)
+		color := baseColor
+		if r.Ours {
+			color = oursColor
+		}
+		if front[i] {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="8" fill="none" stroke="%s" stroke-width="2"/>`,
+				x, y, textPrimary)
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="5" fill="%s" stroke="%s" stroke-width="1.5"/>`,
+			x, y, color, surface)
+		dx, anchor := 11.0, "start"
+		if x > float64(width-padR)-90 {
+			dx, anchor = -11.0, "end"
+		}
+		dy := 4.0
+		if rank%2 == 1 {
+			dy = -8.0
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" text-anchor="%s">%s</text>`,
+			x+dx, y+dy, textPrimary, anchor, escape(r.Name))
+	}
+
+	// Legend.
+	lx, ly := width-padR-250, padT-26
+	fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="5" fill="%s"/>`, lx, ly, oursColor)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s">this paper</text>`, lx+10, ly+4, textPrimary)
+	fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="5" fill="%s"/>`, lx+85, ly, baseColor)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s">baseline</text>`, lx+95, ly+4, textPrimary)
+	fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="7" fill="none" stroke="%s" stroke-width="2"/>`, lx+165, ly, textPrimary)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s">Pareto front</text>`, lx+177, ly+4, textPrimary)
+
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+type xTick struct {
+	v     float64
+	label string
+}
+
+// xTicks picks round ticks; in log mode, decades.
+func xTicks(lo, hi float64, logX bool) []xTick {
+	var out []xTick
+	if logX {
+		for d := math.Floor(lo); d <= math.Ceil(hi); d++ {
+			if d < lo || d > hi {
+				continue
+			}
+			out = append(out, xTick{d, formatPow10(d)})
+		}
+		if len(out) < 2 { // narrow range: fall back to 3 linear ticks
+			for i := 0; i <= 2; i++ {
+				v := lo + (hi-lo)*float64(i)/2
+				out = append(out, xTick{v, fmt.Sprintf("%.2g", math.Pow(10, v))})
+			}
+		}
+		return out
+	}
+	step := niceStep((hi - lo) / 5)
+	for v := math.Ceil(lo/step) * step; v <= hi; v += step {
+		label := v
+		if math.Abs(label) < step/1e6 {
+			label = 0 // avoid "-0" from floating-point tick arithmetic
+		}
+		out = append(out, xTick{v, fmt.Sprintf("%.5g", label)})
+	}
+	return out
+}
+
+func yTicks(lo, hi float64) []float64 {
+	step := niceStep((hi - lo) / 5)
+	var out []float64
+	for v := math.Ceil(lo/step) * step; v <= hi; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// niceStep rounds a raw step to 1/2/5 x 10^k.
+func niceStep(raw float64) float64 {
+	if raw <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch {
+	case raw/mag < 1.5:
+		return mag
+	case raw/mag < 3.5:
+		return 2 * mag
+	case raw/mag < 7.5:
+		return 5 * mag
+	}
+	return 10 * mag
+}
+
+func formatPow10(d float64) string {
+	v := math.Pow(10, d)
+	if v >= 0.01 && v < 10000 {
+		return fmt.Sprintf("%.4g", v)
+	}
+	return fmt.Sprintf("1e%d", int(d))
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return strings.ReplaceAll(s, ">", "&gt;")
+}

@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func svgFixture() ([]Result, []bool) {
+	results := []Result{
+		{Name: "SPspeed", Ours: true, Ratio: 1.41, CompGBps: 518, DecompGBps: 550},
+		{Name: "SPratio", Ours: true, Ratio: 1.60, CompGBps: 200, DecompGBps: 250},
+		{Name: "Bitcomp-i0", Ratio: 1.15, CompGBps: 600, DecompGBps: 620},
+		{Name: "Snappy", Ratio: 1.02, CompGBps: 60, DecompGBps: 200},
+	}
+	return results, Pareto(results, false)
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	results, front := svgFixture()
+	svg := SVG("Figure 8: test", results, front, false, false)
+	for _, want := range []string{
+		"<svg", "</svg>", "SPspeed", "Bitcomp-i0", "compression ratio",
+		"compression throughput", "Pareto front", "this paper",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") < len(results)+3 { // points + legend
+		t.Error("too few markers")
+	}
+}
+
+func TestSVGLogScale(t *testing.T) {
+	results, front := svgFixture()
+	svg := SVG("Figure 12: test", results, front, true, true)
+	if !strings.Contains(svg, "log scale") {
+		t.Error("log-scale axis label missing")
+	}
+	if !strings.Contains(svg, "decompression throughput") {
+		t.Error("decompression axis label missing")
+	}
+}
+
+func TestSVGEscapesNames(t *testing.T) {
+	results := []Result{{Name: "a<b&c", Ratio: 1, CompGBps: 1, DecompGBps: 1}}
+	svg := SVG("t", results, []bool{true}, false, false)
+	if strings.Contains(svg, "a<b&c") {
+		t.Error("name not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;c") {
+		t.Error("escaped name missing")
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{0.03: 0.02, 0.11: 0.1, 0.7: 0.5, 1.8: 2, 4: 5, 12: 10, 80: 100}
+	for in, want := range cases {
+		if got := niceStep(in); got != want {
+			t.Errorf("niceStep(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if niceStep(0) != 1 {
+		t.Error("zero step")
+	}
+}

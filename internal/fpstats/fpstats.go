@@ -1,0 +1,163 @@
+// Package fpstats computes the statistics compression research uses to
+// characterize floating-point datasets: per-byte-position entropy, value
+// smoothness, leading-zero histograms of difference sequences, and exact
+// repeat rates. The SDRBench paper characterizes its inputs as "smooth,
+// normal, and centered around zero"; these are the measurements behind
+// such claims, and internal/sdr's generators are validated against them.
+package fpstats
+
+import (
+	"math"
+
+	"fpcompress/internal/wordio"
+)
+
+// Stats summarizes one value stream.
+type Stats struct {
+	// Values is the number of words analyzed.
+	Values int
+	// ByteEntropy[j] is the Shannon entropy (bits, 0..8) of byte position
+	// j within each word — position 0 is the least significant byte. Low
+	// entropy in high bytes is what difference coding exploits; high
+	// entropy in low bytes is why RAZE keeps mantissa bottoms verbatim.
+	ByteEntropy []float64
+	// MeanAbsDelta is the mean |v[i]-v[i-1]| over finite values.
+	MeanAbsDelta float64
+	// MeanAbsValue is the mean |v[i]| over finite values.
+	MeanAbsValue float64
+	// DeltaLZHist[k] counts difference words (magnitude-sign form) with
+	// exactly k leading zero bits.
+	DeltaLZHist []int
+	// RepeatFrac is the fraction of words that occurred earlier in the
+	// stream (exact 64/32-bit repeats — FCM's and FPC's fuel).
+	RepeatFrac float64
+	// FiniteFrac is the fraction of values that are finite floats.
+	FiniteFrac float64
+}
+
+// Smoothness returns MeanAbsDelta / MeanAbsValue — values well below 1
+// mean consecutive values are close relative to their scale (the property
+// DIFFMS needs). Returns +Inf when the mean value magnitude is zero.
+func (s *Stats) Smoothness() float64 {
+	if s.MeanAbsValue == 0 {
+		return math.Inf(1)
+	}
+	return s.MeanAbsDelta / s.MeanAbsValue
+}
+
+// MeanDeltaLeadingZeros is the average leading-zero count of the
+// magnitude-sign difference words — directly proportional to what MPLG
+// and RAZE can remove.
+func (s *Stats) MeanDeltaLeadingZeros() float64 {
+	total, weighted := 0, 0
+	for k, c := range s.DeltaLZHist {
+		total += c
+		weighted += k * c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(weighted) / float64(total)
+}
+
+// Analyze computes Stats for a little-endian value stream of the given
+// word size (4 or 8).
+func Analyze(data []byte, wordSize int) *Stats {
+	if wordSize != 8 {
+		wordSize = 4
+	}
+	n := len(data) / wordSize
+	wbits := wordSize * 8
+	s := &Stats{
+		Values:      n,
+		ByteEntropy: make([]float64, wordSize),
+		DeltaLZHist: make([]int, wbits+1),
+	}
+	if n == 0 {
+		return s
+	}
+
+	// Byte-position entropy.
+	counts := make([][256]int, wordSize)
+	for i := 0; i < n; i++ {
+		for j := 0; j < wordSize; j++ {
+			counts[j][data[i*wordSize+j]]++
+		}
+	}
+	for j := 0; j < wordSize; j++ {
+		s.ByteEntropy[j] = entropy(&counts[j], n)
+	}
+
+	// Value-level statistics.
+	var sumAbs, sumAbsDelta float64
+	finite := 0
+	var prevF float64
+	havePrev := false
+	seen := make(map[uint64]struct{}, n)
+	repeats := 0
+	var prevW uint64
+	for i := 0; i < n; i++ {
+		var w uint64
+		var f float64
+		if wordSize == 4 {
+			u := wordio.U32(data, i)
+			w = uint64(u)
+			f = float64(math.Float32frombits(u))
+		} else {
+			w = wordio.U64(data, i)
+			f = math.Float64frombits(w)
+		}
+		if _, ok := seen[w]; ok {
+			repeats++
+		} else {
+			seen[w] = struct{}{}
+		}
+		if !math.IsNaN(f) && !math.IsInf(f, 0) {
+			finite++
+			sumAbs += math.Abs(f)
+			if havePrev {
+				sumAbsDelta += math.Abs(f - prevF)
+			}
+			prevF = f
+			havePrev = true
+		}
+		// Magnitude-sign difference leading zeros.
+		var lz int
+		if wordSize == 4 {
+			d := wordio.ZigZag32(uint32(w) - uint32(prevW))
+			lz = wordio.Clz32(d)
+		} else {
+			d := wordio.ZigZag64(w - prevW)
+			lz = wordio.Clz64(d)
+		}
+		if i > 0 {
+			s.DeltaLZHist[lz]++
+		}
+		prevW = w
+	}
+	if finite > 0 {
+		s.MeanAbsValue = sumAbs / float64(finite)
+		if finite > 1 {
+			s.MeanAbsDelta = sumAbsDelta / float64(finite-1)
+		}
+	}
+	s.RepeatFrac = float64(repeats) / float64(n)
+	s.FiniteFrac = float64(finite) / float64(n)
+	return s
+}
+
+// entropy computes Shannon entropy in bits for a byte histogram.
+func entropy(counts *[256]int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}

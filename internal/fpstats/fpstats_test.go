@@ -1,0 +1,124 @@
+package fpstats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpcompress/internal/sdr"
+	"fpcompress/internal/wordio"
+)
+
+func TestEntropyBounds(t *testing.T) {
+	var uniform [256]int
+	for i := range uniform {
+		uniform[i] = 10
+	}
+	if h := entropy(&uniform, 2560); math.Abs(h-8) > 1e-9 {
+		t.Errorf("uniform entropy = %f, want 8", h)
+	}
+	var constant [256]int
+	constant[42] = 100
+	if h := entropy(&constant, 100); h != 0 {
+		t.Errorf("constant entropy = %f, want 0", h)
+	}
+}
+
+func TestSmoothDataStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	b := make([]byte, n*8)
+	v := 1000.0
+	for i := 0; i < n; i++ {
+		v += math.Sin(float64(i)/50) + rng.NormFloat64()*0.001
+		wordio.PutU64(b, i, math.Float64bits(v))
+	}
+	s := Analyze(b, 8)
+	if s.Values != n {
+		t.Fatalf("values = %d", s.Values)
+	}
+	if s.FiniteFrac != 1 {
+		t.Error("finite fraction should be 1")
+	}
+	if sm := s.Smoothness(); sm > 0.01 {
+		t.Errorf("smoothness %f, want << 1 for smooth data", sm)
+	}
+	// High (most significant) bytes carry little entropy; low bytes are
+	// near-random.
+	if s.ByteEntropy[7] > 2 {
+		t.Errorf("MSB entropy %f, want low", s.ByteEntropy[7])
+	}
+	if s.ByteEntropy[0] < 6 {
+		t.Errorf("LSB entropy %f, want near 8", s.ByteEntropy[0])
+	}
+	if s.MeanDeltaLeadingZeros() < 8 {
+		t.Errorf("mean delta clz %f, want substantial on smooth data", s.MeanDeltaLeadingZeros())
+	}
+}
+
+func TestRandomDataStatistics(t *testing.T) {
+	b := make([]byte, 80000)
+	rand.New(rand.NewSource(2)).Read(b)
+	s := Analyze(b, 4)
+	for j, h := range s.ByteEntropy {
+		if h < 7.5 {
+			t.Errorf("byte %d entropy %f on random data", j, h)
+		}
+	}
+	if s.RepeatFrac > 0.01 {
+		t.Errorf("repeat fraction %f on random u32s", s.RepeatFrac)
+	}
+}
+
+func TestRepeatDetection(t *testing.T) {
+	b := make([]byte, 1000*8)
+	for i := 0; i < 1000; i++ {
+		wordio.PutU64(b, i, uint64(i%100)) // every value repeats 10x
+	}
+	s := Analyze(b, 8)
+	if math.Abs(s.RepeatFrac-0.9) > 0.01 {
+		t.Errorf("repeat fraction = %f, want 0.9", s.RepeatFrac)
+	}
+}
+
+func TestEmptyAndSpecial(t *testing.T) {
+	s := Analyze(nil, 8)
+	if s.Values != 0 || s.Smoothness() != math.Inf(1) {
+		t.Error("empty stats wrong")
+	}
+	b := make([]byte, 3*8)
+	wordio.PutU64(b, 0, math.Float64bits(math.NaN()))
+	wordio.PutU64(b, 1, math.Float64bits(math.Inf(1)))
+	wordio.PutU64(b, 2, math.Float64bits(1.5))
+	s = Analyze(b, 8)
+	if math.Abs(s.FiniteFrac-1.0/3) > 1e-9 {
+		t.Errorf("finite fraction = %f", s.FiniteFrac)
+	}
+}
+
+// TestGeneratorsMatchSDRBenchCharacter validates the synthetic datasets
+// against the characterization the paper cites: smooth fields, and MPI
+// traces with substantial exact repeats.
+func TestGeneratorsMatchSDRBenchCharacter(t *testing.T) {
+	cfg := sdr.Config{ValuesPerFile: 30000}
+	for _, f := range sdr.SingleFiles(cfg) {
+		if f.Domain != "CESM-ATM" {
+			continue
+		}
+		s := Analyze(f.Data, 4)
+		if sm := s.Smoothness(); sm > 0.5 {
+			t.Errorf("%s: smoothness %f — generator drifted from the smooth character", f.Name, sm)
+		}
+		break
+	}
+	for _, f := range sdr.DoubleFiles(cfg) {
+		if f.Domain != "MPI" {
+			continue
+		}
+		s := Analyze(f.Data, 8)
+		if s.RepeatFrac < 0.2 {
+			t.Errorf("%s: repeat fraction %f — MPI traces need exact repeats", f.Name, s.RepeatFrac)
+		}
+		break
+	}
+}

@@ -1,0 +1,61 @@
+package gpusim
+
+// This file models the paper's motivating scenario (§1): moving data over
+// an interconnect with compression on one side and decompression on the
+// other. Compression only helps if the codec keeps up — "they must operate
+// at X times higher speeds, where X is the compression ratio, before the
+// interconnect becomes the bottleneck."
+
+// Link is an interconnect profile.
+type Link struct {
+	// Name appears in reports.
+	Name string
+	// GBps is the link's sustained bandwidth in GB/s.
+	GBps float64
+}
+
+// The interconnects the paper's introduction cites.
+var (
+	// NVLink4 is the most recent NVLink generation of the paper (§1:
+	// "up to 900 GB/s").
+	NVLink4 = Link{Name: "NVLink 4", GBps: 900}
+	// PCIe5x16 is the latest PCIe of the paper (§1: "up to 242 GB/s" for
+	// the specification's fastest configuration).
+	PCIe5x16 = Link{Name: "PCIe 5.0 x16", GBps: 242}
+	// DataCenterEthernet is a 100 Gb/s NIC, a common storage path.
+	DataCenterEthernet = Link{Name: "100 GbE", GBps: 12.5}
+)
+
+// TransferPlan describes one end-to-end compressed transfer.
+type TransferPlan struct {
+	// CompressGBps and DecompressGBps are the codec's throughputs on the
+	// sending and receiving devices (in original bytes per second).
+	CompressGBps, DecompressGBps float64
+	// Ratio is the compression ratio.
+	Ratio float64
+}
+
+// EffectiveGBps returns the end-to-end throughput (original bytes per
+// second) of a pipelined transfer: the slowest of compression, the wire
+// carrying ratio-times-smaller data, and decompression.
+func (p TransferPlan) EffectiveGBps(link Link) float64 {
+	wire := link.GBps * p.Ratio
+	min := p.CompressGBps
+	if wire < min {
+		min = wire
+	}
+	if p.DecompressGBps < min {
+		min = p.DecompressGBps
+	}
+	return min
+}
+
+// Speedup returns EffectiveGBps divided by the raw link bandwidth — values
+// above 1 mean compression makes the transfer faster end to end. For a
+// speedup the codec must process original bytes faster than the link
+// carries them (the paper's "X times higher speeds" condition: at ratio X
+// the codec touches X bytes for every byte on the wire) and the ratio must
+// exceed 1.
+func (p TransferPlan) Speedup(link Link) float64 {
+	return p.EffectiveGBps(link) / link.GBps
+}

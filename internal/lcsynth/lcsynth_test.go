@@ -1,0 +1,139 @@
+package lcsynth
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fpcompress/internal/wordio"
+)
+
+func samples32() [][]byte {
+	rng := rand.New(rand.NewSource(1))
+	b := make([]byte, 64*1024)
+	v := 77.0
+	for i := 0; i < len(b)/4; i++ {
+		v += math.Sin(float64(i)/35) + rng.NormFloat64()*0.01
+		wordio.PutU32(b, i, math.Float32bits(float32(v)))
+	}
+	return [][]byte{b}
+}
+
+func samples64() [][]byte {
+	// Far-apart exact segment replays: only FCM's whole-input hashing can
+	// exploit these (local difference coding cannot).
+	rng := rand.New(rand.NewSource(2))
+	n := 16 * 1024
+	words := make([]uint64, n)
+	i := 0
+	for i < n {
+		if i > 2048 && rng.Intn(3) == 0 {
+			src := rng.Intn(i - 1024)
+			run := 64 + rng.Intn(256)
+			for k := 0; k < run && i < n; k++ {
+				words[i] = words[src+k]
+				i++
+			}
+			continue
+		}
+		words[i] = math.Float64bits(500 + rng.NormFloat64())
+		i++
+	}
+	b := make([]byte, n*8)
+	for j, w := range words {
+		wordio.PutU64(b, j, w)
+	}
+	return [][]byte{b}
+}
+
+func TestComponentsPerWordSize(t *testing.T) {
+	if len(Components(wordio.W32)) != 4 {
+		t.Errorf("W32 components = %d, want 4", len(Components(wordio.W32)))
+	}
+	if len(Components(wordio.W64)) != 7 {
+		t.Errorf("W64 components = %d, want 7", len(Components(wordio.W64)))
+	}
+}
+
+func TestSearchFindsPaperPipelines(t *testing.T) {
+	cands, err := Search(Components(wordio.W32), samples32(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	// Both paper SP pipelines must appear among the candidates.
+	found := map[string]bool{}
+	for _, c := range cands {
+		found[strings.Join(c.Stages, "|")] = true
+	}
+	for _, want := range []string{"DIFFMS32|MPLG32", "DIFFMS32|BIT32|RZE"} {
+		if !found[want] {
+			t.Errorf("paper pipeline %q not enumerated", want)
+		}
+	}
+	// Candidates are sorted by ratio and at least one is Pareto-optimal.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Ratio > cands[i-1].Ratio {
+			t.Fatal("candidates not sorted by ratio")
+		}
+	}
+	pareto := 0
+	for _, c := range cands {
+		if c.Pareto {
+			pareto++
+		}
+	}
+	if pareto == 0 {
+		t.Error("empty Pareto front")
+	}
+}
+
+func TestSearchRanksPaperSPratioWell(t *testing.T) {
+	cands, err := Search(Components(wordio.W32), samples32(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's SPratio pipeline should rank in the upper half by ratio
+	// on smooth data — the search methodology is what selected it.
+	for i, c := range cands {
+		if strings.Join(c.Stages, "|") == "DIFFMS32|BIT32|RZE" {
+			if i > len(cands)/2 {
+				t.Errorf("DIFFMS|BIT|RZE ranked %d of %d", i+1, len(cands))
+			}
+			return
+		}
+	}
+	t.Fatal("pipeline missing")
+}
+
+func TestSearch64WithFCM(t *testing.T) {
+	cands, err := Search(Components(wordio.W64), samples64(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With heavy exact repeats, some FCM-led pipeline must beat the best
+	// non-FCM pipeline of the same depth.
+	bestFCM, bestOther := 0.0, 0.0
+	for _, c := range cands {
+		if c.Stages[0] == "FCM64" {
+			if c.Ratio > bestFCM {
+				bestFCM = c.Ratio
+			}
+		} else if c.Ratio > bestOther {
+			bestOther = c.Ratio
+		}
+	}
+	if bestFCM <= bestOther {
+		t.Errorf("FCM pipelines (%.3f) should lead on repeat-heavy data (others %.3f)", bestFCM, bestOther)
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	c := Candidate{Stages: []string{"A", "B"}, Ratio: 1.5, EncMBps: 100, DecMBps: 200}
+	if !strings.Contains(c.String(), "A -> B") {
+		t.Errorf("bad string: %s", c.String())
+	}
+}

@@ -1,0 +1,579 @@
+// Package sdr generates synthetic datasets standing in for the SDRBench
+// single-precision suite and the FPdouble double-precision collection used
+// in the paper's evaluation (§4).
+//
+// The real inputs are multi-gigabyte downloads; what the compression
+// algorithms actually exploit is their statistical character, which the
+// SDRBench paper (Zhao et al. [38]) describes as "quite smooth, normal, and
+// centered around zero". Each generator below reproduces the per-domain
+// structure that drives compressor behaviour — smooth multiscale fields for
+// climate data, spatially ordered particles for molecular dynamics,
+// lognormal density fields for cosmology, near-zero plateaus with sharp
+// fronts for combustion, exact value repeats for MPI message traces, and
+// precision-limited quantized readings for instrument data — from a fixed
+// per-file seed, so every run of the benchmark harness sees identical
+// bytes.
+package sdr
+
+import (
+	"math"
+
+	"fpcompress/internal/wordio"
+)
+
+// Precision labels a dataset's value type.
+type Precision int
+
+const (
+	// Single precision (float32), like the SDRBench suite.
+	Single Precision = 4
+	// Double precision (float64), like the FPdouble collection.
+	Double Precision = 8
+)
+
+// File is one synthetic input file.
+type File struct {
+	// Name mimics an SDRBench file name, e.g. "cesm/CLDHGH_25.f32".
+	Name string
+	// Domain groups files for the paper's geo-mean-of-geo-means metric.
+	Domain string
+	// Precision is Single or Double.
+	Precision Precision
+	// Dims is the logical grid shape, innermost (fastest-varying) extent
+	// first, as row-major flattened into Data. The paper's own algorithms
+	// ignore it; FPzip, ZFP, ndzip, and MPC "need the dimensions of the
+	// input to work properly" (§4) and receive it from the harness.
+	Dims []int
+	// Data is the raw little-endian value stream.
+	Data []byte
+}
+
+// Values returns the number of floating-point values in the file.
+func (f *File) Values() int { return len(f.Data) / int(f.Precision) }
+
+// rng is a small deterministic generator (xorshift* seeded through Mix64)
+// so dataset bytes are stable across Go versions, unlike math/rand.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	// The golden-ratio offset keeps the state non-zero for every seed
+	// (Mix64(0) == 0 would jam xorshift) without aliasing adjacent seeds.
+	return &rng{s: wordio.Mix64(seed + 0x9E3779B97F4A7C15)}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// float returns a uniform value in [0,1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// norm returns a standard normal value (Box-Muller).
+func (r *rng) norm() float64 {
+	u1 := r.float()
+	for u1 == 0 {
+		u1 = r.float()
+	}
+	u2 := r.float()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// intn returns a uniform integer in [0,n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// smoothField1D synthesizes a smooth 1-D signal as a sum of `octaves`
+// sinusoids with geometrically increasing frequency and decreasing
+// amplitude, plus white noise at `noise` relative amplitude.
+func smoothField1D(r *rng, n, octaves int, base, amplitude, noise float64) []float64 {
+	type wave struct{ freq, phase, amp float64 }
+	waves := make([]wave, octaves)
+	f := 1.0 / float64(n)
+	a := amplitude
+	for o := range waves {
+		waves[o] = wave{
+			freq:  f * (2 * math.Pi) * (1 + r.float()),
+			phase: r.float() * 2 * math.Pi,
+			amp:   a * (0.5 + r.float()),
+		}
+		f *= 2.7
+		a *= 0.55
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := base
+		for _, w := range waves {
+			v += w.amp * math.Sin(w.freq*float64(i)+w.phase)
+		}
+		out[i] = v + noise*amplitude*r.norm()
+	}
+	return out
+}
+
+// gridShape picks a near-square W x H factorization of n (W innermost).
+func gridShape(n int) (w, h int) {
+	w = 1
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			w = d
+		}
+	}
+	// w is the largest divisor <= sqrt(n); use the cofactor as width so
+	// rows are the longer axis (row-major inner dimension).
+	if w == 1 {
+		return n, 1 // prime length: effectively 1-D
+	}
+	return n / w, w
+}
+
+// smoothField2D synthesizes a W x H field smooth along both axes: a sum of
+// separable and diagonal sinusoids plus white noise, flattened row-major.
+func smoothField2D(r *rng, w, h, octaves int, base, amplitude, noise float64) []float64 {
+	type wave struct{ fx, fy, phase, amp float64 }
+	waves := make([]wave, octaves)
+	f := 1.0
+	a := amplitude
+	for o := range waves {
+		waves[o] = wave{
+			fx:    f * 2 * math.Pi / float64(w) * (1 + r.float()),
+			fy:    f * 2 * math.Pi / float64(h) * (1 + r.float()),
+			phase: r.float() * 2 * math.Pi,
+			amp:   a * (0.5 + r.float()),
+		}
+		f *= 2.3
+		a *= 0.55
+	}
+	out := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := base
+			for _, wv := range waves {
+				v += wv.amp * math.Sin(wv.fx*float64(x)+wv.fy*float64(y)+wv.phase)
+			}
+			out[y*w+x] = v + noise*amplitude*r.norm()
+		}
+	}
+	return out
+}
+
+func toF32(vals []float64) []byte {
+	b := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		wordio.PutU32(b, i, math.Float32bits(float32(v)))
+	}
+	return b
+}
+
+func toF64(vals []float64) []byte {
+	b := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		wordio.PutU64(b, i, math.Float64bits(v))
+	}
+	return b
+}
+
+// climateField models CESM-ATM / SCALE-LETKF style 2-D atmospheric fields:
+// smooth large-scale structure with measurement noise, plus the two
+// artifacts real climate fields carry — constant fill-value patches over
+// masked regions (land/sea masks) and sharp regime steps at their edges.
+// The patches matter for fidelity: they reward byte/bit-plane codecs that
+// degrade gracefully and punish fixed-block bit-width packing, the same
+// separation the paper's figures show.
+func climateField(seed uint64, n int, offset float64) []float64 {
+	r := newRNG(seed)
+	vals := smoothField1D(r, n, 6, offset, math.Abs(offset)*0.1+1, 0.02)
+	// Masked patches: ~6% of cells in runs of 50-1000, set to a fill value.
+	const fill = 9.96920996838687e36 // CESM's default float fill
+	masked := 0
+	for masked < n/16 {
+		start := r.intn(n)
+		length := 50 + r.intn(950)
+		for i := start; i < start+length && i < n; i++ {
+			vals[i] = fill
+		}
+		masked += length
+	}
+	// A few regime steps (fronts).
+	for s := 0; s < 4; s++ {
+		at := r.intn(n)
+		jump := (r.float() - 0.5) * (math.Abs(offset)*0.2 + 10)
+		for i := at; i < n; i++ {
+			if vals[i] != fill {
+				vals[i] += jump
+			}
+		}
+	}
+	return vals
+}
+
+// hurricaneField models Hurricane-ISABEL raw fields: smooth with stronger
+// small-scale turbulence and occasional extreme cells.
+func hurricaneField(seed uint64, n int) []float64 {
+	r := newRNG(seed)
+	vals := smoothField1D(r, n, 8, 0, 40, 0.06)
+	for i := 0; i < n/500; i++ {
+		at := r.intn(n)
+		vals[at] *= 1 + 4*r.float()
+	}
+	return vals
+}
+
+// mdPositions models EXAALT copper-atom positions: particles laid out along
+// a space-filling path so consecutive array entries are spatial neighbours,
+// plus thermal jitter.
+func mdPositions(seed uint64, n int) []float64 {
+	r := newRNG(seed)
+	vals := make([]float64, n)
+	lattice := 3.615 // copper lattice constant, Å
+	pos := 0.0
+	for i := 0; i < n; i++ {
+		pos += lattice * (0.8 + 0.4*r.float()) / 4
+		vals[i] = pos + 0.5*r.norm()
+		if i%1024 == 1023 {
+			pos = 0 // next row of the cell
+		}
+	}
+	return vals
+}
+
+// cosmologyField models NYX baryon density: exp of a smooth Gaussian field,
+// giving the strong positive skew and wide dynamic range of cosmological
+// densities.
+func cosmologyField(seed uint64, n int) []float64 {
+	r := newRNG(seed)
+	base := smoothField1D(r, n, 7, 0, 1.2, 0.04)
+	for i, v := range base {
+		base[i] = math.Exp(v)
+	}
+	return base
+}
+
+// qmcField models QMCPack wavefunction amplitudes: oscillatory with an
+// exponential envelope.
+func qmcField(seed uint64, n int) []float64 {
+	r := newRNG(seed)
+	vals := smoothField1D(r, n, 5, 0, 1, 0.02)
+	for i := range vals {
+		vals[i] *= math.Exp(-3 * float64(i%4096) / 4096)
+	}
+	return vals
+}
+
+// combustionField models S3D species mass fractions: long near-zero
+// plateaus with localized sharp reaction fronts.
+func combustionField(seed uint64, n int) []float64 {
+	r := newRNG(seed)
+	vals := make([]float64, n)
+	// A few fronts, each a smooth bump over a zero background.
+	fronts := 3 + r.intn(5)
+	for f := 0; f < fronts; f++ {
+		center := r.intn(n)
+		width := 200 + r.intn(2000)
+		height := 0.05 + r.float()*0.3
+		for d := -3 * width; d <= 3*width; d++ {
+			i := center + d
+			if i < 0 || i >= n {
+				continue
+			}
+			x := float64(d) / float64(width)
+			vals[i] += height * math.Exp(-x*x)
+		}
+	}
+	for i := range vals {
+		if vals[i] != 0 {
+			vals[i] += 1e-7 * r.norm()
+		}
+	}
+	return vals
+}
+
+// mpiMessages models MPI message traces (msg_* in FPdouble): solver state
+// exchanged between ranks, with many exact repeats of earlier values —
+// exactly the redundancy FCM is designed to find.
+func mpiMessages(seed uint64, n int) []float64 {
+	r := newRNG(seed)
+	vals := make([]float64, n)
+	v := 1.0
+	i := 0
+	for i < n {
+		if i > 1024 && r.float() < 0.35 {
+			// Halo exchange re-sends a contiguous block of earlier state,
+			// possibly from far back in the trace — repeated values in
+			// repeated contexts, the redundancy FCM is designed to find.
+			srcAt := r.intn(i - 512)
+			length := 16 + r.intn(512)
+			for k := 0; k < length && i < n; k++ {
+				vals[i] = vals[srcAt+k]
+				i++
+			}
+			continue
+		}
+		// Fresh solver state with noisy mantissas.
+		for k := 0; k < 64+r.intn(256) && i < n; k++ {
+			v += 0.001*r.norm() + 1e-5
+			bits := math.Float64bits(v)
+			bits ^= r.next() & 0x3FFFFF
+			vals[i] = math.Float64frombits(bits)
+			i++
+		}
+	}
+	return vals
+}
+
+// numSimulation models num_* FPdouble files: double-precision solver output
+// where repeated arithmetic has randomized the low mantissa bits.
+func numSimulation(seed uint64, n int) []float64 {
+	r := newRNG(seed)
+	vals := smoothField1D(r, n, 6, -200, 150, 0.0005)
+	for i := range vals {
+		// Randomize the low 20 mantissa bits, as accumulated rounding does.
+		bits := math.Float64bits(vals[i])
+		bits ^= r.next() & 0xFFFFF
+		vals[i] = math.Float64frombits(bits)
+	}
+	return vals
+}
+
+// obsInstrument models obs_* FPdouble files: instrument readings quantized
+// to limited precision, so many values collide exactly.
+func obsInstrument(seed uint64, n int) []float64 {
+	r := newRNG(seed)
+	raw := smoothField1D(r, n, 5, 290, 15, 0.005)
+	// ADC electronics dither randomizes the low mantissa bits, so distinct
+	// readings are full-entropy doubles (real obs_* files compress only
+	// modestly for every codec). Stuck-sensor / saturation stretches repeat
+	// the previous reading bit-exactly — the value-level redundancy FPC's
+	// and FCM's hashing recovers.
+	for i := range raw {
+		bits := math.Float64bits(raw[i]) ^ (r.next() & 0x7FF)
+		raw[i] = math.Float64frombits(bits)
+	}
+	for i := 1; i < len(raw); i++ {
+		if r.float() < 0.02 {
+			run := 2 + r.intn(18)
+			for k := 0; k < run && i < len(raw); k++ {
+				raw[i] = raw[i-1]
+				i++
+			}
+		}
+	}
+	return raw
+}
+
+// Config controls dataset sizes. Values counts are per file.
+type Config struct {
+	// ValuesPerFile is the number of floating-point values in each synthetic
+	// file; 0 means the default of 1<<18 (1 MiB of float32).
+	ValuesPerFile int
+	// Grid2D lays the field-structured domains (climate, hurricane,
+	// cosmology) out as W x H grids smooth along both axes, with Dims
+	// recording the shape. Dimension-aware baselines (FPzip, ndzip) then
+	// receive the true shape from the harness while the paper's own
+	// algorithms, which need no dimensionality input, see the same bytes.
+	Grid2D bool
+}
+
+func (c Config) values() int {
+	if c.ValuesPerFile <= 0 {
+		return 1 << 18
+	}
+	return c.ValuesPerFile
+}
+
+// climateField2D is climateField on a true 2-D grid: smooth along both
+// axes, rectangular fill-value patches (land masks), and regime steps.
+func climateField2D(seed uint64, w, h int, offset float64) []float64 {
+	r := newRNG(seed)
+	vals := smoothField2D(r, w, h, 6, offset, math.Abs(offset)*0.1+1, 0.02)
+	const fill = 9.96920996838687e36
+	masked := 0
+	for masked < w*h/16 {
+		px, py := r.intn(w), r.intn(h)
+		pw, ph := 4+r.intn(w/4+1), 4+r.intn(h/4+1)
+		for y := py; y < py+ph && y < h; y++ {
+			for x := px; x < px+pw && x < w; x++ {
+				vals[y*w+x] = fill
+			}
+		}
+		masked += pw * ph
+	}
+	for s := 0; s < 4; s++ {
+		at := r.intn(h)
+		jump := (r.float() - 0.5) * (math.Abs(offset)*0.2 + 10)
+		for y := at; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if vals[y*w+x] != fill {
+					vals[y*w+x] += jump
+				}
+			}
+		}
+	}
+	return vals
+}
+
+// hurricaneField2D is hurricaneField on a grid.
+func hurricaneField2D(seed uint64, w, h int) []float64 {
+	r := newRNG(seed)
+	vals := smoothField2D(r, w, h, 8, 0, 40, 0.06)
+	for i := 0; i < w*h/500; i++ {
+		at := r.intn(w * h)
+		vals[at] *= 1 + 4*r.float()
+	}
+	return vals
+}
+
+// cosmologyField2D is cosmologyField on a grid.
+func cosmologyField2D(seed uint64, w, h int) []float64 {
+	r := newRNG(seed)
+	base := smoothField2D(r, w, h, 7, 0, 1.2, 0.04)
+	for i, v := range base {
+		base[i] = math.Exp(v)
+	}
+	return base
+}
+
+// SingleFiles generates the 90 single-precision files across 7 domains
+// mirroring the paper's SDRBench selection (§4: climate, molecular
+// dynamics, cosmology, and other scientific domains; 90 files total).
+func SingleFiles(cfg Config) []*File {
+	n := cfg.values()
+	gw, gh := gridShape(n)
+	var files []*File
+	add := func(domain, name string, seed uint64, vals []float64) {
+		files = append(files, &File{
+			Name: domain + "/" + name + ".f32", Domain: domain,
+			Precision: Single, Dims: []int{len(vals)}, Data: toF32(vals),
+		})
+		_ = seed
+	}
+	add2d := func(domain, name string, vals []float64) {
+		files = append(files, &File{
+			Name: domain + "/" + name + ".f32", Domain: domain,
+			Precision: Single, Dims: []int{gw, gh}, Data: toF32(vals),
+		})
+	}
+	// CESM-ATM: 20 fields, alternating near-zero and offset fields.
+	cesmVars := []string{"CLDHGH", "CLDLOW", "CLDMED", "FLDSC", "FLNS",
+		"FLNSC", "FLNT", "FREQSH", "FSDSC", "FSNS", "FSNSC", "FSNT", "ICEFRAC",
+		"LHFLX", "PHIS", "PRECL", "PSL", "QREFHT", "SHFLX", "TS"}
+	for i, v := range cesmVars {
+		off := 0.0
+		if i%3 == 1 {
+			off = 250
+		} else if i%3 == 2 {
+			off = -80
+		}
+		if cfg.Grid2D {
+			add2d("CESM-ATM", v, climateField2D(uint64(1000+i), gw, gh, off))
+			continue
+		}
+		add("CESM-ATM", v, uint64(1000+i), climateField(uint64(1000+i), n, off))
+	}
+	// EXAALT copper: 6 files (x/y/z of two snapshots).
+	for i, v := range []string{"xx0", "yy0", "zz0", "xx1", "yy1", "zz1"} {
+		add("EXAALT", v, uint64(2000+i), mdPositions(uint64(2000+i), n))
+	}
+	// Hurricane ISABEL raw: 13 fields.
+	isabelVars := []string{"CLOUD", "PRECIP", "P", "QCLOUD", "QGRAUP",
+		"QICE", "QRAIN", "QSNOW", "QVAPOR", "TC", "U", "V", "W"}
+	for i, v := range isabelVars {
+		if cfg.Grid2D {
+			add2d("ISABEL", v, hurricaneField2D(uint64(3000+i), gw, gh))
+			continue
+		}
+		add("ISABEL", v, uint64(3000+i), hurricaneField(uint64(3000+i), n))
+	}
+	// NYX cosmology: 6 fields.
+	nyxVars := []string{"baryon_density", "dark_matter_density",
+		"temperature", "velocity_x", "velocity_y", "velocity_z"}
+	for i, v := range nyxVars {
+		if cfg.Grid2D {
+			if i < 3 {
+				add2d("NYX", v, cosmologyField2D(uint64(4000+i), gw, gh))
+			} else {
+				add2d("NYX", v, climateField2D(uint64(4000+i), gw, gh, 0))
+			}
+			continue
+		}
+		if i < 3 {
+			add("NYX", v, uint64(4000+i), cosmologyField(uint64(4000+i), n))
+		} else {
+			add("NYX", v, uint64(4000+i), climateField(uint64(4000+i), n, 0))
+		}
+	}
+	// QMCPack: 8 slices.
+	for i := 0; i < 8; i++ {
+		add("QMCPack", "einspline_"+string(rune('a'+i)), uint64(5000+i), qmcField(uint64(5000+i), n))
+	}
+	// SCALE-LETKF: 12 fields.
+	scaleVars := []string{"PRES", "QC", "QG", "QI", "QR", "QS", "QV", "RH",
+		"T", "U", "V", "W"}
+	for i, v := range scaleVars {
+		off := 0.0
+		if i == 0 {
+			off = 100000 // pressure in Pa
+		}
+		if cfg.Grid2D {
+			add2d("SCALE-LETKF", v, climateField2D(uint64(6000+i), gw, gh, off))
+			continue
+		}
+		add("SCALE-LETKF", v, uint64(6000+i), climateField(uint64(6000+i), n, off))
+	}
+	// S3D combustion: 25 species slices.
+	for i := 0; i < 25; i++ {
+		add("S3D", "Y_"+string(rune('A'+i)), uint64(7000+i), combustionField(uint64(7000+i), n))
+	}
+	return files
+}
+
+// DoubleFiles generates the 20 double-precision files across 5 domains
+// mirroring the paper's FPdouble-supplemented selection (§4: instrument
+// data, simulation results, and MPI messages, 20 files, 5 domains).
+func DoubleFiles(cfg Config) []*File {
+	n := cfg.values()
+	var files []*File
+	add := func(domain, name string, vals []float64) {
+		files = append(files, &File{
+			Name: domain + "/" + name + ".f64", Domain: domain,
+			Precision: Double, Dims: []int{len(vals)}, Data: toF64(vals),
+		})
+	}
+	for i, v := range []string{"msg_bt", "msg_lu", "msg_sp", "msg_sweep3d"} {
+		add("MPI", v, mpiMessages(uint64(8000+i), n))
+	}
+	for i, v := range []string{"num_brain", "num_comet", "num_control", "num_plasma"} {
+		add("Simulation", v, numSimulation(uint64(8100+i), n))
+	}
+	for i, v := range []string{"obs_error", "obs_info", "obs_spitzer", "obs_temp"} {
+		add("Instrument", v, obsInstrument(uint64(8200+i), n))
+	}
+	for i, v := range []string{"FLNS_d", "PSL_d", "TS_d", "SHFLX_d"} {
+		off := []float64{0, 101000, 285, -40}[i]
+		add("Climate-DP", v, climateField(uint64(8300+i), n, off))
+	}
+	for i, v := range []string{"density_d", "temperature_d", "vx_d", "vy_d"} {
+		if i < 2 {
+			add("Cosmology-DP", v, cosmologyField(uint64(8400+i), n))
+		} else {
+			add("Cosmology-DP", v, climateField(uint64(8400+i), n, 0))
+		}
+	}
+	return files
+}
+
+// Domains returns the distinct domains of a file set, in first-seen order.
+func Domains(files []*File) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		if !seen[f.Domain] {
+			seen[f.Domain] = true
+			out = append(out, f.Domain)
+		}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package sdr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"fpcompress/internal/wordio"
+)
+
+func TestFileCounts(t *testing.T) {
+	cfg := Config{ValuesPerFile: 1024}
+	sp := SingleFiles(cfg)
+	if len(sp) != 90 {
+		t.Errorf("single-precision files = %d, want 90 (paper §4)", len(sp))
+	}
+	if d := Domains(sp); len(d) != 7 {
+		t.Errorf("single-precision domains = %d (%v), want 7", len(d), d)
+	}
+	dp := DoubleFiles(cfg)
+	if len(dp) != 20 {
+		t.Errorf("double-precision files = %d, want 20 (paper §4)", len(dp))
+	}
+	if d := Domains(dp); len(d) != 5 {
+		t.Errorf("double-precision domains = %d (%v), want 5", len(d), d)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{ValuesPerFile: 4096}
+	a := SingleFiles(cfg)
+	b := SingleFiles(cfg)
+	for i := range a {
+		if a[i].Name != b[i].Name || !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatalf("file %d (%s) not deterministic", i, a[i].Name)
+		}
+	}
+	da := DoubleFiles(cfg)
+	db := DoubleFiles(cfg)
+	for i := range da {
+		if !bytes.Equal(da[i].Data, db[i].Data) {
+			t.Fatalf("double file %d not deterministic", i)
+		}
+	}
+}
+
+func TestSizesAndPrecision(t *testing.T) {
+	cfg := Config{ValuesPerFile: 5000}
+	for _, f := range SingleFiles(cfg) {
+		if f.Precision != Single || len(f.Data) != 5000*4 {
+			t.Fatalf("%s: precision %d, %d bytes", f.Name, f.Precision, len(f.Data))
+		}
+		if f.Values() != 5000 {
+			t.Fatalf("%s: %d values", f.Name, f.Values())
+		}
+	}
+	for _, f := range DoubleFiles(cfg) {
+		if f.Precision != Double || len(f.Data) != 5000*8 {
+			t.Fatalf("%s: precision %d, %d bytes", f.Name, f.Precision, len(f.Data))
+		}
+	}
+}
+
+func TestValuesAreFinite(t *testing.T) {
+	cfg := Config{ValuesPerFile: 10000}
+	for _, f := range SingleFiles(cfg) {
+		for i := 0; i < f.Values(); i++ {
+			v := math.Float32frombits(wordio.U32(f.Data, i))
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s value %d is %v", f.Name, i, v)
+			}
+		}
+	}
+	for _, f := range DoubleFiles(cfg) {
+		for i := 0; i < f.Values(); i++ {
+			v := math.Float64frombits(wordio.U64(f.Data, i))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s value %d is %v", f.Name, i, v)
+			}
+		}
+	}
+}
+
+// TestSmoothness checks the property the paper's algorithms rely on:
+// most consecutive-value differences are small relative to value scale in
+// the smooth domains.
+func TestSmoothness(t *testing.T) {
+	cfg := Config{ValuesPerFile: 50000}
+	for _, f := range SingleFiles(cfg) {
+		if f.Domain != "CESM-ATM" && f.Domain != "SCALE-LETKF" {
+			continue
+		}
+		var sumAbs, sumDiff float64
+		prev := 0.0
+		for i := 0; i < f.Values(); i++ {
+			v := float64(math.Float32frombits(wordio.U32(f.Data, i)))
+			sumAbs += math.Abs(v)
+			if i > 0 {
+				sumDiff += math.Abs(v - prev)
+			}
+			prev = v
+		}
+		if sumDiff > sumAbs*0.2 {
+			t.Errorf("%s: mean |diff| %.3g vs mean |v| %.3g — not smooth",
+				f.Name, sumDiff/float64(f.Values()), sumAbs/float64(f.Values()))
+		}
+	}
+}
+
+// TestMPIMessagesHaveRepeats verifies the FCM-friendly exact-repeat
+// structure of the MPI traces.
+func TestMPIMessagesHaveRepeats(t *testing.T) {
+	cfg := Config{ValuesPerFile: 20000}
+	for _, f := range DoubleFiles(cfg) {
+		if f.Domain != "MPI" {
+			continue
+		}
+		seen := map[uint64]bool{}
+		repeats := 0
+		for i := 0; i < f.Values(); i++ {
+			u := wordio.U64(f.Data, i)
+			if seen[u] {
+				repeats++
+			}
+			seen[u] = true
+		}
+		if repeats < f.Values()/4 {
+			t.Errorf("%s: only %d/%d repeated values", f.Name, repeats, f.Values())
+		}
+	}
+}
+
+// TestCombustionNearZero verifies S3D's plateau structure.
+func TestCombustionNearZero(t *testing.T) {
+	cfg := Config{ValuesPerFile: 100000}
+	for _, f := range SingleFiles(cfg) {
+		if f.Domain != "S3D" {
+			continue
+		}
+		zeros := 0
+		for i := 0; i < f.Values(); i++ {
+			if wordio.U32(f.Data, i) == 0 {
+				zeros++
+			}
+		}
+		if zeros < f.Values()/10 {
+			t.Errorf("%s: only %d/%d exact zeros", f.Name, zeros, f.Values())
+		}
+		break
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	f := SingleFiles(Config{})[0]
+	if f.Values() != 1<<18 {
+		t.Errorf("default values per file = %d, want %d", f.Values(), 1<<18)
+	}
+}
+
+// TestFilesAreDistinct pins the seed-aliasing regression: every generated
+// file must have unique bytes (adjacent seeds once collided through the
+// rng constructor).
+func TestFilesAreDistinct(t *testing.T) {
+	cfg := Config{ValuesPerFile: 4096}
+	seen := map[string]string{}
+	for _, f := range append(SingleFiles(cfg), DoubleFiles(cfg)...) {
+		key := string(f.Data[:64]) + string(f.Data[len(f.Data)-64:])
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%s and %s have identical data", prev, f.Name)
+		}
+		seen[key] = f.Name
+	}
+}
+
+// TestGrid2DMode checks the 2-D layout: field domains get W x H dims, the
+// data is smooth along the column axis too, and file counts are unchanged.
+func TestGrid2DMode(t *testing.T) {
+	cfg := Config{ValuesPerFile: 16384, Grid2D: true}
+	files := SingleFiles(cfg)
+	if len(files) != 90 {
+		t.Fatalf("grid2d mode changed the file count: %d", len(files))
+	}
+	grid := 0
+	for _, f := range files {
+		if len(f.Dims) == 2 {
+			grid++
+			w, h := f.Dims[0], f.Dims[1]
+			if w*h != f.Values() {
+				t.Fatalf("%s: dims %v inconsistent with %d values", f.Name, f.Dims, f.Values())
+			}
+		}
+	}
+	// CESM (20) + ISABEL (13) + NYX (6) + SCALE (12) = 51 gridded files.
+	if grid != 51 {
+		t.Errorf("gridded files = %d, want 51", grid)
+	}
+	// Column smoothness: for a CESM file, |v(x,y+1)-v(x,y)| should be small
+	// relative to the field amplitude for most cells.
+	for _, f := range files {
+		if f.Domain != "CESM-ATM" || len(f.Dims) != 2 {
+			continue
+		}
+		w, h := f.Dims[0], f.Dims[1]
+		small := 0
+		total := 0
+		for y := 0; y+1 < h; y += 3 {
+			for x := 0; x < w; x += 7 {
+				a := float64(math.Float32frombits(wordio.U32(f.Data, y*w+x)))
+				b := float64(math.Float32frombits(wordio.U32(f.Data, (y+1)*w+x)))
+				if a > 1e30 || b > 1e30 {
+					continue // fill values
+				}
+				total++
+				if math.Abs(a-b) < 1 {
+					small++
+				}
+			}
+		}
+		if small < total*6/10 {
+			t.Errorf("%s: only %d/%d vertically smooth cells", f.Name, small, total)
+		}
+		break
+	}
+}

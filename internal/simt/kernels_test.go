@@ -1,0 +1,151 @@
+package simt
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpcompress/internal/container"
+	"fpcompress/internal/core"
+	"fpcompress/internal/wordio"
+)
+
+func kernelInputs() map[string][]byte {
+	rng := rand.New(rand.NewSource(1))
+	smoothSP := make([]byte, 200000)
+	v := 80.0
+	for i := 0; i < len(smoothSP)/4; i++ {
+		v += math.Sin(float64(i)/60) + rng.NormFloat64()*0.01
+		wordio.PutU32(smoothSP, i, math.Float32bits(float32(v)))
+	}
+	smoothDP := make([]byte, 160000)
+	d := -4000.0
+	for i := 0; i < len(smoothDP)/8; i++ {
+		d += math.Cos(float64(i)/45) + rng.NormFloat64()*0.003
+		wordio.PutU64(smoothDP, i, math.Float64bits(d))
+	}
+	rnd := make([]byte, 100001)
+	rng.Read(rnd)
+	return map[string][]byte{
+		"smoothSP": smoothSP,
+		"smoothDP": smoothDP,
+		"random":   rnd,
+		"zeros":    make([]byte, 50000),
+		"tiny":     {1, 2, 3, 4, 5},
+		"empty":    {},
+	}
+}
+
+// TestKernelCompressByteIdenticalToCPU is the CPU/GPU compatibility
+// property: the SIMT-structured encoder must emit exactly the container
+// the CPU engine emits.
+func TestKernelCompressByteIdenticalToCPU(t *testing.T) {
+	for _, id := range []core.ID{core.SPspeed, core.DPspeed} {
+		a, err := core.New(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, src := range kernelInputs() {
+			cpu := a.Compress(src, container.Params{})
+			gpu, err := KernelCompress(id, src, 7)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", id, name, err)
+			}
+			if !bytes.Equal(cpu, gpu) {
+				t.Errorf("%s/%s: kernel container differs from CPU container", id, name)
+			}
+		}
+	}
+}
+
+// TestKernelDecompressCrossDevice decodes CPU-compressed data with the
+// kernel decoder and kernel-compressed data with the CPU decoder.
+func TestKernelDecompressCrossDevice(t *testing.T) {
+	for _, id := range []core.ID{core.SPspeed, core.DPspeed} {
+		a, _ := core.New(id)
+		for name, src := range kernelInputs() {
+			cpuBlob := a.Compress(src, container.Params{})
+			dec, err := KernelDecompress(cpuBlob, 5)
+			if err != nil {
+				t.Fatalf("%s/%s kernel decode: %v", id, name, err)
+			}
+			if !bytes.Equal(dec, src) {
+				t.Errorf("%s/%s: kernel decode of CPU blob wrong", id, name)
+			}
+			gpuBlob, err := KernelCompress(id, src, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec2, err := a.Decompress(gpuBlob, container.Params{})
+			if err != nil || !bytes.Equal(dec2, src) {
+				t.Errorf("%s/%s: CPU decode of kernel blob wrong (%v)", id, name, err)
+			}
+		}
+	}
+}
+
+func TestKernelRejectsRatioModes(t *testing.T) {
+	if _, err := KernelCompress(core.SPratio, []byte{1}, 2); !errors.Is(err, ErrKernelAlgorithm) {
+		t.Error("SPratio accepted")
+	}
+	a, _ := core.New(core.DPratio)
+	blob := a.Compress(make([]byte, 1000), container.Params{})
+	if _, err := KernelDecompress(blob, 2); !errors.Is(err, ErrKernelAlgorithm) {
+		t.Error("DPratio container accepted")
+	}
+}
+
+func TestKernelBlockCountInvariance(t *testing.T) {
+	src := kernelInputs()["smoothSP"]
+	ref, _ := KernelCompress(core.SPspeed, src, 1)
+	for _, blocks := range []int{2, 16, 0} {
+		got, err := KernelCompress(core.SPspeed, src, blocks)
+		if err != nil || !bytes.Equal(ref, got) {
+			t.Fatalf("blocks=%d: output differs (%v)", blocks, err)
+		}
+	}
+}
+
+// TestSPratioKernelByteIdentical: the warp-shuffle BIT + scan/scatter RZE
+// encoder must emit exactly the CPU engine's SPratio container.
+func TestSPratioKernelByteIdentical(t *testing.T) {
+	a, _ := core.New(core.SPratio)
+	for name, src := range kernelInputs() {
+		cpu := a.Compress(src, container.Params{})
+		gpu, err := KernelCompressSPratio(src, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(cpu, gpu) {
+			t.Errorf("%s: SPratio kernel container differs from CPU container", name)
+		}
+		dec, err := a.Decompress(gpu, container.Params{})
+		if err != nil || !bytes.Equal(dec, src) {
+			t.Errorf("%s: CPU decode of kernel SPratio blob failed (%v)", name, err)
+		}
+	}
+}
+
+// TestSPratioKernelDecode: the §3.2 decoder schedule must reproduce the
+// original bytes from containers made by either engine.
+func TestSPratioKernelDecode(t *testing.T) {
+	a, _ := core.New(core.SPratio)
+	for name, src := range kernelInputs() {
+		blob := a.Compress(src, container.Params{})
+		dec, err := KernelDecompressSPratio(blob, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Errorf("%s: kernel SPratio decode mismatch", name)
+		}
+	}
+	// Wrong algorithm rejected.
+	s, _ := core.New(core.SPspeed)
+	blob := s.Compress(make([]byte, 100), container.Params{})
+	if _, err := KernelDecompressSPratio(blob, 2); err == nil {
+		t.Error("SPspeed container accepted by SPratio kernel")
+	}
+}

@@ -1,0 +1,221 @@
+package transforms
+
+import (
+	"fpcompress/internal/bitio"
+	"fpcompress/internal/wordio"
+)
+
+// This file holds the machinery shared by RAZE and RARE (paper §3.2,
+// Figure 7). Both transforms split every 64-bit word into a top-k-bit piece
+// and a bottom-(64-k)-bit piece, keep the bottoms verbatim (double-precision
+// mantissa tails are close to random and incompressible), and eliminate
+// "uninteresting" top pieces — all-zero pieces for RAZE, pieces identical to
+// the previous word's for RARE — behind a one-bit-per-word bitmap that is
+// itself compressed with the repeated repeat-elimination scheme from RZE.
+//
+// The adaptive part: k is chosen per chunk from a histogram of
+// leading-zero-bit counts (RAZE) or leading-common-bit counts (RARE). Every
+// word with >= k leading zeros/common bits contributes an eliminated piece,
+// so with cnt[k] = |{i : lead[i] >= k}| the encoded size in bits is
+//
+//	n (bitmap) + (n-cnt[k])*k (kept pieces) + n*(64-k) (bottoms)
+//	  = 65n - k*cnt[k]
+//
+// and k=0 (store everything, no bitmap) costs 64n. The k maximizing
+// k*cnt[k] is computed from a prefix sum over the histogram bins — no need
+// to try all splits against the data.
+
+// leadFunc returns, for each word, how many leading bits are eliminable.
+type leadFunc func(words []uint64) []int
+
+// leadZeros is RAZE's criterion: leading zero bits of each word.
+func leadZeros(words []uint64) []int {
+	lead := make([]int, len(words))
+	for i, v := range words {
+		lead[i] = wordio.Clz64(v)
+	}
+	return lead
+}
+
+// leadCommon is RARE's criterion: leading bits shared with the prior word
+// (the first word is compared against zero).
+func leadCommon(words []uint64) []int {
+	lead := make([]int, len(words))
+	prev := uint64(0)
+	for i, v := range words {
+		lead[i] = wordio.Clz64(v ^ prev)
+		prev = v
+	}
+	return lead
+}
+
+// bestSplit returns the k in [0,64] minimizing the modeled encoded size.
+func bestSplit(lead []int) int {
+	var hist [65]int
+	for _, l := range lead {
+		hist[l]++
+	}
+	// cnt[k] = number of words with lead >= k (suffix sum).
+	cnt := 0
+	n := len(lead)
+	bestK, bestGain := 0, n // k=0 costs 64n = 65n - n, i.e. gain n
+	for k := 64; k >= 1; k-- {
+		cnt += hist[k]
+		// hist[64] counts words where all 64 bits are eliminable; they are
+		// included in every cnt[k] for k <= 64.
+		if gain := k * cnt; gain > bestGain || (gain == bestGain && k < bestK) {
+			bestK, bestGain = k, gain
+		}
+	}
+	return bestK
+}
+
+// adaptiveForward encodes src for either RAZE or RARE; the criterion lf is
+// the only difference between the two on the encode side.
+func adaptiveForward(src []byte, lf leadFunc) []byte {
+	n := len(src) / 8
+	tail := src[n*8:]
+	words := wordio.Words64(src, false)
+	lead := lf(words)
+	k := bestSplit(lead)
+
+	out := bitio.AppendUvarint(nil, uint64(len(src)))
+	out = append(out, byte(k))
+	if k == 0 {
+		out = append(out, src[:n*8]...)
+		return append(out, tail...)
+	}
+	kept := make([]uint64, 0, n)
+	bm := make([]byte, (n+7)/8)
+	for i, v := range words {
+		if lead[i] < k { // top piece must be emitted
+			bm[i>>3] |= 0x80 >> (i & 7)
+			kept = append(kept, v>>(64-uint(k)))
+		}
+	}
+	out = encodeRepeatBitmap(bm, out)
+	out = append(out, bitio.PackWidth64(kept, uint(k))...)
+	bottoms := make([]uint64, n)
+	bw := uint(64 - k)
+	for i, v := range words {
+		if bw == 64 {
+			bottoms[i] = v
+		} else {
+			bottoms[i] = v & ((1 << bw) - 1)
+		}
+	}
+	out = append(out, bitio.PackWidth64(bottoms, bw)...)
+	return append(out, tail...)
+}
+
+// adaptiveInverse decodes the common RAZE/RARE layout; repeat selects the
+// reconstruction rule for eliminated top pieces.
+func adaptiveInverse(enc []byte, repeat bool) ([]byte, error) {
+	declen64, hn := bitio.Uvarint(enc)
+	if hn == 0 || hn >= len(enc) {
+		return nil, corruptf("RAZE/RARE: bad length prefix")
+	}
+	if err := checkDecodedLen("RAZE/RARE", declen64); err != nil {
+		return nil, err
+	}
+	declen := int(declen64)
+	k := int(enc[hn])
+	if k > 64 {
+		return nil, corruptf("RAZE/RARE: split k=%d out of range", k)
+	}
+	body := enc[hn+1:]
+	n := declen / 8
+	tailLen := declen - n*8
+
+	if k == 0 {
+		if len(body) < declen {
+			return nil, corruptf("RAZE/RARE: truncated raw body")
+		}
+		return body[:declen:declen], nil
+	}
+
+	bm, consumed, err := decodeRepeatBitmap(body, (n+7)/8)
+	if err != nil {
+		return nil, err
+	}
+	body = body[consumed:]
+	nKept := 0
+	for i := 0; i < n; i++ {
+		if bm[i>>3]&(0x80>>(i&7)) != 0 {
+			nKept++
+		}
+	}
+	keptBytes := (nKept*k + 7) / 8
+	if len(body) < keptBytes {
+		return nil, corruptf("RAZE/RARE: truncated kept pieces")
+	}
+	kept, err := bitio.UnpackWidth64(body[:keptBytes], nKept, uint(k))
+	if err != nil {
+		return nil, err
+	}
+	body = body[keptBytes:]
+	bw := uint(64 - k)
+	botBytes := (n*int(bw) + 7) / 8
+	if len(body) < botBytes {
+		return nil, corruptf("RAZE/RARE: truncated bottom pieces")
+	}
+	bottoms, err := bitio.UnpackWidth64(body[:botBytes], n, bw)
+	if err != nil {
+		return nil, err
+	}
+	body = body[botBytes:]
+
+	words := make([]uint64, n)
+	prevTop := uint64(0)
+	ki := 0
+	for i := 0; i < n; i++ {
+		var top uint64
+		if bm[i>>3]&(0x80>>(i&7)) != 0 {
+			top = kept[ki]
+			ki++
+		} else if repeat {
+			top = prevTop // RARE: identical to the prior word's top piece
+		} else {
+			top = 0 // RAZE: eliminated pieces were all-zero
+		}
+		words[i] = top<<bw | bottoms[i]
+		prevTop = top
+	}
+	dst := wordio.Bytes64(words, n*8)
+	if tailLen > 0 {
+		if len(body) < tailLen {
+			return nil, corruptf("RAZE/RARE: truncated tail")
+		}
+		dst = append(dst, body[:tailLen]...)
+	}
+	return dst, nil
+}
+
+// RAZE implements Repeated Adaptive Zero Elimination: RZE restricted to the
+// adaptively chosen top k bits of each 64-bit word, with the low 64-k bits
+// always stored verbatim.
+type RAZE struct{}
+
+// Name implements Transform.
+func (RAZE) Name() string { return "RAZE" }
+
+// Forward implements Transform.
+func (RAZE) Forward(src []byte) []byte { return adaptiveForward(src, leadZeros) }
+
+// Inverse implements Transform.
+func (RAZE) Inverse(enc []byte) ([]byte, error) { return adaptiveInverse(enc, false) }
+
+// RARE implements Repeated Adaptive Repetition Elimination: like RAZE but a
+// top piece is eliminated when it equals the prior word's top piece rather
+// than when it is zero. DPratio runs it after RAZE because zero elimination
+// tends to leave values with identical most-significant bit patterns.
+type RARE struct{}
+
+// Name implements Transform.
+func (RARE) Name() string { return "RARE" }
+
+// Forward implements Transform.
+func (RARE) Forward(src []byte) []byte { return adaptiveForward(src, leadCommon) }
+
+// Inverse implements Transform.
+func (RARE) Inverse(enc []byte) ([]byte, error) { return adaptiveInverse(enc, true) }

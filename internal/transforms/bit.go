@@ -1,0 +1,132 @@
+package transforms
+
+import (
+	"fpcompress/internal/wordio"
+)
+
+// Bit implements the BIT transformation (paper §3.2, Figure 4): a bit
+// transposition (bit shuffle) that groups the first (most significant) bit
+// of every word together, then all second bits, and so on. After DIFFMS the
+// words have many leading zeros, so transposition produces long runs of zero
+// bytes in the planes holding the high bits — exactly the input RZE wants.
+//
+// Following the paper's warp-level parallelization, words are processed in
+// square blocks (32 words for 32-bit data, 64 words for 64-bit data); each
+// block is a bit-matrix transpose. The transposed rows are laid out
+// plane-major across the whole chunk so that the zero runs from different
+// blocks join up. Words beyond the last full block (and trailing bytes that
+// do not fill a word) are copied verbatim; this only ever affects the final
+// chunk of an input.
+//
+// BIT is size-preserving and is its own inverse up to the plane-major
+// re-layout.
+type Bit struct {
+	Word wordio.WordSize
+}
+
+// Name implements Transform.
+func (b Bit) Name() string {
+	if b.Word == wordio.W32 {
+		return "BIT32"
+	}
+	return "BIT64"
+}
+
+// transpose32 performs an in-place 32x32 bit-matrix transpose
+// (Hacker's Delight, fig. 7-3).
+func transpose32(a *[32]uint32) {
+	m := uint32(0x0000FFFF)
+	for j := uint(16); j != 0; j >>= 1 {
+		for k := 0; k < 32; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k+int(j)] >> j)) & m
+			a[k] ^= t
+			a[k+int(j)] ^= t << j
+		}
+		m ^= m << (j >> 1)
+	}
+}
+
+// transpose64 performs an in-place 64x64 bit-matrix transpose.
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; j >>= 1 {
+		for k := 0; k < 64; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k+int(j)] >> j)) & m
+			a[k] ^= t
+			a[k+int(j)] ^= t << j
+		}
+		m ^= m << (j >> 1)
+	}
+}
+
+// Forward implements Transform.
+func (b Bit) Forward(src []byte) []byte {
+	dst := make([]byte, len(src))
+	switch b.Word {
+	case wordio.W32:
+		n := len(src) / 4
+		nb := n / 32 // full blocks
+		var blk [32]uint32
+		for k := 0; k < nb; k++ {
+			for j := 0; j < 32; j++ {
+				blk[j] = wordio.U32(src, k*32+j)
+			}
+			transpose32(&blk)
+			for plane := 0; plane < 32; plane++ {
+				wordio.PutU32(dst, plane*nb+k, blk[plane])
+			}
+		}
+		copy(dst[nb*32*4:], src[nb*32*4:])
+	default:
+		n := len(src) / 8
+		nb := n / 64
+		var blk [64]uint64
+		for k := 0; k < nb; k++ {
+			for j := 0; j < 64; j++ {
+				blk[j] = wordio.U64(src, k*64+j)
+			}
+			transpose64(&blk)
+			for plane := 0; plane < 64; plane++ {
+				wordio.PutU64(dst, plane*nb+k, blk[plane])
+			}
+		}
+		copy(dst[nb*64*8:], src[nb*64*8:])
+	}
+	return dst
+}
+
+// Inverse implements Transform.
+func (b Bit) Inverse(enc []byte) ([]byte, error) {
+	dst := make([]byte, len(enc))
+	switch b.Word {
+	case wordio.W32:
+		n := len(enc) / 4
+		nb := n / 32
+		var blk [32]uint32
+		for k := 0; k < nb; k++ {
+			for plane := 0; plane < 32; plane++ {
+				blk[plane] = wordio.U32(enc, plane*nb+k)
+			}
+			transpose32(&blk)
+			for j := 0; j < 32; j++ {
+				wordio.PutU32(dst, k*32+j, blk[j])
+			}
+		}
+		copy(dst[nb*32*4:], enc[nb*32*4:])
+	default:
+		n := len(enc) / 8
+		nb := n / 64
+		var blk [64]uint64
+		for k := 0; k < nb; k++ {
+			for plane := 0; plane < 64; plane++ {
+				blk[plane] = wordio.U64(enc, plane*nb+k)
+			}
+			transpose64(&blk)
+			for j := 0; j < 64; j++ {
+				wordio.PutU64(dst, k*64+j, blk[j])
+			}
+		}
+		copy(dst[nb*64*8:], enc[nb*64*8:])
+	}
+	return dst, nil
+}

@@ -1,0 +1,265 @@
+package transforms
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fpcompress/internal/wordio"
+)
+
+// fcmWindow is how many preceding pairs (in sorted order) are examined for a
+// matching earlier occurrence of the same value, per paper §3.2.
+const fcmWindow = 4
+
+// fcmParallelMin is the word count above which the decoder switches to the
+// parallel union-find reconstruction.
+const fcmParallelMin = 1 << 16
+
+// FCM implements the Finite Context Method transformation (paper §3.2,
+// Figure 6), the first stage of DPratio and the paper's GPU-friendly
+// replacement for FPC's per-thread hash tables. For every 64-bit word it hashes the
+// three prior words, sorts the (hash, index) pairs, and checks whether one
+// of the four preceding pairs in sorted order carries the same hash and
+// refers to an equal value — i.e. the same value was seen earlier in the
+// same context. Matches are encoded as a backward distance; misses keep the
+// raw value. The output is a value array and a distance array (each exactly
+// one word per input word, so the stage doubles the data), which compress
+// far better than the input: half the entries are zero and repeated doubles
+// have become small integers.
+//
+// Unlike every other stage, FCM runs over the whole input rather than per
+// 16 kB chunk (paper §3: "Except for FCM, all stages ... operate on chunks
+// of 16 kilobytes"), because its value is finding repeats that are far
+// apart.
+//
+// Encoded form: a fixed 8-byte little-endian decoded length (fixed so the
+// arrays stay 8-byte aligned for the chunked stages that follow), the value
+// array, the distance array, then any trailing bytes that did not fill a
+// word.
+//
+// Window overrides the sorted-order match window for ablation experiments
+// (0 = the paper's 4). The window only affects which matches the encoder
+// finds; decoding is window-independent, so all settings interoperate.
+type FCM struct {
+	Window int
+}
+
+func (f FCM) window() int {
+	if f.Window <= 0 {
+		return fcmWindow
+	}
+	return f.Window
+}
+
+// fcmHeaderLen is the fixed size of the decoded-length prefix.
+const fcmHeaderLen = 8
+
+// Name implements Transform.
+func (FCM) Name() string { return "FCM64" }
+
+// fcmHash hashes the three words preceding position i (missing ones are 0).
+func fcmHash(v1, v2, v3 uint64) uint64 {
+	return wordio.Mix64(v1 ^ bits.RotateLeft64(v2, 23) ^ bits.RotateLeft64(v3, 47))
+}
+
+// fcmPair couples a context hash with the input index it was computed at.
+type fcmPair struct {
+	hash uint64
+	idx  uint32
+}
+
+// radixSortPairs sorts pairs by hash (stably, so equal hashes keep ascending
+// index order) using an LSD radix sort with 8-bit digits.
+func radixSortPairs(pairs []fcmPair) {
+	n := len(pairs)
+	if n < 2 {
+		return
+	}
+	tmp := make([]fcmPair, n)
+	src, dst := pairs, tmp
+	for shift := uint(0); shift < 64; shift += 8 {
+		var count [257]int
+		for i := range src {
+			count[int(byte(src[i].hash>>shift))+1]++
+		}
+		// Skip passes where every key shares the digit.
+		allSame := false
+		for d := 0; d < 256; d++ {
+			if count[d+1] == n {
+				allSame = true
+				break
+			}
+		}
+		if allSame {
+			continue
+		}
+		for d := 1; d < 257; d++ {
+			count[d] += count[d-1]
+		}
+		for i := range src {
+			d := byte(src[i].hash >> shift)
+			dst[count[d]] = src[i]
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &pairs[0] {
+		copy(pairs, src)
+	}
+}
+
+// Forward implements Transform.
+func (f FCM) Forward(src []byte) []byte {
+	window := f.window()
+	n := len(src) / 8
+	tail := src[n*8:]
+	words := wordio.Words64(src, false)
+
+	pairs := make([]fcmPair, n)
+	var v1, v2, v3 uint64
+	for i := 0; i < n; i++ {
+		pairs[i] = fcmPair{hash: fcmHash(v1, v2, v3), idx: uint32(i)}
+		v1, v2, v3 = words[i], v1, v2
+	}
+	radixSortPairs(pairs)
+
+	vals := make([]uint64, n)
+	dists := make([]uint64, n)
+	for p := 0; p < n; p++ {
+		cur := pairs[p]
+		matched := false
+		for q := p - 1; q >= 0 && q >= p-window; q-- {
+			prev := pairs[q]
+			if prev.hash != cur.hash {
+				break // sorted: earlier pairs cannot match either
+			}
+			if words[prev.idx] == words[cur.idx] {
+				dists[cur.idx] = uint64(cur.idx - prev.idx)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			vals[cur.idx] = words[cur.idx]
+		}
+	}
+
+	out := make([]byte, fcmHeaderLen, fcmHeaderLen+len(src)*2)
+	wordio.PutU64(out, 0, uint64(len(src)))
+	out = append(out, wordio.Bytes64(vals, n*8)...)
+	out = append(out, wordio.Bytes64(dists, n*8)...)
+	return append(out, tail...)
+}
+
+// Inverse implements Transform.
+func (FCM) Inverse(enc []byte) ([]byte, error) {
+	if len(enc) < fcmHeaderLen {
+		return nil, corruptf("FCM: missing length prefix")
+	}
+	declen64 := wordio.U64(enc, 0)
+	hn := fcmHeaderLen
+	// FCM doubles the data, so the decoded length can never exceed the
+	// encoded length; this also keeps the arithmetic below overflow-free.
+	if declen64 > uint64(len(enc)) {
+		return nil, corruptf("FCM: decoded length %d exceeds encoded length %d", declen64, len(enc))
+	}
+	declen := int(declen64)
+	n := declen / 8
+	tailLen := declen - n*8
+	if len(enc) < hn+2*n*8+tailLen {
+		return nil, corruptf("FCM: truncated arrays")
+	}
+	vals := wordio.Words64(enc[hn:hn+n*8], false)
+	dists := wordio.Words64(enc[hn+n*8:hn+2*n*8], false)
+
+	var words []uint64
+	var err error
+	if n >= fcmParallelMin && runtime.GOMAXPROCS(0) > 1 {
+		words, err = fcmDecodeParallel(vals, dists)
+	} else {
+		words, err = fcmDecodeSequential(vals, dists)
+	}
+	if err != nil {
+		return nil, err
+	}
+	dst := wordio.Bytes64(words, n*8)
+	return append(dst, enc[hn+2*n*8:hn+2*n*8+tailLen]...), nil
+}
+
+// fcmDecodeSequential resolves distances in index order; every referenced
+// value is already final when reached.
+func fcmDecodeSequential(vals, dists []uint64) ([]uint64, error) {
+	n := len(vals)
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		d := dists[i]
+		if d == 0 {
+			out[i] = vals[i]
+			continue
+		}
+		if d > uint64(i) {
+			return nil, corruptf("FCM: distance %d exceeds index %d", d, i)
+		}
+		out[i] = out[i-int(d)]
+	}
+	return out, nil
+}
+
+// fcmDecodeParallel is the paper's parallel "find" (union-find style)
+// reconstruction: each worker follows non-zero distances until it reaches a
+// resolved slot, then publishes its own value and clears its distance so
+// other chains can stop there. The atomic store on the distance array is
+// the release barrier making the preceding value write visible.
+func fcmDecodeParallel(vals, dists []uint64) ([]uint64, error) {
+	n := len(vals)
+	out := make([]uint64, n)
+	// Validate up front; workers then cannot walk out of bounds.
+	for i, d := range dists {
+		if d > uint64(i) {
+			return nil, corruptf("FCM: distance %d exceeds index %d", d, i)
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var next atomic.Int64
+	const grain = 4096
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(grain)) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					d := atomic.LoadUint64(&dists[i])
+					if d == 0 {
+						out[i] = vals[i]
+						continue
+					}
+					j := i - int(d)
+					for {
+						dj := atomic.LoadUint64(&dists[j])
+						if dj == 0 {
+							break
+						}
+						j -= int(dj)
+					}
+					v := vals[j]
+					out[i] = v
+					vals[i] = v
+					atomic.StoreUint64(&dists[i], 0)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package transforms
+
+import (
+	"fpcompress/internal/bitio"
+	"fpcompress/internal/wordio"
+)
+
+// mplgSubchunk is the subchunk size in bytes. The paper divides each 16 kB
+// chunk into 32 subchunks of 512 bytes so every subchunk can pick its own
+// leading-zero count (and map onto one GPU warp).
+const mplgSubchunk = 512
+
+// MPLG implements the enhanced MPLG transformation (paper §3.1, Figure 3):
+// for each 512-byte subchunk it finds the maximum word, counts that
+// maximum's leading zero bits, and removes that many bits from every word in
+// the subchunk, concatenating the survivors. The paper's enhancement is
+// applied verbatim: if the maximum has no leading zeros — which would make
+// the stage a no-op — the words are run through one extra two's-complement
+// to magnitude-sign conversion, a cheap reversible mapping that frequently
+// manufactures a few leading zeros, and the elimination is retried.
+//
+// Encoded form: uvarint decoded length, then one tightly packed bit stream:
+// per subchunk a 1-bit fallback flag, a kept-bit-count field (6 bits for
+// 32-bit words, 7 bits for 64-bit words), and the kept low bits of each
+// word. Trailing bytes that do not fill a word follow byte-aligned.
+type MPLG struct {
+	Word wordio.WordSize
+	// Subchunk overrides the 512-byte subchunk size for ablation
+	// experiments (0 = the paper's 512). Encoder and decoder must agree.
+	Subchunk int
+}
+
+func (m MPLG) subchunk() int {
+	if m.Subchunk <= 0 {
+		return mplgSubchunk
+	}
+	return m.Subchunk
+}
+
+// Name implements Transform.
+func (m MPLG) Name() string {
+	if m.Word == wordio.W32 {
+		return "MPLG32"
+	}
+	return "MPLG64"
+}
+
+func (m MPLG) keepFieldBits() uint {
+	if m.Word == wordio.W32 {
+		return 6 // keep in 0..32
+	}
+	return 7 // keep in 0..64
+}
+
+// Forward implements Transform.
+func (m MPLG) Forward(src []byte) []byte {
+	wsize := int(m.Word)
+	wbits := m.Word.Bits()
+	nWords := len(src) / wsize
+	tail := src[nWords*wsize:]
+
+	header := bitio.AppendUvarint(make([]byte, 0, len(src)+len(src)/8+16), uint64(len(src)))
+	w := bitio.NewWriterBuf(header)
+	wordsPer := m.subchunk() / wsize
+	keepBits := m.keepFieldBits()
+
+	for start := 0; start < nWords; start += wordsPer {
+		end := start + wordsPer
+		if end > nWords {
+			end = nWords
+		}
+		// Pass 1: the subchunk maximum determines the kept width.
+		maxv := uint64(0)
+		if m.Word == wordio.W32 {
+			for i := start; i < end; i++ {
+				if v := uint64(wordio.U32(src, i)); v > maxv {
+					maxv = v
+				}
+			}
+		} else {
+			for i := start; i < end; i++ {
+				if v := wordio.U64(src, i); v > maxv {
+					maxv = v
+				}
+			}
+		}
+		flag := uint(0)
+		lz := leadingZeros(maxv, wbits)
+		if lz == 0 {
+			// Enhancement: one more magnitude-sign conversion, then retry.
+			flag = 1
+			maxv = 0
+			if m.Word == wordio.W32 {
+				for i := start; i < end; i++ {
+					if v := uint64(wordio.ZigZag32(wordio.U32(src, i))); v > maxv {
+						maxv = v
+					}
+				}
+			} else {
+				for i := start; i < end; i++ {
+					if v := wordio.ZigZag64(wordio.U64(src, i)); v > maxv {
+						maxv = v
+					}
+				}
+			}
+			lz = leadingZeros(maxv, wbits)
+		}
+		keep := uint(wbits - lz)
+		w.WriteBit(flag)
+		w.WriteBits(uint64(keep), keepBits)
+		// Pass 2: emit the kept low bits of every word.
+		if m.Word == wordio.W32 {
+			if flag == 1 {
+				for i := start; i < end; i++ {
+					w.WriteBits(uint64(wordio.ZigZag32(wordio.U32(src, i))), keep)
+				}
+			} else {
+				for i := start; i < end; i++ {
+					w.WriteBits(uint64(wordio.U32(src, i)), keep)
+				}
+			}
+		} else {
+			if flag == 1 {
+				for i := start; i < end; i++ {
+					w.WriteBits(wordio.ZigZag64(wordio.U64(src, i)), keep)
+				}
+			} else {
+				for i := start; i < end; i++ {
+					w.WriteBits(wordio.U64(src, i), keep)
+				}
+			}
+		}
+	}
+	return append(w.Bytes(), tail...)
+}
+
+// Inverse implements Transform.
+func (m MPLG) Inverse(enc []byte) ([]byte, error) {
+	declen64, n := bitio.Uvarint(enc)
+	if n == 0 {
+		return nil, corruptf("MPLG: bad length prefix")
+	}
+	if err := checkDecodedLen("MPLG", declen64); err != nil {
+		return nil, err
+	}
+	declen := int(declen64)
+	// Each subchunk contributes at least its header bits, bounding the
+	// plausible decoded size for a given encoded size.
+	if declen > (len(enc)+2)*8*mplgSubchunk {
+		return nil, corruptf("MPLG: decoded length %d implausible for %d encoded bytes", declen, len(enc))
+	}
+	wsize := int(m.Word)
+	wbits := m.Word.Bits()
+	nWords := declen / wsize
+	tailLen := declen - nWords*wsize
+	wordsPer := m.subchunk() / wsize
+
+	r := bitio.NewReader(enc[n:])
+	dst := make([]byte, declen)
+	for start := 0; start < nWords; start += wordsPer {
+		end := start + wordsPer
+		if end > nWords {
+			end = nWords
+		}
+		flag, err := r.ReadBit()
+		if err != nil {
+			return nil, corruptf("MPLG: truncated header")
+		}
+		keep64, err := r.ReadBits(m.keepFieldBits())
+		if err != nil {
+			return nil, corruptf("MPLG: truncated header")
+		}
+		keep := uint(keep64)
+		if keep > uint(wbits) {
+			return nil, corruptf("MPLG: kept bits %d > word size", keep)
+		}
+		if m.Word == wordio.W32 {
+			for i := start; i < end; i++ {
+				v, err := r.ReadBits(keep)
+				if err != nil {
+					return nil, corruptf("MPLG: truncated values")
+				}
+				if flag == 1 {
+					v = uint64(wordio.UnZigZag32(uint32(v)))
+				}
+				wordio.PutU32(dst, i, uint32(v))
+			}
+		} else {
+			for i := start; i < end; i++ {
+				v, err := r.ReadBits(keep)
+				if err != nil {
+					return nil, corruptf("MPLG: truncated values")
+				}
+				if flag == 1 {
+					v = wordio.UnZigZag64(v)
+				}
+				wordio.PutU64(dst, i, v)
+			}
+		}
+	}
+	rest := r.Rest()
+	if len(rest) < tailLen {
+		return nil, corruptf("MPLG: truncated tail")
+	}
+	copy(dst[nWords*wsize:], rest[:tailLen])
+	return dst, nil
+}
+
+// leadingZeros counts leading zeros of v interpreted as a wbits-wide word.
+func leadingZeros(v uint64, wbits int) int {
+	lz := wordio.Clz64(v) - (64 - wbits)
+	if lz < 0 {
+		lz = 0
+	}
+	return lz
+}

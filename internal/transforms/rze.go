@@ -1,0 +1,170 @@
+package transforms
+
+import (
+	"fmt"
+
+	"fpcompress/internal/bitio"
+)
+
+// rzeBitmapFloor is the size at which the recursive bitmap compression
+// stops. A 16 kB chunk's 16384-bit (2048-byte) bitmap shrinks 2048 -> 256 ->
+// 32 -> 4 bytes, i.e. the "reduced to 2048, then 256, and ultimately 32
+// bits" sequence of paper §3.2.
+const rzeBitmapFloor = 4
+
+// RZE implements the Repeated Zero Elimination transformation (paper §3.2,
+// Figure 5). It builds a bitmap with one bit per input byte (set = byte is
+// non-zero), removes all zero bytes, and emits the surviving bytes plus the
+// bitmap. Because the bitmap is a significant fixed overhead, it is itself
+// compressed by repeatedly applying the same scheme with "repeats the
+// previous byte" in place of "is zero": only non-repeating bytes of each
+// bitmap level and the final tiny bitmap are stored.
+//
+// Encoded form: uvarint decoded length, recursively compressed bitmap,
+// then the non-zero data bytes.
+//
+// Granularity exists for the ablation benchmarks: the paper chose byte
+// granularity "to increase the chance of finding zero values" over, say,
+// whole words; setting Granularity to 2 or 4 elimination units quantifies
+// that choice. The production pipelines always use the byte default.
+type RZE struct {
+	// Granularity is the elimination unit in bytes (0 or 1 = bytes, the
+	// paper's choice).
+	Granularity int
+}
+
+func (z RZE) unit() int {
+	if z.Granularity <= 1 {
+		return 1
+	}
+	return z.Granularity
+}
+
+// Name implements Transform.
+func (z RZE) Name() string {
+	if z.unit() == 1 {
+		return "RZE"
+	}
+	return fmt.Sprintf("RZE%d", z.unit()*8)
+}
+
+// EncodeRepeatBitmap appends the repeat-eliminated recursive bitmap
+// encoding of b to out (exported for the SIMT kernels in internal/simt,
+// which must reproduce RZE's exact byte layout).
+func EncodeRepeatBitmap(b []byte, out []byte) []byte {
+	return encodeRepeatBitmap(b, out)
+}
+
+// encodeRepeatBitmap appends the repeat-eliminated encoding of b to out.
+// Levels are emitted deepest first so the decoder can expand outward.
+func encodeRepeatBitmap(b []byte, out []byte) []byte {
+	if len(b) <= rzeBitmapFloor {
+		return append(out, b...)
+	}
+	bm := make([]byte, (len(b)+7)/8)
+	nonrep := make([]byte, 0, len(b)/4)
+	prev := byte(0)
+	for i, c := range b {
+		if c != prev {
+			bm[i>>3] |= 0x80 >> (i & 7)
+			nonrep = append(nonrep, c)
+		}
+		prev = c
+	}
+	out = encodeRepeatBitmap(bm, out)
+	return append(out, nonrep...)
+}
+
+// decodeRepeatBitmap reconstructs a length-l byte slice from src, returning
+// it and the number of bytes consumed.
+func decodeRepeatBitmap(src []byte, l int) ([]byte, int, error) {
+	if l <= rzeBitmapFloor {
+		if len(src) < l {
+			return nil, 0, corruptf("RZE: truncated bitmap floor")
+		}
+		return src[:l:l], l, nil
+	}
+	bmLen := (l + 7) / 8
+	bm, consumed, err := decodeRepeatBitmap(src, bmLen)
+	if err != nil {
+		return nil, 0, err
+	}
+	pos := consumed
+	b := make([]byte, l)
+	prev := byte(0)
+	for i := 0; i < l; i++ {
+		if bm[i>>3]&(0x80>>(i&7)) != 0 {
+			if pos >= len(src) {
+				return nil, 0, corruptf("RZE: truncated bitmap level")
+			}
+			prev = src[pos]
+			pos++
+		}
+		b[i] = prev
+	}
+	return b, pos, nil
+}
+
+// Forward implements Transform.
+func (z RZE) Forward(src []byte) []byte {
+	g := z.unit()
+	units := (len(src) + g - 1) / g
+	bm := make([]byte, (units+7)/8)
+	nonzero := make([]byte, 0, len(src)/2)
+	for u := 0; u < units; u++ {
+		lo, hi := u*g, (u+1)*g
+		if hi > len(src) {
+			hi = len(src)
+		}
+		zero := true
+		for _, c := range src[lo:hi] {
+			if c != 0 {
+				zero = false
+				break
+			}
+		}
+		if !zero {
+			bm[u>>3] |= 0x80 >> (u & 7)
+			nonzero = append(nonzero, src[lo:hi]...)
+		}
+	}
+	out := bitio.AppendUvarint(nil, uint64(len(src)))
+	out = encodeRepeatBitmap(bm, out)
+	return append(out, nonzero...)
+}
+
+// Inverse implements Transform.
+func (z RZE) Inverse(enc []byte) ([]byte, error) {
+	declen64, n := bitio.Uvarint(enc)
+	if n == 0 {
+		return nil, corruptf("RZE: bad length prefix")
+	}
+	if err := checkDecodedLen("RZE", declen64); err != nil {
+		return nil, err
+	}
+	declen := int(declen64)
+	g := z.unit()
+	units := (declen + g - 1) / g
+	bm, consumed, err := decodeRepeatBitmap(enc[n:], (units+7)/8)
+	if err != nil {
+		return nil, err
+	}
+	data := enc[n+consumed:]
+	dst := make([]byte, declen)
+	pos := 0
+	for u := 0; u < units; u++ {
+		if bm[u>>3]&(0x80>>(u&7)) == 0 {
+			continue
+		}
+		lo, hi := u*g, (u+1)*g
+		if hi > declen {
+			hi = declen
+		}
+		if pos+hi-lo > len(data) {
+			return nil, corruptf("RZE: truncated data bytes")
+		}
+		copy(dst[lo:hi], data[pos:pos+hi-lo])
+		pos += hi - lo
+	}
+	return dst, nil
+}

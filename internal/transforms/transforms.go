@@ -1,0 +1,95 @@
+// Package transforms implements the seven data transformations that make up
+// the SPspeed, SPratio, DPspeed, and DPratio compression algorithms from the
+// ASPLOS'25 paper "Efficient Lossless Compression of Scientific
+// Floating-Point Data on CPUs and GPUs":
+//
+//   - DIFFMS: difference coding modulo 2^w followed by a two's-complement to
+//     magnitude-sign conversion (diffms.go)
+//   - MPLG: per-subchunk common leading-zero-bit elimination, enhanced with a
+//     fallback magnitude-sign pass (mplg.go)
+//   - BIT: bit transposition / bit-plane shuffle (bit.go)
+//   - RZE: repeated zero elimination at byte granularity with a recursively
+//     compressed bitmap (rze.go)
+//   - FCM: finite-context-method duplicate-value detection via a sorted
+//     (hash, index) array (fcm.go)
+//   - RAZE: repeated adaptive zero elimination of the top k bits (raze.go)
+//   - RARE: repeated adaptive repetition elimination of the top k bits
+//     (rare.go)
+//
+// Every transform is exactly invertible. Transforms whose output length
+// differs from their input length are self-describing: the encoded form
+// starts with a uvarint giving the decoded length.
+package transforms
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is returned when an encoded transform payload cannot be
+// decoded. It always wraps a more specific description.
+var ErrCorrupt = errors.New("transforms: corrupt payload")
+
+// MaxDecoded caps the decoded size a self-describing per-chunk transform
+// will allocate (64 MiB — far above any supported chunk size), so corrupt
+// length prefixes fail cleanly instead of exhausting memory.
+const MaxDecoded = 1 << 26
+
+// checkDecodedLen validates a decoded-length prefix against MaxDecoded.
+func checkDecodedLen(name string, declen uint64) error {
+	if declen > MaxDecoded {
+		return corruptf("%s: decoded length %d exceeds %d", name, declen, MaxDecoded)
+	}
+	return nil
+}
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Transform is one reversible stage of a compression pipeline. Forward may
+// return a slice longer or shorter than src; Inverse must reproduce the
+// exact Forward input.
+type Transform interface {
+	// Name identifies the transform in pipeline listings (e.g. "DIFFMS32").
+	Name() string
+	// Forward encodes one chunk.
+	Forward(src []byte) []byte
+	// Inverse decodes one chunk encoded by Forward.
+	Inverse(enc []byte) ([]byte, error)
+}
+
+// Pipeline chains transforms: Forward applies them left to right, Inverse
+// right to left.
+type Pipeline []Transform
+
+// Forward runs every stage in order.
+func (p Pipeline) Forward(src []byte) []byte {
+	cur := src
+	for _, t := range p {
+		cur = t.Forward(cur)
+	}
+	return cur
+}
+
+// Inverse runs every stage's inverse in reverse order.
+func (p Pipeline) Inverse(enc []byte) ([]byte, error) {
+	cur := enc
+	for i := len(p) - 1; i >= 0; i-- {
+		var err error
+		cur, err = p[i].Inverse(cur)
+		if err != nil {
+			return nil, fmt.Errorf("stage %s: %w", p[i].Name(), err)
+		}
+	}
+	return cur, nil
+}
+
+// Names returns the stage names, e.g. ["DIFFMS32","BIT32","RZE"].
+func (p Pipeline) Names() []string {
+	names := make([]string, len(p))
+	for i, t := range p {
+		names[i] = t.Name()
+	}
+	return names
+}

@@ -1,0 +1,100 @@
+package fpcompress
+
+import (
+	"errors"
+	"fmt"
+
+	"fpcompress/internal/container"
+	"fpcompress/internal/core"
+	"fpcompress/internal/transforms"
+)
+
+// Random access: because every 16 kB chunk is compressed independently
+// (paper §3), a compressed block supports decompressing arbitrary byte
+// ranges without touching the rest — the capability ZFP markets for
+// compressed arrays. It is available for SPspeed, SPratio, and DPspeed;
+// DPratio's whole-input FCM stage makes its chunks interdependent, so
+// opening a DPratio block returns ErrNoRandomAccess.
+
+// ErrNoRandomAccess reports an algorithm whose chunks are not independent.
+var ErrNoRandomAccess = errors.New("fpcompress: algorithm does not support random access (DPratio's FCM stage spans the whole input)")
+
+// RandomAccess provides ranged reads over one compressed block.
+type RandomAccess struct {
+	header  *container.Header
+	chunked transforms.Pipeline
+}
+
+// OpenRandomAccess parses a compressed block for ranged reads. The block
+// is retained (not copied); it must not be mutated while in use.
+func OpenRandomAccess(data []byte) (*RandomAccess, error) {
+	a, err := core.FromContainer(data)
+	if err != nil {
+		return nil, err
+	}
+	if a.Pre != nil {
+		return nil, ErrNoRandomAccess
+	}
+	h, err := container.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return &RandomAccess{header: h, chunked: a.Chunked}, nil
+}
+
+// Len returns the original (uncompressed) length in bytes.
+func (ra *RandomAccess) Len() int { return ra.header.OriginalLen }
+
+// ChunkSize returns the independent-chunk granularity in bytes.
+func (ra *RandomAccess) ChunkSize() int { return ra.header.ChunkSize }
+
+// ReadAt implements io.ReaderAt semantics over the uncompressed data,
+// decompressing only the chunks the range touches.
+func (ra *RandomAccess) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(ra.header.OriginalLen) {
+		return 0, fmt.Errorf("fpcompress: offset %d out of range [0,%d]", off, ra.header.OriginalLen)
+	}
+	n := 0
+	cs := ra.header.ChunkSize
+	codec := pipelineCodec{ra.chunked}
+	for n < len(p) && int(off)+n < ra.header.OriginalLen {
+		pos := int(off) + n
+		ci := pos / cs
+		dec, err := ra.header.DecompressChunk(ci, codec)
+		if err != nil {
+			return n, err
+		}
+		n += copy(p[n:], dec[pos-ci*cs:])
+	}
+	if n < len(p) {
+		return n, errShortRead
+	}
+	return n, nil
+}
+
+var errShortRead = errors.New("fpcompress: read past end of data")
+
+// Float32At decompresses count float32 values starting at value index.
+func (ra *RandomAccess) Float32At(index, count int) ([]float32, error) {
+	buf := make([]byte, count*4)
+	if _, err := ra.ReadAt(buf, int64(index)*4); err != nil {
+		return nil, err
+	}
+	return BytesFloat32(buf), nil
+}
+
+// Float64At decompresses count float64 values starting at value index.
+func (ra *RandomAccess) Float64At(index, count int) ([]float64, error) {
+	buf := make([]byte, count*8)
+	if _, err := ra.ReadAt(buf, int64(index)*8); err != nil {
+		return nil, err
+	}
+	return BytesFloat64(buf), nil
+}
+
+// pipelineCodec adapts a transform pipeline to container.Codec (mirrors
+// core's internal adapter).
+type pipelineCodec struct{ p transforms.Pipeline }
+
+func (c pipelineCodec) Forward(chunk []byte) []byte        { return c.p.Forward(chunk) }
+func (c pipelineCodec) Inverse(enc []byte) ([]byte, error) { return c.p.Inverse(enc) }

@@ -1,0 +1,109 @@
+package fpcompress
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomAccessReadAt(t *testing.T) {
+	src := Float32Bytes(sampleFloats32(100000, 11))
+	for _, alg := range []Algorithm{SPspeed, SPratio, DPspeed} {
+		blob, err := Compress(alg, src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := OpenRandomAccess(blob)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if ra.Len() != len(src) {
+			t.Fatalf("%v: Len %d, want %d", alg, ra.Len(), len(src))
+		}
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 50; trial++ {
+			off := rng.Intn(len(src))
+			n := rng.Intn(min(40000, len(src)-off)) + 1
+			buf := make([]byte, n)
+			if _, err := ra.ReadAt(buf, int64(off)); err != nil {
+				t.Fatalf("%v trial %d: %v", alg, trial, err)
+			}
+			if !bytes.Equal(buf, src[off:off+n]) {
+				t.Fatalf("%v trial %d: range [%d,%d) wrong", alg, trial, off, off+n)
+			}
+		}
+	}
+}
+
+func TestRandomAccessDPratioRefused(t *testing.T) {
+	blob, err := Compress(DPratio, make([]byte, 100000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRandomAccess(blob); !errors.Is(err, ErrNoRandomAccess) {
+		t.Errorf("want ErrNoRandomAccess, got %v", err)
+	}
+}
+
+func TestRandomAccessTypedReads(t *testing.T) {
+	vals := sampleFloats32(50000, 12)
+	blob, _ := CompressFloat32s(SPratio, vals, nil)
+	ra, err := OpenRandomAccess(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ra.Float32At(12345, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(vals[12345+i]) {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+
+	dvals := sampleFloats64(30000, 13)
+	dblob, _ := CompressFloat64s(DPspeed, dvals, nil)
+	dra, err := OpenRandomAccess(dblob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dgot, err := dra.Float64At(29990, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dgot {
+		if math.Float64bits(dgot[i]) != math.Float64bits(dvals[29990+i]) {
+			t.Fatalf("double value %d differs", i)
+		}
+	}
+}
+
+func TestRandomAccessBounds(t *testing.T) {
+	blob, _ := Compress(SPspeed, make([]byte, 1000), nil)
+	ra, err := OpenRandomAccess(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ra.ReadAt(make([]byte, 10), -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := ra.ReadAt(make([]byte, 10), 995); err == nil {
+		t.Error("read past end accepted")
+	}
+	n, err := ra.ReadAt(make([]byte, 5), 995)
+	if err != nil || n != 5 {
+		t.Errorf("tail read: n=%d err=%v", n, err)
+	}
+	if _, err := ra.ReadAt(nil, 1000); err != nil {
+		t.Errorf("empty read at end: %v", err)
+	}
+}
+
+func TestRandomAccessGarbage(t *testing.T) {
+	if _, err := OpenRandomAccess([]byte("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package fpcompress
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestCorruptionNeverPanics mutates valid compressed blocks in every
+// position class (header, size table, payload) and requires Decompress to
+// either fail cleanly or return data — never panic or hang.
+func TestCorruptionNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, alg := range []Algorithm{SPspeed, SPratio, DPspeed, DPratio} {
+		src := Float64Bytes(sampleFloats64(20000, 2))
+		blob, err := Compress(alg, src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 400; trial++ {
+			mutated := append([]byte(nil), blob...)
+			switch trial % 4 {
+			case 0: // single bit flip anywhere
+				i := rng.Intn(len(mutated))
+				mutated[i] ^= 1 << rng.Intn(8)
+			case 1: // byte overwrite in the first 64 bytes (header region)
+				mutated[rng.Intn(min(64, len(mutated)))] = byte(rng.Int())
+			case 2: // truncation
+				mutated = mutated[:rng.Intn(len(mutated))]
+			case 3: // garbage extension
+				mutated = append(mutated, byte(rng.Int()), byte(rng.Int()))
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%v trial %d: panic: %v", alg, trial, r)
+					}
+				}()
+				Decompress(mutated, nil)
+			}()
+		}
+	}
+}
+
+// TestConcurrentUse exercises the package from many goroutines sharing
+// nothing but the package API.
+func TestConcurrentUse(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			algs := []Algorithm{SPspeed, SPratio, DPspeed, DPratio}
+			src := Float64Bytes(sampleFloats64(5000+g*100, int64(g)))
+			for i := 0; i < 5; i++ {
+				alg := algs[(g+i)%4]
+				blob, err := Compress(alg, src, &Options{Parallelism: 1 + g%4})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				back, err := Decompress(blob, nil)
+				if err != nil || !bytes.Equal(back, src) {
+					t.Errorf("goroutine %d: roundtrip failed", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestDeterministicOutput pins the compressed form: the same input bytes
+// must produce identical output across runs and parallelism settings (the
+// format is deterministic, which the GPU/CPU compatibility story relies
+// on).
+func TestDeterministicOutput(t *testing.T) {
+	src := Float32Bytes(sampleFloats32(60000, 3))
+	for _, alg := range []Algorithm{SPspeed, SPratio} {
+		a, _ := Compress(alg, src, &Options{Parallelism: 1})
+		b, _ := Compress(alg, src, &Options{Parallelism: 7})
+		c, _ := Compress(alg, src, nil)
+		if !bytes.Equal(a, b) || !bytes.Equal(a, c) {
+			t.Errorf("%v: output differs across parallelism", alg)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+package fpcompress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming support: a Writer frames the stream into independently
+// compressed segments so unbounded value streams (e.g. instrument
+// acquisition, MPI traffic) can be compressed without holding everything in
+// memory; a Reader decodes such a stream. Each frame is one self-describing
+// Compress block preceded by a fixed 4-byte little-endian length.
+
+// DefaultSegmentSize is the Writer's default framing granularity. Larger
+// segments improve the ratio (more context per frame, one header amortized
+// over more data); smaller segments reduce latency and memory.
+const DefaultSegmentSize = 4 << 20
+
+// ErrStream reports a malformed framed stream.
+var ErrStream = errors.New("fpcompress: malformed stream")
+
+// Writer compresses a stream of raw value bytes into framed segments.
+// Close must be called to flush the final partial segment.
+type Writer struct {
+	w       io.Writer
+	alg     Algorithm
+	opts    *Options
+	segSize int
+	buf     []byte
+	err     error
+}
+
+// NewWriter returns a streaming compressor writing frames to w.
+// segmentSize <= 0 selects DefaultSegmentSize.
+func NewWriter(w io.Writer, alg Algorithm, segmentSize int, opts *Options) *Writer {
+	if segmentSize <= 0 {
+		segmentSize = DefaultSegmentSize
+	}
+	return &Writer{w: w, alg: alg, opts: opts, segSize: segmentSize}
+}
+
+// Write implements io.Writer over raw (uncompressed) bytes.
+func (sw *Writer) Write(p []byte) (int, error) {
+	if sw.err != nil {
+		return 0, sw.err
+	}
+	total := len(p)
+	for len(p) > 0 {
+		room := sw.segSize - len(sw.buf)
+		if room > len(p) {
+			room = len(p)
+		}
+		sw.buf = append(sw.buf, p[:room]...)
+		p = p[room:]
+		if len(sw.buf) == sw.segSize {
+			if err := sw.flush(); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (sw *Writer) flush() error {
+	if len(sw.buf) == 0 {
+		return nil
+	}
+	blob, err := Compress(sw.alg, sw.buf, sw.opts)
+	if err == nil {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(blob)))
+		if _, werr := sw.w.Write(hdr[:]); werr != nil {
+			err = werr
+		} else if _, werr := sw.w.Write(blob); werr != nil {
+			err = werr
+		}
+	}
+	sw.buf = sw.buf[:0]
+	if err != nil {
+		sw.err = err
+	}
+	return err
+}
+
+// Close flushes the final segment. It does not close the underlying writer.
+func (sw *Writer) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.flush()
+}
+
+// Reader decompresses a stream produced by Writer.
+type Reader struct {
+	r    io.Reader
+	opts *Options
+	buf  []byte // decoded bytes not yet delivered
+	err  error
+}
+
+// NewReader returns a streaming decompressor reading frames from r.
+func NewReader(r io.Reader, opts *Options) *Reader {
+	return &Reader{r: r, opts: opts}
+}
+
+// Read implements io.Reader over the decompressed bytes.
+func (sr *Reader) Read(p []byte) (int, error) {
+	for len(sr.buf) == 0 {
+		if sr.err != nil {
+			return 0, sr.err
+		}
+		if err := sr.fill(); err != nil {
+			sr.err = err
+			if len(sr.buf) == 0 {
+				return 0, err
+			}
+		}
+	}
+	n := copy(p, sr.buf)
+	sr.buf = sr.buf[n:]
+	return n, nil
+}
+
+func (sr *Reader) fill() error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: truncated frame header", ErrStream)
+		}
+		return err // io.EOF at a frame boundary is clean end-of-stream
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > 1<<30 {
+		return fmt.Errorf("%w: frame of %d bytes", ErrStream, n)
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(sr.r, blob); err != nil {
+		return fmt.Errorf("%w: truncated frame body", ErrStream)
+	}
+	dec, err := Decompress(blob, sr.opts)
+	if err != nil {
+		return err
+	}
+	sr.buf = dec
+	return nil
+}

@@ -1,0 +1,101 @@
+package fpcompress
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func TestStreamRoundtrip(t *testing.T) {
+	src := Float64Bytes(sampleFloats64(300000, 42)) // 2.4 MB
+	for _, segSize := range []int{0, 1 << 16, 1 << 20, len(src) * 2} {
+		var packed bytes.Buffer
+		w := NewWriter(&packed, DPratio, segSize, nil)
+		// Write in awkward pieces to exercise buffering.
+		rng := rand.New(rand.NewSource(1))
+		rest := src
+		for len(rest) > 0 {
+			n := 1 + rng.Intn(100000)
+			if n > len(rest) {
+				n = len(rest)
+			}
+			if _, err := w.Write(rest[:n]); err != nil {
+				t.Fatal(err)
+			}
+			rest = rest[n:]
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if packed.Len() >= len(src) {
+			t.Errorf("segment %d: stream did not compress (%d -> %d)", segSize, len(src), packed.Len())
+		}
+		got, err := io.ReadAll(NewReader(bytes.NewReader(packed.Bytes()), nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("segment %d: stream roundtrip mismatch", segSize)
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var packed bytes.Buffer
+	w := NewWriter(&packed, SPspeed, 0, nil)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(NewReader(&packed, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty stream decoded to %d bytes", len(got))
+	}
+}
+
+func TestStreamTruncation(t *testing.T) {
+	var packed bytes.Buffer
+	w := NewWriter(&packed, SPspeed, 1<<16, nil)
+	w.Write(make([]byte, 200000))
+	w.Close()
+	// Chop the stream mid-frame.
+	cut := packed.Bytes()[:packed.Len()-10]
+	_, err := io.ReadAll(NewReader(bytes.NewReader(cut), nil))
+	if err == nil {
+		t.Error("truncated stream decoded without error")
+	}
+}
+
+func TestStreamGarbageHeader(t *testing.T) {
+	_, err := io.ReadAll(NewReader(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2}), nil))
+	if err == nil {
+		t.Error("garbage frame header accepted")
+	}
+}
+
+func TestStreamSmallReads(t *testing.T) {
+	src := Float32Bytes(sampleFloats32(50000, 7))
+	var packed bytes.Buffer
+	w := NewWriter(&packed, SPratio, 1<<15, nil)
+	w.Write(src)
+	w.Close()
+	r := NewReader(bytes.NewReader(packed.Bytes()), nil)
+	var got []byte
+	buf := make([]byte, 313) // odd-size reads
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, src) {
+		t.Error("small-read roundtrip mismatch")
+	}
+}
