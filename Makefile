@@ -1,0 +1,37 @@
+# Developer entry points. `make check` is the full tier-1 verification
+# plus vet and the race run over the serving layer.
+
+GO ?= go
+
+.PHONY: all build test race vet check bench-server fpcd clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The serving subsystem (internal/server) and the public client/stream
+# layer (root package) must stay clean under the race detector.
+race:
+	$(GO) test -race -count=1 ./internal/server/...
+	$(GO) test -race -count=1 -run 'Client|Stream' .
+
+check: build vet test race
+
+# Regenerates BENCH_server.json (loopback serving throughput for SPspeed
+# and DPratio at 1, 4, and GOMAXPROCS clients).
+bench-server:
+	$(GO) test ./internal/server -run TestEmitServerBench -count=1 -v
+
+# Builds the compression daemon to bin/fpcd.
+fpcd:
+	$(GO) build -o bin/fpcd ./cmd/fpcd
+
+clean:
+	rm -rf bin

@@ -1,0 +1,363 @@
+package fpcompress
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"fpcompress/internal/server"
+)
+
+// Client support for fpcd, the compression daemon (cmd/fpcd,
+// internal/server). A Client speaks the length-prefixed wire protocol of
+// FORMAT.md over one persistent TCP connection; compress results are
+// bit-identical to the local Compress API, so data moves freely between
+// local and remote paths. Requests carry a deadline, and transient
+// failures — a StatusBusy backpressure rejection or a broken connection —
+// are retried with jittered exponential backoff.
+//
+// A Client serializes its requests (the protocol is one-request-at-a-time
+// per connection); open several Clients for concurrency.
+
+// ErrBusy reports that the server refused a request because its bounded
+// admission queue was full. The Client retries it automatically up to
+// MaxRetries; ErrBusy surfaces only once retries are exhausted.
+var ErrBusy = server.ErrBusy
+
+// ServerStats is the server metrics snapshot returned by Client.Stats:
+// per-op request/error/byte counters and latency percentiles, plus the
+// backpressure rejection count.
+type ServerStats = server.Snapshot
+
+// RemoteError is a non-OK, non-busy response from the server (bad
+// request, codec failure, oversized payload, version mismatch). It is not
+// retried: the same request would fail the same way.
+type RemoteError struct {
+	Status byte   // the wire status code (see FORMAT.md)
+	Msg    string // the server's error message
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("fpcompress: server rejected request (%s): %s", server.Status(e.Status), e.Msg)
+}
+
+// ClientOptions tunes a Client. The zero value (and a nil *ClientOptions)
+// selects the defaults documented per field.
+type ClientOptions struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request round trip, send to full response
+	// (default 60s).
+	RequestTimeout time.Duration
+	// MaxRetries is how many additional attempts follow a retryable
+	// failure (ErrBusy or a connection error). Default 3; negative
+	// disables retries.
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry; it doubles
+	// per attempt with ±50% jitter so synchronized clients do not
+	// stampede a recovering server. Default 50ms.
+	RetryBackoff time.Duration
+	// MaxResponse bounds a response payload allocation (default 256 MiB).
+	MaxResponse int
+	// SegmentSize is CompressStream's framing granularity in raw bytes
+	// (default DefaultSegmentSize).
+	SegmentSize int
+	// MaxFrameSize bounds a frame DecompressStream will accept (default
+	// DefaultMaxFrameSize, matching the streaming Reader).
+	MaxFrameSize int
+}
+
+func (o *ClientOptions) dialTimeout() time.Duration {
+	if o != nil && o.DialTimeout > 0 {
+		return o.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+func (o *ClientOptions) requestTimeout() time.Duration {
+	if o != nil && o.RequestTimeout > 0 {
+		return o.RequestTimeout
+	}
+	return 60 * time.Second
+}
+
+func (o *ClientOptions) maxRetries() int {
+	if o == nil {
+		return 3
+	}
+	if o.MaxRetries < 0 {
+		return 0
+	}
+	if o.MaxRetries == 0 {
+		return 3
+	}
+	return o.MaxRetries
+}
+
+func (o *ClientOptions) retryBackoff() time.Duration {
+	if o != nil && o.RetryBackoff > 0 {
+		return o.RetryBackoff
+	}
+	return 50 * time.Millisecond
+}
+
+func (o *ClientOptions) maxResponse() int {
+	if o != nil && o.MaxResponse > 0 {
+		return o.MaxResponse
+	}
+	return 256 << 20
+}
+
+func (o *ClientOptions) segmentSize() int {
+	if o != nil && o.SegmentSize > 0 {
+		return o.SegmentSize
+	}
+	return DefaultSegmentSize
+}
+
+func (o *ClientOptions) maxFrameSize() int {
+	if o != nil && o.MaxFrameSize > 0 {
+		return o.MaxFrameSize
+	}
+	return DefaultMaxFrameSize
+}
+
+// Client is a connection to an fpcd server. Safe for concurrent use;
+// requests are serialized over the single connection.
+type Client struct {
+	addr string
+	opts *ClientOptions
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	rng  *rand.Rand
+}
+
+// Dial connects to an fpcd server at addr ("host:port"). opts may be nil
+// for defaults.
+func Dial(addr string, opts *ClientOptions) (*Client, error) {
+	c := &Client{
+		addr: addr,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the connection. The Client cannot be reused afterwards
+// (in-flight calls may still reconnect; close after they finish).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// connect (re)establishes the transport. Caller holds c.mu.
+func (c *Client) connect() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.dialTimeout())
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReaderSize(conn, 64<<10)
+	c.bw = bufio.NewWriterSize(conn, 64<<10)
+	return nil
+}
+
+// reset drops a connection whose protocol state is unknown (mid-request
+// failure); the next attempt redials. Caller holds c.mu.
+func (c *Client) reset() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// retryable reports whether a fresh attempt could succeed: busy servers
+// drain and connections can be re-dialed, but a RemoteError is
+// deterministic. All ops are idempotent, so retrying after an ambiguous
+// mid-request failure is always safe.
+func retryable(err error) bool {
+	if errors.Is(err, ErrBusy) {
+		return true
+	}
+	var re *RemoteError
+	return !errors.As(err, &re)
+}
+
+// do performs one operation with retry-with-jittered-backoff.
+func (c *Client) do(op server.Op, alg byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	base := c.opts.retryBackoff()
+	retries := c.opts.maxRetries()
+	for attempt := 0; ; attempt++ {
+		out, err := c.roundTrip(op, alg, payload)
+		if err == nil {
+			return out, nil
+		}
+		if attempt >= retries || !retryable(err) {
+			return nil, err
+		}
+		// Exponential backoff with ±50% jitter: base<<attempt scaled by a
+		// uniform factor in [0.5, 1.5).
+		d := time.Duration(float64(base<<uint(attempt)) * (0.5 + c.rng.Float64()))
+		time.Sleep(d)
+	}
+}
+
+// roundTrip sends one request and reads its response. Caller holds c.mu.
+func (c *Client) roundTrip(op server.Op, alg byte, payload []byte) ([]byte, error) {
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return nil, err
+		}
+	}
+	c.conn.SetDeadline(time.Now().Add(c.opts.requestTimeout()))
+	if err := server.WriteRequest(c.bw, op, alg, payload); err != nil {
+		c.reset()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.reset()
+		return nil, err
+	}
+	st, resp, err := server.ReadResponse(c.br, c.opts.maxResponse())
+	if err != nil {
+		c.reset()
+		return nil, err
+	}
+	switch st {
+	case server.StatusOK:
+		return resp, nil
+	case server.StatusBusy:
+		// The connection stays healthy: a busy rejection is a complete,
+		// well-framed response.
+		return nil, ErrBusy
+	default:
+		return nil, &RemoteError{Status: byte(st), Msg: string(resp)}
+	}
+}
+
+// Compress compresses src on the server with the chosen algorithm. The
+// result is bit-identical to local Compress with the server's engine
+// settings (identical to Compress(alg, src, nil) for a default server).
+func (c *Client) Compress(alg Algorithm, src []byte) ([]byte, error) {
+	return c.do(server.OpCompress, byte(alg), src)
+}
+
+// Decompress decodes a compressed block on the server; the algorithm is
+// read from the block header as in the local API.
+func (c *Client) Decompress(data []byte) ([]byte, error) {
+	return c.do(server.OpDecompress, 0, data)
+}
+
+// Stats fetches the server's metrics snapshot (the stats op, answered
+// even when the worker pool is saturated).
+func (c *Client) Stats() (*ServerStats, error) {
+	b, err := c.do(server.OpStats, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	var s ServerStats
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("fpcompress: bad stats payload: %w", err)
+	}
+	return &s, nil
+}
+
+// CompressStream reads raw bytes from src, compresses SegmentSize
+// segments on the server, and writes the framed stream format of Writer
+// to dst — the output is interchangeable with NewWriter's and decodable
+// by NewReader or DecompressStream. It returns the compressed bytes
+// written.
+func (c *Client) CompressStream(dst io.Writer, alg Algorithm, src io.Reader) (int64, error) {
+	buf := make([]byte, c.opts.segmentSize())
+	var written int64
+	for {
+		n, rerr := io.ReadFull(src, buf)
+		if n > 0 {
+			blob, err := c.Compress(alg, buf[:n])
+			if err != nil {
+				return written, err
+			}
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(len(blob)))
+			nw, err := dst.Write(hdr[:])
+			written += int64(nw)
+			if err != nil {
+				return written, err
+			}
+			nw, err = dst.Write(blob)
+			written += int64(nw)
+			if err != nil {
+				return written, err
+			}
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			return written, nil
+		}
+		if rerr != nil {
+			return written, rerr
+		}
+	}
+}
+
+// DecompressStream reads a framed stream (the Writer/CompressStream
+// format) from src, decompresses each frame on the server, and writes the
+// raw bytes to dst. Frames larger than MaxFrameSize fail with ErrStream
+// before any allocation, like the local Reader. It returns the raw bytes
+// written.
+func (c *Client) DecompressStream(dst io.Writer, src io.Reader) (int64, error) {
+	maxFrame := c.opts.maxFrameSize()
+	var written int64
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(src, hdr[:]); err != nil {
+			if err == io.EOF {
+				return written, nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return written, fmt.Errorf("%w: truncated frame header", ErrStream)
+			}
+			return written, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n == 0 || uint64(n) > uint64(maxFrame) {
+			return written, fmt.Errorf("%w: frame of %d bytes (max %d)", ErrStream, n, maxFrame)
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(src, blob); err != nil {
+			return written, fmt.Errorf("%w: truncated frame body", ErrStream)
+		}
+		raw, err := c.Decompress(blob)
+		if err != nil {
+			return written, err
+		}
+		nw, err := dst.Write(raw)
+		written += int64(nw)
+		if err != nil {
+			return written, err
+		}
+	}
+}

@@ -1,0 +1,379 @@
+package fpcompress
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"fpcompress/internal/server"
+)
+
+// startTestServer serves fpcd on a loopback listener for the e2e tests.
+func startTestServer(t *testing.T, cfg server.Config) string {
+	t.Helper()
+	if cfg.IdlePoll == 0 {
+		cfg.IdlePoll = 20 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(cfg)
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		s.Close()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+func dialClient(t *testing.T, addr string, opts *ClientOptions) *Client {
+	t.Helper()
+	c, err := Dial(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestClientRoundTripAllAlgorithms is the acceptance test: a round trip
+// through a live server (client Compress -> server -> client Decompress)
+// is byte-identical to the local API for all six algorithms, and the
+// stats op reports the traffic.
+func TestClientRoundTripAllAlgorithms(t *testing.T) {
+	addr := startTestServer(t, server.Config{})
+	c := dialClient(t, addr, nil)
+	for _, alg := range []Algorithm{SPspeed, SPratio, DPspeed, DPratio, SPbalance, DPbalance} {
+		var src []byte
+		if alg == SPspeed || alg == SPratio || alg == SPbalance {
+			src = Float32Bytes(sampleFloats32(20000, int64(alg)))
+		} else {
+			src = Float64Bytes(sampleFloats64(12000, int64(alg)))
+		}
+		local, err := Compress(alg, src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := c.Compress(alg, src)
+		if err != nil {
+			t.Fatalf("%v: remote compress: %v", alg, err)
+		}
+		if !bytes.Equal(remote, local) {
+			t.Errorf("%v: server output differs from local Compress", alg)
+		}
+		back, err := c.Decompress(remote)
+		if err != nil {
+			t.Fatalf("%v: remote decompress: %v", alg, err)
+		}
+		if !bytes.Equal(back, src) {
+			t.Errorf("%v: remote round trip mismatch", alg)
+		}
+		// Cross-path: locally compressed blocks decode remotely and vice
+		// versa.
+		if back, err = c.Decompress(local); err != nil || !bytes.Equal(back, src) {
+			t.Errorf("%v: local block failed remote decompression: %v", alg, err)
+		}
+		if back, err = Decompress(remote, nil); err != nil || !bytes.Equal(back, src) {
+			t.Errorf("%v: remote block failed local decompression: %v", alg, err)
+		}
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := stats.Ops["compress"]
+	if comp.Requests < 6 || comp.Errors != 0 {
+		t.Errorf("stats: compress requests=%d errors=%d, want >=6 and 0", comp.Requests, comp.Errors)
+	}
+	if comp.P50Us == 0 || comp.P99Us == 0 {
+		t.Errorf("stats: latency percentiles empty: p50=%d p99=%d", comp.P50Us, comp.P99Us)
+	}
+	if dec := stats.Ops["decompress"]; dec.Requests < 6 {
+		t.Errorf("stats: decompress requests=%d, want >=6", dec.Requests)
+	}
+}
+
+// TestClientStreaming checks CompressStream/DecompressStream interoperate
+// bit-for-bit with the local Writer/Reader frame format.
+func TestClientStreaming(t *testing.T) {
+	addr := startTestServer(t, server.Config{})
+	c := dialClient(t, addr, &ClientOptions{SegmentSize: 1 << 18})
+	src := Float64Bytes(sampleFloats64(150000, 99)) // 1.2 MB, several segments
+
+	// Remote-compressed stream decodes with the local Reader.
+	var packed bytes.Buffer
+	if _, err := c.CompressStream(&packed, DPratio, bytes.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(NewReader(bytes.NewReader(packed.Bytes()), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("remote stream failed local decode")
+	}
+
+	// Locally written stream decodes through the remote path.
+	var local bytes.Buffer
+	w := NewWriter(&local, SPratio, 1<<18, nil)
+	src32 := Float32Bytes(sampleFloats32(100000, 5))
+	if _, err := w.Write(src32); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := c.DecompressStream(&out, bytes.NewReader(local.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), src32) {
+		t.Fatal("local stream failed remote decode")
+	}
+
+	// Remote-to-remote.
+	out.Reset()
+	if _, err := c.DecompressStream(&out, bytes.NewReader(packed.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), src) {
+		t.Fatal("remote stream failed remote decode")
+	}
+}
+
+// fakeServer accepts loopback connections and answers each request with
+// the scripted statuses, compressing for real once the script runs out.
+// It exists to exercise the client's retry machinery deterministically.
+func fakeServer(t *testing.T, script []server.Status) (addr string, served *int32) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var count int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					op, alg, payload, err := server.ReadRequest(conn, 0)
+					if err != nil {
+						return
+					}
+					n := int(count)
+					count++
+					if n < len(script) {
+						server.WriteResponse(conn, script[n], []byte("scripted"))
+						continue
+					}
+					if op != server.OpCompress {
+						server.WriteResponse(conn, server.StatusBadRequest, []byte("fake server only compresses"))
+						continue
+					}
+					blob, err := Compress(Algorithm(alg), payload, nil)
+					if err != nil {
+						server.WriteResponse(conn, server.StatusError, []byte(err.Error()))
+						continue
+					}
+					server.WriteResponse(conn, server.StatusOK, blob)
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), &count
+}
+
+// TestClientRetriesBusy checks a busy server is retried with backoff and
+// the request eventually succeeds.
+func TestClientRetriesBusy(t *testing.T) {
+	addr, _ := fakeServer(t, []server.Status{server.StatusBusy, server.StatusBusy})
+	c := dialClient(t, addr, &ClientOptions{MaxRetries: 3, RetryBackoff: time.Millisecond})
+	src := Float32Bytes(sampleFloats32(5000, 7))
+	blob, err := c.Compress(SPspeed, src)
+	if err != nil {
+		t.Fatalf("compress after busy retries: %v", err)
+	}
+	back, err := Decompress(blob, nil)
+	if err != nil || !bytes.Equal(back, src) {
+		t.Fatalf("retried result corrupt: %v", err)
+	}
+}
+
+// TestClientBusyExhaustion checks ErrBusy surfaces typed once retries run
+// out.
+func TestClientBusyExhaustion(t *testing.T) {
+	addr, _ := fakeServer(t, []server.Status{
+		server.StatusBusy, server.StatusBusy, server.StatusBusy, server.StatusBusy, server.StatusBusy,
+	})
+	c := dialClient(t, addr, &ClientOptions{MaxRetries: 2, RetryBackoff: time.Millisecond})
+	_, err := c.Compress(SPspeed, []byte{1, 2, 3, 4})
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("error %v, want ErrBusy", err)
+	}
+}
+
+// TestClientNoRetryOnRemoteError checks deterministic failures are not
+// retried and surface as *RemoteError.
+func TestClientNoRetryOnRemoteError(t *testing.T) {
+	addr, served := fakeServer(t, []server.Status{server.StatusBadRequest})
+	c := dialClient(t, addr, &ClientOptions{MaxRetries: 5, RetryBackoff: time.Millisecond})
+	_, err := c.Compress(SPspeed, []byte{1})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != byte(server.StatusBadRequest) {
+		t.Fatalf("error %v, want RemoteError(bad request)", err)
+	}
+	if *served != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retries)", *served)
+	}
+}
+
+// TestClientReconnects checks a dropped connection is redialed on the
+// next attempt.
+func TestClientReconnects(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		first := true
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if first {
+				// Kill the first connection before answering anything.
+				first = false
+				conn.Close()
+				continue
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					_, alg, payload, err := server.ReadRequest(conn, 0)
+					if err != nil {
+						return
+					}
+					blob, _ := Compress(Algorithm(alg), payload, nil)
+					server.WriteResponse(conn, server.StatusOK, blob)
+				}
+			}(conn)
+		}
+	}()
+	c := dialClient(t, ln.Addr().String(), &ClientOptions{MaxRetries: 3, RetryBackoff: time.Millisecond})
+	src := Float32Bytes(sampleFloats32(2000, 11))
+	blob, err := c.Compress(SPratio, src)
+	if err != nil {
+		t.Fatalf("compress across reconnect: %v", err)
+	}
+	if back, err := Decompress(blob, nil); err != nil || !bytes.Equal(back, src) {
+		t.Fatalf("reconnected result corrupt: %v", err)
+	}
+}
+
+// TestClientTimeout checks a stalled server trips the request deadline
+// instead of hanging.
+func TestClientTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Read the request and then say nothing.
+			go func(conn net.Conn) {
+				defer conn.Close()
+				server.ReadRequest(conn, 0)
+				time.Sleep(10 * time.Second)
+			}(conn)
+		}
+	}()
+	c := dialClient(t, ln.Addr().String(), &ClientOptions{
+		RequestTimeout: 50 * time.Millisecond,
+		MaxRetries:     -1, // timeouts are retryable; disable so one surfaces
+	})
+	start := time.Now()
+	_, err = c.Compress(SPspeed, []byte{1, 2, 3, 4})
+	if err == nil {
+		t.Fatal("stalled server did not time out")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("error %v, want a net timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+// TestClientBackpressureEndToEnd drives a 1-worker, no-queue server with
+// enough concurrent clients that busy rejections must occur, and checks
+// every request nevertheless completes via retry while the server's
+// counters record the rejections. Memory stays bounded: rejected requests
+// are never buffered server-side.
+func TestClientBackpressureEndToEnd(t *testing.T) {
+	addr := startTestServer(t, server.Config{Concurrency: 1, QueueDepth: -1})
+	src := Float64Bytes(sampleFloats64(30000, 3))
+	const clients = 8
+	errc := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			c, err := Dial(addr, &ClientOptions{MaxRetries: 50, RetryBackoff: time.Millisecond})
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer c.Close()
+			for iter := 0; iter < 3; iter++ {
+				blob, err := c.Compress(DPspeed, src)
+				if err != nil {
+					errc <- err
+					return
+				}
+				back, err := c.Decompress(blob)
+				if err == nil && !bytes.Equal(back, src) {
+					err = errors.New("round trip mismatch")
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := dialClient(t, addr, nil)
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BusyRejections == 0 {
+		t.Log("note: no busy rejections observed (scheduling allowed full interleaving)")
+	}
+	total := stats.Ops["compress"].Requests + stats.Ops["decompress"].Requests
+	if total < clients*6 {
+		t.Errorf("served %d codec requests, want >= %d", total, clients*6)
+	}
+}

@@ -1,0 +1,95 @@
+// Command fpcd is the fpcompress compression daemon: it serves compress,
+// decompress, and stats operations over the wire protocol of FORMAT.md,
+// with a bounded worker pool that rejects overload (busy status) instead
+// of queueing unboundedly, and drains in-flight requests on SIGTERM.
+//
+// Usage:
+//
+//	fpcd                                  # serve on 127.0.0.1:7332
+//	fpcd -addr :7332 -concurrency 8       # all interfaces, 8 workers
+//	fpcd -queue 32 -max-payload 16777216  # deeper queue, 16 MiB payload cap
+//	fpcd -debug localhost:6060            # expvar metrics at /debug/vars
+//
+// Clients use fpcompress.Dial (see the README quickstart) or any
+// implementation of the wire protocol.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fpcompress/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7332", "TCP listen address")
+		concurrency = flag.Int("concurrency", 0, "codec worker goroutines (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "requests queued beyond the workers before busy rejection (0 = 2x concurrency, negative = none)")
+		maxPayload  = flag.Int("max-payload", 0, "largest accepted request payload in bytes (0 = 64 MiB)")
+		chunkSize   = flag.Int("chunk", 0, "container chunk size in bytes (0 = 16384, the paper's default)")
+		codecPar    = flag.Int("codec-parallelism", 0, "container workers per request (0 = 1; the pool supplies cross-request parallelism)")
+		debugAddr   = flag.String("debug", "", "optional HTTP address serving expvar metrics at /debug/vars")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before open connections are dropped")
+		quiet       = flag.Bool("q", false, "suppress startup and shutdown messages")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Concurrency:      *concurrency,
+		QueueDepth:       *queue,
+		MaxPayload:       *maxPayload,
+		ChunkSize:        *chunkSize,
+		CodecParallelism: *codecPar,
+	})
+	expvar.Publish("fpcd", expvar.Func(func() any { return srv.StatsSnapshot() }))
+	if *debugAddr != "" {
+		go func() {
+			// The expvar import registers /debug/vars on the default mux.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fpcd: debug server:", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpcd:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "fpcd: listening on %s\n", ln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "fpcd:", err)
+		os.Exit(1)
+	case s := <-sig:
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "fpcd: %v, draining (budget %v)\n", s, *drain)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "fpcd: forced shutdown:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "fpcd: drained cleanly")
+		}
+	}
+}

@@ -66,6 +66,13 @@ type Options struct {
 	ChunkSize int
 	// Parallelism caps the number of worker goroutines (0 = GOMAXPROCS).
 	Parallelism int
+	// MaxFrameSize bounds the frame length a streaming Reader (and the
+	// remote Client.DecompressStream) will accept — and therefore
+	// allocate — from the 4-byte frame header; 0 means
+	// DefaultMaxFrameSize (64 MiB). Oversized frames fail with ErrStream
+	// before any allocation. Writers are unaffected; raise this only when
+	// reading streams written with segment sizes above the default cap.
+	MaxFrameSize int
 }
 
 func (o *Options) params() container.Params {

@@ -2,6 +2,7 @@ package fpcompress
 
 import (
 	"bytes"
+	"io"
 	"testing"
 )
 
@@ -45,6 +46,58 @@ func FuzzDecompress(f *testing.F) {
 		if ra, err := OpenRandomAccess(data); err == nil {
 			buf := make([]byte, 64)
 			ra.ReadAt(buf, 0)
+		}
+	})
+}
+
+// FuzzStreamReader feeds truncated and bit-flipped framed streams to the
+// streaming Reader; it must fail typed (ErrStream or a container decode
+// error) or succeed, never panic, and never allocate more than the frame
+// cap per frame. The corpus seeds valid SPspeed and DPratio streams.
+func FuzzStreamReader(f *testing.F) {
+	mkStream := func(alg Algorithm, raw []byte, seg int) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, alg, seg, nil)
+		w.Write(raw)
+		w.Close()
+		return buf.Bytes()
+	}
+	spStream := mkStream(SPspeed, Float32Bytes(sampleFloats32(3000, 1)), 1<<12)
+	dpStream := mkStream(DPratio, Float64Bytes(sampleFloats64(2000, 2)), 1<<13)
+	f.Add(spStream)
+	f.Add(dpStream)
+	f.Add(spStream[:len(spStream)-5])            // truncated frame body
+	f.Add(dpStream[:2])                          // truncated frame header
+	truncHdr := append([]byte(nil), spStream...) // oversized length field
+	truncHdr[0], truncHdr[1], truncHdr[2], truncHdr[3] = 0xFF, 0xFF, 0xFF, 0x7F
+	f.Add(truncHdr)
+	flipped := append([]byte(nil), dpStream...)
+	flipped[9] ^= 0x40 // bit flip inside the first container
+	f.Add(flipped)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		// The cap bounds what a corrupt 4-byte length field can make the
+		// reader allocate for a frame.
+		r := NewReader(bytes.NewReader(data), &Options{MaxFrameSize: 1 << 20})
+		buf := make([]byte, 1<<16)
+		for {
+			_, err := r.Read(buf)
+			if err == nil {
+				continue
+			}
+			if err == io.EOF {
+				return // clean end of stream
+			}
+			// Any failure must be a typed stream/decode error, and it must
+			// be sticky.
+			if _, err2 := r.Read(buf); err2 != err {
+				t.Fatalf("error not sticky: %v then %v", err, err2)
+			}
+			return
 		}
 	})
 }

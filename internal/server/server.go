@@ -1,0 +1,388 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpcompress/internal/container"
+	"fpcompress/internal/core"
+)
+
+// ErrBusy is the typed overload error: the bounded admission queue was
+// full, the request was rejected without being started, and the caller
+// should retry with backoff. On the wire it travels as StatusBusy.
+var ErrBusy = errors.New("server: busy, bounded queue full")
+
+// ErrServerClosed is returned by Serve and ListenAndServe after Shutdown
+// or Close, mirroring net/http's convention.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config tunes a Server. The zero value is a sensible production default.
+type Config struct {
+	// Concurrency caps codec jobs executing at once (the worker pool
+	// size). 0 = GOMAXPROCS.
+	Concurrency int
+	// QueueDepth bounds requests waiting for a worker beyond those
+	// executing. A full queue rejects with StatusBusy instead of queueing
+	// unboundedly, so memory under overload stays proportional to
+	// Concurrency + QueueDepth. 0 = 2*Concurrency; negative = no queue
+	// (admission only when a worker is free).
+	QueueDepth int
+	// MaxPayload bounds one request payload in bytes; larger requests are
+	// rejected with StatusTooLarge. 0 = DefaultMaxPayload (64 MiB).
+	MaxPayload int
+	// ChunkSize is forwarded to the container engine (0 = the paper's
+	// 16 kB). It changes the compressed layout, so all servers and local
+	// producers that must interoperate bit-identically should agree on it.
+	ChunkSize int
+	// CodecParallelism is the container engine's per-request worker count.
+	// 0 = 1: under a serving workload the pool already provides
+	// cross-request parallelism, and 1 keeps a single huge request from
+	// monopolizing every core. Raise it for few-client, large-payload
+	// deployments.
+	CodecParallelism int
+	// IdlePoll is how often an idle connection checks for shutdown.
+	// 0 = 500ms. Tests shorten it.
+	IdlePoll time.Duration
+}
+
+func (c Config) concurrency() int {
+	if c.Concurrency > 0 {
+		return c.Concurrency
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) queueDepth() int {
+	switch {
+	case c.QueueDepth > 0:
+		return c.QueueDepth
+	case c.QueueDepth < 0:
+		return 0
+	}
+	return 2 * c.concurrency()
+}
+
+func (c Config) maxPayload() int {
+	if c.MaxPayload > 0 {
+		return c.MaxPayload
+	}
+	return DefaultMaxPayload
+}
+
+func (c Config) idlePoll() time.Duration {
+	if c.IdlePoll > 0 {
+		return c.IdlePoll
+	}
+	return 500 * time.Millisecond
+}
+
+func (c Config) params() container.Params {
+	cp := c.CodecParallelism
+	if cp <= 0 {
+		cp = 1
+	}
+	return container.Params{ChunkSize: c.ChunkSize, Parallelism: cp}
+}
+
+type job struct {
+	op      Op
+	alg     byte
+	payload []byte
+	done    chan jobResult
+}
+
+type jobResult struct {
+	status  Status
+	payload []byte
+}
+
+// Server is a concurrent compression service. Create with New, start with
+// Serve or ListenAndServe, stop with Shutdown (drain) or Close (abort).
+type Server struct {
+	cfg     Config
+	metrics metrics
+
+	queue        chan *job
+	startWorkers sync.Once
+	stopWorkers  sync.Once
+	workers      sync.WaitGroup
+	conns        sync.WaitGroup
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	active    map[net.Conn]struct{}
+	shutdown  atomic.Bool
+
+	// execHook, when set (tests only), runs inside a worker after the job
+	// is counted in-flight and before the codec executes.
+	execHook func(Op)
+}
+
+// New builds a Server; no goroutines start until Serve.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:       cfg,
+		queue:     make(chan *job, cfg.queueDepth()),
+		listeners: make(map[net.Listener]struct{}),
+		active:    make(map[net.Conn]struct{}),
+	}
+	s.metrics.start = time.Now()
+	return s
+}
+
+// StatsSnapshot returns the server's current metrics. It is safe to call
+// concurrently with serving (cmd/fpcd publishes it through expvar).
+func (s *Server) StatsSnapshot() Snapshot {
+	return s.metrics.snapshot(s.cfg.concurrency(), s.cfg.queueDepth())
+}
+
+// ListenAndServe listens on the TCP address addr and serves until
+// Shutdown/Close or a fatal accept error.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown/Close. It blocks; run it
+// in a goroutine to serve in the background.
+func (s *Server) Serve(ln net.Listener) error {
+	if s.shutdown.Load() {
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ensureWorkers()
+	s.mu.Lock()
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.shutdown.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.conns.Add(1)
+		s.mu.Lock()
+		s.active[c] = struct{}{}
+		s.mu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+func (s *Server) ensureWorkers() {
+	s.startWorkers.Do(func() {
+		for i := 0; i < s.cfg.concurrency(); i++ {
+			s.workers.Add(1)
+			go func() {
+				defer s.workers.Done()
+				for j := range s.queue {
+					j.done <- s.execute(j)
+				}
+			}()
+		}
+	})
+}
+
+// handleConn serves one persistent connection: a sequence of requests,
+// each answered before the next is read.
+func (s *Server) handleConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.active, c)
+		s.mu.Unlock()
+		s.conns.Done()
+	}()
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	poll := s.cfg.idlePoll()
+	for !s.shutdown.Load() {
+		// Idle wait under a short deadline so the connection notices
+		// shutdown; Peek consumes nothing, so a timeout here never splits
+		// a request.
+		c.SetReadDeadline(time.Now().Add(poll))
+		if _, err := br.Peek(1); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return // clean close or fatal transport error
+		}
+		c.SetReadDeadline(time.Time{})
+		op, alg, payload, err := s.readRequest(br)
+		if err != nil {
+			if errors.Is(err, ErrProtocol) {
+				// Best-effort typed error, then drop the connection: after
+				// a framing error the stream cannot be resynchronized.
+				st := StatusBadRequest
+				switch {
+				case errors.Is(err, ErrTooLarge):
+					st = StatusTooLarge
+				case errors.Is(err, ErrVersion):
+					st = StatusUnsupported
+				}
+				WriteResponse(bw, st, []byte(err.Error()))
+				bw.Flush()
+			}
+			return
+		}
+		res := s.dispatch(op, alg, payload)
+		if err := WriteResponse(bw, res.status, res.payload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) readRequest(br *bufio.Reader) (Op, byte, []byte, error) {
+	return ReadRequest(br, s.cfg.maxPayload())
+}
+
+// dispatch routes one request: stats inline, codec work through the
+// bounded pool. It blocks until the job's result is ready (each
+// connection is serial by protocol).
+func (s *Server) dispatch(op Op, alg byte, payload []byte) jobResult {
+	switch op {
+	case OpStats:
+		start := time.Now()
+		b, err := json.Marshal(s.StatsSnapshot())
+		if err != nil { // cannot happen for Snapshot; defensive
+			s.metrics.record(OpStats, start, len(payload), 0, false)
+			return jobResult{StatusError, []byte(err.Error())}
+		}
+		s.metrics.record(OpStats, start, len(payload), len(b), true)
+		return jobResult{StatusOK, b}
+	case OpCompress, OpDecompress:
+		j := &job{op: op, alg: alg, payload: payload, done: make(chan jobResult, 1)}
+		select {
+		case s.queue <- j:
+			return <-j.done
+		default:
+			s.metrics.busy.Add(1)
+			return jobResult{StatusBusy, []byte(ErrBusy.Error())}
+		}
+	default:
+		return jobResult{StatusBadRequest, []byte(fmt.Sprintf("server: unknown op %d", byte(op)))}
+	}
+}
+
+// execute runs one codec job on a worker goroutine.
+func (s *Server) execute(j *job) jobResult {
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+	if s.execHook != nil {
+		s.execHook(j.op)
+	}
+	start := time.Now()
+	var (
+		out    []byte
+		status = StatusOK
+		msg    string
+	)
+	switch j.op {
+	case OpCompress:
+		a, err := core.New(core.ID(j.alg))
+		if err != nil {
+			status, msg = StatusBadRequest, err.Error()
+			break
+		}
+		out = a.Compress(j.payload, s.cfg.params())
+	case OpDecompress:
+		a, err := core.FromContainer(j.payload)
+		if err != nil {
+			status, msg = StatusBadRequest, err.Error()
+			break
+		}
+		if out, err = a.Decompress(j.payload, s.cfg.params()); err != nil {
+			status, msg, out = StatusError, err.Error(), nil
+		}
+	}
+	s.metrics.record(j.op, start, len(j.payload), len(out), status == StatusOK)
+	if status != StatusOK {
+		return jobResult{status, []byte(msg)}
+	}
+	return jobResult{StatusOK, out}
+}
+
+// Shutdown gracefully stops the server: listeners close immediately, idle
+// connections close within one IdlePoll, and in-flight requests run to
+// completion. If ctx expires first, remaining connections are closed
+// forcibly and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdown.Store(true)
+	s.mu.Lock()
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.conns.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		s.haltWorkers()
+		return nil
+	case <-ctx.Done():
+		// Force-close the stragglers and return without waiting for their
+		// in-flight codec jobs; the pool is reaped in the background once
+		// the last handler notices its dead connection (net/http
+		// semantics: Shutdown honors the deadline, cleanup is async).
+		s.mu.Lock()
+		for c := range s.active {
+			c.Close()
+		}
+		s.mu.Unlock()
+		go func() {
+			<-drained
+			s.haltWorkers()
+		}()
+		return ctx.Err()
+	}
+}
+
+// Close aborts the server: listeners and all connections close
+// immediately, without draining.
+func (s *Server) Close() error {
+	s.shutdown.Store(true)
+	s.mu.Lock()
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	for c := range s.active {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.conns.Wait()
+	s.haltWorkers()
+	return nil
+}
+
+// haltWorkers is called only after every connection handler has exited,
+// so nothing can enqueue into the closed channel.
+func (s *Server) haltWorkers() {
+	s.stopWorkers.Do(func() { close(s.queue) })
+	s.workers.Wait()
+}

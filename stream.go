@@ -18,6 +18,13 @@ import (
 // over more data); smaller segments reduce latency and memory.
 const DefaultSegmentSize = 4 << 20
 
+// DefaultMaxFrameSize is the largest frame a Reader accepts unless
+// Options.MaxFrameSize overrides it. The frame length is attacker
+// controlled (a 4-byte header), so it is validated against this cap
+// before any allocation; 64 MiB comfortably covers DefaultSegmentSize
+// output while bounding what corrupt input can make a Reader allocate.
+const DefaultMaxFrameSize = 64 << 20
+
 // ErrStream reports a malformed framed stream.
 var ErrStream = errors.New("fpcompress: malformed stream")
 
@@ -33,7 +40,9 @@ type Writer struct {
 }
 
 // NewWriter returns a streaming compressor writing frames to w.
-// segmentSize <= 0 selects DefaultSegmentSize.
+// segmentSize <= 0 selects DefaultSegmentSize. Note that readers cap
+// accepted frames at Options.MaxFrameSize (default DefaultMaxFrameSize),
+// so streams written with larger segments need a matching reader option.
 func NewWriter(w io.Writer, alg Algorithm, segmentSize int, opts *Options) *Writer {
 	if segmentSize <= 0 {
 		segmentSize = DefaultSegmentSize
@@ -132,8 +141,12 @@ func (sr *Reader) fill() error {
 		return err // io.EOF at a frame boundary is clean end-of-stream
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n == 0 || n > 1<<30 {
-		return fmt.Errorf("%w: frame of %d bytes", ErrStream, n)
+	maxFrame := DefaultMaxFrameSize
+	if sr.opts != nil && sr.opts.MaxFrameSize > 0 {
+		maxFrame = sr.opts.MaxFrameSize
+	}
+	if n == 0 || uint64(n) > uint64(maxFrame) {
+		return fmt.Errorf("%w: frame of %d bytes (max %d)", ErrStream, n, maxFrame)
 	}
 	blob := make([]byte, n)
 	if _, err := io.ReadFull(sr.r, blob); err != nil {

@@ -2,6 +2,7 @@ package fpcompress
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"testing"
@@ -97,5 +98,33 @@ func TestStreamSmallReads(t *testing.T) {
 	}
 	if !bytes.Equal(got, src) {
 		t.Error("small-read roundtrip mismatch")
+	}
+}
+
+func TestStreamMaxFrameSize(t *testing.T) {
+	// A corrupt header claiming a huge frame must be rejected before any
+	// allocation: previously this allocated up to 1 GiB from 4 bytes.
+	huge := []byte{0, 0, 0, 0x20, 1, 2, 3} // claims a 512 MiB frame
+	_, err := io.ReadAll(NewReader(bytes.NewReader(huge), nil))
+	if !errors.Is(err, ErrStream) {
+		t.Errorf("512 MiB frame header: err = %v, want ErrStream", err)
+	}
+
+	// A valid stream read under a tiny cap fails typed, not with a panic
+	// or a giant allocation.
+	src := Float32Bytes(sampleFloats32(50000, 9))
+	var packed bytes.Buffer
+	w := NewWriter(&packed, SPspeed, 1<<16, nil)
+	w.Write(src)
+	w.Close()
+	_, err = io.ReadAll(NewReader(bytes.NewReader(packed.Bytes()), &Options{MaxFrameSize: 64}))
+	if !errors.Is(err, ErrStream) {
+		t.Errorf("tiny MaxFrameSize: err = %v, want ErrStream", err)
+	}
+
+	// Raising the cap past the frame size decodes normally.
+	got, err := io.ReadAll(NewReader(bytes.NewReader(packed.Bytes()), &Options{MaxFrameSize: 1 << 20}))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Errorf("explicit MaxFrameSize decode failed: %v", err)
 	}
 }
