@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench-server fpcd clean
+.PHONY: all build test race vet check fuzz-smoke bench-server fpcd clean
 
 all: check
 
@@ -23,6 +23,27 @@ race:
 	$(GO) test -race -count=1 -run 'Client|Stream' .
 
 check: build vet test race
+
+# Runs every hostile-input fuzz harness for FUZZTIME each (go's fuzz
+# engine accepts one -fuzz pattern per package invocation, hence the
+# loops). Seeds include the checked-in corpus under testdata/corrupt/.
+FUZZTIME ?= 10s
+TRANSFORM_FUZZERS := FuzzDiffMSInverse FuzzBitInverse FuzzMPLGInverse \
+	FuzzRZEInverse FuzzFCMInverse FuzzRAZEInverse FuzzRAREInverse \
+	FuzzPipelineInverse
+CONTAINER_FUZZERS := FuzzParse FuzzDecompressContainer
+ROOT_FUZZERS := FuzzContainerDecompress FuzzDecompress FuzzStreamReader
+
+fuzz-smoke:
+	@for f in $(TRANSFORM_FUZZERS); do \
+		$(GO) test ./internal/transforms -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+	@for f in $(CONTAINER_FUZZERS); do \
+		$(GO) test ./internal/container -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+	@for f in $(ROOT_FUZZERS); do \
+		$(GO) test . -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
 
 # Regenerates BENCH_server.json (loopback serving throughput for SPspeed
 # and DPratio at 1, 4, and GOMAXPROCS clients).

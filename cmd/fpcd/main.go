@@ -35,6 +35,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 0, "codec worker goroutines (0 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 0, "requests queued beyond the workers before busy rejection (0 = 2x concurrency, negative = none)")
 		maxPayload  = flag.Int("max-payload", 0, "largest accepted request payload in bytes (0 = 64 MiB)")
+		maxResult   = flag.Int("max-result", 0, "largest decompressed output one request may allocate (0 = 64 MiB, negative = unbounded)")
 		chunkSize   = flag.Int("chunk", 0, "container chunk size in bytes (0 = 16384, the paper's default)")
 		codecPar    = flag.Int("codec-parallelism", 0, "container workers per request (0 = 1; the pool supplies cross-request parallelism)")
 		debugAddr   = flag.String("debug", "", "optional HTTP address serving expvar metrics at /debug/vars")
@@ -47,6 +48,7 @@ func main() {
 		Concurrency:      *concurrency,
 		QueueDepth:       *queue,
 		MaxPayload:       *maxPayload,
+		MaxResult:        *maxResult,
 		ChunkSize:        *chunkSize,
 		CodecParallelism: *codecPar,
 	})

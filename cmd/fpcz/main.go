@@ -33,22 +33,23 @@ func main() {
 		parallel   = flag.Int("p", 0, "worker goroutines (0 = all CPUs)")
 		quiet      = flag.Bool("q", false, "suppress the statistics line")
 		stream     = flag.Bool("stream", false, "framed streaming mode: constant memory, for inputs larger than RAM")
+		maxDecoded = flag.Int("max-decoded", 0, "decode budget in bytes for -d and -info (0 = 64 MiB; -1 = unlimited, for trusted files only)")
 	)
 	flag.Parse()
 
-	if err := run(*compress, *decompress, *info, *stream, *algName, *chunkSize, *parallel, *quiet, flag.Args()); err != nil {
+	if err := run(*compress, *decompress, *info, *stream, *algName, *chunkSize, *parallel, *maxDecoded, *quiet, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "fpcz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(compress, decompress, info, stream bool, algName string, chunkSize, parallel int, quiet bool, args []string) error {
+func run(compress, decompress, info, stream bool, algName string, chunkSize, parallel, maxDecoded int, quiet bool, args []string) error {
 	switch {
 	case info:
 		if len(args) != 1 {
 			return fmt.Errorf("-info needs exactly one file")
 		}
-		return describe(args[0])
+		return describe(args[0], maxDecoded)
 	case compress == decompress:
 		return fmt.Errorf("exactly one of -c or -d is required")
 	}
@@ -60,7 +61,7 @@ func run(compress, decompress, info, stream bool, algName string, chunkSize, par
 	defer closeAll()
 
 	if stream {
-		opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel}
+		opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel, MaxDecodedSize: maxDecoded}
 		start := time.Now()
 		var n int64
 		if compress {
@@ -92,7 +93,7 @@ func run(compress, decompress, info, stream bool, algName string, chunkSize, par
 	if err != nil {
 		return err
 	}
-	opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel}
+	opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel, MaxDecodedSize: maxDecoded}
 	start := time.Now()
 	var result []byte
 	if compress {
@@ -174,7 +175,7 @@ func openFiles(args []string) (io.Reader, io.Writer, func(), error) {
 	}, nil
 }
 
-func describe(path string) error {
+func describe(path string, maxDecoded int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -187,7 +188,7 @@ func describe(path string) error {
 	if err != nil {
 		return err
 	}
-	dec, err := fpcompress.Decompress(data, nil)
+	dec, err := fpcompress.Decompress(data, &fpcompress.Options{MaxDecodedSize: maxDecoded})
 	if err != nil {
 		return err
 	}

@@ -30,14 +30,14 @@ func TestRunCompressDecompressFiles(t *testing.T) {
 	packed := filepath.Join(dir, "out.fpcz")
 	restored := filepath.Join(dir, "back.f32")
 
-	if err := run(true, false, false, false, "spratio", 0, 0, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, "spratio", 0, 0, -1, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
 	pinfo, _ := os.Stat(packed)
 	if pinfo.Size() >= int64(len(raw)) {
 		t.Error("compression produced no gain on smooth data")
 	}
-	if err := run(false, true, false, false, "", 0, 0, true, []string{packed, restored}); err != nil {
+	if err := run(false, true, false, false, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := os.ReadFile(restored)
@@ -51,10 +51,10 @@ func TestRunStreamMode(t *testing.T) {
 	dir := filepath.Dir(in)
 	packed := filepath.Join(dir, "out.fpczs")
 	restored := filepath.Join(dir, "back.f32")
-	if err := run(true, false, false, true, "spspeed", 0, 0, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, true, "spspeed", 0, 0, -1, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(false, true, false, true, "", 0, 0, true, []string{packed, restored}); err != nil {
+	if err := run(false, true, false, true, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := os.ReadFile(restored)
@@ -66,26 +66,26 @@ func TestRunStreamMode(t *testing.T) {
 func TestRunInfo(t *testing.T) {
 	in, _ := writeTempValues(t, 1000)
 	packed := filepath.Join(filepath.Dir(in), "o.fpcz")
-	if err := run(true, false, false, false, "dpbalance", 0, 0, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, "dpbalance", 0, 0, -1, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(false, false, true, false, "", 0, 0, true, []string{packed}); err != nil {
+	if err := run(false, false, true, false, "", 0, 0, -1, true, []string{packed}); err != nil {
 		t.Fatalf("info: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(false, false, false, false, "", 0, 0, true, nil); err == nil {
+	if err := run(false, false, false, false, "", 0, 0, -1, true, nil); err == nil {
 		t.Error("neither -c nor -d accepted")
 	}
-	if err := run(true, true, false, false, "spspeed", 0, 0, true, nil); err == nil {
+	if err := run(true, true, false, false, "spspeed", 0, 0, -1, true, nil); err == nil {
 		t.Error("both -c and -d accepted")
 	}
 	in, _ := writeTempValues(t, 10)
-	if err := run(true, false, false, false, "nope", 0, 0, true, []string{in, in + ".x"}); err == nil {
+	if err := run(true, false, false, false, "nope", 0, 0, -1, true, []string{in, in + ".x"}); err == nil {
 		t.Error("bad algorithm accepted")
 	}
-	if err := run(true, false, false, false, "spspeed", 0, 0, true, []string{"a", "b", "c"}); err == nil {
+	if err := run(true, false, false, false, "spspeed", 0, 0, -1, true, []string{"a", "b", "c"}); err == nil {
 		t.Error("too many args accepted")
 	}
 }

@@ -1,0 +1,107 @@
+package fpcompress
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corpusFiles returns the checked-in corrupt-container seeds.
+func corpusFiles(t testing.TB) map[string][]byte {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "corrupt", "*.bin"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("corrupt corpus missing (%d files): %v", len(paths), err)
+	}
+	files := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[filepath.Base(p)] = data
+	}
+	return files
+}
+
+// TestCorruptCorpus replays every checked-in hostile container through the
+// public decode paths: each must fail with an error — no panic, no
+// over-allocation (the default 64 MiB budget applies). These files are
+// regression seeds for specific hardening fixes; see testdata/corrupt/README.md.
+func TestCorruptCorpus(t *testing.T) {
+	for name, data := range corpusFiles(t) {
+		t.Run(name, func(t *testing.T) {
+			if dec, err := Decompress(data, nil); err == nil {
+				t.Fatalf("Decompress accepted corrupt container (%d bytes out)", len(dec))
+			}
+			ra, err := OpenRandomAccess(data, nil)
+			if err != nil {
+				return // rejected at parse time: fine
+			}
+			// Parse-clean but chunk-corrupt: reads must error, not panic.
+			buf := make([]byte, 16)
+			if _, err := ra.ReadAt(buf, 0); err == nil && ra.Len() > 0 {
+				t.Error("ReadAt succeeded on corrupt chunk data")
+			}
+		})
+	}
+}
+
+// TestCorruptCorpusBudgets pins the two allocation-bomb seeds to their
+// budget errors specifically, so a regression that "fixes" them by
+// allocating first cannot slip through as a generic failure.
+func TestCorruptCorpusBudgets(t *testing.T) {
+	files := corpusFiles(t)
+	if data, ok := files["huge-original-len.bin"]; ok {
+		if _, err := Decompress(data, nil); err == nil || !errors.Is(err, ErrDecodeBudget) {
+			t.Errorf("huge-original-len: got %v, want ErrDecodeBudget", err)
+		}
+		// A tighter explicit budget must also refuse it before allocating.
+		if _, err := Decompress(data, &Options{MaxDecodedSize: 16 << 10}); !errors.Is(err, ErrDecodeBudget) {
+			t.Errorf("huge-original-len under 16 KiB budget: got %v, want ErrDecodeBudget", err)
+		}
+	} else {
+		t.Error("huge-original-len.bin missing from corpus")
+	}
+	if data, ok := files["size-table-overflow.bin"]; ok {
+		if _, err := Decompress(data, nil); err == nil {
+			t.Error("size-table-overflow accepted")
+		}
+	} else {
+		t.Error("size-table-overflow.bin missing from corpus")
+	}
+}
+
+// FuzzContainerDecompress mutates the corrupt corpus (and a valid
+// container) through the whole public decode surface under a 1 MiB budget:
+// Decompress, random access, and per-value reads must never panic.
+func FuzzContainerDecompress(f *testing.F) {
+	for _, data := range corpusFiles(f) {
+		f.Add(data)
+	}
+	vals := make([]float32, 5000)
+	for i := range vals {
+		vals[i] = float32(i%97) * 0.5
+	}
+	blob, err := Compress(SPspeed, Float32Bytes(vals), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	opts := &Options{MaxDecodedSize: 1 << 20}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if dec, err := Decompress(data, opts); err == nil && len(dec) > 1<<20 {
+			t.Fatalf("decoded %d bytes past the 1 MiB budget", len(dec))
+		}
+		ra, err := OpenRandomAccess(data, opts)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64)
+		ra.ReadAt(buf, 0)
+		ra.ReadAt(buf, int64(ra.Len()/2))
+		ra.Float32At(0, 4)
+		ra.Float64At(1, 2)
+	})
+}

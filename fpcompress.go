@@ -73,18 +73,41 @@ type Options struct {
 	// before any allocation. Writers are unaffected; raise this only when
 	// reading streams written with segment sizes above the default cap.
 	MaxFrameSize int
+	// MaxDecodedSize bounds the bytes one Decompress call (or one frame of
+	// a streaming Reader) will allocate for its output. The container
+	// header's declared original length is attacker controlled, so it is
+	// validated against this budget before any allocation; oversized
+	// declarations fail cleanly instead of OOMing the process. 0 means
+	// DefaultMaxDecodedSize (64 MiB, matching DefaultMaxFrameSize);
+	// negative means no bound — only for trusted local data, never for
+	// bytes that crossed a network.
+	MaxDecodedSize int
 }
+
+// DefaultMaxDecodedSize is the decode budget applied when
+// Options.MaxDecodedSize is zero.
+const DefaultMaxDecodedSize = container.DefaultMaxDecoded
 
 func (o *Options) params() container.Params {
 	if o == nil {
 		return container.Params{}
 	}
-	return container.Params{ChunkSize: o.ChunkSize, Parallelism: o.Parallelism}
+	return container.Params{
+		ChunkSize:   o.ChunkSize,
+		Parallelism: o.Parallelism,
+		MaxDecoded:  o.MaxDecodedSize,
+	}
 }
 
 // ErrNotAligned reports a typed-value call whose byte length is not a
 // multiple of the value size.
 var ErrNotAligned = errors.New("fpcompress: data length not a multiple of the value size")
+
+// ErrDecodeBudget reports a compressed block whose declared output exceeds
+// the decode budget (Options.MaxDecodedSize); the allocation is refused
+// before it is made. Raise the budget — or set it negative for trusted
+// local data — to decode such blocks.
+var ErrDecodeBudget = container.ErrBudget
 
 // Compress encodes src with the chosen algorithm and returns a
 // self-describing compressed block.
@@ -97,7 +120,10 @@ func Compress(alg Algorithm, src []byte, opts *Options) ([]byte, error) {
 }
 
 // Decompress decodes a block produced by Compress. The algorithm is read
-// from the block header.
+// from the block header. data may be arbitrary hostile bytes: corrupt
+// input returns an error (never a panic), and no allocation exceeds the
+// opts.MaxDecodedSize budget (default 64 MiB) plus bounded per-chunk
+// working memory.
 func Decompress(data []byte, opts *Options) ([]byte, error) {
 	a, err := core.FromContainer(data)
 	if err != nil {

@@ -43,7 +43,7 @@ func FuzzDecompress(f *testing.F) {
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		Decompress(data, nil) // errors are fine; panics are not
-		if ra, err := OpenRandomAccess(data); err == nil {
+		if ra, err := OpenRandomAccess(data, nil); err == nil {
 			buf := make([]byte, 64)
 			ra.ReadAt(buf, 0)
 		}

@@ -53,12 +53,41 @@ type Codec interface {
 	Inverse(enc []byte) ([]byte, error)
 }
 
+// BudgetCodec is implemented by codecs whose inverse can bound its own
+// allocation. The engine knows every chunk's exact decoded size, so it
+// passes that as the budget: a corrupt chunk claiming a huge decoded
+// length then fails before allocating instead of after.
+type BudgetCodec interface {
+	Codec
+	InverseLimit(enc []byte, maxDecoded int) ([]byte, error)
+}
+
+// inverse decodes one chunk through the tightest interface the codec
+// offers.
+func inverse(codec Codec, enc []byte, maxDecoded int) ([]byte, error) {
+	if bc, ok := codec.(BudgetCodec); ok {
+		return bc.InverseLimit(enc, maxDecoded)
+	}
+	return codec.Inverse(enc)
+}
+
+// DefaultMaxDecoded is the decode budget applied when Params.MaxDecoded is
+// zero: the most bytes Decompress will allocate for the reconstructed
+// output of one container. It matches the streaming layer's default frame
+// cap so a single malformed header cannot OOM a worker.
+const DefaultMaxDecoded = 64 << 20
+
 // Params tunes the engine.
 type Params struct {
 	// ChunkSize is the chunk granularity in bytes; 0 means DefaultChunkSize.
 	ChunkSize int
 	// Parallelism is the worker count; 0 means GOMAXPROCS.
 	Parallelism int
+	// MaxDecoded bounds the bytes Decompress will allocate for one
+	// container's output, validated against the header's declared original
+	// length before any allocation. 0 means DefaultMaxDecoded; negative
+	// means no bound (trusted input only).
+	MaxDecoded int
 }
 
 func (p Params) chunkSize() int {
@@ -66,6 +95,18 @@ func (p Params) chunkSize() int {
 		return DefaultChunkSize
 	}
 	return p.ChunkSize
+}
+
+// DecodeBudget resolves the effective decode budget: -1 means unlimited,
+// any other value is the byte cap.
+func (p Params) DecodeBudget() int {
+	switch {
+	case p.MaxDecoded == 0:
+		return DefaultMaxDecoded
+	case p.MaxDecoded < 0:
+		return -1
+	}
+	return p.MaxDecoded
 }
 
 func (p Params) workers(nChunks int) int {
@@ -93,8 +134,23 @@ type Header struct {
 	CRC uint32
 	// entries[i] = compressed size <<1 | compressedFlag
 	entries []uint64
+	// offsets is the prefix sum over stored chunk sizes, computed once in
+	// Parse: chunk i's bytes are payload[offsets[i]:offsets[i+1]]. Cached
+	// so per-chunk random access is O(1) instead of a linear rescan.
+	offsets []int
 	// payload is the concatenated chunk data.
 	payload []byte
+}
+
+// chunkSpan returns the original-data byte range [lo,hi) that chunk i
+// decodes to.
+func (h *Header) chunkSpan(i int) (lo, hi int) {
+	lo = i * h.ChunkSize
+	hi = lo + h.ChunkSize
+	if hi > h.OriginalLen {
+		hi = h.OriginalLen
+	}
+	return lo, hi
 }
 
 // Compress runs codec over every chunk of src in parallel and assembles the
@@ -173,7 +229,11 @@ func Assemble(algID byte, crc uint32, srcLen, chunkSize int, sizes []int, rawFla
 func ChecksumOf(src []byte) uint32 { return crc32.Checksum(src, crcTable) }
 
 // Parse validates the container layout and returns its header without
-// decompressing anything.
+// decompressing anything. It treats data as hostile: every derived
+// quantity (size-table sum, per-chunk offsets, chunk count) is validated
+// against the bytes actually present before anything is allocated from it,
+// so arbitrary input yields an error, never a panic or an allocation
+// larger than O(len(data)).
 func Parse(data []byte) (*Header, error) {
 	if len(data) < 10 || [4]byte(data[:4]) != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
@@ -199,18 +259,34 @@ func Parse(data []byte) (*Header, error) {
 	if h.ChunkCount != want {
 		return nil, fmt.Errorf("%w: chunk count %d, expected %d", ErrFormat, h.ChunkCount, want)
 	}
+	// Every size-table entry occupies at least one byte, so a declared
+	// chunk count beyond the remaining bytes is corrupt; checking first
+	// keeps the entries allocation bounded by len(data).
+	if h.ChunkCount > len(data)-pos {
+		return nil, fmt.Errorf("%w: %d chunks cannot fit in %d remaining bytes", ErrFormat, h.ChunkCount, len(data)-pos)
+	}
 	h.entries = make([]uint64, h.ChunkCount)
-	total := 0
+	h.offsets = make([]int, h.ChunkCount+1)
+	// Accumulate the size table in uint64 and bound every entry and the
+	// running total by the container length, so no crafted entry sequence
+	// can overflow int and sneak past the payload-length equality check.
+	limit := uint64(len(data))
+	var total uint64
 	for i := range h.entries {
 		v, n := bitio.Uvarint(data[pos:])
 		if n == 0 {
 			return nil, fmt.Errorf("%w: bad size table", ErrFormat)
 		}
+		size := v >> 1
+		if size > limit || total+size > limit {
+			return nil, fmt.Errorf("%w: size table exceeds container length", ErrFormat)
+		}
 		h.entries[i] = v
-		total += int(v >> 1)
+		total += size
+		h.offsets[i+1] = int(total)
 		pos += n
 	}
-	if len(data)-pos != total {
+	if uint64(len(data)-pos) != total {
 		return nil, fmt.Errorf("%w: payload is %d bytes, size table says %d", ErrFormat, len(data)-pos, total)
 	}
 	h.payload = data[pos:]
@@ -221,17 +297,43 @@ func Parse(data []byte) (*Header, error) {
 // header and size table), for ratio accounting.
 func (h *Header) CompressedPayloadLen() int { return len(h.payload) }
 
+// ErrBudget reports a container whose declared output exceeds the caller's
+// decode budget. The allocation is refused, not attempted.
+var ErrBudget = errors.New("container: declared output exceeds decode budget")
+
+// decodeChunk decodes chunk i into its exact decoded size, routing raw
+// chunks past the codec. enc must be the chunk's stored bytes.
+func (h *Header) decodeChunk(i int, enc []byte, codec Codec) ([]byte, error) {
+	lo, hi := h.chunkSpan(i)
+	if h.entries[i]&1 == 0 {
+		// Raw chunk: stored verbatim, so its size must equal its span.
+		if len(enc) != hi-lo {
+			return nil, fmt.Errorf("%w: raw chunk %d has %d bytes, want %d", ErrFormat, i, len(enc), hi-lo)
+		}
+		return enc, nil
+	}
+	dec, err := inverse(codec, enc, hi-lo)
+	if err != nil {
+		return nil, fmt.Errorf("chunk %d: %w", i, err)
+	}
+	if len(dec) != hi-lo {
+		return nil, fmt.Errorf("%w: chunk %d decoded to %d bytes, want %d", ErrFormat, i, len(dec), hi-lo)
+	}
+	return dec, nil
+}
+
 // Decompress reverses Compress. The codec must match the one recorded under
-// the container's algorithm ID (the caller routes via h.Algorithm).
+// the container's algorithm ID (the caller routes via h.Algorithm). The
+// output allocation is validated against p's decode budget before it is
+// made, and every chunk decodes under a budget equal to its known size, so
+// corrupt input fails with an error instead of exhausting memory.
 func Decompress(data []byte, codec Codec, p Params) ([]byte, error) {
 	h, err := Parse(data)
 	if err != nil {
 		return nil, err
 	}
-	// Prefix sum over compressed sizes yields each chunk's read position.
-	offsets := make([]int, h.ChunkCount+1)
-	for i, e := range h.entries {
-		offsets[i+1] = offsets[i] + int(e>>1)
+	if budget := p.DecodeBudget(); budget >= 0 && h.OriginalLen > budget {
+		return nil, fmt.Errorf("%w: %d bytes declared, budget %d", ErrBudget, h.OriginalLen, budget)
 	}
 	dst := make([]byte, h.OriginalLen)
 	var firstErr atomic.Pointer[error]
@@ -246,33 +348,12 @@ func Decompress(data []byte, codec Codec, p Params) ([]byte, error) {
 				if i >= h.ChunkCount || firstErr.Load() != nil {
 					return
 				}
-				lo := i * h.ChunkSize
-				hi := lo + h.ChunkSize
-				if hi > h.OriginalLen {
-					hi = h.OriginalLen
-				}
-				enc := h.payload[offsets[i]:offsets[i+1]]
-				if h.entries[i]&1 == 0 {
-					// Raw chunk.
-					if len(enc) != hi-lo {
-						err := fmt.Errorf("%w: raw chunk %d has %d bytes, want %d", ErrFormat, i, len(enc), hi-lo)
-						firstErr.CompareAndSwap(nil, &err)
-						return
-					}
-					copy(dst[lo:hi], enc)
-					continue
-				}
-				dec, err := codec.Inverse(enc)
+				dec, err := h.decodeChunk(i, h.payload[h.offsets[i]:h.offsets[i+1]], codec)
 				if err != nil {
-					err = fmt.Errorf("chunk %d: %w", i, err)
 					firstErr.CompareAndSwap(nil, &err)
 					return
 				}
-				if len(dec) != hi-lo {
-					err := fmt.Errorf("%w: chunk %d decoded to %d bytes, want %d", ErrFormat, i, len(dec), hi-lo)
-					firstErr.CompareAndSwap(nil, &err)
-					return
-				}
+				lo, hi := h.chunkSpan(i)
 				copy(dst[lo:hi], dec)
 			}
 		}()
@@ -289,15 +370,12 @@ func Decompress(data []byte, codec Codec, p Params) ([]byte, error) {
 
 // ChunkPayload returns the stored bytes of chunk i and whether the chunk
 // is raw (uncompressed fallback). The slice aliases the parsed container.
+// O(1): the offsets were prefix-summed once in Parse.
 func (h *Header) ChunkPayload(i int) ([]byte, bool, error) {
 	if i < 0 || i >= h.ChunkCount {
 		return nil, false, fmt.Errorf("%w: chunk %d of %d", ErrFormat, i, h.ChunkCount)
 	}
-	off := 0
-	for j := 0; j < i; j++ {
-		off += int(h.entries[j] >> 1)
-	}
-	return h.payload[off : off+int(h.entries[i]>>1)], h.entries[i]&1 == 0, nil
+	return h.payload[h.offsets[i]:h.offsets[i+1]], h.entries[i]&1 == 0, nil
 }
 
 // DecompressChunk decodes a single chunk of a parsed container, enabling
@@ -307,31 +385,28 @@ func (h *Header) ChunkPayload(i int) ([]byte, bool, error) {
 // No whole-data checksum can be verified on a single chunk; callers
 // needing end-to-end integrity should use Decompress.
 func (h *Header) DecompressChunk(i int, codec Codec) ([]byte, error) {
+	return h.DecompressChunkLimit(i, codec, DefaultMaxDecoded)
+}
+
+// DecompressChunkLimit is DecompressChunk with an explicit decode budget:
+// a chunk whose decoded span exceeds maxDecoded bytes is refused before
+// any allocation (maxDecoded < 0 means no bound). O(1) chunk lookup via
+// the offsets cached in Parse.
+func (h *Header) DecompressChunkLimit(i int, codec Codec, maxDecoded int) ([]byte, error) {
 	if i < 0 || i >= h.ChunkCount {
 		return nil, fmt.Errorf("%w: chunk %d of %d", ErrFormat, i, h.ChunkCount)
 	}
-	off := 0
-	for j := 0; j < i; j++ {
-		off += int(h.entries[j] >> 1)
+	lo, hi := h.chunkSpan(i)
+	if maxDecoded >= 0 && hi-lo > maxDecoded {
+		return nil, fmt.Errorf("%w: chunk %d spans %d bytes, budget %d", ErrBudget, i, hi-lo, maxDecoded)
 	}
-	enc := h.payload[off : off+int(h.entries[i]>>1)]
-	lo := i * h.ChunkSize
-	hi := lo + h.ChunkSize
-	if hi > h.OriginalLen {
-		hi = h.OriginalLen
+	dec, err := h.decodeChunk(i, h.payload[h.offsets[i]:h.offsets[i+1]], codec)
+	if err != nil {
+		return nil, err
 	}
 	if h.entries[i]&1 == 0 {
-		if len(enc) != hi-lo {
-			return nil, fmt.Errorf("%w: raw chunk %d size mismatch", ErrFormat, i)
-		}
-		return append([]byte(nil), enc...), nil
-	}
-	dec, err := codec.Inverse(enc)
-	if err != nil {
-		return nil, fmt.Errorf("chunk %d: %w", i, err)
-	}
-	if len(dec) != hi-lo {
-		return nil, fmt.Errorf("%w: chunk %d decoded to %d bytes, want %d", ErrFormat, i, len(dec), hi-lo)
+		// Raw chunks alias the container; copy so callers own the bytes.
+		return append([]byte(nil), dec...), nil
 	}
 	return dec, nil
 }

@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"fpcompress/internal/container"
 	"fpcompress/internal/transforms"
@@ -101,7 +102,10 @@ func (a *Algorithm) Compress(src []byte, p container.Params) []byte {
 }
 
 // Decompress decodes a container produced by Compress. It verifies the
-// container's algorithm ID matches.
+// container's algorithm ID matches. The decode budget in p bounds the
+// final decoded size; when a whole-input pre-stage is present (DPratio's
+// FCM), the container-level budget is scaled by the stage's worst-case
+// expansion so a legal payload of exactly budget bytes still decodes.
 func (a *Algorithm) Decompress(data []byte, p container.Params) ([]byte, error) {
 	id, err := container.AlgorithmID(data)
 	if err != nil {
@@ -110,21 +114,35 @@ func (a *Algorithm) Decompress(data []byte, p container.Params) ([]byte, error) 
 	if ID(id) != a.ID {
 		return nil, fmt.Errorf("%w: container says %s, decoding as %s", ErrUnknownAlgorithm, ID(id), a.ID)
 	}
-	buf, err := container.Decompress(data, chunkCodec{a.Chunked}, p)
+	budget := p.DecodeBudget()
+	cp := p
+	if a.Pre != nil && budget >= 0 {
+		if f, ok := a.Pre.(interface{ EncodedCap(int) int }); ok && budget < math.MaxInt/2-16 {
+			cp.MaxDecoded = f.EncodedCap(budget)
+		} else {
+			cp.MaxDecoded = -1 // unknown expansion: the pre-stage enforces the budget below
+		}
+	}
+	buf, err := container.Decompress(data, chunkCodec{a.Chunked}, cp)
 	if err != nil {
 		return nil, err
 	}
 	if a.Pre != nil {
-		return a.Pre.Inverse(buf)
+		return a.Pre.InverseLimit(buf, budget)
 	}
 	return buf, nil
 }
 
-// chunkCodec adapts a transform pipeline to the container.Codec interface.
+// chunkCodec adapts a transform pipeline to the container.BudgetCodec
+// interface, so the engine can hand each chunk its exact decoded size as
+// an allocation bound.
 type chunkCodec struct{ p transforms.Pipeline }
 
 func (c chunkCodec) Forward(chunk []byte) []byte        { return c.p.Forward(chunk) }
 func (c chunkCodec) Inverse(enc []byte) ([]byte, error) { return c.p.Inverse(enc) }
+func (c chunkCodec) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
+	return c.p.InverseLimit(enc, maxDecoded)
+}
 
 // New constructs the named algorithm.
 func New(id ID) (*Algorithm, error) {

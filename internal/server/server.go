@@ -39,6 +39,12 @@ type Config struct {
 	// MaxPayload bounds one request payload in bytes; larger requests are
 	// rejected with StatusTooLarge. 0 = DefaultMaxPayload (64 MiB).
 	MaxPayload int
+	// MaxResult bounds the decompressed output one OpDecompress request may
+	// allocate: a container declaring more fails with StatusError before
+	// any allocation, so a single malformed request cannot OOM a worker.
+	// 0 = DefaultMaxPayload (64 MiB); negative = unbounded (never expose
+	// such a server to untrusted peers).
+	MaxResult int
 	// ChunkSize is forwarded to the container engine (0 = the paper's
 	// 16 kB). It changes the compressed layout, so all servers and local
 	// producers that must interoperate bit-identically should agree on it.
@@ -78,6 +84,16 @@ func (c Config) maxPayload() int {
 	return DefaultMaxPayload
 }
 
+func (c Config) maxResult() int {
+	switch {
+	case c.MaxResult > 0:
+		return c.MaxResult
+	case c.MaxResult < 0:
+		return -1
+	}
+	return DefaultMaxPayload
+}
+
 func (c Config) idlePoll() time.Duration {
 	if c.IdlePoll > 0 {
 		return c.IdlePoll
@@ -90,7 +106,7 @@ func (c Config) params() container.Params {
 	if cp <= 0 {
 		cp = 1
 	}
-	return container.Params{ChunkSize: c.ChunkSize, Parallelism: cp}
+	return container.Params{ChunkSize: c.ChunkSize, Parallelism: cp, MaxDecoded: c.maxResult()}
 }
 
 type job struct {
@@ -290,15 +306,32 @@ func (s *Server) dispatch(op Op, alg byte, payload []byte) jobResult {
 func (s *Server) execute(j *job) jobResult {
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
+	start := time.Now()
+	out, status, msg := s.runCodec(j)
+	s.metrics.record(j.op, start, len(j.payload), len(out), status == StatusOK)
+	if status != StatusOK {
+		return jobResult{status, []byte(msg)}
+	}
+	return jobResult{StatusOK, out}
+}
+
+// runCodec executes the codec for one job. The decoders guarantee
+// "arbitrary bytes in, error out"; the recover is the last-line backstop
+// enforcing that a codec bug surfaces as a typed StatusError response on
+// one request instead of killing the whole daemon.
+func (s *Server) runCodec(j *job) (out []byte, status Status, msg string) {
+	op := j.op
+	defer func() {
+		if r := recover(); r != nil {
+			out, status, msg = nil, StatusError, fmt.Sprintf("server: codec panic on %v: %v", op, r)
+		}
+	}()
+	// The test hook runs inside the recover scope so injected panics
+	// exercise the same backstop a real codec bug would hit.
 	if s.execHook != nil {
 		s.execHook(j.op)
 	}
-	start := time.Now()
-	var (
-		out    []byte
-		status = StatusOK
-		msg    string
-	)
+	status = StatusOK
 	switch j.op {
 	case OpCompress:
 		a, err := core.New(core.ID(j.alg))
@@ -317,11 +350,7 @@ func (s *Server) execute(j *job) jobResult {
 			status, msg, out = StatusError, err.Error(), nil
 		}
 	}
-	s.metrics.record(j.op, start, len(j.payload), len(out), status == StatusOK)
-	if status != StatusOK {
-		return jobResult{status, []byte(msg)}
-	}
-	return jobResult{StatusOK, out}
+	return out, status, msg
 }
 
 // Shutdown gracefully stops the server: listeners close immediately, idle

@@ -433,3 +433,77 @@ func TestPersistentConnection(t *testing.T) {
 		}
 	}
 }
+
+// TestHostileContainerOverWire sends decoder-hostile containers through
+// the wire protocol: each must come back as a typed error response on
+// that request, with the connection still serving afterwards — never a
+// dropped connection, never a daemon crash.
+func TestHostileContainerOverWire(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	tc := dialTest(t, addr)
+
+	// Hand-assembled container declaring a 1 TiB output behind 4 payload
+	// bytes; the result budget must refuse it before allocating.
+	huge := []byte{'F', 'P', 'C', 'Z', 1, byte(core.SPspeed), 0, 0, 0, 0}
+	huge = appendUvarint(huge, 1<<40)     // original length
+	huge = appendUvarint(huge, 1<<40)     // chunk size
+	huge = appendUvarint(huge, 1)         // chunk count
+	huge = appendUvarint(huge, 4<<1|1)    // one 4-byte compressed chunk
+	huge = append(huge, 1, 2, 3, 4)
+
+	for _, hostile := range [][]byte{huge, []byte("FPCZ\x01\x01 garbage"), {0xFF}} {
+		st, msg := tc.mustRoundTrip(t, OpDecompress, 0, hostile)
+		if st != StatusError && st != StatusBadRequest {
+			t.Fatalf("hostile container: status %v (%q), want a typed error", st, msg)
+		}
+	}
+
+	// The same connection must keep working after the rejections.
+	src := testPayload(core.SPspeed, 1500, 9)
+	st, blob := tc.mustRoundTrip(t, OpCompress, byte(core.SPspeed), src)
+	if st != StatusOK {
+		t.Fatalf("compress after hostile requests: status %v", st)
+	}
+	st, raw := tc.mustRoundTrip(t, OpDecompress, 0, blob)
+	if st != StatusOK || !bytes.Equal(raw, src) {
+		t.Fatalf("decompress after hostile requests: status %v", st)
+	}
+}
+
+// appendUvarint is a tiny local copy so the test controls header bytes
+// exactly without importing bitio.
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// TestCodecPanicBackstop injects a panic into the codec path via the exec
+// hook: it must surface as a StatusError response on that request while
+// the daemon and the connection keep serving.
+func TestCodecPanicBackstop(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{IdlePoll: 20 * time.Millisecond})
+	s.execHook = func(Op) { panic("injected codec bug") }
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	defer func() {
+		s.Close()
+		if err := <-done; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	}()
+
+	tc := dialTest(t, ln.Addr().String())
+	for i := 0; i < 2; i++ { // the worker must survive the first panic
+		st, msg := tc.mustRoundTrip(t, OpCompress, byte(core.SPspeed), testPayload(core.SPspeed, 100, 1))
+		if st != StatusError || !bytes.Contains(msg, []byte("panic")) {
+			t.Fatalf("request %d: status %v (%q), want StatusError mentioning the panic", i, st, msg)
+		}
+	}
+}

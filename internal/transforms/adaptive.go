@@ -109,13 +109,15 @@ func adaptiveForward(src []byte, lf leadFunc) []byte {
 }
 
 // adaptiveInverse decodes the common RAZE/RARE layout; repeat selects the
-// reconstruction rule for eliminated top pieces.
-func adaptiveInverse(enc []byte, repeat bool) ([]byte, error) {
+// reconstruction rule for eliminated top pieces. All allocations (bitmap,
+// kept pieces, bottoms, output words) are sized from declen, so validating
+// it against the budget up front bounds the whole decode.
+func adaptiveInverse(enc []byte, repeat bool, maxDecoded int) ([]byte, error) {
 	declen64, hn := bitio.Uvarint(enc)
 	if hn == 0 || hn >= len(enc) {
 		return nil, corruptf("RAZE/RARE: bad length prefix")
 	}
-	if err := checkDecodedLen("RAZE/RARE", declen64); err != nil {
+	if err := checkDecodedLen("RAZE/RARE", declen64, maxDecoded); err != nil {
 		return nil, err
 	}
 	declen := int(declen64)
@@ -203,7 +205,12 @@ func (RAZE) Name() string { return "RAZE" }
 func (RAZE) Forward(src []byte) []byte { return adaptiveForward(src, leadZeros) }
 
 // Inverse implements Transform.
-func (RAZE) Inverse(enc []byte) ([]byte, error) { return adaptiveInverse(enc, false) }
+func (RAZE) Inverse(enc []byte) ([]byte, error) { return adaptiveInverse(enc, false, NoLimit) }
+
+// InverseLimit implements Transform.
+func (RAZE) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
+	return adaptiveInverse(enc, false, maxDecoded)
+}
 
 // RARE implements Repeated Adaptive Repetition Elimination: like RAZE but a
 // top piece is eliminated when it equals the prior word's top piece rather
@@ -218,4 +225,9 @@ func (RARE) Name() string { return "RARE" }
 func (RARE) Forward(src []byte) []byte { return adaptiveForward(src, leadCommon) }
 
 // Inverse implements Transform.
-func (RARE) Inverse(enc []byte) ([]byte, error) { return adaptiveInverse(enc, true) }
+func (RARE) Inverse(enc []byte) ([]byte, error) { return adaptiveInverse(enc, true, NoLimit) }
+
+// InverseLimit implements Transform.
+func (RARE) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
+	return adaptiveInverse(enc, true, maxDecoded)
+}

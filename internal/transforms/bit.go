@@ -95,6 +95,15 @@ func (b Bit) Forward(src []byte) []byte {
 	return dst
 }
 
+// InverseLimit implements Transform. BIT is size-preserving, so the budget
+// bounds the encoded length itself.
+func (b Bit) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
+	if maxDecoded >= 0 && len(enc) > maxDecoded {
+		return nil, corruptf("BIT: %d bytes exceed decode budget %d", len(enc), maxDecoded)
+	}
+	return b.Inverse(enc)
+}
+
 // Inverse implements Transform.
 func (b Bit) Inverse(enc []byte) ([]byte, error) {
 	dst := make([]byte, len(enc))

@@ -56,6 +56,15 @@ func (d DiffMS) Forward(src []byte) []byte {
 	return dst
 }
 
+// InverseLimit implements Transform. DIFFMS is size-preserving, so the
+// budget bounds the encoded length itself.
+func (d DiffMS) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
+	if maxDecoded >= 0 && len(enc) > maxDecoded {
+		return nil, corruptf("DIFFMS: %d bytes exceed decode budget %d", len(enc), maxDecoded)
+	}
+	return d.Inverse(enc)
+}
+
 // Inverse implements Transform. Decoding is a prefix sum over the
 // un-zigzagged differences.
 func (d DiffMS) Inverse(enc []byte) ([]byte, error) {

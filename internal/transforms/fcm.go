@@ -59,6 +59,12 @@ const fcmHeaderLen = 8
 // Name implements Transform.
 func (FCM) Name() string { return "FCM64" }
 
+// EncodedCap reports the largest Forward-output size for a decoded input of
+// n bytes (fixed header plus doubled word arrays plus the verbatim tail).
+// Decoders that bound the final decoded size use it to scale the budget for
+// the intermediate FCM stream.
+func (FCM) EncodedCap(n int) int { return fcmHeaderLen + 2*n }
+
 // fcmHash hashes the three words preceding position i (missing ones are 0).
 func fcmHash(v1, v2, v3 uint64) uint64 {
 	return wordio.Mix64(v1 ^ bits.RotateLeft64(v2, 23) ^ bits.RotateLeft64(v3, 47))
@@ -153,8 +159,15 @@ func (f FCM) Forward(src []byte) []byte {
 	return append(out, tail...)
 }
 
-// Inverse implements Transform.
-func (FCM) Inverse(enc []byte) ([]byte, error) {
+// Inverse implements Transform. FCM runs over the whole input (no chunk
+// cap applies), but its decoded length can never exceed its encoded
+// length, so allocation stays intrinsically bounded by the input size.
+func (f FCM) Inverse(enc []byte) ([]byte, error) {
+	return f.InverseLimit(enc, NoLimit)
+}
+
+// InverseLimit implements Transform.
+func (FCM) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
 	if len(enc) < fcmHeaderLen {
 		return nil, corruptf("FCM: missing length prefix")
 	}
@@ -164,6 +177,9 @@ func (FCM) Inverse(enc []byte) ([]byte, error) {
 	// encoded length; this also keeps the arithmetic below overflow-free.
 	if declen64 > uint64(len(enc)) {
 		return nil, corruptf("FCM: decoded length %d exceeds encoded length %d", declen64, len(enc))
+	}
+	if maxDecoded >= 0 && declen64 > uint64(maxDecoded) {
+		return nil, corruptf("FCM: decoded length %d exceeds budget %d", declen64, maxDecoded)
 	}
 	declen := int(declen64)
 	n := declen / 8

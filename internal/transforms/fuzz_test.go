@@ -1,0 +1,97 @@
+package transforms
+
+import (
+	"bytes"
+	"testing"
+
+	"fpcompress/internal/bitio"
+	"fpcompress/internal/wordio"
+)
+
+// fuzzBudget bounds every fuzzed decode; with it in place a harness run
+// cannot allocate more than a few MiB per call no matter what the fuzzer
+// synthesizes, so an over-allocation bug shows up as an OOM-free failure.
+const fuzzBudget = 1 << 20
+
+// fuzzInverse drives one or more transforms (e.g. both word sizes) over
+// arbitrary bytes: decoding must never panic, never report success with
+// more than the budgeted bytes, and genuine encodings must keep round-
+// tripping (the fuzzer mutates from those seeds).
+func fuzzInverse(f *testing.F, trs ...Transform) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add(bitio.AppendUvarint(nil, 1<<40))
+	for _, tr := range trs {
+		f.Add(tr.Forward(smoothFloats32(300, 7)))
+		f.Add(tr.Forward(smoothFloats64(150, 8)))
+		f.Add(tr.Forward(make([]byte, 333)))
+		f.Add(tr.Forward([]byte{1}))
+	}
+	f.Fuzz(func(t *testing.T, enc []byte) {
+		for _, tr := range trs {
+			dec, err := tr.InverseLimit(enc, fuzzBudget)
+			if err != nil {
+				continue
+			}
+			if len(dec) > fuzzBudget {
+				t.Fatalf("%s: decoded %d bytes past budget %d", tr.Name(), len(dec), fuzzBudget)
+			}
+			// Accepted input must be re-encodable to something that decodes
+			// back to the same bytes (Forward∘Inverse is idempotent even when
+			// enc itself was not canonical).
+			re, err := tr.Inverse(tr.Forward(dec))
+			if err != nil || !bytes.Equal(re, dec) {
+				t.Fatalf("%s: re-roundtrip diverged: %v", tr.Name(), err)
+			}
+		}
+	})
+}
+
+func FuzzDiffMSInverse(f *testing.F) {
+	fuzzInverse(f, DiffMS{Word: wordio.W32}, DiffMS{Word: wordio.W64})
+}
+
+func FuzzBitInverse(f *testing.F) {
+	fuzzInverse(f, Bit{Word: wordio.W32}, Bit{Word: wordio.W64})
+}
+
+func FuzzMPLGInverse(f *testing.F) {
+	fuzzInverse(f, MPLG{Word: wordio.W32}, MPLG{Word: wordio.W64}, MPLG{Word: wordio.W64, Subchunk: 7})
+}
+
+func FuzzRZEInverse(f *testing.F) {
+	fuzzInverse(f, RZE{}, RZE{Granularity: 4})
+}
+
+func FuzzFCMInverse(f *testing.F) {
+	fuzzInverse(f, FCM{})
+}
+
+func FuzzRAZEInverse(f *testing.F) {
+	fuzzInverse(f, RAZE{})
+}
+
+func FuzzRAREInverse(f *testing.F) {
+	fuzzInverse(f, RARE{})
+}
+
+// FuzzPipelineInverse drives the full DPratio chunk pipeline — the deepest
+// stage stack — over arbitrary bytes with a budget, covering the stage
+// headroom logic in Pipeline.InverseLimit.
+func FuzzPipelineInverse(f *testing.F) {
+	p := Pipeline{DiffMS{Word: wordio.W64}, RAZE{}, RARE{}}
+	f.Add([]byte{})
+	f.Add(p.Forward(smoothFloats64(200, 5)))
+	f.Add(p.Forward(make([]byte, 100)))
+	f.Fuzz(func(t *testing.T, enc []byte) {
+		dec, err := p.InverseLimit(enc, fuzzBudget)
+		if err != nil {
+			return
+		}
+		// Stage headroom is 2*budget+64, so even a non-canonical accepted
+		// input must stay within that envelope.
+		if len(dec) > 2*fuzzBudget+64 {
+			t.Fatalf("pipeline decoded %d bytes past budget envelope", len(dec))
+		}
+	})
+}

@@ -37,6 +37,15 @@ func (m MPLG) subchunk() int {
 	return m.Subchunk
 }
 
+// wordsPerSubchunk never returns less than 1, so a misconfigured Subchunk
+// below the word size cannot stall the encode/decode loops.
+func (m MPLG) wordsPerSubchunk(wsize int) int {
+	if wp := m.subchunk() / wsize; wp > 0 {
+		return wp
+	}
+	return 1
+}
+
 // Name implements Transform.
 func (m MPLG) Name() string {
 	if m.Word == wordio.W32 {
@@ -61,7 +70,7 @@ func (m MPLG) Forward(src []byte) []byte {
 
 	header := bitio.AppendUvarint(make([]byte, 0, len(src)+len(src)/8+16), uint64(len(src)))
 	w := bitio.NewWriterBuf(header)
-	wordsPer := m.subchunk() / wsize
+	wordsPer := m.wordsPerSubchunk(wsize)
 	keepBits := m.keepFieldBits()
 
 	for start := 0; start < nWords; start += wordsPer {
@@ -136,24 +145,30 @@ func (m MPLG) Forward(src []byte) []byte {
 
 // Inverse implements Transform.
 func (m MPLG) Inverse(enc []byte) ([]byte, error) {
+	return m.InverseLimit(enc, NoLimit)
+}
+
+// InverseLimit implements Transform.
+func (m MPLG) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
 	declen64, n := bitio.Uvarint(enc)
 	if n == 0 {
 		return nil, corruptf("MPLG: bad length prefix")
 	}
-	if err := checkDecodedLen("MPLG", declen64); err != nil {
+	if err := checkDecodedLen("MPLG", declen64, maxDecoded); err != nil {
 		return nil, err
 	}
 	declen := int(declen64)
 	// Each subchunk contributes at least its header bits, bounding the
-	// plausible decoded size for a given encoded size.
-	if declen > (len(enc)+2)*8*mplgSubchunk {
+	// plausible decoded size for a given encoded size (using the
+	// configured subchunk size, which the encoder must have agreed on).
+	if declen > (len(enc)+2)*8*m.subchunk() {
 		return nil, corruptf("MPLG: decoded length %d implausible for %d encoded bytes", declen, len(enc))
 	}
 	wsize := int(m.Word)
 	wbits := m.Word.Bits()
 	nWords := declen / wsize
 	tailLen := declen - nWords*wsize
-	wordsPer := m.subchunk() / wsize
+	wordsPer := m.wordsPerSubchunk(wsize)
 
 	r := bitio.NewReader(enc[n:])
 	dst := make([]byte, declen)

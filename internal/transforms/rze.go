@@ -135,11 +135,16 @@ func (z RZE) Forward(src []byte) []byte {
 
 // Inverse implements Transform.
 func (z RZE) Inverse(enc []byte) ([]byte, error) {
+	return z.InverseLimit(enc, NoLimit)
+}
+
+// InverseLimit implements Transform.
+func (z RZE) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
 	declen64, n := bitio.Uvarint(enc)
 	if n == 0 {
 		return nil, corruptf("RZE: bad length prefix")
 	}
-	if err := checkDecodedLen("RZE", declen64); err != nil {
+	if err := checkDecodedLen("RZE", declen64, maxDecoded); err != nil {
 		return nil, err
 	}
 	declen := int(declen64)

@@ -24,6 +24,7 @@ package transforms
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrCorrupt is returned when an encoded transform payload cannot be
@@ -32,13 +33,25 @@ var ErrCorrupt = errors.New("transforms: corrupt payload")
 
 // MaxDecoded caps the decoded size a self-describing per-chunk transform
 // will allocate (64 MiB — far above any supported chunk size), so corrupt
-// length prefixes fail cleanly instead of exhausting memory.
+// length prefixes fail cleanly instead of exhausting memory. Callers that
+// know the expected decoded size (the container engine knows every chunk's)
+// should pass a tighter bound via InverseLimit.
 const MaxDecoded = 1 << 26
 
-// checkDecodedLen validates a decoded-length prefix against MaxDecoded.
-func checkDecodedLen(name string, declen uint64) error {
-	if declen > MaxDecoded {
-		return corruptf("%s: decoded length %d exceeds %d", name, declen, MaxDecoded)
+// NoLimit is the maxDecoded value meaning "no caller-supplied budget";
+// per-chunk transforms still apply the intrinsic MaxDecoded cap.
+const NoLimit = -1
+
+// checkDecodedLen validates a decoded-length prefix against the intrinsic
+// MaxDecoded cap and, when maxDecoded >= 0, the caller's tighter budget.
+// Every decoder must call it before allocating anything sized by declen.
+func checkDecodedLen(name string, declen uint64, maxDecoded int) error {
+	cap := uint64(MaxDecoded)
+	if maxDecoded >= 0 && uint64(maxDecoded) < cap {
+		cap = uint64(maxDecoded)
+	}
+	if declen > cap {
+		return corruptf("%s: decoded length %d exceeds budget %d", name, declen, cap)
 	}
 	return nil
 }
@@ -50,6 +63,10 @@ func corruptf(format string, args ...any) error {
 // Transform is one reversible stage of a compression pipeline. Forward may
 // return a slice longer or shorter than src; Inverse must reproduce the
 // exact Forward input.
+//
+// Every Inverse/InverseLimit implementation treats enc as hostile: arbitrary
+// bytes must produce an error (never a panic), and no allocation may exceed
+// the declared-and-validated decoded size.
 type Transform interface {
 	// Name identifies the transform in pipeline listings (e.g. "DIFFMS32").
 	Name() string
@@ -57,6 +74,12 @@ type Transform interface {
 	Forward(src []byte) []byte
 	// Inverse decodes one chunk encoded by Forward.
 	Inverse(enc []byte) ([]byte, error)
+	// InverseLimit decodes like Inverse but additionally rejects — before
+	// allocating — any encoding whose declared decoded size exceeds
+	// maxDecoded bytes. maxDecoded == NoLimit means no caller bound;
+	// intrinsic caps (MaxDecoded for per-chunk transforms, the encoded
+	// length for FCM) still apply.
+	InverseLimit(enc []byte, maxDecoded int) ([]byte, error)
 }
 
 // Pipeline chains transforms: Forward applies them left to right, Inverse
@@ -74,10 +97,28 @@ func (p Pipeline) Forward(src []byte) []byte {
 
 // Inverse runs every stage's inverse in reverse order.
 func (p Pipeline) Inverse(enc []byte) ([]byte, error) {
+	return p.InverseLimit(enc, NoLimit)
+}
+
+// InverseLimit runs every stage's inverse in reverse order, bounding each
+// stage's decoded allocation by the budget. Intermediate stage outputs can
+// exceed the final decoded size by a small factor (an expanding RAZE/RARE
+// stage emits up to ~1.16x its input when the bitmap model underestimates),
+// so each stage gets 2*maxDecoded+64 of headroom — still proportional to
+// the true decoded size, which is what bounds memory under hostile input.
+func (p Pipeline) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
+	stageBudget := maxDecoded
+	if maxDecoded >= 0 {
+		if maxDecoded < (math.MaxInt-64)/2 {
+			stageBudget = 2*maxDecoded + 64
+		} else {
+			stageBudget = NoLimit
+		}
+	}
 	cur := enc
 	for i := len(p) - 1; i >= 0; i-- {
 		var err error
-		cur, err = p[i].Inverse(cur)
+		cur, err = p[i].InverseLimit(cur, stageBudget)
 		if err != nil {
 			return nil, fmt.Errorf("stage %s: %w", p[i].Name(), err)
 		}

@@ -21,13 +21,17 @@ var ErrNoRandomAccess = errors.New("fpcompress: algorithm does not support rando
 
 // RandomAccess provides ranged reads over one compressed block.
 type RandomAccess struct {
-	header  *container.Header
-	chunked transforms.Pipeline
+	header     *container.Header
+	chunked    transforms.Pipeline
+	maxDecoded int
 }
 
 // OpenRandomAccess parses a compressed block for ranged reads. The block
-// is retained (not copied); it must not be mutated while in use.
-func OpenRandomAccess(data []byte) (*RandomAccess, error) {
+// is retained (not copied); it must not be mutated while in use. data may
+// be hostile: the container layout is fully validated here, and each
+// chunk later decodes under the opts.MaxDecodedSize budget (which bounds
+// the per-read allocation; the paper's default chunks are 16 kB).
+func OpenRandomAccess(data []byte, opts *Options) (*RandomAccess, error) {
 	a, err := core.FromContainer(data)
 	if err != nil {
 		return nil, err
@@ -39,7 +43,11 @@ func OpenRandomAccess(data []byte) (*RandomAccess, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RandomAccess{header: h, chunked: a.Chunked}, nil
+	return &RandomAccess{
+		header:     h,
+		chunked:    a.Chunked,
+		maxDecoded: opts.params().DecodeBudget(),
+	}, nil
 }
 
 // Len returns the original (uncompressed) length in bytes.
@@ -60,7 +68,7 @@ func (ra *RandomAccess) ReadAt(p []byte, off int64) (int, error) {
 	for n < len(p) && int(off)+n < ra.header.OriginalLen {
 		pos := int(off) + n
 		ci := pos / cs
-		dec, err := ra.header.DecompressChunk(ci, codec)
+		dec, err := ra.header.DecompressChunkLimit(ci, codec, ra.maxDecoded)
 		if err != nil {
 			return n, err
 		}
@@ -76,6 +84,15 @@ var errShortRead = errors.New("fpcompress: read past end of data")
 
 // Float32At decompresses count float32 values starting at value index.
 func (ra *RandomAccess) Float32At(index, count int) ([]float32, error) {
+	if index < 0 || count < 0 {
+		return nil, fmt.Errorf("fpcompress: negative index %d or count %d", index, count)
+	}
+	// Bounding the request by the declared length up front keeps count*4
+	// from overflowing int and refuses the allocation for reads that
+	// could only fail later anyway.
+	if vals := int64(ra.Len()) / 4; int64(index) > vals || int64(count) > vals-int64(index) {
+		return nil, errShortRead
+	}
 	buf := make([]byte, count*4)
 	if _, err := ra.ReadAt(buf, int64(index)*4); err != nil {
 		return nil, err
@@ -85,6 +102,12 @@ func (ra *RandomAccess) Float32At(index, count int) ([]float32, error) {
 
 // Float64At decompresses count float64 values starting at value index.
 func (ra *RandomAccess) Float64At(index, count int) ([]float64, error) {
+	if index < 0 || count < 0 {
+		return nil, fmt.Errorf("fpcompress: negative index %d or count %d", index, count)
+	}
+	if vals := int64(ra.Len()) / 8; int64(index) > vals || int64(count) > vals-int64(index) {
+		return nil, errShortRead
+	}
 	buf := make([]byte, count*8)
 	if _, err := ra.ReadAt(buf, int64(index)*8); err != nil {
 		return nil, err
@@ -98,3 +121,6 @@ type pipelineCodec struct{ p transforms.Pipeline }
 
 func (c pipelineCodec) Forward(chunk []byte) []byte        { return c.p.Forward(chunk) }
 func (c pipelineCodec) Inverse(enc []byte) ([]byte, error) { return c.p.Inverse(enc) }
+func (c pipelineCodec) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
+	return c.p.InverseLimit(enc, maxDecoded)
+}

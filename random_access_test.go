@@ -15,7 +15,7 @@ func TestRandomAccessReadAt(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ra, err := OpenRandomAccess(blob)
+		ra, err := OpenRandomAccess(blob, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -42,7 +42,7 @@ func TestRandomAccessDPratioRefused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenRandomAccess(blob); !errors.Is(err, ErrNoRandomAccess) {
+	if _, err := OpenRandomAccess(blob, nil); !errors.Is(err, ErrNoRandomAccess) {
 		t.Errorf("want ErrNoRandomAccess, got %v", err)
 	}
 }
@@ -50,7 +50,7 @@ func TestRandomAccessDPratioRefused(t *testing.T) {
 func TestRandomAccessTypedReads(t *testing.T) {
 	vals := sampleFloats32(50000, 12)
 	blob, _ := CompressFloat32s(SPratio, vals, nil)
-	ra, err := OpenRandomAccess(blob)
+	ra, err := OpenRandomAccess(blob, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestRandomAccessTypedReads(t *testing.T) {
 
 	dvals := sampleFloats64(30000, 13)
 	dblob, _ := CompressFloat64s(DPspeed, dvals, nil)
-	dra, err := OpenRandomAccess(dblob)
+	dra, err := OpenRandomAccess(dblob, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestRandomAccessTypedReads(t *testing.T) {
 
 func TestRandomAccessBounds(t *testing.T) {
 	blob, _ := Compress(SPspeed, make([]byte, 1000), nil)
-	ra, err := OpenRandomAccess(blob)
+	ra, err := OpenRandomAccess(blob, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestRandomAccessBounds(t *testing.T) {
 }
 
 func TestRandomAccessGarbage(t *testing.T) {
-	if _, err := OpenRandomAccess([]byte("junk")); err == nil {
+	if _, err := OpenRandomAccess([]byte("junk"), nil); err == nil {
 		t.Error("garbage accepted")
 	}
 }

@@ -101,7 +101,12 @@ func (sw *Writer) Close() error {
 	return sw.flush()
 }
 
-// Reader decompresses a stream produced by Writer.
+// Reader decompresses a stream produced by Writer. The stream may be
+// hostile: each frame's length is validated against Options.MaxFrameSize
+// before the frame is read, and each frame's declared decompressed size
+// against Options.MaxDecodedSize before the output is allocated, so a
+// corrupt or adversarial stream fails with a typed error instead of
+// panicking or exhausting memory.
 type Reader struct {
 	r    io.Reader
 	opts *Options

@@ -1,0 +1,109 @@
+//go:build ignore
+
+// Command gen regenerates the corrupt-container corpus in this directory.
+// Every file is derived deterministically from a valid container so the
+// corpus stays reproducible:
+//
+//	go run testdata/corrupt/gen.go
+//
+// Each file is a regression seed for a specific decoder hardening fix; see
+// README.md here and the "Decoder safety guarantees" section of FORMAT.md.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"fpcompress"
+	"fpcompress/internal/bitio"
+)
+
+func main() {
+	dir := filepath.Dir(os.Args[0])
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	} else {
+		dir = "testdata/corrupt"
+	}
+
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = 300 + math.Sin(float64(i)/25)
+	}
+	valid, err := fpcompress.Compress(fpcompress.DPratio, fpcompress.Float64Bytes(vals), nil)
+	if err != nil {
+		panic(err)
+	}
+
+	clone := func(b []byte) []byte { return append([]byte(nil), b...) }
+
+	files := map[string][]byte{}
+
+	// Header damage.
+	files["truncated-header.bin"] = clone(valid[:8])
+	bm := clone(valid)
+	bm[0] ^= 0xFF
+	files["bad-magic.bin"] = bm
+	bv := clone(valid)
+	bv[4] = 9
+	files["bad-version.bin"] = bv
+
+	// Payload/size-table inconsistency.
+	files["truncated-payload.bin"] = clone(valid[:len(valid)-3])
+	files["trailing-garbage.bin"] = append(clone(valid), 0xDE, 0xAD, 0xBE, 0xEF, 0x00)
+
+	// Bit rot inside a compressed chunk: either the transform rejects it or
+	// the CRC32-C catches it; both must be errors, not panics.
+	cr := clone(valid)
+	cr[len(cr)/2] ^= 0xFF
+	files["payload-bitflip.bin"] = cr
+
+	// A flipped stored checksum over intact payload: decodes fully, then
+	// fails the CRC32-C comparison.
+	cm := clone(valid)
+	cm[6] ^= 0xFF
+	files["crc-mismatch.bin"] = cm
+
+	// hand assembles a container with full control of the declared fields;
+	// algorithm ID 1 (SPspeed) so decoding reaches past codec routing.
+	raw := func(originalLen, chunkSize, chunkCount uint64, entries []uint64, payload []byte) []byte {
+		out := []byte{'F', 'P', 'C', 'Z', 1, 1, 0, 0, 0, 0}
+		out = bitio.AppendUvarint(out, originalLen)
+		out = bitio.AppendUvarint(out, chunkSize)
+		out = bitio.AppendUvarint(out, chunkCount)
+		for _, e := range entries {
+			out = bitio.AppendUvarint(out, e)
+		}
+		return append(out, payload...)
+	}
+
+	// A few bytes claiming a 1 TiB output: the decode-budget gate must
+	// refuse the allocation (this was the original OOM repro).
+	files["huge-original-len.bin"] = raw(1<<40, 1<<40, 1, []uint64{4<<1 | 1}, []byte{1, 2, 3, 4})
+
+	// Declared chunk count far beyond the container's bytes: must be
+	// rejected before the size-table allocation.
+	files["huge-chunk-count.bin"] = raw(1<<40, 256, 1<<32, nil, nil)
+
+	// Size-table entries whose sum wraps int64: the overflow-safe
+	// accumulation must reject them (this was the negative-offset repro).
+	files["size-table-overflow.bin"] = raw(512, 256, 2,
+		[]uint64{(1 << 62) << 1, (1 << 62) << 1}, make([]byte, 16))
+
+	// A structurally valid container whose single "compressed" chunk is a
+	// uvarint declaring a huge transform decode length: the per-chunk
+	// budget must refuse it before allocating.
+	lie := bitio.AppendUvarint(nil, 1<<40)
+	lie = append(lie, 0xFF, 0xFF)
+	files["transform-declen-lie.bin"] = raw(256, 256, 1,
+		[]uint64{uint64(len(lie))<<1 | 1}, lie)
+
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-28s %5d bytes\n", name, len(data))
+	}
+}
