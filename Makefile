@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check fuzz-smoke bench-server fpcd clean
+.PHONY: all build test race vet check fuzz-smoke chaos bench-server fpcd clean
 
 all: check
 
@@ -44,6 +44,14 @@ fuzz-smoke:
 	@for f in $(ROOT_FUZZERS); do \
 		$(GO) test . -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+
+# Seeded chaos soak: hundreds of requests through the deterministic
+# fault-injection layer (internal/faultnet) under the race detector.
+# CHAOSTIME multiplies the request count (like FUZZTIME for fuzz-smoke);
+# a failing run prints its seed — replay with CHAOS_SEED=<seed>.
+CHAOSTIME ?= 1
+chaos:
+	CHAOSTIME=$(CHAOSTIME) $(GO) test -race -count=1 -run TestChaosSoak -v .
 
 # Regenerates BENCH_server.json (loopback serving throughput for SPspeed
 # and DPratio at 1, 4, and GOMAXPROCS clients).

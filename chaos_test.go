@@ -1,0 +1,224 @@
+package fpcompress
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"fpcompress/internal/faultnet"
+	"fpcompress/internal/server"
+)
+
+// TestChaosSoak is the resilience acceptance test: hundreds of requests
+// through a deterministically faulty network (injected latency, mid-frame
+// stalls, short writes, connection resets, bit flips, accept failures).
+// Every request must resolve to success or a typed error, the server
+// must not leak goroutines, and Shutdown must drain cleanly mid-fault.
+//
+// Replay a failing run with its printed seed:
+//
+//	CHAOS_SEED=<seed> go test -race -run TestChaosSoak .
+//
+// CHAOSTIME scales the per-seed request count (default 30 per worker).
+func TestChaosSoak(t *testing.T) {
+	seeds := []int64{1, 7, 1234}
+	if env := os.Getenv("CHAOS_SEED"); env != "" {
+		s, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", env, err)
+		}
+		seeds = []int64{s}
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			chaosSoak(t, chaosPlan(seed))
+		})
+	}
+	// One fault run without bit flips: resets, stalls, and latency can
+	// tear frames but never silently corrupt, so here round-trip bytes
+	// are verified end to end.
+	t.Run("verified/seed=99", func(t *testing.T) {
+		p := chaosPlan(99)
+		p.BitFlipProb = 0
+		chaosSoak(t, p)
+	})
+}
+
+func chaosPlan(seed int64) faultnet.Plan {
+	return faultnet.Plan{
+		Seed:          seed,
+		AcceptFailure: 0.05,
+		AcceptErrWrap: server.ErrTransientAccept,
+		LatencyProb:   0.15, MaxLatency: 2 * time.Millisecond,
+		StallProb: 0.08, Stall: 10 * time.Millisecond,
+		ResetProb:   0.02,
+		BitFlipProb: 0.02,
+	}
+}
+
+// chaosRequests is the per-worker request count, scaled by CHAOSTIME
+// (an integer multiplier, mirroring fuzz-smoke's FUZZTIME knob).
+func chaosRequests() int {
+	n := 30
+	if env := os.Getenv("CHAOSTIME"); env != "" {
+		if mult, err := strconv.Atoi(env); err == nil && mult > 0 {
+			n *= mult
+		}
+	}
+	return n
+}
+
+// typedChaosError reports whether err is one of the failure shapes the
+// stack is allowed to produce under faults. Anything else — a panic
+// message, a raw string error from a forgotten path — fails the soak.
+func typedChaosError(err error) bool {
+	var re *RemoteError
+	var ne net.Error
+	return errors.Is(err, ErrBusy) ||
+		errors.Is(err, ErrCircuitOpen) ||
+		errors.Is(err, ErrStream) ||
+		errors.Is(err, server.ErrProtocol) ||
+		errors.Is(err, faultnet.ErrInjected) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.As(err, &re) ||
+		errors.As(err, &ne)
+}
+
+func chaosSoak(t *testing.T, plan faultnet.Plan) {
+	before := runtime.NumGoroutine()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf(format+"\nreplay: CHAOS_SEED=%d go test -race -run TestChaosSoak .\nplan: %v",
+			append(args, plan.Seed, plan)...)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := faultnet.Wrap(ln, plan)
+	srv := server.New(server.Config{
+		Concurrency: 4,
+		QueueDepth:  32,
+		IdlePoll:    10 * time.Millisecond,
+		ReadTimeout: 2 * time.Second,
+	})
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(fln) }()
+
+	const workers = 6
+	perWorker := chaosRequests()
+	verify := plan.BitFlipProb == 0
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(ln.Addr().String(), &ClientOptions{
+				DialTimeout:      2 * time.Second,
+				RequestTimeout:   5 * time.Second,
+				MaxRetries:       6,
+				RetryBackoff:     2 * time.Millisecond,
+				BreakerThreshold: -1, // the only server is the faulty one; keep dialing it
+			})
+			if err != nil {
+				errc <- fmt.Errorf("worker %d dial: %w", w, err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perWorker; i++ {
+				src := Float32Bytes(sampleFloats32(500+w*37+i, int64(w*1000+i)))
+				blob, err := c.Compress(SPspeed, src)
+				if err != nil {
+					if !typedChaosError(err) {
+						errc <- fmt.Errorf("worker %d req %d: untyped compress error: %w", w, i, err)
+					}
+					continue
+				}
+				back, err := c.Decompress(blob)
+				if err != nil {
+					if !typedChaosError(err) {
+						errc <- fmt.Errorf("worker %d req %d: untyped decompress error: %w", w, i, err)
+					}
+					continue
+				}
+				if verify && !bytes.Equal(back, src) {
+					errc <- fmt.Errorf("worker %d req %d: silent corruption without bit flips", w, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		fail("%v", err)
+	}
+
+	// Shutdown must drain cleanly while faults are still armed, with a
+	// final wave of requests racing it.
+	var lateWG sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		lateWG.Add(1)
+		go func(w int) {
+			defer lateWG.Done()
+			c, err := Dial(ln.Addr().String(), &ClientOptions{
+				DialTimeout: time.Second, RequestTimeout: 2 * time.Second,
+				MaxRetries: 1, RetryBackoff: time.Millisecond, BreakerThreshold: -1,
+			})
+			if err != nil {
+				return // the listener may already be closing: fine
+			}
+			defer c.Close()
+			src := Float32Bytes(sampleFloats32(400, int64(w)))
+			if _, err := c.Compress(SPspeed, src); err != nil && !typedChaosError(err) {
+				errc := err
+				t.Errorf("late request untyped error: %v (seed %d)", errc, plan.Seed)
+			}
+		}(w)
+	}
+	time.Sleep(5 * time.Millisecond) // let some late requests get in flight
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fail("Shutdown mid-fault: %v", err)
+	}
+	lateWG.Wait()
+	if err := <-served; !errors.Is(err, server.ErrServerClosed) {
+		fail("Serve returned %v, want ErrServerClosed", err)
+	}
+
+	// Goroutine fence: everything the soak spawned must unwind. Allow
+	// the runtime a moment to reap; a few test-framework goroutines of
+	// slack, but a per-connection or per-request leak (dozens here)
+	// trips it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			fail("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,6 +31,34 @@ import (
 // admission queue was full. The Client retries it automatically up to
 // MaxRetries; ErrBusy surfaces only once retries are exhausted.
 var ErrBusy = server.ErrBusy
+
+// ErrCircuitOpen reports that every configured address has an open
+// circuit breaker: recent consecutive failures tripped them and their
+// cool-downs have not elapsed, so the Client fails fast instead of
+// hammering dead servers. It is retryable — a later attempt may find a
+// breaker half-open and probe.
+var ErrCircuitOpen = errors.New("fpcompress: circuit breaker open for every address")
+
+// RetryError reports that a retryable failure outlived the retry budget.
+// It wraps the last underlying error, so errors.Is/errors.As see through
+// it (errors.Is(err, ErrBusy), errors.As(err, &netErr), ...), while the
+// message carries the budget accounting for operators.
+type RetryError struct {
+	// Attempts is how many times the request was tried (1 + retries).
+	Attempts int
+	// Budget is the configured retry budget (MaxRetries).
+	Budget int
+	// Err is the last underlying failure.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("fpcompress: request failed after %d attempt(s) (retry budget %d): %v", e.Attempts, e.Budget, e.Err)
+}
+
+// Unwrap exposes the last underlying failure to errors.Is/errors.As.
+func (e *RetryError) Unwrap() error { return e.Err }
 
 // ServerStats is the server metrics snapshot returned by Client.Stats:
 // per-op request/error/byte counters and latency percentiles, plus the
@@ -73,6 +102,16 @@ type ClientOptions struct {
 	// MaxFrameSize bounds a frame DecompressStream will accept (default
 	// DefaultMaxFrameSize, matching the streaming Reader).
 	MaxFrameSize int
+	// BreakerThreshold is how many consecutive transport failures against
+	// one address open its circuit breaker (dial errors and mid-request
+	// connection failures count; typed server responses do not). While
+	// open, the address is skipped until BreakerCoolDown elapses, then one
+	// half-open probe decides: success closes the breaker, failure reopens
+	// it. Default 5; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCoolDown is how long an open breaker rejects before allowing
+	// the half-open probe. Default 2s.
+	BreakerCoolDown time.Duration
 }
 
 func (o *ClientOptions) dialTimeout() time.Duration {
@@ -130,26 +169,163 @@ func (o *ClientOptions) maxFrameSize() int {
 	return DefaultMaxFrameSize
 }
 
-// Client is a connection to an fpcd server. Safe for concurrent use;
-// requests are serialized over the single connection.
-type Client struct {
-	addr string
-	opts *ClientOptions
-
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	rng  *rand.Rand
+func (o *ClientOptions) breakerThreshold() int {
+	if o == nil || o.BreakerThreshold == 0 {
+		return 5
+	}
+	if o.BreakerThreshold < 0 {
+		return 0 // disabled
+	}
+	return o.BreakerThreshold
 }
 
-// Dial connects to an fpcd server at addr ("host:port"). opts may be nil
-// for defaults.
+func (o *ClientOptions) breakerCoolDown() time.Duration {
+	if o != nil && o.BreakerCoolDown > 0 {
+		return o.BreakerCoolDown
+	}
+	return 2 * time.Second
+}
+
+// breakerState is a circuit breaker's position.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a consecutive-failure circuit breaker for one address.
+// Accessed only under Client.mu.
+type breaker struct {
+	threshold   int
+	coolDown    time.Duration
+	state       breakerState
+	fails       int       // consecutive failures while closed
+	openedAt    time.Time // when the breaker last opened
+	transitions uint64    // state changes since the Client was created
+}
+
+// allow reports whether an attempt against this address may proceed now;
+// an open breaker past its cool-down moves to half-open and admits one
+// probe.
+func (b *breaker) allow(now time.Time) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	switch b.state {
+	case breakerClosed, breakerHalfOpen:
+		return true
+	default: // open
+		if now.Sub(b.openedAt) >= b.coolDown {
+			b.state = breakerHalfOpen
+			b.transitions++
+			return true
+		}
+		return false
+	}
+}
+
+func (b *breaker) onSuccess() {
+	if b.threshold <= 0 {
+		return
+	}
+	if b.state != breakerClosed {
+		b.transitions++
+	}
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+func (b *breaker) onFailure(now time.Time) {
+	if b.threshold <= 0 {
+		return
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: straight back to open with a fresh cool-down.
+		b.state = breakerOpen
+		b.openedAt = now
+		b.transitions++
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.transitions++
+		}
+	}
+}
+
+// BreakerStat is one address's circuit-breaker view, returned by
+// Client.BreakerStats.
+type BreakerStat struct {
+	Addr        string `json:"addr"`
+	State       string `json:"state"`
+	Failures    int    `json:"consecutive_failures"`
+	Transitions uint64 `json:"transitions"`
+}
+
+// Client is a connection to an fpcd deployment — one address or several
+// interchangeable replicas. Safe for concurrent use; requests are
+// serialized over the single live connection. Each address carries a
+// consecutive-failure circuit breaker, and a dead address fails over to
+// the next one.
+type Client struct {
+	addrs []string
+	opts  *ClientOptions
+
+	mu       sync.Mutex
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	rng      *rand.Rand
+	cur      int // index into addrs of the live (or last-tried) address
+	breakers []breaker
+}
+
+// Dial connects to an fpcd server at addr ("host:port", or a
+// comma-separated list of interchangeable addresses for failover). opts
+// may be nil for defaults.
 func Dial(addr string, opts *ClientOptions) (*Client, error) {
+	return DialMulti(strings.Split(addr, ","), opts)
+}
+
+// DialMulti connects to the first reachable of several interchangeable
+// fpcd addresses. Later transport failures fail over to the next address
+// (with per-address circuit breakers deciding which addresses are worth
+// trying). opts may be nil for defaults.
+func DialMulti(addrs []string, opts *ClientOptions) (*Client, error) {
+	clean := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		if a = strings.TrimSpace(a); a != "" {
+			clean = append(clean, a)
+		}
+	}
+	if len(clean) == 0 {
+		return nil, errors.New("fpcompress: Dial needs at least one address")
+	}
 	c := &Client{
-		addr: addr,
-		opts: opts,
-		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		addrs:    clean,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		breakers: make([]breaker, len(clean)),
+	}
+	for i := range c.breakers {
+		c.breakers[i] = breaker{threshold: opts.breakerThreshold(), coolDown: opts.breakerCoolDown()}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -157,6 +333,19 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// BreakerStats reports each address's circuit-breaker state — exposed so
+// operators can see which replicas the client has written off.
+func (c *Client) BreakerStats() []BreakerStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]BreakerStat, len(c.addrs))
+	for i := range c.addrs {
+		b := &c.breakers[i]
+		out[i] = BreakerStat{Addr: c.addrs[i], State: b.state.String(), Failures: b.fails, Transitions: b.transitions}
+	}
+	return out
 }
 
 // Close closes the connection. The Client cannot be reused afterwards
@@ -172,16 +361,37 @@ func (c *Client) Close() error {
 	return err
 }
 
-// connect (re)establishes the transport. Caller holds c.mu.
+// connect (re)establishes the transport, starting at the current address
+// and failing over through the rest. Addresses with open breakers are
+// skipped; if every address is skipped the typed ErrCircuitOpen is
+// returned immediately (fail fast, no dial). Caller holds c.mu.
 func (c *Client) connect() error {
-	conn, err := net.DialTimeout("tcp", c.addr, c.opts.dialTimeout())
-	if err != nil {
-		return err
+	var lastErr error
+	now := time.Now()
+	for i := 0; i < len(c.addrs); i++ {
+		idx := (c.cur + i) % len(c.addrs)
+		b := &c.breakers[idx]
+		if !b.allow(now) {
+			continue
+		}
+		conn, err := net.DialTimeout("tcp", c.addrs[idx], c.opts.dialTimeout())
+		if err != nil {
+			b.onFailure(time.Now())
+			lastErr = err
+			continue
+		}
+		// A successful dial is not a closed breaker yet: a half-open
+		// breaker stays half-open until a request round-trips.
+		c.cur = idx
+		c.conn = conn
+		c.br = bufio.NewReaderSize(conn, 64<<10)
+		c.bw = bufio.NewWriterSize(conn, 64<<10)
+		return nil
 	}
-	c.conn = conn
-	c.br = bufio.NewReaderSize(conn, 64<<10)
-	c.bw = bufio.NewWriterSize(conn, 64<<10)
-	return nil
+	if lastErr == nil {
+		return ErrCircuitOpen
+	}
+	return lastErr
 }
 
 // reset drops a connection whose protocol state is unknown (mid-request
@@ -205,7 +415,24 @@ func retryable(err error) bool {
 	return !errors.As(err, &re)
 }
 
-// do performs one operation with retry-with-jittered-backoff.
+// backoffDelay is the sleep before retry number attempt (0-based): full
+// jitter uniform in [base, base·2^attempt], so the first retry waits at
+// least base and the envelope doubles per attempt. The shift saturates to
+// keep the arithmetic overflow-free at absurd attempt counts.
+func backoffDelay(base time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	if attempt > 20 {
+		attempt = 20
+	}
+	hi := base << uint(attempt)
+	if hi <= base {
+		return base
+	}
+	return base + time.Duration(rng.Int63n(int64(hi-base)+1))
+}
+
+// do performs one operation with retry-with-jittered-backoff. When the
+// retry budget runs out, the last underlying error is returned wrapped in
+// a *RetryError carrying the accounting.
 func (c *Client) do(op server.Op, alg byte, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -216,37 +443,45 @@ func (c *Client) do(op server.Op, alg byte, payload []byte) ([]byte, error) {
 		if err == nil {
 			return out, nil
 		}
-		if attempt >= retries || !retryable(err) {
+		if !retryable(err) {
 			return nil, err
 		}
-		// Exponential backoff with ±50% jitter: base<<attempt scaled by a
-		// uniform factor in [0.5, 1.5).
-		d := time.Duration(float64(base<<uint(attempt)) * (0.5 + c.rng.Float64()))
-		time.Sleep(d)
+		if attempt >= retries {
+			return nil, &RetryError{Attempts: attempt + 1, Budget: retries, Err: err}
+		}
+		time.Sleep(backoffDelay(base, attempt, c.rng))
 	}
 }
 
-// roundTrip sends one request and reads its response. Caller holds c.mu.
+// roundTrip sends one request and reads its response, recording the
+// outcome in the current address's circuit breaker: any complete response
+// (including busy and typed server errors) proves the server alive;
+// transport failures count toward opening the breaker. Caller holds c.mu.
 func (c *Client) roundTrip(op server.Op, alg byte, payload []byte) ([]byte, error) {
 	if c.conn == nil {
 		if err := c.connect(); err != nil {
 			return nil, err
 		}
 	}
+	b := &c.breakers[c.cur]
 	c.conn.SetDeadline(time.Now().Add(c.opts.requestTimeout()))
 	if err := server.WriteRequest(c.bw, op, alg, payload); err != nil {
 		c.reset()
+		b.onFailure(time.Now())
 		return nil, err
 	}
 	if err := c.bw.Flush(); err != nil {
 		c.reset()
+		b.onFailure(time.Now())
 		return nil, err
 	}
 	st, resp, err := server.ReadResponse(c.br, c.opts.maxResponse())
 	if err != nil {
 		c.reset()
+		b.onFailure(time.Now())
 		return nil, err
 	}
+	b.onSuccess()
 	switch st {
 	case server.StatusOK:
 		return resp, nil
@@ -254,6 +489,11 @@ func (c *Client) roundTrip(op server.Op, alg byte, payload []byte) ([]byte, erro
 		// The connection stays healthy: a busy rejection is a complete,
 		// well-framed response.
 		return nil, ErrBusy
+	case server.StatusSlowClient:
+		// The server cut us off for dribbling a request too slowly; it
+		// also closed the connection, so redial before the retry.
+		c.reset()
+		return nil, fmt.Errorf("fpcompress: server disconnected slow request: %s", resp)
 	default:
 		return nil, &RemoteError{Status: byte(st), Msg: string(resp)}
 	}

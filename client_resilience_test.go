@@ -1,0 +1,210 @@
+package fpcompress
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"fpcompress/internal/server"
+)
+
+// TestBackoffJitterBounds samples the backoff schedule and asserts every
+// delay stays inside the documented envelope [base, 2^attempt·base].
+func TestBackoffJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := 10 * time.Millisecond
+	for attempt := 0; attempt <= 8; attempt++ {
+		lo, hi := base, base<<uint(attempt)
+		sawSpread := false
+		var firstSample time.Duration
+		for i := 0; i < 300; i++ {
+			d := backoffDelay(base, attempt, rng)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+			if i == 0 {
+				firstSample = d
+			} else if d != firstSample {
+				sawSpread = true
+			}
+		}
+		if attempt > 0 && !sawSpread {
+			t.Errorf("attempt %d: every sample identical — jitter is not jittering", attempt)
+		}
+	}
+	// The saturation guard: absurd attempts must not overflow to
+	// negative or zero delays.
+	if d := backoffDelay(base, 500, rng); d < base {
+		t.Errorf("attempt 500: delay %v underflowed the base", d)
+	}
+}
+
+// TestRetryExhaustionWrapsLastError checks the retry budget surfaces as
+// a *RetryError that errors.Is/errors.As see through to the last
+// underlying failure.
+func TestRetryExhaustionWrapsLastError(t *testing.T) {
+	addr, _ := fakeServer(t, []server.Status{
+		server.StatusBusy, server.StatusBusy, server.StatusBusy, server.StatusBusy,
+	})
+	c := dialClient(t, addr, &ClientOptions{MaxRetries: 2, RetryBackoff: time.Millisecond})
+	_, err := c.Compress(SPspeed, []byte{1, 2, 3, 4})
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v (%T), want *RetryError", err, err)
+	}
+	if re.Attempts != 3 || re.Budget != 2 {
+		t.Errorf("accounting attempts=%d budget=%d, want 3 and 2", re.Attempts, re.Budget)
+	}
+	if !errors.Is(err, ErrBusy) {
+		t.Errorf("errors.Is(err, ErrBusy) = false; RetryError must wrap the last failure")
+	}
+	if !errors.Is(re.Unwrap(), ErrBusy) {
+		t.Errorf("Unwrap() = %v, want the underlying ErrBusy", re.Unwrap())
+	}
+}
+
+// TestClientFailover points a client at a dead address and a live one:
+// the dial must fail over and requests must succeed, with the dead
+// address's breaker recording the failure.
+func TestClientFailover(t *testing.T) {
+	// Reserve-and-close yields an address that refuses connections.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	liveAddr := startTestServer(t, server.Config{})
+	c, err := DialMulti([]string{deadAddr, liveAddr}, &ClientOptions{
+		DialTimeout: time.Second, MaxRetries: 2, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("DialMulti with one live address failed: %v", err)
+	}
+	defer c.Close()
+
+	src := Float32Bytes(sampleFloats32(2000, 17))
+	blob, err := c.Compress(SPratio, src)
+	if err != nil {
+		t.Fatalf("compress through failover: %v", err)
+	}
+	if back, err := Decompress(blob, nil); err != nil || len(back) != len(src) {
+		t.Fatalf("failover result corrupt: %v", err)
+	}
+
+	stats := c.BreakerStats()
+	if len(stats) != 2 {
+		t.Fatalf("breaker stats for %d addresses, want 2", len(stats))
+	}
+	if stats[0].Addr != deadAddr || stats[0].Failures == 0 {
+		t.Errorf("dead address breaker %+v, want recorded failures", stats[0])
+	}
+	if stats[1].State != "closed" {
+		t.Errorf("live address breaker state %q, want closed", stats[1].State)
+	}
+}
+
+// TestCircuitBreakerLifecycle drives one address through the full
+// closed -> open -> half-open -> closed cycle: consecutive failures trip
+// the breaker, while open the client fails fast with ErrCircuitOpen, and
+// after the cool-down one successful probe closes it again.
+func TestCircuitBreakerLifecycle(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := server.New(server.Config{IdlePoll: 20 * time.Millisecond})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	coolDown := 150 * time.Millisecond
+	c, err := Dial(addr, &ClientOptions{
+		DialTimeout:      500 * time.Millisecond,
+		MaxRetries:       -1, // surface each failure so the test drives the breaker
+		BreakerThreshold: 2,
+		BreakerCoolDown:  coolDown,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	src := Float32Bytes(sampleFloats32(500, 3))
+	if _, err := c.Compress(SPspeed, src); err != nil {
+		t.Fatalf("warm-up through live server: %v", err)
+	}
+
+	// Kill the server; the next attempts are transport failures.
+	srv.Close()
+	<-done
+	sawFailure := 0
+	for i := 0; i < 4; i++ {
+		if _, err := c.Compress(SPspeed, src); err == nil {
+			t.Fatalf("request %d against dead server succeeded", i)
+		} else if errors.Is(err, ErrCircuitOpen) {
+			break
+		}
+		sawFailure++
+	}
+	if sawFailure == 0 {
+		t.Fatal("breaker opened before any real failure was observed")
+	}
+	// Now the breaker must be open: fail fast, typed, no dialing.
+	start := time.Now()
+	_, err = c.Compress(SPspeed, src)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("error with open breaker = %v, want ErrCircuitOpen", err)
+	}
+	if elapsed := time.Since(start); elapsed > coolDown {
+		t.Errorf("open-breaker failure took %v, want fast-fail", elapsed)
+	}
+	if st := c.BreakerStats()[0]; st.State != "open" || st.Transitions == 0 {
+		t.Errorf("breaker stats %+v, want open with transitions recorded", st)
+	}
+
+	// Revive the server on the same address; after the cool-down the
+	// half-open probe succeeds and the breaker closes.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	srv2 := server.New(server.Config{IdlePoll: 20 * time.Millisecond})
+	done2 := make(chan error, 1)
+	go func() { done2 <- srv2.Serve(ln2) }()
+	t.Cleanup(func() {
+		srv2.Close()
+		<-done2
+	})
+
+	time.Sleep(coolDown + 50*time.Millisecond)
+	if _, err := c.Compress(SPspeed, src); err != nil {
+		t.Fatalf("half-open probe against revived server: %v", err)
+	}
+	if st := c.BreakerStats()[0]; st.State != "closed" {
+		t.Errorf("breaker state after recovery %q, want closed", st.State)
+	}
+}
+
+// TestDialCommaSeparated checks Dial accepts "a,b" failover lists.
+func TestDialCommaSeparated(t *testing.T) {
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	live := startTestServer(t, server.Config{})
+
+	c, err := Dial(deadAddr+","+live, &ClientOptions{DialTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("comma-separated Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("stats through failover address list: %v", err)
+	}
+}

@@ -8,6 +8,8 @@
 //	fpcd                                  # serve on 127.0.0.1:7332
 //	fpcd -addr :7332 -concurrency 8       # all interfaces, 8 workers
 //	fpcd -queue 32 -max-payload 16777216  # deeper queue, 16 MiB payload cap
+//	fpcd -max-conns 256 -read-timeout 10s # tighter connection-level limits
+//	fpcd -max-inflight-bytes 268435456    # cap buffered request bytes at 256 MiB
 //	fpcd -debug localhost:6060            # expvar metrics at /debug/vars
 //
 // Clients use fpcompress.Dial (see the README quickstart) or any
@@ -38,6 +40,9 @@ func main() {
 		maxResult   = flag.Int("max-result", 0, "largest decompressed output one request may allocate (0 = 64 MiB, negative = unbounded)")
 		chunkSize   = flag.Int("chunk", 0, "container chunk size in bytes (0 = 16384, the paper's default)")
 		codecPar    = flag.Int("codec-parallelism", 0, "container workers per request (0 = 1; the pool supplies cross-request parallelism)")
+		maxConns    = flag.Int("max-conns", 0, "concurrent connection cap; excess get a busy response and a close (0 = 1024, negative = unlimited)")
+		readTimeout = flag.Duration("read-timeout", 0, "how long one request's bytes may take to arrive before the slow client is disconnected (0 = 30s, negative = no limit)")
+		maxInflight = flag.Int64("max-inflight-bytes", 0, "global cap on admitted-but-unanswered request payload bytes (0 = 4x max-payload, negative = unlimited)")
 		debugAddr   = flag.String("debug", "", "optional HTTP address serving expvar metrics at /debug/vars")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before open connections are dropped")
 		quiet       = flag.Bool("q", false, "suppress startup and shutdown messages")
@@ -51,6 +56,9 @@ func main() {
 		MaxResult:        *maxResult,
 		ChunkSize:        *chunkSize,
 		CodecParallelism: *codecPar,
+		MaxConns:         *maxConns,
+		ReadTimeout:      *readTimeout,
+		MaxInflightBytes: *maxInflight,
 	})
 	expvar.Publish("fpcd", expvar.Func(func() any { return srv.StatsSnapshot() }))
 	if *debugAddr != "" {

@@ -5,18 +5,25 @@
 // Usage:
 //
 //	fpcz -c -a spratio  input.f32 output.fpcz     # compress
+//	fpcz -c -verify in.f32 out.fpcz               # round-trip check before commit
 //	fpcz -d             output.fpcz restored.f32  # decompress
 //	fpcz -c -a dpspeed < input.f64 > out.fpcz     # streams via stdin/stdout
 //	fpcz -info out.fpcz                           # inspect a compressed file
+//
+// File output is atomic: bytes go to a same-directory temp file that is
+// fsynced and renamed over the destination only on success, so an
+// interrupted run never leaves a truncated output file.
 //
 // The algorithm is recorded in the output, so decompression needs no -a.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -34,16 +41,17 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress the statistics line")
 		stream     = flag.Bool("stream", false, "framed streaming mode: constant memory, for inputs larger than RAM")
 		maxDecoded = flag.Int("max-decoded", 0, "decode budget in bytes for -d and -info (0 = 64 MiB; -1 = unlimited, for trusted files only)")
+		verify     = flag.Bool("verify", false, "with -c: decompress the result and byte-compare against the input before committing the output (roughly doubles runtime and holds a second copy in memory)")
 	)
 	flag.Parse()
 
-	if err := run(*compress, *decompress, *info, *stream, *algName, *chunkSize, *parallel, *maxDecoded, *quiet, flag.Args()); err != nil {
+	if err := run(*compress, *decompress, *info, *stream, *verify, *algName, *chunkSize, *parallel, *maxDecoded, *quiet, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "fpcz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(compress, decompress, info, stream bool, algName string, chunkSize, parallel, maxDecoded int, quiet bool, args []string) error {
+func run(compress, decompress, info, stream, verify bool, algName string, chunkSize, parallel, maxDecoded int, quiet bool, args []string) error {
 	switch {
 	case info:
 		if len(args) != 1 {
@@ -52,13 +60,20 @@ func run(compress, decompress, info, stream bool, algName string, chunkSize, par
 		return describe(args[0], maxDecoded)
 	case compress == decompress:
 		return fmt.Errorf("exactly one of -c or -d is required")
+	case verify && !compress:
+		return fmt.Errorf("-verify only applies to -c (decompression is already checksum-verified)")
+	case verify && stream:
+		return fmt.Errorf("-verify is not supported with -stream (the input is consumed as it is read); verify whole files instead")
 	}
 
-	in, out, closeAll, err := openFiles(args)
+	in, out, err := openFiles(args)
 	if err != nil {
 		return err
 	}
-	defer closeAll()
+	// Abort is a no-op after Commit: an early error return (or a crash)
+	// leaves the destination untouched instead of truncated.
+	defer out.Abort()
+	defer in.close()
 
 	if stream {
 		opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel, MaxDecodedSize: maxDecoded}
@@ -70,14 +85,14 @@ func run(compress, decompress, info, stream bool, algName string, chunkSize, par
 				return err
 			}
 			w := fpcompress.NewWriter(out, alg, 0, opts)
-			if n, err = io.Copy(w, in); err != nil {
+			if n, err = io.Copy(w, in.r); err != nil {
 				return err
 			}
 			if err := w.Close(); err != nil {
 				return err
 			}
 		} else {
-			if n, err = io.Copy(out, fpcompress.NewReader(in, opts)); err != nil {
+			if n, err = io.Copy(out, fpcompress.NewReader(in.r, opts)); err != nil {
 				return err
 			}
 		}
@@ -86,10 +101,10 @@ func run(compress, decompress, info, stream bool, algName string, chunkSize, par
 			fmt.Fprintf(os.Stderr, "streamed %d bytes in %v (%.1f MB/s)\n",
 				n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds()/1e6)
 		}
-		return nil
+		return out.Commit()
 	}
 
-	data, err := io.ReadAll(in)
+	data, err := io.ReadAll(in.r)
 	if err != nil {
 		return err
 	}
@@ -104,6 +119,22 @@ func run(compress, decompress, info, stream bool, algName string, chunkSize, par
 		result, err = fpcompress.Compress(alg, data, opts)
 		if err != nil {
 			return err
+		}
+		if verify {
+			// Paranoid end-to-end self-check before any bytes are
+			// committed: the container we are about to write must decode
+			// back to exactly the input. The budget is the known input
+			// size, so verification never allocates more than one extra
+			// copy.
+			back, err := fpcompress.Decompress(result, &fpcompress.Options{
+				Parallelism: parallel, MaxDecodedSize: len(data) + 1,
+			})
+			if err != nil {
+				return fmt.Errorf("verify: round-trip decode failed: %w", err)
+			}
+			if !bytes.Equal(back, data) {
+				return fmt.Errorf("verify: round trip does not reproduce the input (%d in, %d back)", len(data), len(back))
+			}
 		}
 	} else {
 		result, err = fpcompress.Decompress(data, opts)
@@ -120,11 +151,15 @@ func run(compress, decompress, info, stream bool, algName string, chunkSize, par
 		if compress {
 			ratio = float64(len(data)) / float64(len(result))
 		}
-		fmt.Fprintf(os.Stderr, "%d -> %d bytes (ratio %.3f) in %v (%.1f MB/s)\n",
-			len(data), len(result), ratio, elapsed.Round(time.Millisecond),
+		verified := ""
+		if verify {
+			verified = ", verified"
+		}
+		fmt.Fprintf(os.Stderr, "%d -> %d bytes (ratio %.3f%s) in %v (%.1f MB/s)\n",
+			len(data), len(result), ratio, verified, elapsed.Round(time.Millisecond),
 			float64(len(data))/elapsed.Seconds()/1e6)
 	}
-	return nil
+	return out.Commit()
 }
 
 func parseAlg(name string) (fpcompress.Algorithm, error) {
@@ -145,34 +180,100 @@ func parseAlg(name string) (fpcompress.Algorithm, error) {
 	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
 
-func openFiles(args []string) (io.Reader, io.Writer, func(), error) {
-	var in io.Reader = os.Stdin
-	var out io.Writer = os.Stdout
-	var closers []func()
+// input is the source side: a reader plus its cleanup.
+type input struct {
+	r io.Reader
+	f *os.File // nil when reading stdin
+}
+
+func (in *input) close() {
+	if in.f != nil {
+		in.f.Close()
+	}
+}
+
+// atomicOutput writes through a same-directory temp file and renames it
+// over the destination only on Commit, after an fsync — so an
+// interrupted or failed run never leaves a truncated or corrupt output
+// file where the destination should be. Stdout output is passed through
+// unchanged (there is nothing atomic about a pipe).
+type atomicOutput struct {
+	w    io.Writer
+	tmp  *os.File // nil for stdout
+	path string   // final destination
+	done bool
+}
+
+func newAtomicOutput(path string) (*atomicOutput, error) {
+	if path == "" {
+		return &atomicOutput{w: os.Stdout}, nil
+	}
+	// The temp file must live in the destination directory: rename is
+	// only atomic within one filesystem.
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, err
+	}
+	return &atomicOutput{w: tmp, tmp: tmp, path: path}, nil
+}
+
+// Write implements io.Writer.
+func (a *atomicOutput) Write(p []byte) (int, error) { return a.w.Write(p) }
+
+// Commit makes the output durable and visible: fsync, close, rename.
+func (a *atomicOutput) Commit() error {
+	if a.tmp == nil || a.done {
+		return nil
+	}
+	a.done = true
+	if err := a.tmp.Sync(); err != nil {
+		a.tmp.Close()
+		os.Remove(a.tmp.Name())
+		return err
+	}
+	if err := a.tmp.Close(); err != nil {
+		os.Remove(a.tmp.Name())
+		return err
+	}
+	if err := os.Rename(a.tmp.Name(), a.path); err != nil {
+		os.Remove(a.tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Abort discards the temp file; a no-op after Commit or for stdout.
+func (a *atomicOutput) Abort() {
+	if a.tmp == nil || a.done {
+		return
+	}
+	a.done = true
+	a.tmp.Close()
+	os.Remove(a.tmp.Name())
+}
+
+func openFiles(args []string) (*input, *atomicOutput, error) {
+	if len(args) > 2 {
+		return nil, nil, fmt.Errorf("too many arguments")
+	}
+	in := &input{r: os.Stdin}
 	if len(args) >= 1 {
 		f, err := os.Open(args[0])
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
-		in = f
-		closers = append(closers, func() { f.Close() })
+		in.r, in.f = f, f
 	}
+	outPath := ""
 	if len(args) >= 2 {
-		f, err := os.Create(args[1])
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		out = f
-		closers = append(closers, func() { f.Close() })
+		outPath = args[1]
 	}
-	if len(args) > 2 {
-		return nil, nil, nil, fmt.Errorf("too many arguments")
+	out, err := newAtomicOutput(outPath)
+	if err != nil {
+		in.close()
+		return nil, nil, err
 	}
-	return in, out, func() {
-		for _, c := range closers {
-			c()
-		}
-	}, nil
+	return in, out, nil
 }
 
 func describe(path string, maxDecoded int) error {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"fpcompress"
@@ -30,14 +31,14 @@ func TestRunCompressDecompressFiles(t *testing.T) {
 	packed := filepath.Join(dir, "out.fpcz")
 	restored := filepath.Join(dir, "back.f32")
 
-	if err := run(true, false, false, false, "spratio", 0, 0, -1, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, false, "spratio", 0, 0, -1, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
 	pinfo, _ := os.Stat(packed)
 	if pinfo.Size() >= int64(len(raw)) {
 		t.Error("compression produced no gain on smooth data")
 	}
-	if err := run(false, true, false, false, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
+	if err := run(false, true, false, false, false, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := os.ReadFile(restored)
@@ -51,10 +52,10 @@ func TestRunStreamMode(t *testing.T) {
 	dir := filepath.Dir(in)
 	packed := filepath.Join(dir, "out.fpczs")
 	restored := filepath.Join(dir, "back.f32")
-	if err := run(true, false, false, true, "spspeed", 0, 0, -1, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, true, false, "spspeed", 0, 0, -1, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(false, true, false, true, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
+	if err := run(false, true, false, true, false, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := os.ReadFile(restored)
@@ -66,26 +67,26 @@ func TestRunStreamMode(t *testing.T) {
 func TestRunInfo(t *testing.T) {
 	in, _ := writeTempValues(t, 1000)
 	packed := filepath.Join(filepath.Dir(in), "o.fpcz")
-	if err := run(true, false, false, false, "dpbalance", 0, 0, -1, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, false, "dpbalance", 0, 0, -1, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(false, false, true, false, "", 0, 0, -1, true, []string{packed}); err != nil {
+	if err := run(false, false, true, false, false, "", 0, 0, -1, true, []string{packed}); err != nil {
 		t.Fatalf("info: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(false, false, false, false, "", 0, 0, -1, true, nil); err == nil {
+	if err := run(false, false, false, false, false, "", 0, 0, -1, true, nil); err == nil {
 		t.Error("neither -c nor -d accepted")
 	}
-	if err := run(true, true, false, false, "spspeed", 0, 0, -1, true, nil); err == nil {
+	if err := run(true, true, false, false, false, "spspeed", 0, 0, -1, true, nil); err == nil {
 		t.Error("both -c and -d accepted")
 	}
 	in, _ := writeTempValues(t, 10)
-	if err := run(true, false, false, false, "nope", 0, 0, -1, true, []string{in, in + ".x"}); err == nil {
+	if err := run(true, false, false, false, false, "nope", 0, 0, -1, true, []string{in, in + ".x"}); err == nil {
 		t.Error("bad algorithm accepted")
 	}
-	if err := run(true, false, false, false, "spspeed", 0, 0, -1, true, []string{"a", "b", "c"}); err == nil {
+	if err := run(true, false, false, false, false, "spspeed", 0, 0, -1, true, []string{"a", "b", "c"}); err == nil {
 		t.Error("too many args accepted")
 	}
 }
@@ -99,6 +100,122 @@ func TestParseAlgAll(t *testing.T) {
 		got, err := parseAlg(name)
 		if err != nil || got != want {
 			t.Errorf("parseAlg(%q) = %v, %v", name, got, err)
+		}
+	}
+}
+
+// TestVerifyFlag checks -verify round-trips before committing and is
+// rejected in the modes where it cannot work.
+func TestVerifyFlag(t *testing.T) {
+	in, _ := writeTempValues(t, 20000)
+	packed := filepath.Join(filepath.Dir(in), "v.fpcz")
+	if err := run(true, false, false, false, true, "spratio", 0, 0, -1, true, []string{in, packed}); err != nil {
+		t.Fatalf("compress -verify: %v", err)
+	}
+	if _, err := os.Stat(packed); err != nil {
+		t.Fatalf("verified output missing: %v", err)
+	}
+	restored := filepath.Join(filepath.Dir(in), "v.back")
+	if err := run(false, true, false, false, false, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, true, false, false, true, "", 0, 0, -1, true, []string{packed, restored}); err == nil {
+		t.Error("-verify with -d accepted")
+	}
+	if err := run(true, false, false, true, true, "spspeed", 0, 0, -1, true, []string{in, packed}); err == nil {
+		t.Error("-verify with -stream accepted")
+	}
+}
+
+// TestAtomicOutputNoPartialFile is the interrupted-write test: a run
+// that dies mid-stream (here: the decode fails after output has been
+// opened and possibly written) must leave neither the destination file
+// nor any temp file behind.
+func TestAtomicOutputNoPartialFile(t *testing.T) {
+	in, _ := writeTempValues(t, 50000)
+	dir := filepath.Dir(in)
+	packed := filepath.Join(dir, "whole.fpcz")
+	if err := run(true, false, false, false, false, "spspeed", 0, 0, -1, true, []string{in, packed}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the container so decompression starts, then fails.
+	blob, err := os.ReadFile(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(dir, "corrupt.fpcz")
+	if err := os.WriteFile(corrupt, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dir, "restored.f32")
+	if err := run(false, true, false, false, false, "", 0, 0, -1, true, []string{corrupt, target}); err == nil {
+		t.Fatal("decompressing a truncated container succeeded")
+	}
+	if _, err := os.Stat(target); !os.IsNotExist(err) {
+		t.Errorf("failed run left the destination file behind (stat err %v)", err)
+	}
+	assertNoTempFiles(t, dir)
+
+	// The same holds in stream mode: a torn frame aborts without output.
+	streamPacked := filepath.Join(dir, "s.fpczs")
+	if err := run(true, false, false, true, false, "spspeed", 0, 0, -1, true, []string{in, streamPacked}); err != nil {
+		t.Fatal(err)
+	}
+	sblob, err := os.ReadFile(streamPacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorrupt := filepath.Join(dir, "s-corrupt.fpczs")
+	if err := os.WriteFile(scorrupt, sblob[:len(sblob)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	starget := filepath.Join(dir, "s-restored.f32")
+	if err := run(false, true, false, true, false, "", 0, 0, -1, true, []string{scorrupt, starget}); err == nil {
+		t.Fatal("decompressing a torn stream succeeded")
+	}
+	if _, err := os.Stat(starget); !os.IsNotExist(err) {
+		t.Errorf("failed stream run left the destination file behind (stat err %v)", err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestAtomicOutputAbort exercises the writer directly: abort after a
+// partial write removes the temp and never creates the destination.
+func TestAtomicOutputAbort(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "out.bin")
+	a, err := newAtomicOutput(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("half a fil")); err != nil {
+		t.Fatal(err)
+	}
+	a.Abort()
+	if _, err := os.Stat(target); !os.IsNotExist(err) {
+		t.Error("abort created the destination")
+	}
+	assertNoTempFiles(t, dir)
+
+	// Commit after Abort stays a no-op.
+	if err := a.Commit(); err != nil {
+		t.Errorf("Commit after Abort: %v", err)
+	}
+	if _, err := os.Stat(target); !os.IsNotExist(err) {
+		t.Error("Commit after Abort materialized the destination")
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("stray temp file left behind: %s", e.Name())
 		}
 	}
 }

@@ -1,0 +1,260 @@
+// Package faultnet is a deterministic, seed-driven fault-injection layer
+// over net.Listener and net.Conn. It exists to make "the network was
+// unlucky" reproducible: every fault decision — inject latency here, flip
+// a bit there, reset this connection mid-frame — is drawn from a PRNG
+// stream derived from a single seed, so a failing soak run replays
+// exactly by rerunning with the seed it printed.
+//
+// Determinism model: the listener derives one independent PRNG per
+// accepted connection from (Plan.Seed, connection index). A connection's
+// fault schedule therefore depends only on the seed and its accept
+// ordinal, never on wall-clock time or global interleaving; runs that
+// establish connections in the same order replay bit-identically, and
+// even fully concurrent runs replay the same per-connection schedules.
+//
+// The injected faults are the real-world failure modes a TCP service
+// must survive:
+//
+//   - latency: a uniformly random delay before a read or write
+//   - mid-frame stall: a write is split and the connection goes silent
+//     between the halves (the slow-drip / slowloris shape)
+//   - short write + reset: a random prefix of the buffer is delivered,
+//     then the connection dies (peer crash mid-frame)
+//   - bit flip: one random bit of the payload is corrupted in transit
+//   - reset: the connection is closed under the caller with a typed error
+//   - accept failure: Accept returns a transient error without a
+//     connection (EMFILE, handshake abort)
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root of every error this package fabricates, so
+// tests can tell an injected failure from a real one with errors.Is.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// ErrInjectedReset reports a fabricated connection reset.
+var ErrInjectedReset = fmt.Errorf("%w: connection reset", ErrInjected)
+
+// ErrInjectedAccept reports a fabricated transient accept failure.
+var ErrInjectedAccept = fmt.Errorf("%w: accept failure", ErrInjected)
+
+// Plan is a per-fault probability schedule. Probabilities are in [0, 1]
+// and are evaluated independently per operation (per Read, per Write,
+// per Accept). The zero Plan injects nothing and is transparent.
+type Plan struct {
+	// Seed drives every fault decision. Two runs with the same Plan and
+	// the same connection-accept order inject identical faults.
+	Seed int64
+
+	// AcceptFailure is the probability one Accept call fails with an
+	// error wrapping ErrInjectedAccept (and AcceptErrWrap, if set)
+	// instead of returning a connection.
+	AcceptFailure float64
+	// AcceptErrWrap, when non-nil, is additionally wrapped into injected
+	// accept errors so a server that retries its own sentinel (e.g. a
+	// transient-accept marker) recognizes them without importing faultnet.
+	AcceptErrWrap error
+
+	// LatencyProb is the probability an individual Read or Write is
+	// delayed by a uniform duration in (0, MaxLatency].
+	LatencyProb float64
+	MaxLatency  time.Duration
+
+	// StallProb is the probability a Write is split in half with a Stall
+	// pause between the halves — a mid-frame stall: the peer sees a
+	// partial frame, then silence, then the rest.
+	StallProb float64
+	Stall     time.Duration
+
+	// ResetProb is the probability a Read or Write aborts with
+	// ErrInjectedReset. A resetting Write first delivers a random prefix
+	// of the buffer (a short write), so the peer observes a torn frame.
+	// The underlying connection is really closed, so the peer's next
+	// operation fails too.
+	ResetProb float64
+
+	// BitFlipProb is the probability one random bit of a Read or Write
+	// buffer is inverted — payload corruption in transit.
+	BitFlipProb float64
+}
+
+// String renders the plan compactly for failure messages, seed first,
+// so a failing test's output is directly replayable.
+func (p Plan) String() string {
+	return fmt.Sprintf("faultnet.Plan{Seed:%d Accept:%g Latency:%g/%v Stall:%g/%v Reset:%g BitFlip:%g}",
+		p.Seed, p.AcceptFailure, p.LatencyProb, p.MaxLatency, p.StallProb, p.Stall, p.ResetProb, p.BitFlipProb)
+}
+
+// splitmix64 hashes (seed, ordinal) into an independent per-connection
+// PRNG seed, so connection schedules do not alias each other.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Listener wraps an inner net.Listener with fault injection. Create with
+// Wrap.
+type Listener struct {
+	inner net.Listener
+	plan  Plan
+
+	mu      sync.Mutex
+	rng     *rand.Rand // accept-failure decisions only
+	connSeq uint64
+}
+
+// Wrap decorates ln with the plan's faults. The returned listener owns
+// ln: closing it closes ln.
+func Wrap(ln net.Listener, plan Plan) *Listener {
+	return &Listener{
+		inner: ln,
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+	}
+}
+
+// Accept waits for the next connection, possibly failing transiently per
+// the plan, and wraps accepted connections with per-connection fault
+// schedules.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	inject := l.plan.AcceptFailure > 0 && l.rng.Float64() < l.plan.AcceptFailure
+	l.mu.Unlock()
+	if inject {
+		if l.plan.AcceptErrWrap != nil {
+			return nil, fmt.Errorf("%w: %w", l.plan.AcceptErrWrap, ErrInjectedAccept)
+		}
+		return nil, ErrInjectedAccept
+	}
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	seq := l.connSeq
+	l.connSeq++
+	l.mu.Unlock()
+	return l.wrapConn(c, seq), nil
+}
+
+func (l *Listener) wrapConn(c net.Conn, seq uint64) *Conn {
+	seed := splitmix64(uint64(l.plan.Seed) ^ splitmix64(seq+1))
+	return &Conn{
+		Conn: c,
+		plan: l.plan,
+		rng:  rand.New(rand.NewSource(int64(seed))),
+	}
+}
+
+// Close closes the inner listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr returns the inner listener's address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Conn is a net.Conn with an attached deterministic fault schedule.
+type Conn struct {
+	net.Conn
+	plan Plan
+
+	mu  sync.Mutex // guards rng: reads and writes may race from two goroutines
+	rng *rand.Rand
+}
+
+// decision is one operation's drawn faults; drawing them all at once
+// under the lock keeps the PRNG stream consumption deterministic even
+// when a fault path early-returns.
+type decision struct {
+	latency time.Duration
+	stall   bool
+	reset   bool
+	resetAt int // short-write length before a reset (writes only)
+	flipBit int // bit index to flip, -1 = none
+}
+
+func (c *Conn) draw(n int, isWrite bool) decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var d decision
+	d.flipBit = -1
+	p := c.plan
+	if p.LatencyProb > 0 && c.rng.Float64() < p.LatencyProb && p.MaxLatency > 0 {
+		d.latency = time.Duration(c.rng.Int63n(int64(p.MaxLatency))) + 1
+	}
+	if isWrite && p.StallProb > 0 && c.rng.Float64() < p.StallProb {
+		d.stall = true
+	}
+	if p.ResetProb > 0 && c.rng.Float64() < p.ResetProb {
+		d.reset = true
+		if n > 0 {
+			d.resetAt = c.rng.Intn(n)
+		}
+	}
+	if p.BitFlipProb > 0 && n > 0 && c.rng.Float64() < p.BitFlipProb {
+		d.flipBit = c.rng.Intn(n * 8)
+	}
+	return d
+}
+
+// Read applies the schedule, then reads. Bit flips corrupt the bytes
+// delivered to the caller, as in-transit corruption would.
+func (c *Conn) Read(b []byte) (int, error) {
+	d := c.draw(len(b), false)
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	if d.reset {
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	n, err := c.Conn.Read(b)
+	if n > 0 && d.flipBit >= 0 && d.flipBit < n*8 {
+		b[d.flipBit/8] ^= 1 << (d.flipBit % 8)
+	}
+	return n, err
+}
+
+// Write applies the schedule, then writes. A reset delivers a random
+// prefix first (short write), a stall splits the buffer around a silent
+// pause, a bit flip corrupts one bit of what the peer will receive.
+func (c *Conn) Write(b []byte) (int, error) {
+	d := c.draw(len(b), true)
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	if d.flipBit >= 0 {
+		// Copy so the caller's buffer is not mutated (io.Writer contract).
+		dup := make([]byte, len(b))
+		copy(dup, b)
+		dup[d.flipBit/8] ^= 1 << (d.flipBit % 8)
+		b = dup
+	}
+	if d.reset {
+		n := 0
+		if d.resetAt > 0 {
+			n, _ = c.Conn.Write(b[:d.resetAt])
+		}
+		c.Conn.Close()
+		return n, ErrInjectedReset
+	}
+	if d.stall && len(b) > 1 && c.plan.Stall > 0 {
+		half := len(b) / 2
+		n, err := c.Conn.Write(b[:half])
+		if err != nil {
+			return n, err
+		}
+		time.Sleep(c.plan.Stall)
+		m, err := c.Conn.Write(b[half:])
+		return n + m, err
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,179 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// pair returns the two ends of a faulted loopback connection: client is
+// raw, server is wrapped with the plan.
+func pair(t *testing.T, plan Plan) (client net.Conn, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fl := Wrap(ln, plan)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, aerr := fl.Accept()
+		if aerr != nil {
+			t.Error(aerr)
+			return
+		}
+		server = c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	t.Cleanup(func() {
+		client.Close()
+		if server != nil {
+			server.Close()
+		}
+	})
+	return client, server
+}
+
+// TestZeroPlanTransparent checks the zero plan passes bytes through
+// untouched.
+func TestZeroPlanTransparent(t *testing.T) {
+	client, server := pair(t, Plan{})
+	msg := []byte("the quick brown fox")
+	go client.Write(msg)
+	buf := make([]byte, len(msg))
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := server.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q, want %q", buf, msg)
+	}
+}
+
+// TestDeterministicSchedule checks that two connections with the same
+// (seed, ordinal) draw identical fault decisions, and that different
+// ordinals diverge — the replayability contract.
+func TestDeterministicSchedule(t *testing.T) {
+	plan := Plan{
+		Seed:        42,
+		LatencyProb: 0.3, MaxLatency: time.Millisecond,
+		StallProb: 0.2, Stall: time.Millisecond,
+		ResetProb: 0.1, BitFlipProb: 0.25,
+	}
+	l := &Listener{plan: plan}
+	drawAll := func(seq uint64) []decision {
+		c := l.wrapConn(nil, seq) // nil inner: draw never touches it
+		out := make([]decision, 64)
+		for i := range out {
+			out[i] = c.draw(1024, i%2 == 0)
+		}
+		return out
+	}
+	a, b := drawAll(3), drawAll(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := drawAll(4)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different connection ordinals drew identical schedules")
+	}
+}
+
+// TestInjectedReset checks ResetProb=1 surfaces ErrInjectedReset and
+// really closes the underlying connection.
+func TestInjectedReset(t *testing.T) {
+	client, server := pair(t, Plan{Seed: 7, ResetProb: 1})
+	if _, err := server.Write([]byte("doomed payload")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write error %v, want ErrInjectedReset", err)
+	}
+	// The peer observes a real close: at most a short prefix then EOF.
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := client.Read(buf); err != nil {
+			return // EOF or reset: the close propagated
+		}
+	}
+}
+
+// TestBitFlipCorruptsInTransit checks exactly the wire view is corrupted
+// while the caller's buffer stays intact.
+func TestBitFlipCorruptsInTransit(t *testing.T) {
+	client, server := pair(t, Plan{Seed: 9, BitFlipProb: 1})
+	msg := bytes.Repeat([]byte{0x00}, 256)
+	orig := append([]byte(nil), msg...)
+	go server.Write(msg)
+	buf := make([]byte, len(msg))
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n := 0
+	for n < len(buf) {
+		m, err := client.Read(buf[n:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += m
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("Write mutated the caller's buffer")
+	}
+	diff := 0
+	for i := range buf {
+		if buf[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("BitFlipProb=1 delivered uncorrupted bytes")
+	}
+}
+
+// TestAcceptFailure checks injected accept errors carry both sentinels.
+func TestAcceptFailure(t *testing.T) {
+	sentinel := errors.New("transient")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fl := Wrap(ln, Plan{Seed: 1, AcceptFailure: 1, AcceptErrWrap: sentinel})
+	_, err = fl.Accept()
+	if !errors.Is(err, ErrInjectedAccept) || !errors.Is(err, sentinel) {
+		t.Fatalf("accept error %v, want ErrInjectedAccept wrapping the sentinel", err)
+	}
+}
+
+// TestMidFrameStall checks a stalled write still delivers every byte.
+func TestMidFrameStall(t *testing.T) {
+	client, server := pair(t, Plan{Seed: 5, StallProb: 1, Stall: 20 * time.Millisecond})
+	msg := bytes.Repeat([]byte{0xAB}, 512)
+	go server.Write(msg)
+	buf := make([]byte, len(msg))
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n := 0
+	for n < len(buf) {
+		m, err := client.Read(buf[n:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += m
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatal("stalled write corrupted or dropped bytes")
+	}
+}

@@ -80,10 +80,15 @@ type opMetrics struct {
 
 // metrics aggregates everything the stats op reports. Indexed by Op.
 type metrics struct {
-	start    time.Time
-	busy     atomic.Uint64
-	inflight atomic.Int64
-	ops      [4]opMetrics // index 0 unused; 1..3 = compress, decompress, stats
+	start         time.Time
+	busy          atomic.Uint64
+	inflight      atomic.Int64
+	openConns     atomic.Int64  // currently accepted connections
+	connsRejected atomic.Uint64 // connections refused at the MaxConns cap
+	slowClients   atomic.Uint64 // connections dropped by the read timeout
+	inflightBytes atomic.Int64  // payload bytes admitted and not yet answered
+	bytesRejected atomic.Uint64 // requests refused by the in-flight byte budget
+	ops           [4]opMetrics  // index 0 unused; 1..3 = compress, decompress, stats
 }
 
 func (m *metrics) record(op Op, start time.Time, bytesIn, bytesOut int, ok bool) {
@@ -121,7 +126,15 @@ type Snapshot struct {
 	QueueDepth     int                   `json:"queue_depth"`
 	Inflight       int64                 `json:"inflight"`
 	BusyRejections uint64                `json:"busy_rejections"`
-	Ops            map[string]OpSnapshot `json:"ops"`
+	// Connection-level resilience gauges.
+	OpenConns             int64  `json:"open_conns"`
+	MaxConns              int    `json:"max_conns"`
+	ConnLimitRejections   uint64 `json:"conn_limit_rejections"`
+	SlowClientDisconnects uint64 `json:"slow_client_disconnects"`
+	InflightBytes         int64  `json:"inflight_bytes"`
+	MaxInflightBytes      int64  `json:"max_inflight_bytes"`
+	ByteBudgetRejections  uint64 `json:"byte_budget_rejections"`
+	Ops                   map[string]OpSnapshot `json:"ops"`
 }
 
 func (m *metrics) snapshot(concurrency, queueDepth int) Snapshot {
@@ -131,6 +144,11 @@ func (m *metrics) snapshot(concurrency, queueDepth int) Snapshot {
 		QueueDepth:     queueDepth,
 		Inflight:       m.inflight.Load(),
 		BusyRejections: m.busy.Load(),
+		OpenConns:             m.openConns.Load(),
+		ConnLimitRejections:   m.connsRejected.Load(),
+		SlowClientDisconnects: m.slowClients.Load(),
+		InflightBytes:         m.inflightBytes.Load(),
+		ByteBudgetRejections:  m.bytesRejected.Load(),
 		Ops:            make(map[string]OpSnapshot, 3),
 	}
 	for _, op := range []Op{OpCompress, OpDecompress, OpStats} {

@@ -82,6 +82,10 @@ const (
 	StatusError Status = 4
 	// StatusTooLarge reports a payload exceeding the server's cap.
 	StatusTooLarge Status = 5
+	// StatusSlowClient reports that the request body did not arrive within
+	// the server's read timeout (slowloris defense). The connection is
+	// closed after this response; reconnect and resend faster.
+	StatusSlowClient Status = 6
 )
 
 // String implements fmt.Stringer.
@@ -99,6 +103,8 @@ func (s Status) String() string {
 		return "codec error"
 	case StatusTooLarge:
 		return "payload too large"
+	case StatusSlowClient:
+		return "slow client"
 	}
 	return fmt.Sprintf("status(%d)", byte(s))
 }
@@ -154,6 +160,11 @@ func readHeader(r io.Reader, maxPayload int) (kind, alg byte, n int, err error) 
 		if err == io.ErrUnexpectedEOF {
 			return 0, 0, 0, fmt.Errorf("%w: truncated header", ErrProtocol)
 		}
+		if err != io.EOF {
+			// Preserve the transport error (deadline expiry in particular)
+			// so callers can distinguish a slow client from garbage bytes.
+			return 0, 0, 0, fmt.Errorf("%w: header read failed: %w", ErrProtocol, err)
+		}
 		return 0, 0, 0, err
 	}
 	if [4]byte(hdr[:4]) != magic {
@@ -178,7 +189,7 @@ func readHeader(r io.Reader, maxPayload int) (kind, alg byte, n int, err error) 
 func readPayload(r io.Reader, n int) ([]byte, error) {
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: truncated payload", ErrProtocol)
+		return nil, fmt.Errorf("%w: truncated payload: %w", ErrProtocol, err)
 	}
 	return payload, nil
 }

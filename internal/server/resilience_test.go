@@ -1,0 +1,245 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"fpcompress/internal/core"
+)
+
+// TestSlowClientDisconnected is the slowloris acceptance test: a client
+// that starts a request and then drips bytes slower than the read
+// timeout is cut off with StatusSlowClient, within the timeout, while a
+// concurrent well-behaved connection keeps serving.
+func TestSlowClientDisconnected(t *testing.T) {
+	s, addr := startServer(t, Config{ReadTimeout: 300 * time.Millisecond})
+
+	// The healthy connection serves normally throughout.
+	healthy := dialTest(t, addr)
+	src := testPayload(core.SPspeed, 500, 1)
+	if st, _ := healthy.mustRoundTrip(t, OpCompress, byte(core.SPspeed), src); st != StatusOK {
+		t.Fatalf("healthy connection pre-drip: status %v", st)
+	}
+
+	// The slow client sends a header promising 1000 payload bytes, then
+	// drips one byte at a time, far slower than the server will wait.
+	drip := dialTest(t, addr)
+	hdr := make([]byte, HeaderSize)
+	putHeader(hdr, byte(OpCompress), byte(core.SPspeed), 1000)
+	if _, err := drip.c.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(50 * time.Millisecond):
+				if _, err := drip.c.Write([]byte{0x42}); err != nil {
+					return // server cut us off, as intended
+				}
+			}
+		}
+	}()
+
+	// The server's farewell must be a typed StatusSlowClient, then close.
+	drip.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	st, msg, err := ReadResponse(drip.br, 0)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("slow client got no farewell response: %v", err)
+	}
+	if st != StatusSlowClient {
+		t.Fatalf("slow client got status %v (%q), want StatusSlowClient", st, msg)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("slow client cut after %v, want within ~ReadTimeout (300ms)", elapsed)
+	}
+	if _, err := drip.br.ReadByte(); err == nil {
+		t.Error("connection still open after slow-client disconnect")
+	}
+
+	// The healthy connection never noticed.
+	if st, _ := healthy.mustRoundTrip(t, OpCompress, byte(core.SPspeed), src); st != StatusOK {
+		t.Fatalf("healthy connection post-drip: status %v", st)
+	}
+	if got := s.StatsSnapshot().SlowClientDisconnects; got != 1 {
+		t.Errorf("slow client disconnects = %d, want 1", got)
+	}
+}
+
+// TestMaxConnsRejection checks the connection cap answers one typed busy
+// response and closes, without counting the rejected connection as open.
+func TestMaxConnsRejection(t *testing.T) {
+	s, addr := startServer(t, Config{MaxConns: 2})
+	src := testPayload(core.SPspeed, 300, 2)
+
+	// Two established connections fill the cap (a round trip each proves
+	// the handlers are running).
+	held := []*testConn{dialTest(t, addr), dialTest(t, addr)}
+	for i, tc := range held {
+		if st, _ := tc.mustRoundTrip(t, OpCompress, byte(core.SPspeed), src); st != StatusOK {
+			t.Fatalf("conn %d: status %v", i, st)
+		}
+	}
+
+	// The third connection gets a well-framed busy response and a close.
+	extra := dialTest(t, addr)
+	extra.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	st, msg, err := ReadResponse(extra.br, 0)
+	if err != nil {
+		t.Fatalf("over-cap connection got no response: %v", err)
+	}
+	if st != StatusBusy || !bytes.Contains(msg, []byte("connection limit")) {
+		t.Fatalf("over-cap connection got status %v (%q), want StatusBusy naming the limit", st, msg)
+	}
+	if _, err := extra.br.ReadByte(); err == nil {
+		t.Error("over-cap connection left open")
+	}
+
+	snap := s.StatsSnapshot()
+	if snap.OpenConns != 2 || snap.ConnLimitRejections < 1 || snap.MaxConns != 2 {
+		t.Errorf("snapshot open=%d rejected=%d max=%d, want 2, >=1, 2",
+			snap.OpenConns, snap.ConnLimitRejections, snap.MaxConns)
+	}
+
+	// Freeing one slot readmits new connections.
+	held[0].c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.StatsSnapshot().OpenConns >= 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("closed connection never left the open-conns gauge")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	again := dialTest(t, addr)
+	if st, _ := again.mustRoundTrip(t, OpCompress, byte(core.SPspeed), src); st != StatusOK {
+		t.Fatalf("post-release connection: status %v", st)
+	}
+}
+
+// TestInflightByteBudget checks the global payload-byte semaphore: while
+// one admitted request holds most of the budget, a second request that
+// would exceed it is rejected with StatusBusy — without buffering its
+// payload — and the connection stays framed for a later retry.
+func TestInflightByteBudget(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	s, addr := startServer(t, Config{Concurrency: 2, MaxInflightBytes: 100 << 10})
+	s.execHook = func(Op) {
+		entered <- struct{}{}
+		<-release
+	}
+
+	big := testPayload(core.SPspeed, 20<<10, 3) // 80 KiB of the 100 KiB budget
+	first := dialTest(t, addr)
+	firstDone := make(chan Status, 1)
+	go func() {
+		st, _, err := first.roundTrip(OpCompress, byte(core.SPspeed), big)
+		if err != nil {
+			t.Error(err)
+		}
+		firstDone <- st
+	}()
+	<-entered // 80 KiB reserved, worker pinned
+
+	// 40 KiB more would exceed the budget: typed rejection, no buffering.
+	over := testPayload(core.SPspeed, 10<<10, 4)
+	second := dialTest(t, addr)
+	st, msg := second.mustRoundTrip(t, OpCompress, byte(core.SPspeed), over)
+	if st != StatusBusy {
+		t.Fatalf("over-budget request got status %v (%q), want StatusBusy", st, msg)
+	}
+	snap := s.StatsSnapshot()
+	if snap.ByteBudgetRejections != 1 {
+		t.Errorf("byte budget rejections = %d, want 1", snap.ByteBudgetRejections)
+	}
+	if snap.InflightBytes != int64(len(big)) {
+		t.Errorf("inflight bytes = %d, want %d (only the admitted request)", snap.InflightBytes, len(big))
+	}
+
+	close(release)
+	if st := <-firstDone; st != StatusOK {
+		t.Fatalf("admitted request finished with status %v", st)
+	}
+
+	// The rejected connection was kept framed: the same request now fits.
+	if st, _ := second.mustRoundTrip(t, OpCompress, byte(core.SPspeed), over); st != StatusOK {
+		t.Fatalf("post-release retry got status %v", st)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.StatsSnapshot().InflightBytes != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight bytes gauge stuck at %d, want 0", s.StatsSnapshot().InflightBytes)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestOversizedSingleRequestStillServed checks a request larger than the
+// whole byte budget degrades to serial admission instead of starving.
+func TestOversizedSingleRequestStillServed(t *testing.T) {
+	_, addr := startServer(t, Config{MaxInflightBytes: 4 << 10})
+	tc := dialTest(t, addr)
+	src := testPayload(core.SPspeed, 4<<10, 5) // 16 KiB > 4 KiB budget
+	st, blob := tc.mustRoundTrip(t, OpCompress, byte(core.SPspeed), src)
+	if st != StatusOK {
+		t.Fatalf("oversized-but-alone request got status %v", st)
+	}
+	if st, raw := tc.mustRoundTrip(t, OpDecompress, 0, blob); st != StatusOK || !bytes.Equal(raw, src) {
+		t.Fatalf("round trip under tiny budget failed: status %v", st)
+	}
+}
+
+// TestTransientAcceptErrorKeepsServing checks Serve survives a listener
+// returning errors wrapping ErrTransientAccept (the contract faultnet
+// uses) instead of treating them as fatal.
+func TestTransientAcceptErrorKeepsServing(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := &flakyListener{Listener: inner, failEvery: 2}
+	s := New(Config{IdlePoll: 20 * time.Millisecond})
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		s.Close()
+		if err := <-done; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	})
+
+	// Several connections in a row: every other accept attempt fails
+	// transiently, yet each client eventually connects and is served.
+	src := testPayload(core.SPspeed, 400, 6)
+	for i := 0; i < 4; i++ {
+		tc := dialTest(t, inner.Addr().String())
+		if st, _ := tc.mustRoundTrip(t, OpCompress, byte(core.SPspeed), src); st != StatusOK {
+			t.Fatalf("conn %d through flaky accepts: status %v", i, st)
+		}
+		tc.c.Close()
+	}
+}
+
+// flakyListener fails every failEvery-th Accept with a transient error.
+type flakyListener struct {
+	net.Listener
+	n         int
+	failEvery int
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.n++
+	if l.n%l.failEvery == 0 {
+		return nil, fmt.Errorf("%w: simulated EMFILE", ErrTransientAccept)
+	}
+	return l.Listener.Accept()
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -58,7 +59,35 @@ type Config struct {
 	// IdlePoll is how often an idle connection checks for shutdown.
 	// 0 = 500ms. Tests shorten it.
 	IdlePoll time.Duration
+	// MaxConns caps concurrently open connections. Excess connections are
+	// answered with one best-effort StatusBusy response and closed, so an
+	// accept flood cannot grow goroutines and read buffers without bound.
+	// 0 = DefaultMaxConns; negative = unlimited.
+	MaxConns int
+	// ReadTimeout bounds how long one request (header and payload) may
+	// take to arrive once its first byte is seen. A connection that
+	// dribbles bytes slower than that — the slowloris pattern — gets a
+	// best-effort StatusSlowClient response and is dropped, freeing its
+	// goroutine and buffers while other connections keep serving.
+	// 0 = DefaultReadTimeout; negative = no limit.
+	ReadTimeout time.Duration
+	// MaxInflightBytes caps the sum of request payload bytes admitted and
+	// not yet answered, across all connections — a semaphore over bytes,
+	// not just job count, so N slow connections cannot each hold a
+	// MaxPayload buffer. Requests that would exceed it are rejected with
+	// StatusBusy before their payload is buffered (the bytes are drained
+	// and discarded to keep the connection framed). 0 = 4×MaxPayload;
+	// negative = unlimited.
+	MaxInflightBytes int64
 }
+
+const (
+	// DefaultMaxConns is the connection cap when Config.MaxConns is 0.
+	DefaultMaxConns = 1024
+	// DefaultReadTimeout is the per-request read deadline when
+	// Config.ReadTimeout is 0.
+	DefaultReadTimeout = 30 * time.Second
+)
 
 func (c Config) concurrency() int {
 	if c.Concurrency > 0 {
@@ -99,6 +128,36 @@ func (c Config) idlePoll() time.Duration {
 		return c.IdlePoll
 	}
 	return 500 * time.Millisecond
+}
+
+func (c Config) maxConns() int {
+	switch {
+	case c.MaxConns > 0:
+		return c.MaxConns
+	case c.MaxConns < 0:
+		return 0 // unlimited
+	}
+	return DefaultMaxConns
+}
+
+func (c Config) readTimeout() time.Duration {
+	switch {
+	case c.ReadTimeout > 0:
+		return c.ReadTimeout
+	case c.ReadTimeout < 0:
+		return 0 // no limit
+	}
+	return DefaultReadTimeout
+}
+
+func (c Config) maxInflightBytes() int64 {
+	switch {
+	case c.MaxInflightBytes > 0:
+		return c.MaxInflightBytes
+	case c.MaxInflightBytes < 0:
+		return 0 // unlimited
+	}
+	return 4 * int64(c.maxPayload())
 }
 
 func (c Config) params() container.Params {
@@ -158,7 +217,41 @@ func New(cfg Config) *Server {
 // StatsSnapshot returns the server's current metrics. It is safe to call
 // concurrently with serving (cmd/fpcd publishes it through expvar).
 func (s *Server) StatsSnapshot() Snapshot {
-	return s.metrics.snapshot(s.cfg.concurrency(), s.cfg.queueDepth())
+	snap := s.metrics.snapshot(s.cfg.concurrency(), s.cfg.queueDepth())
+	snap.MaxConns = s.cfg.maxConns()
+	snap.MaxInflightBytes = s.cfg.maxInflightBytes()
+	return snap
+}
+
+// tryAcquireBytes reserves n payload bytes against the global in-flight
+// budget; the caller must releaseBytes the same n when the request is
+// answered. The gauge atomic doubles as the semaphore, so Snapshot's
+// InflightBytes is exactly the reserved total.
+func (s *Server) tryAcquireBytes(n int64) bool {
+	budget := s.cfg.maxInflightBytes()
+	if budget <= 0 || n <= 0 {
+		if n > 0 {
+			s.metrics.inflightBytes.Add(n)
+		}
+		return true
+	}
+	for {
+		cur := s.metrics.inflightBytes.Load()
+		// cur == 0 always admits, so one request bigger than the whole
+		// budget degrades to serial execution instead of starving forever.
+		if cur != 0 && cur+n > budget {
+			return false
+		}
+		if s.metrics.inflightBytes.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+func (s *Server) releaseBytes(n int64) {
+	if n > 0 {
+		s.metrics.inflightBytes.Add(-n)
+	}
 }
 
 // ListenAndServe listens on the TCP address addr and serves until
@@ -187,14 +280,36 @@ func (s *Server) Serve(ln net.Listener) error {
 		delete(s.listeners, ln)
 		s.mu.Unlock()
 	}()
+	maxConns := s.cfg.maxConns()
 	for {
 		c, err := ln.Accept()
 		if err != nil {
 			if s.shutdown.Load() {
 				return ErrServerClosed
 			}
+			// Transient accept failures (EMFILE, a fault-injection layer,
+			// an aborted handshake) must not kill the accept loop.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			if errors.Is(err, ErrTransientAccept) {
+				continue
+			}
 			return err
 		}
+		if maxConns > 0 && s.metrics.openConns.Load() >= int64(maxConns) {
+			// Typed rejection: one best-effort busy response, then close.
+			// The client sees a complete, well-framed retryable response.
+			s.metrics.connsRejected.Add(1)
+			go func(c net.Conn) {
+				c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+				WriteResponse(c, StatusBusy, []byte("server: connection limit reached, retry later"))
+				c.Close()
+			}(c)
+			continue
+		}
+		s.metrics.openConns.Add(1)
 		s.conns.Add(1)
 		s.mu.Lock()
 		s.active[c] = struct{}{}
@@ -202,6 +317,11 @@ func (s *Server) Serve(ln net.Listener) error {
 		go s.handleConn(c)
 	}
 }
+
+// ErrTransientAccept marks an Accept error as retryable: a Listener
+// wrapper (fault injection, rate limiting) can return an error wrapping
+// it and Serve keeps accepting instead of shutting down.
+var ErrTransientAccept = errors.New("server: transient accept failure")
 
 func (s *Server) ensureWorkers() {
 	s.startWorkers.Do(func() {
@@ -225,11 +345,13 @@ func (s *Server) handleConn(c net.Conn) {
 		s.mu.Lock()
 		delete(s.active, c)
 		s.mu.Unlock()
+		s.metrics.openConns.Add(-1)
 		s.conns.Done()
 	}()
 	br := bufio.NewReaderSize(c, 64<<10)
 	bw := bufio.NewWriterSize(c, 64<<10)
 	poll := s.cfg.idlePoll()
+	readTimeout := s.cfg.readTimeout()
 	for !s.shutdown.Load() {
 		// Idle wait under a short deadline so the connection notices
 		// shutdown; Peek consumes nothing, so a timeout here never splits
@@ -242,36 +364,85 @@ func (s *Server) handleConn(c net.Conn) {
 			}
 			return // clean close or fatal transport error
 		}
-		c.SetReadDeadline(time.Time{})
-		op, alg, payload, err := s.readRequest(br)
+		// The request has begun: header and payload must both arrive
+		// within ReadTimeout, or the connection is a slowloris holding a
+		// goroutine and buffer hostage and gets cut.
+		if readTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(readTimeout))
+		} else {
+			c.SetReadDeadline(time.Time{})
+		}
+		kind, alg, n, err := readHeader(br, s.cfg.maxPayload())
 		if err != nil {
-			if errors.Is(err, ErrProtocol) {
-				// Best-effort typed error, then drop the connection: after
-				// a framing error the stream cannot be resynchronized.
-				st := StatusBadRequest
-				switch {
-				case errors.Is(err, ErrTooLarge):
-					st = StatusTooLarge
-				case errors.Is(err, ErrVersion):
-					st = StatusUnsupported
+			s.failRequest(c, bw, err)
+			return
+		}
+		op := Op(kind)
+		reserved := int64(0)
+		if (op == OpCompress || op == OpDecompress) && n > 0 {
+			if !s.tryAcquireBytes(int64(n)) {
+				// Over the global byte budget: drain the payload without
+				// buffering it (the connection stays framed), answer busy.
+				s.metrics.bytesRejected.Add(1)
+				if _, err := io.CopyN(io.Discard, br, int64(n)); err != nil {
+					s.failRequest(c, bw, fmt.Errorf("%w: truncated payload: %w", ErrProtocol, err))
+					return
 				}
-				WriteResponse(bw, st, []byte(err.Error()))
-				bw.Flush()
+				c.SetReadDeadline(time.Time{})
+				if err := WriteResponse(bw, StatusBusy, []byte(ErrBusy.Error())); err != nil {
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					return
+				}
+				continue
 			}
+			reserved = int64(n)
+		}
+		payload, err := readPayload(br, n)
+		if err != nil {
+			s.releaseBytes(reserved)
+			s.failRequest(c, bw, err)
 			return
 		}
+		c.SetReadDeadline(time.Time{})
 		res := s.dispatch(op, alg, payload)
-		if err := WriteResponse(bw, res.status, res.payload); err != nil {
-			return
+		err = WriteResponse(bw, res.status, res.payload)
+		if err == nil {
+			err = bw.Flush()
 		}
-		if err := bw.Flush(); err != nil {
+		s.releaseBytes(reserved)
+		if err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) readRequest(br *bufio.Reader) (Op, byte, []byte, error) {
-	return ReadRequest(br, s.cfg.maxPayload())
+// failRequest classifies a failed request read, sends one best-effort
+// typed response, and lets the caller drop the connection (after a
+// framing error the stream cannot be resynchronized; after a timeout the
+// peer is too slow to keep).
+func (s *Server) failRequest(c net.Conn, bw *bufio.Writer, err error) {
+	if !errors.Is(err, ErrProtocol) {
+		return // clean close or fatal transport error: nothing to say
+	}
+	st := StatusBadRequest
+	var ne net.Error
+	switch {
+	case errors.As(err, &ne) && ne.Timeout():
+		st = StatusSlowClient
+		s.metrics.slowClients.Add(1)
+		err = fmt.Errorf("server: request body did not arrive within %v", s.cfg.readTimeout())
+	case errors.Is(err, ErrTooLarge):
+		st = StatusTooLarge
+	case errors.Is(err, ErrVersion):
+		st = StatusUnsupported
+	}
+	// The read deadline may already be in the past; give the farewell
+	// write its own short deadline.
+	c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	WriteResponse(bw, st, []byte(err.Error()))
+	bw.Flush()
 }
 
 // dispatch routes one request: stats inline, codec work through the
