@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check fuzz-smoke chaos bench-server fpcd clean
+.PHONY: all build test race vet check fuzz-smoke chaos bench-server bench-core fpcd clean
 
 all: check
 
@@ -57,6 +57,11 @@ chaos:
 # and DPratio at 1, 4, and GOMAXPROCS clients).
 bench-server:
 	$(GO) test ./internal/server -run TestEmitServerBench -count=1 -v
+
+# Regenerates BENCH_core.json (local-API compress/decompress throughput
+# and allocations per operation for every algorithm).
+bench-core:
+	$(GO) test . -run TestEmitCoreBench -count=1 -v
 
 # Builds the compression daemon to bin/fpcd.
 fpcd:

@@ -11,6 +11,7 @@
 //	fpcd -max-conns 256 -read-timeout 10s # tighter connection-level limits
 //	fpcd -max-inflight-bytes 268435456    # cap buffered request bytes at 256 MiB
 //	fpcd -debug localhost:6060            # expvar metrics at /debug/vars
+//	fpcd -pprof localhost:6060            # net/http/pprof at /debug/pprof/
 //
 // Clients use fpcompress.Dial (see the README quickstart) or any
 // implementation of the wire protocol.
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ handlers on the default mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +46,7 @@ func main() {
 		readTimeout = flag.Duration("read-timeout", 0, "how long one request's bytes may take to arrive before the slow client is disconnected (0 = 30s, negative = no limit)")
 		maxInflight = flag.Int64("max-inflight-bytes", 0, "global cap on admitted-but-unanswered request payload bytes (0 = 4x max-payload, negative = unlimited)")
 		debugAddr   = flag.String("debug", "", "optional HTTP address serving expvar metrics at /debug/vars")
+		pprofAddr   = flag.String("pprof", "", "optional HTTP address serving net/http/pprof profiles at /debug/pprof/")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before open connections are dropped")
 		quiet       = flag.Bool("q", false, "suppress startup and shutdown messages")
 	)
@@ -61,13 +64,16 @@ func main() {
 		MaxInflightBytes: *maxInflight,
 	})
 	expvar.Publish("fpcd", expvar.Func(func() any { return srv.StatsSnapshot() }))
-	if *debugAddr != "" {
-		go func() {
-			// The expvar import registers /debug/vars on the default mux.
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+	// expvar and net/http/pprof both register on the default mux, so every
+	// debug listener serves the full /debug/vars + /debug/pprof/ surface;
+	// -debug and -pprof only choose where to listen. Identical addresses
+	// collapse to one listener.
+	for _, da := range dedupeAddrs(*debugAddr, *pprofAddr) {
+		go func(addr string) {
+			if err := http.ListenAndServe(addr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "fpcd: debug server:", err)
 			}
-		}()
+		}(da)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -102,4 +108,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fpcd: drained cleanly")
 		}
 	}
+}
+
+// dedupeAddrs returns the distinct non-empty addresses among its arguments,
+// preserving order.
+func dedupeAddrs(addrs ...string) []string {
+	var out []string
+	for _, a := range addrs {
+		if a == "" {
+			continue
+		}
+		dup := false
+		for _, b := range out {
+			if a == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, a)
+		}
+	}
+	return out
 }

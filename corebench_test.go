@@ -1,0 +1,192 @@
+package fpcompress
+
+// TestEmitCoreBench measures the local (non-serving) codec hot path —
+// compress and decompress MB/s plus steady-state allocations per operation
+// for every algorithm — over the synthetic SDR corpus, and writes
+// BENCH_core.json at the repository root. It mirrors BENCH_server.json for
+// the in-process engine, so allocation and throughput regressions in the
+// chunk pipeline are visible without the wire protocol in the way.
+//
+// Regenerate with `make bench-core` (or the command recorded in the JSON).
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"fpcompress/internal/sdr"
+)
+
+type coreBenchResult struct {
+	Algorithm       string  `json:"algorithm"`
+	Op              string  `json:"op"`
+	PayloadBytes    int     `json:"payload_bytes"`
+	Ops             int     `json:"ops"`
+	MBPerS          float64 `json:"mb_per_sec"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	AllocMBPerOp    float64 `json:"alloc_mb_per_op"`
+	CompressedBytes int     `json:"compressed_bytes,omitempty"`
+}
+
+type coreBenchReport struct {
+	Benchmark    string            `json:"benchmark"`
+	Command      string            `json:"command"`
+	GOMAXPROCS   int               `json:"gomaxprocs"`
+	Results      []coreBenchResult `json:"results"`
+	BaselineNote string            `json:"baseline_note"`
+	Baseline     []coreBenchResult `json:"baseline"`
+	Comparison   []coreBenchDelta  `json:"comparison"`
+}
+
+// coreBenchDelta compares one (algorithm, op) pair against the pre-pooling
+// baseline: positive mb_per_sec_delta_pct is a speedup, negative
+// allocs_per_op_delta_pct is an allocation reduction.
+type coreBenchDelta struct {
+	Algorithm      string  `json:"algorithm"`
+	Op             string  `json:"op"`
+	MBPerSDeltaPct float64 `json:"mb_per_sec_delta_pct"`
+	AllocsDeltaPct float64 `json:"allocs_per_op_delta_pct"`
+}
+
+// coreBenchBaseline is the pre-refactor measurement (commit ee07e22, before
+// the append-into APIs, pooled scratch, and parallel scatter landed), taken
+// with this same harness and payloads on the same machine. Kept static so
+// regenerating the report preserves the comparison.
+var coreBenchBaseline = []coreBenchResult{
+	{Algorithm: "SPspeed", Op: "compress", PayloadBytes: 1835008, Ops: 58, MBPerS: 351.7, AllocsPerOp: 238.0, AllocMBPerOp: 7.17, CompressedBytes: 1114584},
+	{Algorithm: "SPspeed", Op: "decompress", PayloadBytes: 1835008, Ops: 64, MBPerS: 390.3, AllocsPerOp: 348.5, AllocMBPerOp: 5.51},
+	{Algorithm: "SPratio", Op: "compress", PayloadBytes: 1835008, Ops: 22, MBPerS: 129.7, AllocsPerOp: 2143.8, AllocMBPerOp: 10.88, CompressedBytes: 1063746},
+	{Algorithm: "SPratio", Op: "decompress", PayloadBytes: 1835008, Ops: 24, MBPerS: 143.3, AllocsPerOp: 796.2, AllocMBPerOp: 7.61},
+	{Algorithm: "DPspeed", Op: "compress", PayloadBytes: 2621440, Ops: 51, MBPerS: 441.2, AllocsPerOp: 334.0, AllocMBPerOp: 12.67, CompressedBytes: 1963387},
+	{Algorithm: "DPspeed", Op: "decompress", PayloadBytes: 2621440, Ops: 74, MBPerS: 637.2, AllocsPerOp: 492.2, AllocMBPerOp: 7.87},
+	{Algorithm: "DPratio", Op: "compress", PayloadBytes: 2621440, Ops: 7, MBPerS: 59.5, AllocsPerOp: 7869.9, AllocMBPerOp: 70.77, CompressedBytes: 1759487},
+	{Algorithm: "DPratio", Op: "decompress", PayloadBytes: 2621440, Ops: 20, MBPerS: 169.8, AllocsPerOp: 3473.5, AllocMBPerOp: 39.95},
+	{Algorithm: "SPbalance", Op: "compress", PayloadBytes: 1835008, Ops: 27, MBPerS: 162.7, AllocsPerOp: 2330.4, AllocMBPerOp: 12.19, CompressedBytes: 1117521},
+	{Algorithm: "SPbalance", Op: "decompress", PayloadBytes: 1835008, Ops: 27, MBPerS: 164.4, AllocsPerOp: 769.8, AllocMBPerOp: 6.84},
+	{Algorithm: "DPbalance", Op: "compress", PayloadBytes: 2621440, Ops: 18, MBPerS: 152.4, AllocsPerOp: 3460.2, AllocMBPerOp: 21.27, CompressedBytes: 1926441},
+	{Algorithm: "DPbalance", Op: "decompress", PayloadBytes: 2621440, Ops: 19, MBPerS: 161.4, AllocsPerOp: 1133.7, AllocMBPerOp: 10.21},
+}
+
+// measureCoreOp runs fn repeatedly for at least minDur after a warmup and
+// reports throughput plus the global allocation delta per op. Allocations
+// are read from runtime.MemStats (not testing.AllocsPerRun) so the engine's
+// worker goroutines are included in the count.
+func measureCoreOp(t *testing.T, payloadBytes int, fn func()) (mbps, allocsPerOp, allocMBPerOp float64, ops int) {
+	t.Helper()
+	// Warm the buffer pools: the steady state is what production serving
+	// traffic sees, and what this benchmark pins.
+	for i := 0; i < 4; i++ {
+		fn()
+	}
+	const minDur = 300 * time.Millisecond
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for time.Since(start) < minDur {
+		fn()
+		ops++
+	}
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	mbps = float64(payloadBytes) * float64(ops) / elapsed / 1e6
+	allocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
+	allocMBPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops) / 1e6
+	return mbps, allocsPerOp, allocMBPerOp, ops
+}
+
+func TestEmitCoreBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark emit in -short mode")
+	}
+	report := coreBenchReport{
+		Benchmark:    "core_codec_throughput_and_allocs",
+		Command:      "go test . -run TestEmitCoreBench -count=1 -v   (make bench-core)",
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		BaselineNote: "baseline measured with this same harness and payloads at the commit preceding the zero-allocation refactor (pooled scratch, append-into APIs, parallel scatter, combined per-chunk CRCs)",
+		Baseline:     coreBenchBaseline,
+	}
+
+	// One representative multi-chunk SDR payload per precision: the sample
+	// files concatenated, a few MiB, large enough that the parallel engine
+	// and the per-chunk steady state dominate.
+	cfg := sdr.Config{ValuesPerFile: 1 << 16}
+	var sp, dp []byte
+	seen := map[string]bool{}
+	for _, f := range sdr.SingleFiles(cfg) {
+		if !seen[f.Domain] {
+			seen[f.Domain] = true
+			sp = append(sp, f.Data...)
+		}
+	}
+	seen = map[string]bool{}
+	for _, f := range sdr.DoubleFiles(cfg) {
+		if !seen[f.Domain] {
+			seen[f.Domain] = true
+			dp = append(dp, f.Data...)
+		}
+	}
+	payloads := map[Algorithm][]byte{
+		SPspeed: sp, SPratio: sp, SPbalance: sp,
+		DPspeed: dp, DPratio: dp, DPbalance: dp,
+	}
+
+	for _, alg := range []Algorithm{SPspeed, SPratio, DPspeed, DPratio, SPbalance, DPbalance} {
+		src := payloads[alg]
+		blob, err := Compress(alg, src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decompress(blob, nil)
+		if err != nil || len(back) != len(src) {
+			t.Fatalf("%v: roundtrip failed: %v", alg, err)
+		}
+
+		mbps, apo, ampo, ops := measureCoreOp(t, len(src), func() {
+			if _, err := Compress(alg, src, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		report.Results = append(report.Results, coreBenchResult{
+			Algorithm: alg.String(), Op: "compress", PayloadBytes: len(src), Ops: ops,
+			MBPerS: mbps, AllocsPerOp: apo, AllocMBPerOp: ampo, CompressedBytes: len(blob),
+		})
+		t.Logf("%s compress: %.1f MB/s, %.1f allocs/op, %.2f MB alloc/op", alg, mbps, apo, ampo)
+
+		mbps, apo, ampo, ops = measureCoreOp(t, len(src), func() {
+			if _, err := Decompress(blob, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		report.Results = append(report.Results, coreBenchResult{
+			Algorithm: alg.String(), Op: "decompress", PayloadBytes: len(src), Ops: ops,
+			MBPerS: mbps, AllocsPerOp: apo, AllocMBPerOp: ampo,
+		})
+		t.Logf("%s decompress: %.1f MB/s, %.1f allocs/op, %.2f MB alloc/op", alg, mbps, apo, ampo)
+	}
+
+	for _, r := range report.Results {
+		for _, base := range report.Baseline {
+			if base.Algorithm == r.Algorithm && base.Op == r.Op {
+				d := coreBenchDelta{
+					Algorithm:      r.Algorithm,
+					Op:             r.Op,
+					MBPerSDeltaPct: (r.MBPerS/base.MBPerS - 1) * 100,
+					AllocsDeltaPct: (r.AllocsPerOp/base.AllocsPerOp - 1) * 100,
+				}
+				report.Comparison = append(report.Comparison, d)
+				t.Logf("%s %s vs baseline: %+.1f%% MB/s, %+.1f%% allocs/op", r.Algorithm, r.Op, d.MBPerSDeltaPct, d.AllocsDeltaPct)
+			}
+		}
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_core.json", append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

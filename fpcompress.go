@@ -112,11 +112,20 @@ var ErrDecodeBudget = container.ErrBudget
 // Compress encodes src with the chosen algorithm and returns a
 // self-describing compressed block.
 func Compress(alg Algorithm, src []byte, opts *Options) ([]byte, error) {
+	return AppendCompress(nil, alg, src, opts)
+}
+
+// AppendCompress is Compress appending the compressed block to dst (which
+// may be nil) and returning the extended slice. Like append, the result may
+// share dst's backing array or be a reallocation; callers must use the
+// returned slice and must not assume dst aliases it. Reusing one buffer
+// across calls keeps steady-state compression allocation-free.
+func AppendCompress(dst []byte, alg Algorithm, src []byte, opts *Options) ([]byte, error) {
 	a, err := core.New(alg)
 	if err != nil {
 		return nil, err
 	}
-	return a.Compress(src, opts.params()), nil
+	return a.CompressAppend(dst, src, opts.params()), nil
 }
 
 // Decompress decodes a block produced by Compress. The algorithm is read
@@ -125,11 +134,19 @@ func Compress(alg Algorithm, src []byte, opts *Options) ([]byte, error) {
 // opts.MaxDecodedSize budget (default 64 MiB) plus bounded per-chunk
 // working memory.
 func Decompress(data []byte, opts *Options) ([]byte, error) {
+	return AppendDecompress(nil, data, opts)
+}
+
+// AppendDecompress is Decompress appending the reconstructed bytes to dst
+// (which may be nil) and returning the extended slice, with the same
+// append-style ownership contract as AppendCompress. On error the returned
+// slice is nil and dst's contents are unspecified.
+func AppendDecompress(dst []byte, data []byte, opts *Options) ([]byte, error) {
 	a, err := core.FromContainer(data)
 	if err != nil {
 		return nil, err
 	}
-	return a.Decompress(data, opts.params())
+	return a.DecompressAppend(dst, data, opts.params())
 }
 
 // CompressedAlgorithm reports which algorithm produced a compressed block.

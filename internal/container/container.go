@@ -62,6 +62,19 @@ type BudgetCodec interface {
 	InverseLimit(enc []byte, maxDecoded int) ([]byte, error)
 }
 
+// IntoCodec is implemented by codecs supporting append-into encode and
+// decode (the transforms.Pipeline idiom): ForwardInto appends the encoding
+// of chunk to dst and returns the extended slice; InverseInto appends the
+// decoded bytes under the maxDecoded budget. The engine uses these to
+// encode into per-worker arenas and decode straight into the pre-sized
+// output, never allocating per chunk. Implementations must be safe for
+// concurrent use and must not retain dst beyond the call.
+type IntoCodec interface {
+	BudgetCodec
+	ForwardInto(dst, chunk []byte) []byte
+	InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error)
+}
+
 // inverse decodes one chunk through the tightest interface the codec
 // offers.
 func inverse(codec Codec, enc []byte, maxDecoded int) ([]byte, error) {
@@ -153,17 +166,189 @@ func (h *Header) chunkSpan(i int) (lo, hi int) {
 	return lo, hi
 }
 
+// growExact extends b by exactly n bytes (contents of the new tail are
+// unspecified), allocating no spare capacity on reallocation — the engine
+// computes exact output sizes, so over-allocation would only waste memory.
+func growExact(b []byte, n int) []byte {
+	l := len(b)
+	if cap(b)-l >= n {
+		return b[: l+n : cap(b)]
+	}
+	nb := make([]byte, l+n)
+	copy(nb, b)
+	return nb
+}
+
+// growCap ensures b has at least n bytes of spare capacity beyond its
+// current length, without changing its length or contents.
+func growCap(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b
+	}
+	nb := make([]byte, len(b), len(b)+n)
+	copy(nb, b)
+	return nb
+}
+
+// engineState holds the per-call bookkeeping of CompressAppend and
+// DecompressAppend (chunk records, per-chunk CRCs, per-worker arenas),
+// recycled through a pool so the steady state allocates none of it.
+type engineState struct {
+	sizes  []int    // compressed (or raw) size of chunk i
+	flags  []byte   // 1 = compressed, 0 = raw fallback
+	owner  []int32  // worker whose arena holds chunk i (-1 = raw, scattered from src)
+	off    []int    // chunk i's offset within its owner's arena
+	pos    []int    // chunk i's offset within the payload (prefix sum of sizes)
+	crcs   []uint32 // CRC32-C of chunk i's original bytes
+	arenas [][]byte // per-worker append-only encode arenas
+}
+
+var enginePool = sync.Pool{New: func() any { return new(engineState) }}
+
+func getEngineState(nChunks, nWorkers int) *engineState {
+	st := enginePool.Get().(*engineState)
+	if cap(st.sizes) < nChunks {
+		st.sizes = make([]int, nChunks)
+		st.flags = make([]byte, nChunks)
+		st.owner = make([]int32, nChunks)
+		st.off = make([]int, nChunks)
+		st.pos = make([]int, nChunks)
+		st.crcs = make([]uint32, nChunks)
+	}
+	st.sizes = st.sizes[:nChunks]
+	st.flags = st.flags[:nChunks]
+	st.owner = st.owner[:nChunks]
+	st.off = st.off[:nChunks]
+	st.pos = st.pos[:nChunks]
+	st.crcs = st.crcs[:nChunks]
+	for cap(st.arenas) < nWorkers {
+		st.arenas = append(st.arenas[:cap(st.arenas)], nil)
+	}
+	st.arenas = st.arenas[:nWorkers]
+	return st
+}
+
+func putEngineState(st *engineState) { enginePool.Put(st) }
+
+// scatterMinBytes is the payload size below which the scatter copy runs on
+// the calling goroutine; parallel memcpy only pays off once the data
+// outgrows the caches.
+const scatterMinBytes = 256 << 10
+
 // Compress runs codec over every chunk of src in parallel and assembles the
 // container. algID is recorded so Decompress can route to the right codec.
 func Compress(src []byte, algID byte, codec Codec, p Params) []byte {
+	return CompressAppend(nil, src, algID, codec, p)
+}
+
+// CompressAppend is Compress appending the container to dst (which may be
+// nil) and returning the extended slice, with the same append-semantics
+// ownership contract as the transforms' *Into APIs. Workers encode chunks
+// into pooled per-worker arenas while computing each chunk's CRC32-C; the
+// payload is then sized exactly from the recorded chunk sizes, chunk
+// offsets come from a prefix-sum scan, and workers scatter their outputs
+// into the payload in parallel. The resulting bytes are identical to the
+// serial Assemble path.
+func CompressAppend(dst, src []byte, algID byte, codec Codec, p Params) []byte {
 	cs := p.chunkSize()
 	nChunks := (len(src) + cs - 1) / cs
-	results := make([][]byte, nChunks)
-	rawFlags := make([]bool, nChunks)
+	nw := p.workers(nChunks)
+	st := getEngineState(nChunks, nw)
+	defer putEngineState(st)
+	ic, hasInto := codec.(IntoCodec)
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < p.workers(nChunks); w++ {
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			arena := st.arenas[worker][:0]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nChunks {
+					break
+				}
+				lo := i * cs
+				hi := lo + cs
+				if hi > len(src) {
+					hi = len(src)
+				}
+				chunk := src[lo:hi]
+				st.crcs[i] = crc32.Checksum(chunk, crcTable)
+				start := len(arena)
+				if hasInto {
+					arena = ic.ForwardInto(arena, chunk)
+				} else {
+					arena = append(arena, codec.Forward(chunk)...)
+				}
+				if encLen := len(arena) - start; encLen < len(chunk) {
+					st.sizes[i] = encLen
+					st.flags[i] = 1
+					st.owner[i] = int32(worker)
+					st.off[i] = start
+				} else {
+					// Worst-case cap: emit the original data for chunks
+					// that do not compress.
+					arena = arena[:start]
+					st.sizes[i] = len(chunk)
+					st.flags[i] = 0
+					st.owner[i] = -1
+				}
+			}
+			st.arenas[worker] = arena
+		}(w)
+	}
+	wg.Wait()
+
+	// Scan: exact payload size and every chunk's payload offset.
+	total := 0
+	for i, s := range st.sizes {
+		st.pos[i] = total
+		total += s
+	}
+	lastLen := len(src) - (nChunks-1)*cs
+	crc := uint32(0)
+	if nChunks > 0 {
+		crc = combineChunkCRCs(st.crcs, cs, lastLen)
+	}
+
+	// Header and size table, laid out exactly as Assemble writes them.
+	dst = growCap(dst, total+len(st.sizes)*3+32)
+	dst = append(dst, magic[:]...)
+	dst = append(dst, formatVersion, algID)
+	dst = append(dst, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+	dst = bitio.AppendUvarint(dst, uint64(len(src)))
+	dst = bitio.AppendUvarint(dst, uint64(cs))
+	dst = bitio.AppendUvarint(dst, uint64(nChunks))
+	for i, s := range st.sizes {
+		dst = bitio.AppendUvarint(dst, uint64(s)<<1|uint64(st.flags[i]))
+	}
+
+	// Parallel scatter: workers copy chunk outputs (and raw chunks straight
+	// from src) to their prefix-summed payload offsets.
+	payloadStart := len(dst)
+	dst = growExact(dst, total)
+	payload := dst[payloadStart:]
+	scatter := func(i int) {
+		var from []byte
+		if st.flags[i] == 0 {
+			lo := i * cs
+			from = src[lo : lo+st.sizes[i]]
+		} else {
+			a := st.arenas[st.owner[i]]
+			from = a[st.off[i] : st.off[i]+st.sizes[i]]
+		}
+		copy(payload[st.pos[i]:st.pos[i]+st.sizes[i]], from)
+	}
+	if nw == 1 || total < scatterMinBytes {
+		for i := 0; i < nChunks; i++ {
+			scatter(i)
+		}
+		return dst
+	}
+	next.Store(0)
+	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -172,33 +357,12 @@ func Compress(src []byte, algID byte, codec Codec, p Params) []byte {
 				if i >= nChunks {
 					return
 				}
-				lo := i * cs
-				hi := lo + cs
-				if hi > len(src) {
-					hi = len(src)
-				}
-				chunk := src[lo:hi]
-				enc := codec.Forward(chunk)
-				if len(enc) >= len(chunk) {
-					// Worst-case cap: emit the original data for chunks
-					// that do not compress.
-					results[i] = chunk
-					rawFlags[i] = true
-				} else {
-					results[i] = enc
-				}
+				scatter(i)
 			}
 		}()
 	}
 	wg.Wait()
-
-	sizes := make([]int, nChunks)
-	payload := make([]byte, 0, len(src)/2)
-	for i, r := range results {
-		sizes[i] = len(r)
-		payload = append(payload, r...)
-	}
-	return Assemble(algID, crc32.Checksum(src, crcTable), len(src), cs, sizes, rawFlags, payload)
+	return dst
 }
 
 // Assemble builds the container byte layout from already-compressed chunk
@@ -328,6 +492,50 @@ func (h *Header) decodeChunk(i int, enc []byte, codec Codec) ([]byte, error) {
 // made, and every chunk decodes under a budget equal to its known size, so
 // corrupt input fails with an error instead of exhausting memory.
 func Decompress(data []byte, codec Codec, p Params) ([]byte, error) {
+	return DecompressAppend(nil, data, codec, p)
+}
+
+// decodeChunkInto decodes chunk i directly into span (its exact
+// original-data range within the output). Raw chunks are copied verbatim;
+// IntoCodec chunks decode in place with no intermediate buffer.
+func (h *Header) decodeChunkInto(i int, span, enc []byte, codec Codec, ic IntoCodec) error {
+	if h.entries[i]&1 == 0 {
+		// Raw chunk: stored verbatim, so its size must equal its span.
+		if len(enc) != len(span) {
+			return fmt.Errorf("%w: raw chunk %d has %d bytes, want %d", ErrFormat, i, len(enc), len(span))
+		}
+		copy(span, enc)
+		return nil
+	}
+	var dec []byte
+	var err error
+	if ic != nil {
+		dec, err = ic.InverseInto(span[:0:len(span)], enc, len(span))
+	} else {
+		dec, err = inverse(codec, enc, len(span))
+	}
+	if err != nil {
+		return fmt.Errorf("chunk %d: %w", i, err)
+	}
+	if len(dec) != len(span) {
+		return fmt.Errorf("%w: chunk %d decoded to %d bytes, want %d", ErrFormat, i, len(dec), len(span))
+	}
+	if len(dec) > 0 && &dec[0] != &span[0] {
+		// The codec reallocated (it outgrew the span mid-decode before
+		// settling on the right size, or ignored dst); keep its bytes.
+		copy(span, dec)
+	}
+	return nil
+}
+
+// DecompressAppend is Decompress appending the reconstructed bytes to dst
+// (which may be nil) and returning the extended slice, with the same
+// append-semantics ownership contract as the transforms' *Into APIs.
+// Chunks decode directly into their final position in the pre-sized
+// output — no per-chunk buffer, no final copy — and each worker computes
+// its chunks' CRC32-C as it goes; the per-chunk CRCs are folded into the
+// whole-buffer checksum instead of a second serial pass over the output.
+func DecompressAppend(dst []byte, data []byte, codec Codec, p Params) ([]byte, error) {
 	h, err := Parse(data)
 	if err != nil {
 		return nil, err
@@ -335,11 +543,17 @@ func Decompress(data []byte, codec Codec, p Params) ([]byte, error) {
 	if budget := p.DecodeBudget(); budget >= 0 && h.OriginalLen > budget {
 		return nil, fmt.Errorf("%w: %d bytes declared, budget %d", ErrBudget, h.OriginalLen, budget)
 	}
-	dst := make([]byte, h.OriginalLen)
+	base := len(dst)
+	dst = growExact(dst, h.OriginalLen)
+	out := dst[base:]
+	ic, _ := codec.(IntoCodec)
+	nw := p.workers(h.ChunkCount)
+	st := getEngineState(h.ChunkCount, nw)
+	defer putEngineState(st)
 	var firstErr atomic.Pointer[error]
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < p.workers(h.ChunkCount); w++ {
+	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -348,13 +562,13 @@ func Decompress(data []byte, codec Codec, p Params) ([]byte, error) {
 				if i >= h.ChunkCount || firstErr.Load() != nil {
 					return
 				}
-				dec, err := h.decodeChunk(i, h.payload[h.offsets[i]:h.offsets[i+1]], codec)
-				if err != nil {
+				lo, hi := h.chunkSpan(i)
+				span := out[lo:hi]
+				if err := h.decodeChunkInto(i, span, h.payload[h.offsets[i]:h.offsets[i+1]], codec, ic); err != nil {
 					firstErr.CompareAndSwap(nil, &err)
 					return
 				}
-				lo, hi := h.chunkSpan(i)
-				copy(dst[lo:hi], dec)
+				st.crcs[i] = crc32.Checksum(span, crcTable)
 			}
 		}()
 	}
@@ -362,7 +576,11 @@ func Decompress(data []byte, codec Codec, p Params) ([]byte, error) {
 	if ep := firstErr.Load(); ep != nil {
 		return nil, *ep
 	}
-	if got := crc32.Checksum(dst, crcTable); got != h.CRC {
+	got := uint32(0)
+	if h.ChunkCount > 0 {
+		got = combineChunkCRCs(st.crcs, h.ChunkSize, h.OriginalLen-(h.ChunkCount-1)*h.ChunkSize)
+	}
+	if got != h.CRC {
 		return nil, fmt.Errorf("%w: got %08x, header says %08x", ErrChecksum, got, h.CRC)
 	}
 	return dst, nil

@@ -1,0 +1,120 @@
+package container
+
+import "sync"
+
+// This file implements CRC32-C combination (zlib's crc32_combine
+// algorithm): given the CRCs of two byte ranges A and B, the CRC of A||B is
+// shift(crcA, len(B)) ^ crcB, where shift advances a CRC past len(B) zero
+// bytes — a linear operator over GF(2), representable as a 32x32 bit
+// matrix. The engine computes each chunk's CRC concurrently with (de)compressing
+// it, then folds the per-chunk CRCs into the whole-buffer checksum with one
+// 32-word matrix-vector product per chunk, eliminating the second serial
+// pass over the data.
+
+// crcCastagnoli is the reflected Castagnoli polynomial, matching
+// crc32.MakeTable(crc32.Castagnoli).
+const crcCastagnoli = 0x82F63B78
+
+// crcOp is a GF(2) 32x32 matrix: column i holds the operator's image of bit
+// i. Applying it to a CRC advances that CRC past a fixed number of zero
+// bytes.
+type crcOp [32]uint32
+
+// apply multiplies the matrix by vec over GF(2).
+func (m *crcOp) apply(vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; i, vec = i+1, vec>>1 {
+		if vec&1 != 0 {
+			sum ^= m[i]
+		}
+	}
+	return sum
+}
+
+// gfSquare sets dst = src * src.
+func gfSquare(dst, src *crcOp) {
+	for i := 0; i < 32; i++ {
+		dst[i] = src.apply(src[i])
+	}
+}
+
+// gfMul sets dst = a * b (apply b, then a; the shift operators commute, so
+// the order is immaterial for this file's use).
+func gfMul(dst, a, b *crcOp) {
+	for i := 0; i < 32; i++ {
+		dst[i] = a.apply(b[i])
+	}
+}
+
+// makeCRCShiftOp builds the operator advancing a CRC32-C past n zero bytes
+// by binary decomposition of n over squared byte-shift operators.
+func makeCRCShiftOp(n int) crcOp {
+	var op crcOp
+	for i := range op {
+		op[i] = 1 << i // identity
+	}
+	if n <= 0 {
+		return op
+	}
+	// One zero *bit*: column 0 is the polynomial, bit i maps to bit i-1.
+	var odd, even crcOp
+	odd[0] = crcCastagnoli
+	for i := 1; i < 32; i++ {
+		odd[i] = 1 << (i - 1)
+	}
+	gfSquare(&even, &odd) // 2 bits
+	gfSquare(&odd, &even) // 4 bits
+	var pow, tmp crcOp
+	gfSquare(&pow, &odd) // 8 bits = 1 byte
+	for {
+		if n&1 != 0 {
+			gfMul(&tmp, &pow, &op)
+			op = tmp
+		}
+		n >>= 1
+		if n == 0 {
+			return op
+		}
+		gfSquare(&tmp, &pow)
+		pow = tmp
+	}
+}
+
+// crcOpCache caches shift operators per uniform chunk size. Chunk sizes are
+// configuration values (a handful per process), so the cache stays tiny;
+// the input-length-dependent final-chunk operator is built fresh per call
+// (~20k bit operations, noise next to compressing the chunk).
+var crcOpCache sync.Map // int -> *crcOp
+
+func cachedCRCShiftOp(n int) *crcOp {
+	if v, ok := crcOpCache.Load(n); ok {
+		return v.(*crcOp)
+	}
+	op := makeCRCShiftOp(n)
+	v, _ := crcOpCache.LoadOrStore(n, &op)
+	return v.(*crcOp)
+}
+
+// combineChunkCRCs folds per-chunk CRC32-Cs into the CRC of the
+// concatenated data. Every chunk has length cs except the final one, which
+// has length lastLen (0 < lastLen <= cs). An empty slice yields 0, the CRC
+// of no data.
+func combineChunkCRCs(crcs []uint32, cs, lastLen int) uint32 {
+	n := len(crcs)
+	if n == 0 {
+		return 0
+	}
+	c := crcs[0]
+	if n == 1 {
+		return c
+	}
+	op := cachedCRCShiftOp(cs)
+	for i := 1; i < n-1; i++ {
+		c = op.apply(c) ^ crcs[i]
+	}
+	if lastLen == cs {
+		return op.apply(c) ^ crcs[n-1]
+	}
+	last := makeCRCShiftOp(lastLen)
+	return last.apply(c) ^ crcs[n-1]
+}

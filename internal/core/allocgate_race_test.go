@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled gates the allocation-ceiling tests off under the race
+// detector, whose instrumentation changes allocation counts.
+const raceEnabled = true

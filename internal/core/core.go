@@ -16,11 +16,16 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"fpcompress/internal/container"
 	"fpcompress/internal/transforms"
 	"fpcompress/internal/wordio"
 )
+
+// preBufPool recycles the whole-input intermediate between a pre-stage
+// (DPratio's FCM) and the chunked container engine.
+var preBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // ID enumerates the algorithms. The byte values are persisted in the
 // container header and must not be renumbered.
@@ -94,11 +99,26 @@ func (a *Algorithm) Stages() []string {
 
 // Compress encodes src into a self-describing container.
 func (a *Algorithm) Compress(src []byte, p container.Params) []byte {
+	return a.CompressAppend(nil, src, p)
+}
+
+// CompressAppend is Compress appending the container to dst (which may be
+// nil) and returning the extended slice, with append-semantics buffer
+// ownership (see the transforms package comment). The pre-stage
+// intermediate, when present, lives in a pooled buffer.
+func (a *Algorithm) CompressAppend(dst, src []byte, p container.Params) []byte {
 	buf := src
+	var pb *[]byte
 	if a.Pre != nil {
-		buf = a.Pre.Forward(src)
+		pb = preBufPool.Get().(*[]byte)
+		*pb = a.Pre.ForwardInto((*pb)[:0], src)
+		buf = *pb
 	}
-	return container.Compress(buf, byte(a.ID), chunkCodec{a.Chunked}, p)
+	dst = container.CompressAppend(dst, buf, byte(a.ID), chunkCodec{a.Chunked}, p)
+	if pb != nil {
+		preBufPool.Put(pb)
+	}
+	return dst
 }
 
 // Decompress decodes a container produced by Compress. It verifies the
@@ -107,6 +127,15 @@ func (a *Algorithm) Compress(src []byte, p container.Params) []byte {
 // FCM), the container-level budget is scaled by the stage's worst-case
 // expansion so a legal payload of exactly budget bytes still decodes.
 func (a *Algorithm) Decompress(data []byte, p container.Params) ([]byte, error) {
+	return a.DecompressAppend(nil, data, p)
+}
+
+// DecompressAppend is Decompress appending the reconstructed bytes to dst
+// (which may be nil) and returning the extended slice, with
+// append-semantics buffer ownership (see the transforms package comment).
+// When a pre-stage is present its encoded intermediate decodes into a
+// pooled buffer; otherwise chunks decode straight into dst.
+func (a *Algorithm) DecompressAppend(dst []byte, data []byte, p container.Params) ([]byte, error) {
 	id, err := container.AlgorithmID(data)
 	if err != nil {
 		return nil, err
@@ -115,33 +144,42 @@ func (a *Algorithm) Decompress(data []byte, p container.Params) ([]byte, error) 
 		return nil, fmt.Errorf("%w: container says %s, decoding as %s", ErrUnknownAlgorithm, ID(id), a.ID)
 	}
 	budget := p.DecodeBudget()
+	if a.Pre == nil {
+		return container.DecompressAppend(dst, data, chunkCodec{a.Chunked}, p)
+	}
 	cp := p
-	if a.Pre != nil && budget >= 0 {
+	if budget >= 0 {
 		if f, ok := a.Pre.(interface{ EncodedCap(int) int }); ok && budget < math.MaxInt/2-16 {
 			cp.MaxDecoded = f.EncodedCap(budget)
 		} else {
 			cp.MaxDecoded = -1 // unknown expansion: the pre-stage enforces the budget below
 		}
 	}
-	buf, err := container.Decompress(data, chunkCodec{a.Chunked}, cp)
+	pb := preBufPool.Get().(*[]byte)
+	buf, err := container.DecompressAppend((*pb)[:0], data, chunkCodec{a.Chunked}, cp)
 	if err != nil {
+		preBufPool.Put(pb)
 		return nil, err
 	}
-	if a.Pre != nil {
-		return a.Pre.InverseLimit(buf, budget)
-	}
-	return buf, nil
+	*pb = buf
+	out, err := a.Pre.InverseInto(dst, buf, budget)
+	preBufPool.Put(pb)
+	return out, err
 }
 
-// chunkCodec adapts a transform pipeline to the container.BudgetCodec
+// chunkCodec adapts a transform pipeline to the container.IntoCodec
 // interface, so the engine can hand each chunk its exact decoded size as
-// an allocation bound.
+// an allocation bound and encode/decode chunks without per-chunk buffers.
 type chunkCodec struct{ p transforms.Pipeline }
 
-func (c chunkCodec) Forward(chunk []byte) []byte        { return c.p.Forward(chunk) }
-func (c chunkCodec) Inverse(enc []byte) ([]byte, error) { return c.p.Inverse(enc) }
+func (c chunkCodec) Forward(chunk []byte) []byte           { return c.p.Forward(chunk) }
+func (c chunkCodec) ForwardInto(dst, chunk []byte) []byte  { return c.p.ForwardInto(dst, chunk) }
+func (c chunkCodec) Inverse(enc []byte) ([]byte, error)    { return c.p.Inverse(enc) }
 func (c chunkCodec) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
 	return c.p.InverseLimit(enc, maxDecoded)
+}
+func (c chunkCodec) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
+	return c.p.InverseInto(dst, enc, maxDecoded)
 }
 
 // New constructs the named algorithm.

@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled gates the allocation-ceiling test off under the race
+// detector, whose instrumentation changes allocation counts.
+const raceEnabled = true

@@ -178,6 +178,51 @@ type job struct {
 type jobResult struct {
 	status  Status
 	payload []byte
+	// buf, when non-nil, is the pooled backing store of payload. The
+	// connection goroutine owns it once the worker sends the result and
+	// must release() it after the response is written.
+	buf *[]byte
+}
+
+// release returns the result's pooled response buffer, if any. payload is
+// dead after this call.
+func (r *jobResult) release() {
+	if r.buf != nil {
+		putPayloadBuf(r.buf)
+		r.buf = nil
+	}
+	r.payload = nil
+}
+
+// payloadPool recycles request and response payload buffers across requests
+// and connections, so the steady-state serving loop allocates nothing per
+// frame. Buffers above maxPooledPayload are left to the GC: one huge
+// request must not pin tens of megabytes in the pool forever.
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+
+const maxPooledPayload = 8 << 20
+
+func getPayloadBuf() *[]byte { return payloadPool.Get().(*[]byte) }
+
+func putPayloadBuf(p *[]byte) {
+	if cap(*p) <= maxPooledPayload {
+		payloadPool.Put(p)
+	}
+}
+
+// readPayloadInto reads n payload bytes into *bp, growing its backing array
+// only when too small, and returns the filled slice (aliasing *bp).
+func readPayloadInto(bp *[]byte, r io.Reader, n int) ([]byte, error) {
+	b := *bp
+	if cap(b) < n {
+		b = make([]byte, n)
+	}
+	b = b[:n]
+	*bp = b
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %w", ErrProtocol, err)
+	}
+	return b, nil
 }
 
 // Server is a concurrent compression service. Create with New, start with
@@ -352,6 +397,12 @@ func (s *Server) handleConn(c net.Conn) {
 	bw := bufio.NewWriterSize(c, 64<<10)
 	poll := s.cfg.idlePoll()
 	readTimeout := s.cfg.readTimeout()
+	// One pooled request buffer per connection, reused for every frame. The
+	// worker is done with the payload before dispatch returns (each
+	// connection is serial by protocol), so reuse on the next iteration is
+	// safe.
+	reqBuf := getPayloadBuf()
+	defer putPayloadBuf(reqBuf)
 	for !s.shutdown.Load() {
 		// Idle wait under a short deadline so the connection notices
 		// shutdown; Peek consumes nothing, so a timeout here never splits
@@ -399,7 +450,7 @@ func (s *Server) handleConn(c net.Conn) {
 			}
 			reserved = int64(n)
 		}
-		payload, err := readPayload(br, n)
+		payload, err := readPayloadInto(reqBuf, br, n)
 		if err != nil {
 			s.releaseBytes(reserved)
 			s.failRequest(c, bw, err)
@@ -411,6 +462,7 @@ func (s *Server) handleConn(c net.Conn) {
 		if err == nil {
 			err = bw.Flush()
 		}
+		res.release()
 		s.releaseBytes(reserved)
 		if err != nil {
 			return
@@ -455,10 +507,10 @@ func (s *Server) dispatch(op Op, alg byte, payload []byte) jobResult {
 		b, err := json.Marshal(s.StatsSnapshot())
 		if err != nil { // cannot happen for Snapshot; defensive
 			s.metrics.record(OpStats, start, len(payload), 0, false)
-			return jobResult{StatusError, []byte(err.Error())}
+			return jobResult{status: StatusError, payload: []byte(err.Error())}
 		}
 		s.metrics.record(OpStats, start, len(payload), len(b), true)
-		return jobResult{StatusOK, b}
+		return jobResult{status: StatusOK, payload: b}
 	case OpCompress, OpDecompress:
 		j := &job{op: op, alg: alg, payload: payload, done: make(chan jobResult, 1)}
 		select {
@@ -466,10 +518,10 @@ func (s *Server) dispatch(op Op, alg byte, payload []byte) jobResult {
 			return <-j.done
 		default:
 			s.metrics.busy.Add(1)
-			return jobResult{StatusBusy, []byte(ErrBusy.Error())}
+			return jobResult{status: StatusBusy, payload: []byte(ErrBusy.Error())}
 		}
 	default:
-		return jobResult{StatusBadRequest, []byte(fmt.Sprintf("server: unknown op %d", byte(op)))}
+		return jobResult{status: StatusBadRequest, payload: []byte(fmt.Sprintf("server: unknown op %d", byte(op)))}
 	}
 }
 
@@ -478,23 +530,27 @@ func (s *Server) execute(j *job) jobResult {
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 	start := time.Now()
-	out, status, msg := s.runCodec(j)
+	out, buf, status, msg := s.runCodec(j)
 	s.metrics.record(j.op, start, len(j.payload), len(out), status == StatusOK)
 	if status != StatusOK {
-		return jobResult{status, []byte(msg)}
+		return jobResult{status: status, payload: []byte(msg)}
 	}
-	return jobResult{StatusOK, out}
+	return jobResult{status: StatusOK, payload: out, buf: buf}
 }
 
-// runCodec executes the codec for one job. The decoders guarantee
-// "arbitrary bytes in, error out"; the recover is the last-line backstop
-// enforcing that a codec bug surfaces as a typed StatusError response on
-// one request instead of killing the whole daemon.
-func (s *Server) runCodec(j *job) (out []byte, status Status, msg string) {
+// runCodec executes the codec for one job, building the response payload in
+// a pooled buffer (returned as buf; ownership travels with the jobResult to
+// the connection goroutine). The decoders guarantee "arbitrary bytes in,
+// error out"; the recover is the last-line backstop enforcing that a codec
+// bug surfaces as a typed StatusError response on one request instead of
+// killing the whole daemon.
+func (s *Server) runCodec(j *job) (out []byte, buf *[]byte, status Status, msg string) {
 	op := j.op
 	defer func() {
 		if r := recover(); r != nil {
-			out, status, msg = nil, StatusError, fmt.Sprintf("server: codec panic on %v: %v", op, r)
+			// A pooled buffer taken before the panic is abandoned to the GC:
+			// after a codec panic its contents are suspect.
+			out, buf, status, msg = nil, nil, StatusError, fmt.Sprintf("server: codec panic on %v: %v", op, r)
 		}
 	}()
 	// The test hook runs inside the recover scope so injected panics
@@ -510,18 +566,26 @@ func (s *Server) runCodec(j *job) (out []byte, status Status, msg string) {
 			status, msg = StatusBadRequest, err.Error()
 			break
 		}
-		out = a.Compress(j.payload, s.cfg.params())
+		buf = getPayloadBuf()
+		*buf = a.CompressAppend((*buf)[:0], j.payload, s.cfg.params())
+		out = *buf
 	case OpDecompress:
 		a, err := core.FromContainer(j.payload)
 		if err != nil {
 			status, msg = StatusBadRequest, err.Error()
 			break
 		}
-		if out, err = a.Decompress(j.payload, s.cfg.params()); err != nil {
-			status, msg, out = StatusError, err.Error(), nil
+		buf = getPayloadBuf()
+		res, err := a.DecompressAppend((*buf)[:0], j.payload, s.cfg.params())
+		if err != nil {
+			putPayloadBuf(buf)
+			buf, status, msg = nil, StatusError, err.Error()
+			break
 		}
+		*buf = res
+		out = res
 	}
-	return out, status, msg
+	return out, buf, status, msg
 }
 
 // Shutdown gracefully stops the server: listeners close immediately, idle

@@ -25,10 +25,9 @@ import (
 // k*cnt[k] is computed from a prefix sum over the histogram bins — no need
 // to try all splits against the data.
 
-// leadFunc returns, for each word, how many leading bits are eliminable.
-type leadFunc func(words []uint64) []int
-
-// leadZeros is RAZE's criterion: leading zero bits of each word.
+// leadZeros is RAZE's criterion: leading zero bits of each word. It is the
+// reference model for computeLead (which fills a scratch slice straight
+// from the chunk bytes) and is exercised directly by the split-model tests.
 func leadZeros(words []uint64) []int {
 	lead := make([]int, len(words))
 	for i, v := range words {
@@ -47,6 +46,24 @@ func leadCommon(words []uint64) []int {
 		prev = v
 	}
 	return lead
+}
+
+// computeLead fills lead (length n) with each word's eliminable-leading-bit
+// count, reading the words straight out of src. common selects RARE's
+// shared-with-predecessor criterion over RAZE's leading-zeros one.
+func computeLead(lead []int, src []byte, n int, common bool) {
+	if common {
+		prev := uint64(0)
+		for i := 0; i < n; i++ {
+			v := wordio.U64(src, i)
+			lead[i] = wordio.Clz64(v ^ prev)
+			prev = v
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		lead[i] = wordio.Clz64(wordio.U64(src, i))
+	}
 }
 
 // bestSplit returns the k in [0,64] minimizing the modeled encoded size.
@@ -70,49 +87,60 @@ func bestSplit(lead []int) int {
 	return bestK
 }
 
-// adaptiveForward encodes src for either RAZE or RARE; the criterion lf is
-// the only difference between the two on the encode side.
-func adaptiveForward(src []byte, lf leadFunc) []byte {
+// adaptiveForwardInto encodes src for either RAZE or RARE (selected by
+// common) appending to dst; all scratch (the lead counts and the
+// elimination bitmap) is pooled, and the kept/bottom pieces are bit-packed
+// directly into dst.
+func adaptiveForwardInto(dst, src []byte, common bool) []byte {
 	n := len(src) / 8
 	tail := src[n*8:]
-	words := wordio.Words64(src, false)
-	lead := lf(words)
+	lp := intPool.Get().(*[]int)
+	defer intPool.Put(lp)
+	lead := growInts(lp, n)
+	computeLead(lead, src, n, common)
 	k := bestSplit(lead)
 
-	out := bitio.AppendUvarint(nil, uint64(len(src)))
-	out = append(out, byte(k))
+	dst = growCap(dst, len(src)+len(src)/8+32)
+	dst = bitio.AppendUvarint(dst, uint64(len(src)))
+	dst = append(dst, byte(k))
 	if k == 0 {
-		out = append(out, src[:n*8]...)
-		return append(out, tail...)
+		dst = append(dst, src[:n*8]...)
+		return append(dst, tail...)
 	}
-	kept := make([]uint64, 0, n)
-	bm := make([]byte, (n+7)/8)
-	for i, v := range words {
+	bp := getBuf()
+	defer putBuf(bp)
+	bm := pooledBytes(bp, (n+7)/8)
+	clear(bm)
+	for i := 0; i < n; i++ {
 		if lead[i] < k { // top piece must be emitted
 			bm[i>>3] |= 0x80 >> (i & 7)
-			kept = append(kept, v>>(64-uint(k)))
 		}
 	}
-	out = encodeRepeatBitmap(bm, out)
-	out = append(out, bitio.PackWidth64(kept, uint(k))...)
-	bottoms := make([]uint64, n)
+	dst = appendRepeatBitmap(dst, bm)
+	// Kept top pieces then bottom pieces, each padded to a byte boundary —
+	// the same layout PackWidth64 produces, without the intermediate
+	// []uint64 slices.
+	w := bitio.NewWriterBuf(dst)
+	kw := uint(k)
+	for i := 0; i < n; i++ {
+		if lead[i] < k {
+			w.WriteBits(wordio.U64(src, i)>>(64-kw), kw)
+		}
+	}
+	w.Align()
 	bw := uint(64 - k)
-	for i, v := range words {
-		if bw == 64 {
-			bottoms[i] = v
-		} else {
-			bottoms[i] = v & ((1 << bw) - 1)
-		}
+	for i := 0; i < n; i++ {
+		w.WriteBits(wordio.U64(src, i), bw) // WriteBits keeps the low bw bits
 	}
-	out = append(out, bitio.PackWidth64(bottoms, bw)...)
-	return append(out, tail...)
+	dst = w.Bytes()
+	return append(dst, tail...)
 }
 
-// adaptiveInverse decodes the common RAZE/RARE layout; repeat selects the
-// reconstruction rule for eliminated top pieces. All allocations (bitmap,
-// kept pieces, bottoms, output words) are sized from declen, so validating
-// it against the budget up front bounds the whole decode.
-func adaptiveInverse(enc []byte, repeat bool, maxDecoded int) ([]byte, error) {
+// adaptiveInverseInto decodes the common RAZE/RARE layout appending to dst;
+// repeat selects the reconstruction rule for eliminated top pieces. All
+// scratch is sized from declen, so validating it against the budget up
+// front bounds the whole decode.
+func adaptiveInverseInto(dst, enc []byte, repeat bool, maxDecoded int) ([]byte, error) {
 	declen64, hn := bitio.Uvarint(enc)
 	if hn == 0 || hn >= len(enc) {
 		return nil, corruptf("RAZE/RARE: bad length prefix")
@@ -133,10 +161,12 @@ func adaptiveInverse(enc []byte, repeat bool, maxDecoded int) ([]byte, error) {
 		if len(body) < declen {
 			return nil, corruptf("RAZE/RARE: truncated raw body")
 		}
-		return body[:declen:declen], nil
+		return append(dst, body[:declen]...), nil
 	}
 
-	bm, consumed, err := decodeRepeatBitmap(body, (n+7)/8)
+	bp := getBuf()
+	defer putBuf(bp)
+	bm, consumed, err := decodeRepeatBitmapScratch(bp, body, (n+7)/8)
 	if err != nil {
 		return nil, err
 	}
@@ -151,44 +181,48 @@ func adaptiveInverse(enc []byte, repeat bool, maxDecoded int) ([]byte, error) {
 	if len(body) < keptBytes {
 		return nil, corruptf("RAZE/RARE: truncated kept pieces")
 	}
-	kept, err := bitio.UnpackWidth64(body[:keptBytes], nKept, uint(k))
-	if err != nil {
-		return nil, err
-	}
+	keptR := bitio.NewReader(body[:keptBytes])
 	body = body[keptBytes:]
 	bw := uint(64 - k)
 	botBytes := (n*int(bw) + 7) / 8
 	if len(body) < botBytes {
 		return nil, corruptf("RAZE/RARE: truncated bottom pieces")
 	}
-	bottoms, err := bitio.UnpackWidth64(body[:botBytes], n, bw)
-	if err != nil {
-		return nil, err
-	}
+	botR := bitio.NewReader(body[:botBytes])
 	body = body[botBytes:]
 
-	words := make([]uint64, n)
+	base := len(dst)
+	dst = grow(dst, declen)
+	out := dst[base:]
 	prevTop := uint64(0)
-	ki := 0
+	kw := uint(k)
 	for i := 0; i < n; i++ {
 		var top uint64
 		if bm[i>>3]&(0x80>>(i&7)) != 0 {
-			top = kept[ki]
-			ki++
+			top, err = keptR.ReadBits(kw)
+			if err != nil {
+				return nil, corruptf("RAZE/RARE: truncated kept pieces")
+			}
 		} else if repeat {
 			top = prevTop // RARE: identical to the prior word's top piece
 		} else {
 			top = 0 // RAZE: eliminated pieces were all-zero
 		}
-		words[i] = top<<bw | bottoms[i]
+		bot := uint64(0)
+		if bw > 0 {
+			bot, err = botR.ReadBits(bw)
+			if err != nil {
+				return nil, corruptf("RAZE/RARE: truncated bottom pieces")
+			}
+		}
+		wordio.PutU64(out, i, top<<bw|bot)
 		prevTop = top
 	}
-	dst := wordio.Bytes64(words, n*8)
 	if tailLen > 0 {
 		if len(body) < tailLen {
 			return nil, corruptf("RAZE/RARE: truncated tail")
 		}
-		dst = append(dst, body[:tailLen]...)
+		copy(out[n*8:], body[:tailLen])
 	}
 	return dst, nil
 }
@@ -202,14 +236,26 @@ type RAZE struct{}
 func (RAZE) Name() string { return "RAZE" }
 
 // Forward implements Transform.
-func (RAZE) Forward(src []byte) []byte { return adaptiveForward(src, leadZeros) }
+func (RAZE) Forward(src []byte) []byte { return adaptiveForwardInto(nil, src, false) }
+
+// ForwardInto implements Transform (see the package comment for the dst
+// ownership contract).
+func (RAZE) ForwardInto(dst, src []byte) []byte { return adaptiveForwardInto(dst, src, false) }
 
 // Inverse implements Transform.
-func (RAZE) Inverse(enc []byte) ([]byte, error) { return adaptiveInverse(enc, false, NoLimit) }
+func (RAZE) Inverse(enc []byte) ([]byte, error) {
+	return adaptiveInverseInto(nil, enc, false, NoLimit)
+}
 
 // InverseLimit implements Transform.
 func (RAZE) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
-	return adaptiveInverse(enc, false, maxDecoded)
+	return adaptiveInverseInto(nil, enc, false, maxDecoded)
+}
+
+// InverseInto implements Transform (see the package comment for the dst
+// ownership contract).
+func (RAZE) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
+	return adaptiveInverseInto(dst, enc, false, maxDecoded)
 }
 
 // RARE implements Repeated Adaptive Repetition Elimination: like RAZE but a
@@ -222,12 +268,24 @@ type RARE struct{}
 func (RARE) Name() string { return "RARE" }
 
 // Forward implements Transform.
-func (RARE) Forward(src []byte) []byte { return adaptiveForward(src, leadCommon) }
+func (RARE) Forward(src []byte) []byte { return adaptiveForwardInto(nil, src, true) }
+
+// ForwardInto implements Transform (see the package comment for the dst
+// ownership contract).
+func (RARE) ForwardInto(dst, src []byte) []byte { return adaptiveForwardInto(dst, src, true) }
 
 // Inverse implements Transform.
-func (RARE) Inverse(enc []byte) ([]byte, error) { return adaptiveInverse(enc, true, NoLimit) }
+func (RARE) Inverse(enc []byte) ([]byte, error) {
+	return adaptiveInverseInto(nil, enc, true, NoLimit)
+}
 
 // InverseLimit implements Transform.
 func (RARE) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
-	return adaptiveInverse(enc, true, maxDecoded)
+	return adaptiveInverseInto(nil, enc, true, maxDecoded)
+}
+
+// InverseInto implements Transform (see the package comment for the dst
+// ownership contract).
+func (RARE) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
+	return adaptiveInverseInto(dst, enc, true, maxDecoded)
 }

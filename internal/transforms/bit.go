@@ -61,7 +61,15 @@ func transpose64(a *[64]uint64) {
 
 // Forward implements Transform.
 func (b Bit) Forward(src []byte) []byte {
-	dst := make([]byte, len(src))
+	return b.ForwardInto(nil, src)
+}
+
+// ForwardInto implements Transform (see the package comment for the dst
+// ownership contract).
+func (b Bit) ForwardInto(dst, src []byte) []byte {
+	base := len(dst)
+	dst = grow(dst, len(src))
+	out := dst[base:]
 	switch b.Word {
 	case wordio.W32:
 		n := len(src) / 4
@@ -73,10 +81,10 @@ func (b Bit) Forward(src []byte) []byte {
 			}
 			transpose32(&blk)
 			for plane := 0; plane < 32; plane++ {
-				wordio.PutU32(dst, plane*nb+k, blk[plane])
+				wordio.PutU32(out, plane*nb+k, blk[plane])
 			}
 		}
-		copy(dst[nb*32*4:], src[nb*32*4:])
+		copy(out[nb*32*4:], src[nb*32*4:])
 	default:
 		n := len(src) / 8
 		nb := n / 64
@@ -87,10 +95,10 @@ func (b Bit) Forward(src []byte) []byte {
 			}
 			transpose64(&blk)
 			for plane := 0; plane < 64; plane++ {
-				wordio.PutU64(dst, plane*nb+k, blk[plane])
+				wordio.PutU64(out, plane*nb+k, blk[plane])
 			}
 		}
-		copy(dst[nb*64*8:], src[nb*64*8:])
+		copy(out[nb*64*8:], src[nb*64*8:])
 	}
 	return dst
 }
@@ -98,15 +106,23 @@ func (b Bit) Forward(src []byte) []byte {
 // InverseLimit implements Transform. BIT is size-preserving, so the budget
 // bounds the encoded length itself.
 func (b Bit) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
-	if maxDecoded >= 0 && len(enc) > maxDecoded {
-		return nil, corruptf("BIT: %d bytes exceed decode budget %d", len(enc), maxDecoded)
-	}
-	return b.Inverse(enc)
+	return b.InverseInto(nil, enc, maxDecoded)
 }
 
 // Inverse implements Transform.
 func (b Bit) Inverse(enc []byte) ([]byte, error) {
-	dst := make([]byte, len(enc))
+	return b.InverseInto(nil, enc, NoLimit)
+}
+
+// InverseInto implements Transform (see the package comment for the dst
+// ownership contract).
+func (b Bit) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
+	if maxDecoded >= 0 && len(enc) > maxDecoded {
+		return nil, corruptf("BIT: %d bytes exceed decode budget %d", len(enc), maxDecoded)
+	}
+	base := len(dst)
+	dst = grow(dst, len(enc))
+	out := dst[base:]
 	switch b.Word {
 	case wordio.W32:
 		n := len(enc) / 4
@@ -118,10 +134,10 @@ func (b Bit) Inverse(enc []byte) ([]byte, error) {
 			}
 			transpose32(&blk)
 			for j := 0; j < 32; j++ {
-				wordio.PutU32(dst, k*32+j, blk[j])
+				wordio.PutU32(out, k*32+j, blk[j])
 			}
 		}
-		copy(dst[nb*32*4:], enc[nb*32*4:])
+		copy(out[nb*32*4:], enc[nb*32*4:])
 	default:
 		n := len(enc) / 8
 		nb := n / 64
@@ -132,10 +148,10 @@ func (b Bit) Inverse(enc []byte) ([]byte, error) {
 			}
 			transpose64(&blk)
 			for j := 0; j < 64; j++ {
-				wordio.PutU64(dst, k*64+j, blk[j])
+				wordio.PutU64(out, k*64+j, blk[j])
 			}
 		}
-		copy(dst[nb*64*8:], enc[nb*64*8:])
+		copy(out[nb*64*8:], enc[nb*64*8:])
 	}
 	return dst, nil
 }

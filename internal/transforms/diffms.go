@@ -32,26 +32,34 @@ func (d DiffMS) Name() string {
 
 // Forward implements Transform.
 func (d DiffMS) Forward(src []byte) []byte {
-	dst := make([]byte, len(src))
+	return d.ForwardInto(nil, src)
+}
+
+// ForwardInto implements Transform (see the package comment for the dst
+// ownership contract).
+func (d DiffMS) ForwardInto(dst, src []byte) []byte {
+	base := len(dst)
+	dst = grow(dst, len(src))
+	out := dst[base:]
 	switch d.Word {
 	case wordio.W32:
 		n := len(src) / 4
 		prev := uint32(0)
 		for i := 0; i < n; i++ {
 			v := wordio.U32(src, i)
-			wordio.PutU32(dst, i, wordio.ZigZag32(v-prev))
+			wordio.PutU32(out, i, wordio.ZigZag32(v-prev))
 			prev = v
 		}
-		copy(dst[n*4:], src[n*4:])
+		copy(out[n*4:], src[n*4:])
 	default:
 		n := len(src) / 8
 		prev := uint64(0)
 		for i := 0; i < n; i++ {
 			v := wordio.U64(src, i)
-			wordio.PutU64(dst, i, wordio.ZigZag64(v-prev))
+			wordio.PutU64(out, i, wordio.ZigZag64(v-prev))
 			prev = v
 		}
-		copy(dst[n*8:], src[n*8:])
+		copy(out[n*8:], src[n*8:])
 	}
 	return dst
 }
@@ -59,33 +67,41 @@ func (d DiffMS) Forward(src []byte) []byte {
 // InverseLimit implements Transform. DIFFMS is size-preserving, so the
 // budget bounds the encoded length itself.
 func (d DiffMS) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
-	if maxDecoded >= 0 && len(enc) > maxDecoded {
-		return nil, corruptf("DIFFMS: %d bytes exceed decode budget %d", len(enc), maxDecoded)
-	}
-	return d.Inverse(enc)
+	return d.InverseInto(nil, enc, maxDecoded)
 }
 
 // Inverse implements Transform. Decoding is a prefix sum over the
 // un-zigzagged differences.
 func (d DiffMS) Inverse(enc []byte) ([]byte, error) {
-	dst := make([]byte, len(enc))
+	return d.InverseInto(nil, enc, NoLimit)
+}
+
+// InverseInto implements Transform (see the package comment for the dst
+// ownership contract).
+func (d DiffMS) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
+	if maxDecoded >= 0 && len(enc) > maxDecoded {
+		return nil, corruptf("DIFFMS: %d bytes exceed decode budget %d", len(enc), maxDecoded)
+	}
+	base := len(dst)
+	dst = grow(dst, len(enc))
+	out := dst[base:]
 	switch d.Word {
 	case wordio.W32:
 		n := len(enc) / 4
 		prev := uint32(0)
 		for i := 0; i < n; i++ {
 			prev += wordio.UnZigZag32(wordio.U32(enc, i))
-			wordio.PutU32(dst, i, prev)
+			wordio.PutU32(out, i, prev)
 		}
-		copy(dst[n*4:], enc[n*4:])
+		copy(out[n*4:], enc[n*4:])
 	default:
 		n := len(enc) / 8
 		prev := uint64(0)
 		for i := 0; i < n; i++ {
 			prev += wordio.UnZigZag64(wordio.U64(enc, i))
-			wordio.PutU64(dst, i, prev)
+			wordio.PutU64(out, i, prev)
 		}
-		copy(dst[n*8:], enc[n*8:])
+		copy(out[n*8:], enc[n*8:])
 	}
 	return dst, nil
 }

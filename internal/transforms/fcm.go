@@ -76,14 +76,40 @@ type fcmPair struct {
 	idx  uint32
 }
 
+// fcmPairPool recycles the encoder's (hash, index) array and its radix-sort
+// double buffer.
+var fcmPairPool = sync.Pool{New: func() any { return new([]fcmPair) }}
+
+func pooledPairs(p *[]fcmPair, n int) []fcmPair {
+	s := *p
+	if cap(s) < n {
+		s = make([]fcmPair, n)
+		*p = s
+	}
+	return s[:n]
+}
+
+// fcmWordPool recycles the parallel decoder's mutable value/distance
+// copies.
+var fcmWordPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+func pooledWords(p *[]uint64, n int) []uint64 {
+	s := *p
+	if cap(s) < n {
+		s = make([]uint64, n)
+		*p = s
+	}
+	return s[:n]
+}
+
 // radixSortPairs sorts pairs by hash (stably, so equal hashes keep ascending
-// index order) using an LSD radix sort with 8-bit digits.
-func radixSortPairs(pairs []fcmPair) {
+// index order) using an LSD radix sort with 8-bit digits; tmp is the
+// caller-supplied double buffer (same length as pairs).
+func radixSortPairs(pairs, tmp []fcmPair) {
 	n := len(pairs)
 	if n < 2 {
 		return
 	}
-	tmp := make([]fcmPair, n)
 	src, dst := pairs, tmp
 	for shift := uint(0); shift < 64; shift += 8 {
 		var count [257]int
@@ -118,21 +144,39 @@ func radixSortPairs(pairs []fcmPair) {
 
 // Forward implements Transform.
 func (f FCM) Forward(src []byte) []byte {
+	return f.ForwardInto(nil, src)
+}
+
+// ForwardInto implements Transform (see the package comment for the dst
+// ownership contract). The value and distance arrays are written straight
+// into the output region; the (hash, index) pairs and the radix-sort double
+// buffer are pooled.
+func (f FCM) ForwardInto(dst, src []byte) []byte {
 	window := f.window()
 	n := len(src) / 8
 	tail := src[n*8:]
-	words := wordio.Words64(src, false)
 
-	pairs := make([]fcmPair, n)
+	pp, tp := fcmPairPool.Get().(*[]fcmPair), fcmPairPool.Get().(*[]fcmPair)
+	defer fcmPairPool.Put(pp)
+	defer fcmPairPool.Put(tp)
+	pairs := pooledPairs(pp, n)
 	var v1, v2, v3 uint64
 	for i := 0; i < n; i++ {
 		pairs[i] = fcmPair{hash: fcmHash(v1, v2, v3), idx: uint32(i)}
-		v1, v2, v3 = words[i], v1, v2
+		v1, v2, v3 = wordio.U64(src, i), v1, v2
 	}
-	radixSortPairs(pairs)
+	radixSortPairs(pairs, pooledPairs(tp, n))
 
-	vals := make([]uint64, n)
-	dists := make([]uint64, n)
+	base := len(dst)
+	dst = grow(dst, fcmHeaderLen+2*n*8+len(tail))
+	out := dst[base:]
+	wordio.PutU64(out, 0, uint64(len(src)))
+	vals := out[fcmHeaderLen : fcmHeaderLen+n*8]
+	dists := out[fcmHeaderLen+n*8 : fcmHeaderLen+2*n*8]
+	// Each input word writes exactly one of the two arrays; the other entry
+	// must read as zero, so clear both first.
+	clear(vals)
+	clear(dists)
 	for p := 0; p < n; p++ {
 		cur := pairs[p]
 		matched := false
@@ -141,33 +185,37 @@ func (f FCM) Forward(src []byte) []byte {
 			if prev.hash != cur.hash {
 				break // sorted: earlier pairs cannot match either
 			}
-			if words[prev.idx] == words[cur.idx] {
-				dists[cur.idx] = uint64(cur.idx - prev.idx)
+			if wordio.U64(src, int(prev.idx)) == wordio.U64(src, int(cur.idx)) {
+				wordio.PutU64(dists, int(cur.idx), uint64(cur.idx-prev.idx))
 				matched = true
 				break
 			}
 		}
 		if !matched {
-			vals[cur.idx] = words[cur.idx]
+			wordio.PutU64(vals, int(cur.idx), wordio.U64(src, int(cur.idx)))
 		}
 	}
-
-	out := make([]byte, fcmHeaderLen, fcmHeaderLen+len(src)*2)
-	wordio.PutU64(out, 0, uint64(len(src)))
-	out = append(out, wordio.Bytes64(vals, n*8)...)
-	out = append(out, wordio.Bytes64(dists, n*8)...)
-	return append(out, tail...)
+	copy(out[fcmHeaderLen+2*n*8:], tail)
+	return dst
 }
 
 // Inverse implements Transform. FCM runs over the whole input (no chunk
 // cap applies), but its decoded length can never exceed its encoded
 // length, so allocation stays intrinsically bounded by the input size.
 func (f FCM) Inverse(enc []byte) ([]byte, error) {
-	return f.InverseLimit(enc, NoLimit)
+	return f.InverseInto(nil, enc, NoLimit)
 }
 
 // InverseLimit implements Transform.
-func (FCM) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
+func (f FCM) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
+	return f.InverseInto(nil, enc, maxDecoded)
+}
+
+// InverseInto implements Transform (see the package comment for the dst
+// ownership contract). The sequential path decodes straight from enc into
+// dst with no intermediate word slices; the parallel path needs mutable
+// value/distance arrays, which come from a pool.
+func (FCM) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 	if len(enc) < fcmHeaderLen {
 		return nil, corruptf("FCM: missing length prefix")
 	}
@@ -187,25 +235,48 @@ func (FCM) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
 	if len(enc) < hn+2*n*8+tailLen {
 		return nil, corruptf("FCM: truncated arrays")
 	}
-	vals := wordio.Words64(enc[hn:hn+n*8], false)
-	dists := wordio.Words64(enc[hn+n*8:hn+2*n*8], false)
+	valsB := enc[hn : hn+n*8]
+	distsB := enc[hn+n*8 : hn+2*n*8]
 
-	var words []uint64
-	var err error
+	base := len(dst)
+	dst = grow(dst, declen)
+	out := dst[base:]
 	if n >= fcmParallelMin && runtime.GOMAXPROCS(0) > 1 {
-		words, err = fcmDecodeParallel(vals, dists)
+		vp, dp := fcmWordPool.Get().(*[]uint64), fcmWordPool.Get().(*[]uint64)
+		defer fcmWordPool.Put(vp)
+		defer fcmWordPool.Put(dp)
+		vals := pooledWords(vp, n)
+		dists := pooledWords(dp, n)
+		for i := 0; i < n; i++ {
+			vals[i] = wordio.U64(valsB, i)
+			dists[i] = wordio.U64(distsB, i)
+		}
+		if err := fcmDecodeParallelBytes(out, vals, dists); err != nil {
+			return nil, err
+		}
 	} else {
-		words, err = fcmDecodeSequential(vals, dists)
+		// Sequential: resolve distances in index order; every referenced
+		// word is already final in out when reached.
+		for i := 0; i < n; i++ {
+			d := wordio.U64(distsB, i)
+			if d == 0 {
+				wordio.PutU64(out, i, wordio.U64(valsB, i))
+				continue
+			}
+			if d > uint64(i) {
+				return nil, corruptf("FCM: distance %d exceeds index %d", d, i)
+			}
+			wordio.PutU64(out, i, wordio.U64(out, i-int(d)))
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	dst := wordio.Bytes64(words, n*8)
-	return append(dst, enc[hn+2*n*8:hn+2*n*8+tailLen]...), nil
+	copy(out[n*8:], enc[hn+2*n*8:hn+2*n*8+tailLen])
+	return dst, nil
 }
 
 // fcmDecodeSequential resolves distances in index order; every referenced
-// value is already final when reached.
+// value is already final when reached. (Reference implementation — the
+// production sequential path in InverseInto decodes byte-to-byte; the
+// equivalence tests compare the two.)
 func fcmDecodeSequential(vals, dists []uint64) ([]uint64, error) {
 	n := len(vals)
 	out := make([]uint64, n)
@@ -223,18 +294,31 @@ func fcmDecodeSequential(vals, dists []uint64) ([]uint64, error) {
 	return out, nil
 }
 
-// fcmDecodeParallel is the paper's parallel "find" (union-find style)
+// fcmDecodeParallel runs the parallel reconstruction over word slices and
+// returns the decoded words (kept for the sequential/parallel equivalence
+// tests; the production path writes bytes via fcmDecodeParallelBytes).
+// vals and dists are clobbered.
+func fcmDecodeParallel(vals, dists []uint64) ([]uint64, error) {
+	outB := make([]byte, len(vals)*8)
+	if err := fcmDecodeParallelBytes(outB, vals, dists); err != nil {
+		return nil, err
+	}
+	return wordio.Words64(outB, false), nil
+}
+
+// fcmDecodeParallelBytes is the paper's parallel "find" (union-find style)
 // reconstruction: each worker follows non-zero distances until it reaches a
 // resolved slot, then publishes its own value and clears its distance so
 // other chains can stop there. The atomic store on the distance array is
-// the release barrier making the preceding value write visible.
-func fcmDecodeParallel(vals, dists []uint64) ([]uint64, error) {
+// the release barrier making the preceding value write visible. Decoded
+// words are written little-endian into outB (len >= 8*len(vals)); vals and
+// dists are clobbered.
+func fcmDecodeParallelBytes(outB []byte, vals, dists []uint64) error {
 	n := len(vals)
-	out := make([]uint64, n)
 	// Validate up front; workers then cannot walk out of bounds.
 	for i, d := range dists {
 		if d > uint64(i) {
-			return nil, corruptf("FCM: distance %d exceeds index %d", d, i)
+			return corruptf("FCM: distance %d exceeds index %d", d, i)
 		}
 	}
 	workers := runtime.GOMAXPROCS(0)
@@ -257,7 +341,7 @@ func fcmDecodeParallel(vals, dists []uint64) ([]uint64, error) {
 				for i := lo; i < hi; i++ {
 					d := atomic.LoadUint64(&dists[i])
 					if d == 0 {
-						out[i] = vals[i]
+						wordio.PutU64(outB, i, vals[i])
 						continue
 					}
 					j := i - int(d)
@@ -269,7 +353,7 @@ func fcmDecodeParallel(vals, dists []uint64) ([]uint64, error) {
 						j -= int(dj)
 					}
 					v := vals[j]
-					out[i] = v
+					wordio.PutU64(outB, i, v)
 					vals[i] = v
 					atomic.StoreUint64(&dists[i], 0)
 				}
@@ -277,5 +361,5 @@ func fcmDecodeParallel(vals, dists []uint64) ([]uint64, error) {
 		}()
 	}
 	wg.Wait()
-	return out, nil
+	return nil
 }

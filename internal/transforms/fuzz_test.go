@@ -36,10 +36,30 @@ func fuzzInverse(f *testing.F, trs ...Transform) {
 			if len(dec) > fuzzBudget {
 				t.Fatalf("%s: decoded %d bytes past budget %d", tr.Name(), len(dec), fuzzBudget)
 			}
+			// The append-into form must agree exactly with the allocating
+			// form, preserve dst's existing bytes, and tolerate a dirty
+			// reused buffer (decoders may not assume zeroed spare capacity).
+			dirty := bytes.Repeat([]byte{0xEE}, 16+len(dec))[:16]
+			got, err := tr.InverseInto(dirty, enc, fuzzBudget)
+			if err != nil {
+				t.Fatalf("%s: InverseInto failed where InverseLimit succeeded: %v", tr.Name(), err)
+			}
+			if len(got) != 16+len(dec) || !bytes.Equal(got[16:], dec) {
+				t.Fatalf("%s: InverseInto diverged from InverseLimit", tr.Name())
+			}
+			for _, b := range got[:16] {
+				if b != 0xEE {
+					t.Fatalf("%s: InverseInto clobbered dst's existing bytes", tr.Name())
+				}
+			}
 			// Accepted input must be re-encodable to something that decodes
 			// back to the same bytes (Forward∘Inverse is idempotent even when
 			// enc itself was not canonical).
-			re, err := tr.Inverse(tr.Forward(dec))
+			fwd := tr.ForwardInto(got[:16], dec)
+			if !bytes.Equal(fwd[16:], tr.Forward(dec)) {
+				t.Fatalf("%s: ForwardInto diverged from Forward", tr.Name())
+			}
+			re, err := tr.Inverse(fwd[16:])
 			if err != nil || !bytes.Equal(re, dec) {
 				t.Fatalf("%s: re-roundtrip diverged: %v", tr.Name(), err)
 			}

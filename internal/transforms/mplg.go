@@ -63,12 +63,19 @@ func (m MPLG) keepFieldBits() uint {
 
 // Forward implements Transform.
 func (m MPLG) Forward(src []byte) []byte {
+	return m.ForwardInto(nil, src)
+}
+
+// ForwardInto implements Transform (see the package comment for the dst
+// ownership contract).
+func (m MPLG) ForwardInto(dst, src []byte) []byte {
 	wsize := int(m.Word)
 	wbits := m.Word.Bits()
 	nWords := len(src) / wsize
 	tail := src[nWords*wsize:]
 
-	header := bitio.AppendUvarint(make([]byte, 0, len(src)+len(src)/8+16), uint64(len(src)))
+	dst = growCap(dst, len(src)+len(src)/8+16)
+	header := bitio.AppendUvarint(dst, uint64(len(src)))
 	w := bitio.NewWriterBuf(header)
 	wordsPer := m.wordsPerSubchunk(wsize)
 	keepBits := m.keepFieldBits()
@@ -145,11 +152,17 @@ func (m MPLG) Forward(src []byte) []byte {
 
 // Inverse implements Transform.
 func (m MPLG) Inverse(enc []byte) ([]byte, error) {
-	return m.InverseLimit(enc, NoLimit)
+	return m.InverseInto(nil, enc, NoLimit)
 }
 
 // InverseLimit implements Transform.
 func (m MPLG) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
+	return m.InverseInto(nil, enc, maxDecoded)
+}
+
+// InverseInto implements Transform (see the package comment for the dst
+// ownership contract).
+func (m MPLG) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 	declen64, n := bitio.Uvarint(enc)
 	if n == 0 {
 		return nil, corruptf("MPLG: bad length prefix")
@@ -171,7 +184,9 @@ func (m MPLG) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
 	wordsPer := m.wordsPerSubchunk(wsize)
 
 	r := bitio.NewReader(enc[n:])
-	dst := make([]byte, declen)
+	base := len(dst)
+	dst = grow(dst, declen)
+	out := dst[base:]
 	for start := 0; start < nWords; start += wordsPer {
 		end := start + wordsPer
 		if end > nWords {
@@ -198,7 +213,7 @@ func (m MPLG) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
 				if flag == 1 {
 					v = uint64(wordio.UnZigZag32(uint32(v)))
 				}
-				wordio.PutU32(dst, i, uint32(v))
+				wordio.PutU32(out, i, uint32(v))
 			}
 		} else {
 			for i := start; i < end; i++ {
@@ -209,7 +224,7 @@ func (m MPLG) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
 				if flag == 1 {
 					v = wordio.UnZigZag64(v)
 				}
-				wordio.PutU64(dst, i, v)
+				wordio.PutU64(out, i, v)
 			}
 		}
 	}
@@ -217,7 +232,7 @@ func (m MPLG) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
 	if len(rest) < tailLen {
 		return nil, corruptf("MPLG: truncated tail")
 	}
-	copy(dst[nWords*wsize:], rest[:tailLen])
+	copy(out[nWords*wsize:], rest[:tailLen])
 	return dst, nil
 }
 

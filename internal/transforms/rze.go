@@ -52,94 +52,199 @@ func (z RZE) Name() string {
 // encoding of b to out (exported for the SIMT kernels in internal/simt,
 // which must reproduce RZE's exact byte layout).
 func EncodeRepeatBitmap(b []byte, out []byte) []byte {
-	return encodeRepeatBitmap(b, out)
+	return appendRepeatBitmap(out, b)
 }
 
-// encodeRepeatBitmap appends the repeat-eliminated encoding of b to out.
-// Levels are emitted deepest first so the decoder can expand outward.
-func encodeRepeatBitmap(b []byte, out []byte) []byte {
+// appendRepeatBitmap appends the repeat-eliminated recursive bitmap
+// encoding of b to out. The logical recursion enc(L) = enc(bitmap(L)) +
+// nonrep(L) is run iteratively: the shrinking bitmap levels are built
+// contiguously in one pooled scratch buffer, the deepest (<= floor) level
+// is emitted verbatim, and each level's non-repeating bytes are re-derived
+// while appending — so the encoder allocates nothing per level.
+func appendRepeatBitmap(out, b []byte) []byte {
 	if len(b) <= rzeBitmapFloor {
 		return append(out, b...)
 	}
-	bm := make([]byte, (len(b)+7)/8)
-	nonrep := make([]byte, 0, len(b)/4)
-	prev := byte(0)
-	for i, c := range b {
-		if c != prev {
-			bm[i>>3] |= 0x80 >> (i & 7)
-			nonrep = append(nonrep, c)
+	sp := getBuf()
+	defer putBuf(sp)
+	// The level chain totals ~len(b)/7 bytes.
+	scratch := growCap((*sp)[:0], len(b)/7+16)
+	// starts[k] is the offset in scratch where the bitmap of level k begins
+	// (that bitmap being level k+1; level 0 is b itself). Depth is
+	// log8-bounded, ~9 levels for the 64 MiB MaxDecoded cap.
+	starts := make([]int, 0, 16)
+	cur := b
+	for len(cur) > rzeBitmapFloor {
+		bmLen := (len(cur) + 7) / 8
+		start := len(scratch)
+		scratch = grow(scratch, bmLen)
+		bm := scratch[start:]
+		clear(bm)
+		prev := byte(0)
+		for i, c := range cur {
+			if c != prev {
+				bm[i>>3] |= 0x80 >> (i & 7)
+			}
+			prev = c
 		}
-		prev = c
+		starts = append(starts, start)
+		cur = bm
 	}
-	out = encodeRepeatBitmap(bm, out)
-	return append(out, nonrep...)
+	*sp = scratch
+	// Deepest level verbatim, then each level's non-repeating bytes
+	// deepest-first (matching the recursion's emit order).
+	out = append(out, cur...)
+	for k := len(starts) - 1; k >= 0; k-- {
+		lvl := b
+		if k > 0 {
+			lvl = scratch[starts[k-1]:starts[k]]
+		}
+		prev := byte(0)
+		for _, c := range lvl {
+			if c != prev {
+				out = append(out, c)
+			}
+			prev = c
+		}
+	}
+	return out
 }
 
-// decodeRepeatBitmap reconstructs a length-l byte slice from src, returning
-// it and the number of bytes consumed.
-func decodeRepeatBitmap(src []byte, l int) ([]byte, int, error) {
+// decodeRepeatBitmapScratch reconstructs the length-l level-0 bitmap from
+// src, expanding the level chain inside the pooled buffer *bp (no per-level
+// allocation). It returns the bitmap (which may alias src when l is at or
+// below the recursion floor, and otherwise aliases *bp) and the number of
+// src bytes consumed.
+func decodeRepeatBitmapScratch(bp *[]byte, src []byte, l int) ([]byte, int, error) {
 	if l <= rzeBitmapFloor {
 		if len(src) < l {
 			return nil, 0, corruptf("RZE: truncated bitmap floor")
 		}
 		return src[:l:l], l, nil
 	}
-	bmLen := (l + 7) / 8
-	bm, consumed, err := decodeRepeatBitmap(src, bmLen)
-	if err != nil {
-		return nil, 0, err
+	// lens[k] is the size of level k; the chain stops at the first level at
+	// or below the floor.
+	lens := make([]int, 1, 16)
+	lens[0] = l
+	for lens[len(lens)-1] > rzeBitmapFloor {
+		lens = append(lens, (lens[len(lens)-1]+7)/8)
 	}
-	pos := consumed
-	b := make([]byte, l)
-	prev := byte(0)
-	for i := 0; i < l; i++ {
-		if bm[i>>3]&(0x80>>(i&7)) != 0 {
-			if pos >= len(src) {
-				return nil, 0, corruptf("RZE: truncated bitmap level")
+	d := len(lens) - 1
+	total := 0
+	for _, n := range lens {
+		total += n
+	}
+	scratch := pooledBytes(bp, total)
+	// Level k occupies scratch[off[k] : off[k]+lens[k]], deepest first.
+	off := make([]int, len(lens))
+	pos := 0
+	for k := d; k >= 0; k-- {
+		off[k] = pos
+		pos += lens[k]
+	}
+	if len(src) < lens[d] {
+		return nil, 0, corruptf("RZE: truncated bitmap floor")
+	}
+	copy(scratch[off[d]:], src[:lens[d]])
+	consumed := lens[d]
+	for k := d - 1; k >= 0; k-- {
+		bm := scratch[off[k+1] : off[k+1]+lens[k+1]]
+		out := scratch[off[k] : off[k]+lens[k]]
+		prev := byte(0)
+		for i := range out {
+			if bm[i>>3]&(0x80>>(i&7)) != 0 {
+				if consumed >= len(src) {
+					return nil, 0, corruptf("RZE: truncated bitmap level")
+				}
+				prev = src[consumed]
+				consumed++
 			}
-			prev = src[pos]
-			pos++
+			out[i] = prev
 		}
-		b[i] = prev
 	}
-	return b, pos, nil
+	return scratch[off[0] : off[0]+l], consumed, nil
 }
 
 // Forward implements Transform.
 func (z RZE) Forward(src []byte) []byte {
+	return z.ForwardInto(nil, src)
+}
+
+// ForwardInto implements Transform (see the package comment for the dst
+// ownership contract). The zero bitmap lives in pooled scratch and the
+// surviving bytes are appended in a second pass over src, so nothing is
+// allocated beyond dst growth.
+func (z RZE) ForwardInto(dst, src []byte) []byte {
 	g := z.unit()
 	units := (len(src) + g - 1) / g
-	bm := make([]byte, (units+7)/8)
-	nonzero := make([]byte, 0, len(src)/2)
+	bp := getBuf()
+	defer putBuf(bp)
+	bm := pooledBytes(bp, (units+7)/8)
+	clear(bm)
+	nonzero := 0
+	if g == 1 {
+		for i, c := range src {
+			if c != 0 {
+				bm[i>>3] |= 0x80 >> (i & 7)
+				nonzero++
+			}
+		}
+	} else {
+		for u := 0; u < units; u++ {
+			lo, hi := u*g, (u+1)*g
+			if hi > len(src) {
+				hi = len(src)
+			}
+			zero := true
+			for _, c := range src[lo:hi] {
+				if c != 0 {
+					zero = false
+					break
+				}
+			}
+			if !zero {
+				bm[u>>3] |= 0x80 >> (u & 7)
+				nonzero += hi - lo
+			}
+		}
+	}
+	dst = growCap(dst, bitio.UvarintLen(uint64(len(src)))+len(bm)+len(bm)/4+nonzero+16)
+	dst = bitio.AppendUvarint(dst, uint64(len(src)))
+	dst = appendRepeatBitmap(dst, bm)
+	if g == 1 {
+		for _, c := range src {
+			if c != 0 {
+				dst = append(dst, c)
+			}
+		}
+		return dst
+	}
 	for u := 0; u < units; u++ {
+		if bm[u>>3]&(0x80>>(u&7)) == 0 {
+			continue
+		}
 		lo, hi := u*g, (u+1)*g
 		if hi > len(src) {
 			hi = len(src)
 		}
-		zero := true
-		for _, c := range src[lo:hi] {
-			if c != 0 {
-				zero = false
-				break
-			}
-		}
-		if !zero {
-			bm[u>>3] |= 0x80 >> (u & 7)
-			nonzero = append(nonzero, src[lo:hi]...)
-		}
+		dst = append(dst, src[lo:hi]...)
 	}
-	out := bitio.AppendUvarint(nil, uint64(len(src)))
-	out = encodeRepeatBitmap(bm, out)
-	return append(out, nonzero...)
+	return dst
 }
 
 // Inverse implements Transform.
 func (z RZE) Inverse(enc []byte) ([]byte, error) {
-	return z.InverseLimit(enc, NoLimit)
+	return z.InverseInto(nil, enc, NoLimit)
 }
 
 // InverseLimit implements Transform.
 func (z RZE) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
+	return z.InverseInto(nil, enc, maxDecoded)
+}
+
+// InverseInto implements Transform (see the package comment for the dst
+// ownership contract).
+func (z RZE) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 	declen64, n := bitio.Uvarint(enc)
 	if n == 0 {
 		return nil, corruptf("RZE: bad length prefix")
@@ -150,13 +255,32 @@ func (z RZE) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
 	declen := int(declen64)
 	g := z.unit()
 	units := (declen + g - 1) / g
-	bm, consumed, err := decodeRepeatBitmap(enc[n:], (units+7)/8)
+	bp := getBuf()
+	defer putBuf(bp)
+	bm, consumed, err := decodeRepeatBitmapScratch(bp, enc[n:], (units+7)/8)
 	if err != nil {
 		return nil, err
 	}
 	data := enc[n+consumed:]
-	dst := make([]byte, declen)
+	base := len(dst)
+	dst = grow(dst, declen)
+	out := dst[base:]
+	// Eliminated units decode to zero bytes; the grown region is not
+	// guaranteed fresh, so zero it first.
+	clear(out)
 	pos := 0
+	if g == 1 {
+		for u := 0; u < declen; u++ {
+			if bm[u>>3]&(0x80>>(u&7)) != 0 {
+				if pos >= len(data) {
+					return nil, corruptf("RZE: truncated data bytes")
+				}
+				out[u] = data[pos]
+				pos++
+			}
+		}
+		return dst, nil
+	}
 	for u := 0; u < units; u++ {
 		if bm[u>>3]&(0x80>>(u&7)) == 0 {
 			continue
@@ -168,7 +292,7 @@ func (z RZE) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
 		if pos+hi-lo > len(data) {
 			return nil, corruptf("RZE: truncated data bytes")
 		}
-		copy(dst[lo:hi], data[pos:pos+hi-lo])
+		copy(out[lo:hi], data[pos:pos+hi-lo])
 		pos += hi - lo
 	}
 	return dst, nil

@@ -19,12 +19,27 @@
 // Every transform is exactly invertible. Transforms whose output length
 // differs from their input length are self-describing: the encoded form
 // starts with a uvarint giving the decoded length.
+//
+// # Buffer ownership
+//
+// The hot-path entry points are the append-into methods ForwardInto and
+// InverseInto: they append their output to a caller-supplied dst (which may
+// be nil) and return the extended slice, exactly like the append builtin.
+// The caller owns dst before and after the call; the transform owns it
+// during the call. dst must not overlap src/enc. Like append, the returned
+// slice may or may not share dst's backing array (it reallocates only when
+// capacity runs out), so callers must use the return value and must not
+// retain other aliases of dst across the call. Internal per-call
+// temporaries come from package-level sync.Pools, so a warmed steady state
+// performs no heap allocation beyond what dst growth requires. Forward,
+// Inverse, and InverseLimit are thin wrappers that pass a nil dst.
 package transforms
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrCorrupt is returned when an encoded transform payload cannot be
@@ -60,18 +75,81 @@ func corruptf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 }
 
+// grow extends b by n bytes (contents of the new tail are unspecified) and
+// returns the extended slice, reallocating only when capacity is short.
+func grow(b []byte, n int) []byte {
+	l := len(b)
+	if cap(b)-l >= n {
+		return b[: l+n : cap(b)]
+	}
+	nb := make([]byte, l+n, (l+n)*3/2+64)
+	copy(nb, b)
+	return nb
+}
+
+// growCap ensures b has at least n bytes of spare capacity beyond its
+// current length, without changing its length or contents.
+func growCap(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b
+	}
+	nb := make([]byte, len(b), len(b)+n)
+	copy(nb, b)
+	return nb
+}
+
+// bufPool holds reusable byte buffers for transform temporaries and
+// pipeline ping-ponging. Buffers are stored via pointer so Put does not
+// allocate, and re-stored after use so grown capacity is retained.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(p *[]byte) { bufPool.Put(p) }
+
+// pooledBytes resizes the pooled buffer *p to exactly n bytes (contents
+// unspecified), storing any grown backing array back through p so the pool
+// retains it.
+func pooledBytes(p *[]byte, n int) []byte {
+	b := *p
+	if cap(b) < n {
+		b = make([]byte, n)
+		*p = b
+	}
+	return b[:n]
+}
+
+// intPool holds reusable []int scratch (the adaptive transforms' per-word
+// lead counts).
+var intPool = sync.Pool{New: func() any { return new([]int) }}
+
+// growInts resizes a pooled []int to exactly n entries (contents
+// unspecified).
+func growInts(p *[]int, n int) []int {
+	s := *p
+	if cap(s) < n {
+		s = make([]int, n)
+		*p = s
+	}
+	return s[:n]
+}
+
 // Transform is one reversible stage of a compression pipeline. Forward may
 // return a slice longer or shorter than src; Inverse must reproduce the
 // exact Forward input.
 //
-// Every Inverse/InverseLimit implementation treats enc as hostile: arbitrary
-// bytes must produce an error (never a panic), and no allocation may exceed
-// the declared-and-validated decoded size.
+// Every Inverse/InverseLimit/InverseInto implementation treats enc as
+// hostile: arbitrary bytes must produce an error (never a panic), and no
+// allocation may exceed the declared-and-validated decoded size.
 type Transform interface {
 	// Name identifies the transform in pipeline listings (e.g. "DIFFMS32").
 	Name() string
-	// Forward encodes one chunk.
+	// Forward encodes one chunk. Equivalent to ForwardInto(nil, src).
 	Forward(src []byte) []byte
+	// ForwardInto appends the encoding of src to dst and returns the
+	// extended slice (append semantics: the result may share dst's backing
+	// array or be a reallocation). dst may be nil; it must not overlap src.
+	// The output never aliases src.
+	ForwardInto(dst, src []byte) []byte
 	// Inverse decodes one chunk encoded by Forward.
 	Inverse(enc []byte) ([]byte, error)
 	// InverseLimit decodes like Inverse but additionally rejects — before
@@ -80,6 +158,14 @@ type Transform interface {
 	// intrinsic caps (MaxDecoded for per-chunk transforms, the encoded
 	// length for FCM) still apply.
 	InverseLimit(enc []byte, maxDecoded int) ([]byte, error)
+	// InverseInto appends the decoded bytes to dst under the same budget
+	// rules as InverseLimit and returns the extended slice. dst may be nil;
+	// it must not overlap enc. On error the returned slice is nil and any
+	// reallocated copy of dst is discarded, so callers pooling dst should
+	// treat a failed call as having consumed the buffer's contents (the
+	// capacity itself is only lost if the decode outgrew it before
+	// failing).
+	InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error)
 }
 
 // Pipeline chains transforms: Forward applies them left to right, Inverse
@@ -88,25 +174,56 @@ type Pipeline []Transform
 
 // Forward runs every stage in order.
 func (p Pipeline) Forward(src []byte) []byte {
-	cur := src
-	for _, t := range p {
-		cur = t.Forward(cur)
+	return p.ForwardInto(nil, src)
+}
+
+// ForwardInto appends the fully encoded form of src to dst and returns the
+// extended slice. Intermediate stage outputs ping-pong between two pooled
+// scratch buffers, so a warmed steady state allocates nothing beyond dst
+// growth. The same ownership rules as Transform.ForwardInto apply.
+func (p Pipeline) ForwardInto(dst, src []byte) []byte {
+	n := len(p)
+	switch n {
+	case 0:
+		return append(dst, src...)
+	case 1:
+		return p[0].ForwardInto(dst, src)
 	}
-	return cur
+	a, b := getBuf(), getBuf()
+	defer putBuf(a)
+	defer putBuf(b)
+	cur := src
+	for i := 0; i < n-1; i++ {
+		s := a
+		if i&1 == 1 {
+			s = b
+		}
+		*s = p[i].ForwardInto((*s)[:0], cur)
+		cur = *s
+	}
+	return p[n-1].ForwardInto(dst, cur)
 }
 
 // Inverse runs every stage's inverse in reverse order.
 func (p Pipeline) Inverse(enc []byte) ([]byte, error) {
-	return p.InverseLimit(enc, NoLimit)
+	return p.InverseInto(nil, enc, NoLimit)
 }
 
 // InverseLimit runs every stage's inverse in reverse order, bounding each
+// stage's decoded allocation by the budget (see InverseInto).
+func (p Pipeline) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
+	return p.InverseInto(nil, enc, maxDecoded)
+}
+
+// InverseInto appends the fully decoded form of enc to dst, bounding each
 // stage's decoded allocation by the budget. Intermediate stage outputs can
 // exceed the final decoded size by a small factor (an expanding RAZE/RARE
 // stage emits up to ~1.16x its input when the bitmap model underestimates),
 // so each stage gets 2*maxDecoded+64 of headroom — still proportional to
 // the true decoded size, which is what bounds memory under hostile input.
-func (p Pipeline) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
+// Intermediate outputs live in pooled scratch; only the final stage writes
+// into dst.
+func (p Pipeline) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 	stageBudget := maxDecoded
 	if maxDecoded >= 0 {
 		if maxDecoded < (math.MaxInt-64)/2 {
@@ -115,15 +232,34 @@ func (p Pipeline) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
 			stageBudget = NoLimit
 		}
 	}
+	n := len(p)
+	switch n {
+	case 0:
+		return append(dst, enc...), nil
+	case 1:
+		return p[0].InverseInto(dst, enc, maxDecoded)
+	}
+	a, b := getBuf(), getBuf()
+	defer putBuf(a)
+	defer putBuf(b)
 	cur := enc
-	for i := len(p) - 1; i >= 0; i-- {
-		var err error
-		cur, err = p[i].InverseLimit(cur, stageBudget)
+	for i := n - 1; i > 0; i-- {
+		s := a
+		if i&1 == 1 {
+			s = b
+		}
+		out, err := p[i].InverseInto((*s)[:0], cur, stageBudget)
 		if err != nil {
 			return nil, fmt.Errorf("stage %s: %w", p[i].Name(), err)
 		}
+		*s = out
+		cur = out
 	}
-	return cur, nil
+	out, err := p[0].InverseInto(dst, cur, stageBudget)
+	if err != nil {
+		return nil, fmt.Errorf("stage %s: %w", p[0].Name(), err)
+	}
+	return out, nil
 }
 
 // Names returns the stage names, e.g. ["DIFFMS32","BIT32","RZE"].

@@ -36,6 +36,7 @@ type Writer struct {
 	opts    *Options
 	segSize int
 	buf     []byte
+	cbuf    []byte // reused compressed-frame buffer (steady state: zero alloc)
 	err     error
 }
 
@@ -76,8 +77,9 @@ func (sw *Writer) flush() error {
 	if len(sw.buf) == 0 {
 		return nil
 	}
-	blob, err := Compress(sw.alg, sw.buf, sw.opts)
+	blob, err := AppendCompress(sw.cbuf[:0], sw.alg, sw.buf, sw.opts)
 	if err == nil {
+		sw.cbuf = blob
 		var hdr [4]byte
 		binary.LittleEndian.PutUint32(hdr[:], uint32(len(blob)))
 		if _, werr := sw.w.Write(hdr[:]); werr != nil {
@@ -110,7 +112,9 @@ func (sw *Writer) Close() error {
 type Reader struct {
 	r    io.Reader
 	opts *Options
-	buf  []byte // decoded bytes not yet delivered
+	buf  []byte // decoded bytes not yet delivered (window into dec)
+	dec  []byte // reused decode buffer backing buf
+	blob []byte // reused compressed-frame buffer
 	err  error
 }
 
@@ -153,14 +157,21 @@ func (sr *Reader) fill() error {
 	if n == 0 || uint64(n) > uint64(maxFrame) {
 		return fmt.Errorf("%w: frame of %d bytes (max %d)", ErrStream, n, maxFrame)
 	}
-	blob := make([]byte, n)
+	// Both the compressed frame and its decoded bytes land in buffers
+	// reused across frames: fill only runs once buf is fully delivered, so
+	// dec's backing array is free to overwrite.
+	if cap(sr.blob) < int(n) {
+		sr.blob = make([]byte, n)
+	}
+	blob := sr.blob[:n]
 	if _, err := io.ReadFull(sr.r, blob); err != nil {
 		return fmt.Errorf("%w: truncated frame body", ErrStream)
 	}
-	dec, err := Decompress(blob, sr.opts)
+	dec, err := AppendDecompress(sr.dec[:0], blob, sr.opts)
 	if err != nil {
 		return err
 	}
+	sr.dec = dec
 	sr.buf = dec
 	return nil
 }
