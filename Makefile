@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check fuzz-smoke chaos bench-server bench-core fpcd clean
+.PHONY: all build test race vet check fuzz-smoke chaos bench-server bench-core bench-transforms bench-smoke fpcd clean
 
 all: check
 
@@ -13,14 +13,21 @@ build:
 test:
 	$(GO) test ./...
 
+# The second invocation runs the unsafeptr analyzer by itself: the default
+# vet set skips it under some configurations, and the wordio view helpers
+# plus the kernels built on them are exactly the code it audits.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -unsafeptr ./...
 
 # The serving subsystem (internal/server) and the public client/stream
-# layer (root package) must stay clean under the race detector.
+# layer (root package) must stay clean under the race detector, and so
+# must the alignment-dispatched transform kernels (the differential
+# offset tests cover both the unsafe word-view and byte-reference paths).
 race:
 	$(GO) test -race -count=1 ./internal/server/...
 	$(GO) test -race -count=1 -run 'Client|Stream' .
+	$(GO) test -race -count=1 -run 'TestKernel' ./internal/transforms
 
 check: build vet test race
 
@@ -62,6 +69,17 @@ bench-server:
 # and allocations per operation for every algorithm).
 bench-core:
 	$(GO) test . -run TestEmitCoreBench -count=1 -v
+
+# Regenerates BENCH_transforms.json (single-thread MB/s for every
+# transform kernel, forward and inverse, over one 16 KiB chunk).
+bench-transforms:
+	$(GO) test ./internal/transforms -run TestEmitTransformsBench -count=1 -v
+
+# One-iteration smoke over every microbenchmark: catches benchmarks that
+# panic or fail to build without paying for a full measurement run.
+bench-smoke:
+	$(GO) test ./internal/transforms -run '^$$' -bench . -benchtime 1x
+	$(GO) test . -run '^$$' -bench . -benchtime 1x
 
 # Builds the compression daemon to bin/fpcd.
 fpcd:

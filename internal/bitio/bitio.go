@@ -4,6 +4,7 @@
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"math/bits"
 )
@@ -30,11 +31,10 @@ func NewWriterBuf(prefix []byte) *Writer {
 	return &Writer{buf: prefix}
 }
 
-// flush64 spills the full 64-bit accumulator, big-endian (MSB-first).
+// flush64 spills the full 64-bit accumulator as one big-endian word
+// (MSB-first bit order), a single 8-byte store on the fast path.
 func (w *Writer) flush64() {
-	w.buf = append(w.buf,
-		byte(w.acc>>56), byte(w.acc>>48), byte(w.acc>>40), byte(w.acc>>32),
-		byte(w.acc>>24), byte(w.acc>>16), byte(w.acc>>8), byte(w.acc))
+	w.buf = binary.BigEndian.AppendUint64(w.buf, w.acc)
 	w.acc = 0
 	w.nacc = 0
 }
@@ -65,8 +65,15 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 	w.nacc = rest
 }
 
-// WriteBit appends a single bit.
-func (w *Writer) WriteBit(b uint) { w.WriteBits(uint64(b&1), 1) }
+// WriteBit appends a single bit (inlineable: a one-bit write can never
+// straddle the accumulator).
+func (w *Writer) WriteBit(b uint) {
+	w.acc = w.acc<<1 | uint64(b&1)
+	w.nacc++
+	if w.nacc == 64 {
+		w.flush64()
+	}
+}
 
 // Align pads with zero bits to the next byte boundary and spills the
 // accumulator.
@@ -110,12 +117,10 @@ func (r *Reader) ReadBits(n uint) (uint64, error) {
 	byteIdx := r.pos >> 3
 	bitOff := r.pos & 7
 	r.pos += n
-	// Fast path: read a big-endian 64-bit window plus at most one spill
-	// byte (bitOff <= 7 and n <= 64 span at most 71 bits).
+	// Fast path: read a big-endian 64-bit window in one load plus at most
+	// one spill byte (bitOff <= 7 and n <= 64 span at most 71 bits).
 	if byteIdx+8 <= uint(len(r.buf)) {
-		b := r.buf[byteIdx:]
-		x := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
-			uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+		x := binary.BigEndian.Uint64(r.buf[byteIdx:])
 		avail := 64 - bitOff
 		if n <= avail {
 			v := x >> (avail - n)

@@ -399,38 +399,64 @@ func ChecksumOf(src []byte) uint32 { return crc32.Checksum(src, crcTable) }
 // so arbitrary input yields an error, never a panic or an allocation
 // larger than O(len(data)).
 func Parse(data []byte) (*Header, error) {
+	h := new(Header)
+	if err := h.parse(data); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// headerPool recycles Header records (and their entry/offset tables)
+// for DecompressAppend, whose header never outlives the call.
+var headerPool = sync.Pool{New: func() any { return new(Header) }}
+
+// putHeader drops the pooled header's alias of the caller's data before
+// returning it to the pool, so the pool does not retain the container.
+func putHeader(h *Header) {
+	h.payload = nil
+	headerPool.Put(h)
+}
+
+// parse is Parse into an existing (possibly recycled) header, reusing its
+// entry and offset tables when they are large enough.
+func (h *Header) parse(data []byte) error {
 	if len(data) < 10 || [4]byte(data[:4]) != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+		return fmt.Errorf("%w: bad magic", ErrFormat)
 	}
 	if data[4] != formatVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, data[4])
+		return fmt.Errorf("%w: unsupported version %d", ErrFormat, data[4])
 	}
-	h := &Header{Algorithm: data[5]}
+	h.Algorithm = data[5]
 	h.CRC = uint32(data[6]) | uint32(data[7])<<8 | uint32(data[8])<<16 | uint32(data[9])<<24
 	pos := 10
 	for _, dst := range []*int{&h.OriginalLen, &h.ChunkSize, &h.ChunkCount} {
 		v, n := bitio.Uvarint(data[pos:])
 		if n == 0 || v > uint64(1)<<56 {
-			return nil, fmt.Errorf("%w: bad header varint", ErrFormat)
+			return fmt.Errorf("%w: bad header varint", ErrFormat)
 		}
 		*dst = int(v)
 		pos += n
 	}
 	if h.ChunkSize <= 0 {
-		return nil, fmt.Errorf("%w: zero chunk size", ErrFormat)
+		return fmt.Errorf("%w: zero chunk size", ErrFormat)
 	}
 	want := (h.OriginalLen + h.ChunkSize - 1) / h.ChunkSize
 	if h.ChunkCount != want {
-		return nil, fmt.Errorf("%w: chunk count %d, expected %d", ErrFormat, h.ChunkCount, want)
+		return fmt.Errorf("%w: chunk count %d, expected %d", ErrFormat, h.ChunkCount, want)
 	}
 	// Every size-table entry occupies at least one byte, so a declared
 	// chunk count beyond the remaining bytes is corrupt; checking first
 	// keeps the entries allocation bounded by len(data).
 	if h.ChunkCount > len(data)-pos {
-		return nil, fmt.Errorf("%w: %d chunks cannot fit in %d remaining bytes", ErrFormat, h.ChunkCount, len(data)-pos)
+		return fmt.Errorf("%w: %d chunks cannot fit in %d remaining bytes", ErrFormat, h.ChunkCount, len(data)-pos)
 	}
-	h.entries = make([]uint64, h.ChunkCount)
-	h.offsets = make([]int, h.ChunkCount+1)
+	if cap(h.entries) < h.ChunkCount || cap(h.offsets) < h.ChunkCount+1 {
+		h.entries = make([]uint64, h.ChunkCount)
+		h.offsets = make([]int, h.ChunkCount+1)
+	}
+	h.entries = h.entries[:h.ChunkCount]
+	h.offsets = h.offsets[:h.ChunkCount+1]
+	h.offsets[0] = 0
 	// Accumulate the size table in uint64 and bound every entry and the
 	// running total by the container length, so no crafted entry sequence
 	// can overflow int and sneak past the payload-length equality check.
@@ -439,11 +465,11 @@ func Parse(data []byte) (*Header, error) {
 	for i := range h.entries {
 		v, n := bitio.Uvarint(data[pos:])
 		if n == 0 {
-			return nil, fmt.Errorf("%w: bad size table", ErrFormat)
+			return fmt.Errorf("%w: bad size table", ErrFormat)
 		}
 		size := v >> 1
 		if size > limit || total+size > limit {
-			return nil, fmt.Errorf("%w: size table exceeds container length", ErrFormat)
+			return fmt.Errorf("%w: size table exceeds container length", ErrFormat)
 		}
 		h.entries[i] = v
 		total += size
@@ -451,10 +477,10 @@ func Parse(data []byte) (*Header, error) {
 		pos += n
 	}
 	if uint64(len(data)-pos) != total {
-		return nil, fmt.Errorf("%w: payload is %d bytes, size table says %d", ErrFormat, len(data)-pos, total)
+		return fmt.Errorf("%w: payload is %d bytes, size table says %d", ErrFormat, len(data)-pos, total)
 	}
 	h.payload = data[pos:]
-	return h, nil
+	return nil
 }
 
 // CompressedPayloadLen reports the concatenated chunk bytes (excluding the
@@ -536,8 +562,9 @@ func (h *Header) decodeChunkInto(i int, span, enc []byte, codec Codec, ic IntoCo
 // its chunks' CRC32-C as it goes; the per-chunk CRCs are folded into the
 // whole-buffer checksum instead of a second serial pass over the output.
 func DecompressAppend(dst []byte, data []byte, codec Codec, p Params) ([]byte, error) {
-	h, err := Parse(data)
-	if err != nil {
+	h := headerPool.Get().(*Header)
+	defer putHeader(h)
+	if err := h.parse(data); err != nil {
 		return nil, err
 	}
 	if budget := p.DecodeBudget(); budget >= 0 && h.OriginalLen > budget {
@@ -565,7 +592,11 @@ func DecompressAppend(dst []byte, data []byte, codec Codec, p Params) ([]byte, e
 				lo, hi := h.chunkSpan(i)
 				span := out[lo:hi]
 				if err := h.decodeChunkInto(i, span, h.payload[h.offsets[i]:h.offsets[i+1]], codec, ic); err != nil {
-					firstErr.CompareAndSwap(nil, &err)
+					// Copy before publishing: taking err's own address would
+					// make every iteration's err escape to the heap, even on
+					// the (universal) success path.
+					e := err
+					firstErr.CompareAndSwap(nil, &e)
 					return
 				}
 				st.crcs[i] = crc32.Checksum(span, crcTable)

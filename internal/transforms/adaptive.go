@@ -1,6 +1,9 @@
 package transforms
 
 import (
+	"encoding/binary"
+	"math/bits"
+
 	"fpcompress/internal/bitio"
 	"fpcompress/internal/wordio"
 )
@@ -66,6 +69,22 @@ func computeLead(lead []int, src []byte, n int, common bool) {
 	}
 }
 
+// computeLeadWords is computeLead over an aliased word slice.
+func computeLeadWords(lead []int, sw []uint64, common bool) {
+	lead = lead[:len(sw)]
+	if common {
+		prev := uint64(0)
+		for i, v := range sw {
+			lead[i] = bits.LeadingZeros64(v ^ prev)
+			prev = v
+		}
+		return
+	}
+	for i, v := range sw {
+		lead[i] = bits.LeadingZeros64(v)
+	}
+}
+
 // bestSplit returns the k in [0,64] minimizing the modeled encoded size.
 func bestSplit(lead []int) int {
 	var hist [65]int
@@ -97,7 +116,12 @@ func adaptiveForwardInto(dst, src []byte, common bool) []byte {
 	lp := intPool.Get().(*[]int)
 	defer intPool.Put(lp)
 	lead := growInts(lp, n)
-	computeLead(lead, src, n, common)
+	sw, swOK := wordio.View64(src)
+	if swOK {
+		computeLeadWords(lead, sw, common)
+	} else {
+		computeLead(lead, src, n, common)
+	}
 	k := bestSplit(lead)
 
 	dst = growCap(dst, len(src)+len(src)/8+32)
@@ -111,29 +135,124 @@ func adaptiveForwardInto(dst, src []byte, common bool) []byte {
 	defer putBuf(bp)
 	bm := pooledBytes(bp, (n+7)/8)
 	clear(bm)
+	nKept := 0
 	for i := 0; i < n; i++ {
 		if lead[i] < k { // top piece must be emitted
 			bm[i>>3] |= 0x80 >> (i & 7)
+			nKept++
 		}
 	}
 	dst = appendRepeatBitmap(dst, bm)
 	// Kept top pieces then bottom pieces, each padded to a byte boundary —
 	// the same layout PackWidth64 produces, without the intermediate
 	// []uint64 slices.
-	w := bitio.NewWriterBuf(dst)
+	if swOK {
+		dst = adaptivePackFast(dst, sw, lead, k, nKept)
+	} else {
+		w := bitio.NewWriterBuf(dst)
+		kw := uint(k)
+		for i := 0; i < n; i++ {
+			if lead[i] < k {
+				w.WriteBits(wordio.U64(src, i)>>(64-kw), kw)
+			}
+		}
+		w.Align()
+		bw := uint(64 - k)
+		for i := 0; i < n; i++ {
+			w.WriteBits(wordio.U64(src, i), bw) // WriteBits keeps the low bw bits
+		}
+		dst = w.Bytes()
+	}
+	return append(dst, tail...)
+}
+
+// adaptivePackFast emits the kept-then-bottom bit layout with a
+// register-resident accumulator flushed 32 bits at a time into pre-grown
+// dst (see mplg.go for the nacc < 32 invariant); fields wider than 32 bits
+// are written as two sub-32-bit halves. Byte-identical to the
+// bitio.Writer reference path above.
+func adaptivePackFast(dst []byte, sw []uint64, lead []int, k, nKept int) []byte {
 	kw := uint(k)
-	for i := 0; i < n; i++ {
-		if lead[i] < k {
-			w.WriteBits(wordio.U64(src, i)>>(64-kw), kw)
+	bw := uint(64 - k)
+	start := len(dst)
+	dst = grow(dst, (nKept*k+7)/8+(len(sw)*int(bw)+7)/8+8)
+	buf := dst
+	bp := start
+	var acc uint64
+	var nacc uint
+	if kw <= 32 {
+		for i, v := range sw {
+			if lead[i] >= k {
+				continue
+			}
+			acc = acc<<kw | v>>bw
+			nacc += kw
+			if nacc >= 32 {
+				nacc -= 32
+				binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+				bp += 4
+				acc &= 1<<nacc - 1
+			}
+		}
+	} else {
+		hi := kw - 32
+		for i, v := range sw {
+			if lead[i] >= k {
+				continue
+			}
+			t := v >> bw
+			acc = acc<<hi | t>>32
+			nacc += hi
+			if nacc >= 32 {
+				nacc -= 32
+				binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+				bp += 4
+				acc &= 1<<nacc - 1
+			}
+			// Appending 32 bits always reaches the flush threshold, and
+			// flushing subtracts the same 32, so nacc is unchanged.
+			acc = acc<<32 | t&0xffffffff
+			binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+			bp += 4
+			acc &= 1<<nacc - 1
 		}
 	}
-	w.Align()
-	bw := uint(64 - k)
-	for i := 0; i < n; i++ {
-		w.WriteBits(wordio.U64(src, i), bw) // WriteBits keeps the low bw bits
+	bp = bitFinish(buf, bp, acc, nacc) // align between kept and bottom regions
+	acc, nacc = 0, 0
+	if bw > 0 {
+		if bw <= 32 {
+			mask := uint64(1)<<bw - 1
+			for _, v := range sw {
+				acc = acc<<bw | v&mask
+				nacc += bw
+				if nacc >= 32 {
+					nacc -= 32
+					binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+					bp += 4
+					acc &= 1<<nacc - 1
+				}
+			}
+		} else {
+			hi := bw - 32
+			himask := uint64(1)<<hi - 1
+			for _, v := range sw {
+				acc = acc<<hi | v>>32&himask
+				nacc += hi
+				if nacc >= 32 {
+					nacc -= 32
+					binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+					bp += 4
+					acc &= 1<<nacc - 1
+				}
+				acc = acc<<32 | v&0xffffffff
+				binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+				bp += 4
+				acc &= 1<<nacc - 1
+			}
+		}
+		bp = bitFinish(buf, bp, acc, nacc)
 	}
-	dst = w.Bytes()
-	return append(dst, tail...)
+	return dst[:bp]
 }
 
 // adaptiveInverseInto decodes the common RAZE/RARE layout appending to dst;
@@ -171,52 +290,58 @@ func adaptiveInverseInto(dst, enc []byte, repeat bool, maxDecoded int) ([]byte, 
 		return nil, err
 	}
 	body = body[consumed:]
+	// Count kept words a bitmap byte at a time, masking the pad bits of the
+	// final partial byte (hostile input may set them).
 	nKept := 0
-	for i := 0; i < n; i++ {
-		if bm[i>>3]&(0x80>>(i&7)) != 0 {
-			nKept++
-		}
+	nb := n / 8
+	for _, c := range bm[:nb] {
+		nKept += bits.OnesCount8(c)
+	}
+	if n&7 != 0 {
+		nKept += bits.OnesCount8(bm[nb] & byte(0xff<<(8-n&7)))
 	}
 	keptBytes := (nKept*k + 7) / 8
 	if len(body) < keptBytes {
 		return nil, corruptf("RAZE/RARE: truncated kept pieces")
 	}
-	keptR := bitio.NewReader(body[:keptBytes])
+	kept := body[:keptBytes]
 	body = body[keptBytes:]
 	bw := uint(64 - k)
 	botBytes := (n*int(bw) + 7) / 8
 	if len(body) < botBytes {
 		return nil, corruptf("RAZE/RARE: truncated bottom pieces")
 	}
-	botR := bitio.NewReader(body[:botBytes])
+	bot := body[:botBytes]
 	body = body[botBytes:]
 
 	base := len(dst)
 	dst = grow(dst, declen)
 	out := dst[base:]
-	prevTop := uint64(0)
-	kw := uint(k)
-	for i := 0; i < n; i++ {
-		var top uint64
-		if bm[i>>3]&(0x80>>(i&7)) != 0 {
-			top, err = keptR.ReadBits(kw)
-			if err != nil {
-				return nil, corruptf("RAZE/RARE: truncated kept pieces")
+	// Both bit regions are exactly sized, so the reads below cannot run
+	// short: no per-read truncation handling on either path.
+	if ow, ok := wordio.View64(out); ok {
+		adaptiveUnpackFast(ow, bm, kept, bot, k, repeat)
+	} else {
+		keptR := bitio.NewReader(kept)
+		botR := bitio.NewReader(bot)
+		prevTop := uint64(0)
+		kw := uint(k)
+		for i := 0; i < n; i++ {
+			var top uint64
+			if bm[i>>3]&(0x80>>(i&7)) != 0 {
+				top, _ = keptR.ReadBits(kw)
+			} else if repeat {
+				top = prevTop // RARE: identical to the prior word's top piece
+			} else {
+				top = 0 // RAZE: eliminated pieces were all-zero
 			}
-		} else if repeat {
-			top = prevTop // RARE: identical to the prior word's top piece
-		} else {
-			top = 0 // RAZE: eliminated pieces were all-zero
-		}
-		bot := uint64(0)
-		if bw > 0 {
-			bot, err = botR.ReadBits(bw)
-			if err != nil {
-				return nil, corruptf("RAZE/RARE: truncated bottom pieces")
+			b := uint64(0)
+			if bw > 0 {
+				b, _ = botR.ReadBits(bw)
 			}
+			wordio.PutU64(out, i, top<<bw|b)
+			prevTop = top
 		}
-		wordio.PutU64(out, i, top<<bw|bot)
-		prevTop = top
 	}
 	if tailLen > 0 {
 		if len(body) < tailLen {
@@ -225,6 +350,40 @@ func adaptiveInverseInto(dst, enc []byte, repeat bool, maxDecoded int) ([]byte, 
 		copy(out[n*8:], body[:tailLen])
 	}
 	return dst, nil
+}
+
+// adaptiveUnpackFast reassembles the words through a 64-bit load window
+// over a zero-padded pooled copy of the kept and bottom regions (two bit
+// cursors, every read one load plus shifts). The regions' exact sizing is
+// the caller's responsibility.
+func adaptiveUnpackFast(ow []uint64, bm, kept, bot []byte, k int, repeat bool) {
+	sp := getBuf()
+	defer putBuf(sp)
+	pad := pooledBytes(sp, len(kept)+len(bot)+8)
+	copy(pad, kept)
+	copy(pad[len(kept):], bot)
+	clear(pad[len(kept)+len(bot):])
+	kw := uint(k)
+	bw := uint(64 - k)
+	kpos := uint(0)
+	bpos := uint(len(kept)) * 8
+	prevTop := uint64(0)
+	for i := range ow {
+		var top uint64
+		if bm[i>>3]&(0x80>>(i&7)) != 0 {
+			top = loadBits(pad, kpos, kw)
+			kpos += kw
+		} else if repeat {
+			top = prevTop
+		}
+		var b uint64
+		if bw > 0 {
+			b = loadBits(pad, bpos, bw)
+			bpos += bw
+		}
+		ow[i] = top<<bw | b
+		prevTop = top
+	}
 }
 
 // RAZE implements Repeated Adaptive Zero Elimination: RZE restricted to the

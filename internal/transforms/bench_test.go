@@ -1,0 +1,165 @@
+package transforms
+
+// Per-transform microbenchmarks over one 16 KiB chunk — the default
+// container chunk size, so these measure exactly the kernel loops the
+// pipeline hot path runs. BenchmarkForward/BenchmarkInverse feed `go test
+// -bench`; TestEmitTransformsBench writes BENCH_transforms.json at the
+// repository root with MB/s per kernel (regenerate with `make
+// bench-transforms`).
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"fpcompress/internal/wordio"
+)
+
+const benchChunk = 16 * 1024
+
+// benchData is smooth float-like data — the compressible common case the
+// kernels are tuned for — at the benchmarked transform's word size.
+func benchData(word wordio.WordSize) []byte {
+	b := make([]byte, benchChunk)
+	if word == wordio.W32 {
+		for i := 0; i+4 <= len(b); i += 4 {
+			wordio.PutU32(b[i:], 0, math.Float32bits(float32(100+math.Sin(float64(i)/256))))
+		}
+		return b
+	}
+	for i := 0; i+8 <= len(b); i += 8 {
+		wordio.PutU64(b[i:], 0, math.Float64bits(100+math.Sin(float64(i)/512)))
+	}
+	return b
+}
+
+// benchKernels pairs each transform with the word size used to build its
+// input (the byte-granularity transforms still see word-structured data,
+// matching their position after DIFFMS/BIT in the pipelines).
+type benchKernel struct {
+	tr   Transform
+	word wordio.WordSize
+}
+
+func benchKernels() []benchKernel {
+	return []benchKernel{
+		{DiffMS{Word: wordio.W32}, wordio.W32},
+		{DiffMS{Word: wordio.W64}, wordio.W64},
+		{Bit{Word: wordio.W32}, wordio.W32},
+		{Bit{Word: wordio.W64}, wordio.W64},
+		{MPLG{Word: wordio.W32}, wordio.W32},
+		{MPLG{Word: wordio.W64}, wordio.W64},
+		{RZE{}, wordio.W32},
+		{RAZE{}, wordio.W64},
+		{RARE{}, wordio.W64},
+		{FCM{}, wordio.W64},
+	}
+}
+
+func BenchmarkForward(b *testing.B) {
+	for _, k := range benchKernels() {
+		b.Run(k.tr.Name(), func(b *testing.B) {
+			src := benchData(k.word)
+			var dst []byte
+			b.SetBytes(benchChunk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = k.tr.ForwardInto(dst[:0], src)
+			}
+		})
+	}
+}
+
+func BenchmarkInverse(b *testing.B) {
+	for _, k := range benchKernels() {
+		b.Run(k.tr.Name(), func(b *testing.B) {
+			src := benchData(k.word)
+			enc := k.tr.ForwardInto(nil, src)
+			var dst []byte
+			var err error
+			b.SetBytes(benchChunk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if dst, err = k.tr.InverseInto(dst[:0], enc, benchChunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+type transformBenchResult struct {
+	Transform    string  `json:"transform"`
+	Op           string  `json:"op"`
+	ChunkBytes   int     `json:"chunk_bytes"`
+	Ops          int     `json:"ops"`
+	MBPerS       float64 `json:"mb_per_sec"`
+	EncodedBytes int     `json:"encoded_bytes,omitempty"`
+}
+
+type transformBenchReport struct {
+	Benchmark  string                 `json:"benchmark"`
+	Command    string                 `json:"command"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Results    []transformBenchResult `json:"results"`
+}
+
+func measureKernel(fn func()) (mbps float64, ops int) {
+	for i := 0; i < 16; i++ {
+		fn()
+	}
+	const minDur = 200 * time.Millisecond
+	start := time.Now()
+	for time.Since(start) < minDur {
+		fn()
+		ops++
+	}
+	return float64(benchChunk) * float64(ops) / time.Since(start).Seconds() / 1e6, ops
+}
+
+func TestEmitTransformsBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark emit in -short mode")
+	}
+	report := transformBenchReport{
+		Benchmark:  "transform_kernel_throughput",
+		Command:    "go test ./internal/transforms -run TestEmitTransformsBench -count=1 -v   (make bench-transforms)",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, k := range benchKernels() {
+		src := benchData(k.word)
+		enc := k.tr.ForwardInto(nil, src)
+		var dst []byte
+		var err error
+
+		mbps, ops := measureKernel(func() { dst = k.tr.ForwardInto(dst[:0], src) })
+		report.Results = append(report.Results, transformBenchResult{
+			Transform: k.tr.Name(), Op: "forward", ChunkBytes: benchChunk, Ops: ops,
+			MBPerS: mbps, EncodedBytes: len(enc),
+		})
+		t.Logf("%s forward: %.1f MB/s", k.tr.Name(), mbps)
+
+		mbps, ops = measureKernel(func() {
+			if dst, err = k.tr.InverseInto(dst[:0], enc, benchChunk); err != nil {
+				t.Fatal(err)
+			}
+		})
+		report.Results = append(report.Results, transformBenchResult{
+			Transform: k.tr.Name(), Op: "inverse", ChunkBytes: benchChunk, Ops: ops,
+			MBPerS: mbps,
+		})
+		t.Logf("%s inverse: %.1f MB/s", k.tr.Name(), mbps)
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_transforms.json", append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -64,6 +64,55 @@ func (b Bit) Forward(src []byte) []byte {
 	return b.ForwardInto(nil, src)
 }
 
+// bitForward32 transposes directly on aliased words: each 32-word block is
+// copied into the register-resident tile, transposed, and scattered with
+// stride nb (the plane-major layout).
+func bitForward32(ow, sw []uint32, nb int) {
+	var blk [32]uint32
+	for k := 0; k < nb; k++ {
+		copy(blk[:], sw[k*32:k*32+32])
+		transpose32(&blk)
+		for plane := 0; plane < 32; plane++ {
+			ow[plane*nb+k] = blk[plane]
+		}
+	}
+}
+
+func bitForward64(ow, sw []uint64, nb int) {
+	var blk [64]uint64
+	for k := 0; k < nb; k++ {
+		copy(blk[:], sw[k*64:k*64+64])
+		transpose64(&blk)
+		for plane := 0; plane < 64; plane++ {
+			ow[plane*nb+k] = blk[plane]
+		}
+	}
+}
+
+// bitInverse32 gathers each block's planes with stride nb, transposes, and
+// stores the block contiguously.
+func bitInverse32(ow, ew []uint32, nb int) {
+	var blk [32]uint32
+	for k := 0; k < nb; k++ {
+		for plane := 0; plane < 32; plane++ {
+			blk[plane] = ew[plane*nb+k]
+		}
+		transpose32(&blk)
+		copy(ow[k*32:k*32+32], blk[:])
+	}
+}
+
+func bitInverse64(ow, ew []uint64, nb int) {
+	var blk [64]uint64
+	for k := 0; k < nb; k++ {
+		for plane := 0; plane < 64; plane++ {
+			blk[plane] = ew[plane*nb+k]
+		}
+		transpose64(&blk)
+		copy(ow[k*64:k*64+64], blk[:])
+	}
+}
+
 // ForwardInto implements Transform (see the package comment for the dst
 // ownership contract).
 func (b Bit) ForwardInto(dst, src []byte) []byte {
@@ -74,6 +123,13 @@ func (b Bit) ForwardInto(dst, src []byte) []byte {
 	case wordio.W32:
 		n := len(src) / 4
 		nb := n / 32 // full blocks
+		if sw, ok := wordio.View32(src); ok {
+			if ow, ok := wordio.View32(out); ok {
+				bitForward32(ow, sw, nb)
+				copy(out[nb*32*4:], src[nb*32*4:])
+				return dst
+			}
+		}
 		var blk [32]uint32
 		for k := 0; k < nb; k++ {
 			for j := 0; j < 32; j++ {
@@ -88,6 +144,13 @@ func (b Bit) ForwardInto(dst, src []byte) []byte {
 	default:
 		n := len(src) / 8
 		nb := n / 64
+		if sw, ok := wordio.View64(src); ok {
+			if ow, ok := wordio.View64(out); ok {
+				bitForward64(ow, sw, nb)
+				copy(out[nb*64*8:], src[nb*64*8:])
+				return dst
+			}
+		}
 		var blk [64]uint64
 		for k := 0; k < nb; k++ {
 			for j := 0; j < 64; j++ {
@@ -127,6 +190,13 @@ func (b Bit) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 	case wordio.W32:
 		n := len(enc) / 4
 		nb := n / 32
+		if ew, ok := wordio.View32(enc); ok {
+			if ow, ok := wordio.View32(out); ok {
+				bitInverse32(ow, ew, nb)
+				copy(out[nb*32*4:], enc[nb*32*4:])
+				return dst, nil
+			}
+		}
 		var blk [32]uint32
 		for k := 0; k < nb; k++ {
 			for plane := 0; plane < 32; plane++ {
@@ -141,6 +211,13 @@ func (b Bit) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 	default:
 		n := len(enc) / 8
 		nb := n / 64
+		if ew, ok := wordio.View64(enc); ok {
+			if ow, ok := wordio.View64(out); ok {
+				bitInverse64(ow, ew, nb)
+				copy(out[nb*64*8:], enc[nb*64*8:])
+				return dst, nil
+			}
+		}
 		var blk [64]uint64
 		for k := 0; k < nb; k++ {
 			for plane := 0; plane < 64; plane++ {

@@ -16,6 +16,11 @@ import (
 //
 // DIFFMS is size-preserving. Trailing bytes of a chunk that do not fill a
 // whole word are copied verbatim.
+//
+// The hot path runs the fused difference + magnitude-sign pass unrolled
+// over word views of both buffers (wordio.View32/View64); when either
+// buffer is misaligned it falls back to the byte-accessor reference loop,
+// which produces identical bytes.
 type DiffMS struct {
 	// Word selects 32-bit (single precision) or 64-bit (double precision)
 	// granularity.
@@ -35,6 +40,47 @@ func (d DiffMS) Forward(src []byte) []byte {
 	return d.ForwardInto(nil, src)
 }
 
+// diffMSForward32 is the fused difference + zigzag kernel: the forward
+// difference has no loop-carried dependency beyond the block boundary, so
+// a 4-wide unroll keeps the subtract/shift/xor chains independent.
+func diffMSForward32(out, src []uint32) {
+	out = out[:len(src)]
+	prev := uint32(0)
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		a, b, c, d := src[i], src[i+1], src[i+2], src[i+3]
+		out[i] = wordio.ZigZag32(a - prev)
+		out[i+1] = wordio.ZigZag32(b - a)
+		out[i+2] = wordio.ZigZag32(c - b)
+		out[i+3] = wordio.ZigZag32(d - c)
+		prev = d
+	}
+	for ; i < len(src); i++ {
+		v := src[i]
+		out[i] = wordio.ZigZag32(v - prev)
+		prev = v
+	}
+}
+
+func diffMSForward64(out, src []uint64) {
+	out = out[:len(src)]
+	prev := uint64(0)
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		a, b, c, d := src[i], src[i+1], src[i+2], src[i+3]
+		out[i] = wordio.ZigZag64(a - prev)
+		out[i+1] = wordio.ZigZag64(b - a)
+		out[i+2] = wordio.ZigZag64(c - b)
+		out[i+3] = wordio.ZigZag64(d - c)
+		prev = d
+	}
+	for ; i < len(src); i++ {
+		v := src[i]
+		out[i] = wordio.ZigZag64(v - prev)
+		prev = v
+	}
+}
+
 // ForwardInto implements Transform (see the package comment for the dst
 // ownership contract).
 func (d DiffMS) ForwardInto(dst, src []byte) []byte {
@@ -44,24 +90,48 @@ func (d DiffMS) ForwardInto(dst, src []byte) []byte {
 	switch d.Word {
 	case wordio.W32:
 		n := len(src) / 4
-		prev := uint32(0)
-		for i := 0; i < n; i++ {
-			v := wordio.U32(src, i)
-			wordio.PutU32(out, i, wordio.ZigZag32(v-prev))
-			prev = v
+		if sw, ok := wordio.View32(src); ok {
+			if ow, ok := wordio.View32(out); ok {
+				diffMSForward32(ow, sw)
+				copy(out[n*4:], src[n*4:])
+				return dst
+			}
 		}
-		copy(out[n*4:], src[n*4:])
+		d.forwardRef32(out, src, n)
 	default:
 		n := len(src) / 8
-		prev := uint64(0)
-		for i := 0; i < n; i++ {
-			v := wordio.U64(src, i)
-			wordio.PutU64(out, i, wordio.ZigZag64(v-prev))
-			prev = v
+		if sw, ok := wordio.View64(src); ok {
+			if ow, ok := wordio.View64(out); ok {
+				diffMSForward64(ow, sw)
+				copy(out[n*8:], src[n*8:])
+				return dst
+			}
 		}
-		copy(out[n*8:], src[n*8:])
+		d.forwardRef64(out, src, n)
 	}
 	return dst
+}
+
+// forwardRef32 is the byte-accessor reference path (and the fallback for
+// misaligned buffers); the view kernel must match it byte for byte.
+func (d DiffMS) forwardRef32(out, src []byte, n int) {
+	prev := uint32(0)
+	for i := 0; i < n; i++ {
+		v := wordio.U32(src, i)
+		wordio.PutU32(out, i, wordio.ZigZag32(v-prev))
+		prev = v
+	}
+	copy(out[n*4:], src[n*4:])
+}
+
+func (d DiffMS) forwardRef64(out, src []byte, n int) {
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		v := wordio.U64(src, i)
+		wordio.PutU64(out, i, wordio.ZigZag64(v-prev))
+		prev = v
+	}
+	copy(out[n*8:], src[n*8:])
 }
 
 // InverseLimit implements Transform. DIFFMS is size-preserving, so the
@@ -76,6 +146,50 @@ func (d DiffMS) Inverse(enc []byte) ([]byte, error) {
 	return d.InverseInto(nil, enc, NoLimit)
 }
 
+// diffMSInverse32 is the prefix-sum kernel. The sum is loop-carried, but
+// un-zigzagging the next block while the adds retire still overlaps work.
+func diffMSInverse32(out, enc []uint32) {
+	out = out[:len(enc)]
+	prev := uint32(0)
+	i := 0
+	for ; i+4 <= len(enc); i += 4 {
+		a := wordio.UnZigZag32(enc[i])
+		b := wordio.UnZigZag32(enc[i+1])
+		c := wordio.UnZigZag32(enc[i+2])
+		d := wordio.UnZigZag32(enc[i+3])
+		out[i] = prev + a
+		out[i+1] = prev + a + b
+		out[i+2] = prev + a + b + c
+		prev += a + b + c + d
+		out[i+3] = prev
+	}
+	for ; i < len(enc); i++ {
+		prev += wordio.UnZigZag32(enc[i])
+		out[i] = prev
+	}
+}
+
+func diffMSInverse64(out, enc []uint64) {
+	out = out[:len(enc)]
+	prev := uint64(0)
+	i := 0
+	for ; i+4 <= len(enc); i += 4 {
+		a := wordio.UnZigZag64(enc[i])
+		b := wordio.UnZigZag64(enc[i+1])
+		c := wordio.UnZigZag64(enc[i+2])
+		d := wordio.UnZigZag64(enc[i+3])
+		out[i] = prev + a
+		out[i+1] = prev + a + b
+		out[i+2] = prev + a + b + c
+		prev += a + b + c + d
+		out[i+3] = prev
+	}
+	for ; i < len(enc); i++ {
+		prev += wordio.UnZigZag64(enc[i])
+		out[i] = prev
+	}
+}
+
 // InverseInto implements Transform (see the package comment for the dst
 // ownership contract).
 func (d DiffMS) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
@@ -88,20 +202,42 @@ func (d DiffMS) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 	switch d.Word {
 	case wordio.W32:
 		n := len(enc) / 4
-		prev := uint32(0)
-		for i := 0; i < n; i++ {
-			prev += wordio.UnZigZag32(wordio.U32(enc, i))
-			wordio.PutU32(out, i, prev)
+		if ew, ok := wordio.View32(enc); ok {
+			if ow, ok := wordio.View32(out); ok {
+				diffMSInverse32(ow, ew)
+				copy(out[n*4:], enc[n*4:])
+				return dst, nil
+			}
 		}
-		copy(out[n*4:], enc[n*4:])
+		d.inverseRef32(out, enc, n)
 	default:
 		n := len(enc) / 8
-		prev := uint64(0)
-		for i := 0; i < n; i++ {
-			prev += wordio.UnZigZag64(wordio.U64(enc, i))
-			wordio.PutU64(out, i, prev)
+		if ew, ok := wordio.View64(enc); ok {
+			if ow, ok := wordio.View64(out); ok {
+				diffMSInverse64(ow, ew)
+				copy(out[n*8:], enc[n*8:])
+				return dst, nil
+			}
 		}
-		copy(out[n*8:], enc[n*8:])
+		d.inverseRef64(out, enc, n)
 	}
 	return dst, nil
+}
+
+func (d DiffMS) inverseRef32(out, enc []byte, n int) {
+	prev := uint32(0)
+	for i := 0; i < n; i++ {
+		prev += wordio.UnZigZag32(wordio.U32(enc, i))
+		wordio.PutU32(out, i, prev)
+	}
+	copy(out[n*4:], enc[n*4:])
+}
+
+func (d DiffMS) inverseRef64(out, enc []byte, n int) {
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		prev += wordio.UnZigZag64(wordio.U64(enc, i))
+		wordio.PutU64(out, i, prev)
+	}
+	copy(out[n*8:], enc[n*8:])
 }

@@ -160,10 +160,19 @@ func (f FCM) ForwardInto(dst, src []byte) []byte {
 	defer fcmPairPool.Put(pp)
 	defer fcmPairPool.Put(tp)
 	pairs := pooledPairs(pp, n)
-	var v1, v2, v3 uint64
-	for i := 0; i < n; i++ {
-		pairs[i] = fcmPair{hash: fcmHash(v1, v2, v3), idx: uint32(i)}
-		v1, v2, v3 = wordio.U64(src, i), v1, v2
+	sw, swOK := wordio.View64(src)
+	if swOK {
+		var v1, v2, v3 uint64
+		for i, v := range sw {
+			pairs[i] = fcmPair{hash: fcmHash(v1, v2, v3), idx: uint32(i)}
+			v1, v2, v3 = v, v1, v2
+		}
+	} else {
+		var v1, v2, v3 uint64
+		for i := 0; i < n; i++ {
+			pairs[i] = fcmPair{hash: fcmHash(v1, v2, v3), idx: uint32(i)}
+			v1, v2, v3 = wordio.U64(src, i), v1, v2
+		}
 	}
 	radixSortPairs(pairs, pooledPairs(tp, n))
 
@@ -177,22 +186,46 @@ func (f FCM) ForwardInto(dst, src []byte) []byte {
 	// must read as zero, so clear both first.
 	clear(vals)
 	clear(dists)
-	for p := 0; p < n; p++ {
-		cur := pairs[p]
-		matched := false
-		for q := p - 1; q >= 0 && q >= p-window; q-- {
-			prev := pairs[q]
-			if prev.hash != cur.hash {
-				break // sorted: earlier pairs cannot match either
+	vw, okV := wordio.View64(vals)
+	dw, okD := wordio.View64(dists)
+	if swOK && okV && okD {
+		for p := 0; p < n; p++ {
+			cur := pairs[p]
+			curv := sw[cur.idx]
+			matched := false
+			for q := p - 1; q >= 0 && q >= p-window; q-- {
+				prev := pairs[q]
+				if prev.hash != cur.hash {
+					break // sorted: earlier pairs cannot match either
+				}
+				if sw[prev.idx] == curv {
+					dw[cur.idx] = uint64(cur.idx - prev.idx)
+					matched = true
+					break
+				}
 			}
-			if wordio.U64(src, int(prev.idx)) == wordio.U64(src, int(cur.idx)) {
-				wordio.PutU64(dists, int(cur.idx), uint64(cur.idx-prev.idx))
-				matched = true
-				break
+			if !matched {
+				vw[cur.idx] = curv
 			}
 		}
-		if !matched {
-			wordio.PutU64(vals, int(cur.idx), wordio.U64(src, int(cur.idx)))
+	} else {
+		for p := 0; p < n; p++ {
+			cur := pairs[p]
+			matched := false
+			for q := p - 1; q >= 0 && q >= p-window; q-- {
+				prev := pairs[q]
+				if prev.hash != cur.hash {
+					break // sorted: earlier pairs cannot match either
+				}
+				if wordio.U64(src, int(prev.idx)) == wordio.U64(src, int(cur.idx)) {
+					wordio.PutU64(dists, int(cur.idx), uint64(cur.idx-prev.idx))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				wordio.PutU64(vals, int(cur.idx), wordio.U64(src, int(cur.idx)))
+			}
 		}
 	}
 	copy(out[fcmHeaderLen+2*n*8:], tail)
@@ -247,30 +280,64 @@ func (FCM) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 		defer fcmWordPool.Put(dp)
 		vals := pooledWords(vp, n)
 		dists := pooledWords(dp, n)
-		for i := 0; i < n; i++ {
-			vals[i] = wordio.U64(valsB, i)
-			dists[i] = wordio.U64(distsB, i)
+		if vB, ok := wordio.View64(valsB); ok {
+			copy(vals, vB)
+		} else {
+			for i := 0; i < n; i++ {
+				vals[i] = wordio.U64(valsB, i)
+			}
+		}
+		if dB, ok := wordio.View64(distsB); ok {
+			copy(dists, dB)
+		} else {
+			for i := 0; i < n; i++ {
+				dists[i] = wordio.U64(distsB, i)
+			}
 		}
 		if err := fcmDecodeParallelBytes(out, vals, dists); err != nil {
 			return nil, err
 		}
-	} else {
-		// Sequential: resolve distances in index order; every referenced
-		// word is already final in out when reached.
-		for i := 0; i < n; i++ {
-			d := wordio.U64(distsB, i)
-			if d == 0 {
-				wordio.PutU64(out, i, wordio.U64(valsB, i))
-				continue
-			}
-			if d > uint64(i) {
-				return nil, corruptf("FCM: distance %d exceeds index %d", d, i)
-			}
-			wordio.PutU64(out, i, wordio.U64(out, i-int(d)))
-		}
+	} else if err := fcmInverseSeq(out, valsB, distsB, n); err != nil {
+		return nil, err
 	}
 	copy(out[n*8:], enc[hn+2*n*8:hn+2*n*8+tailLen])
 	return dst, nil
+}
+
+// fcmInverseSeq resolves distances in index order; every referenced word
+// is already final in out when reached. When all three buffers can be
+// aliased as words the chase runs entirely on uint64 slices; otherwise it
+// falls back to the byte accessors.
+func fcmInverseSeq(out, valsB, distsB []byte, n int) error {
+	ow, okO := wordio.View64(out)
+	vw, okV := wordio.View64(valsB)
+	dw, okD := wordio.View64(distsB)
+	if okO && okV && okD {
+		for i := 0; i < n; i++ {
+			d := dw[i]
+			if d == 0 {
+				ow[i] = vw[i]
+				continue
+			}
+			if d > uint64(i) {
+				return corruptf("FCM: distance %d exceeds index %d", d, i)
+			}
+			ow[i] = ow[i-int(d)]
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		d := wordio.U64(distsB, i)
+		if d == 0 {
+			wordio.PutU64(out, i, wordio.U64(valsB, i))
+			continue
+		}
+		if d > uint64(i) {
+			return corruptf("FCM: distance %d exceeds index %d", d, i)
+		}
+		wordio.PutU64(out, i, wordio.U64(out, i-int(d)))
+	}
+	return nil
 }
 
 // fcmDecodeSequential resolves distances in index order; every referenced
@@ -321,6 +388,7 @@ func fcmDecodeParallelBytes(outB []byte, vals, dists []uint64) error {
 			return corruptf("FCM: distance %d exceeds index %d", d, i)
 		}
 	}
+	ow, owOK := wordio.View64(outB)
 	workers := runtime.GOMAXPROCS(0)
 	var next atomic.Int64
 	const grain = 4096
@@ -341,7 +409,11 @@ func fcmDecodeParallelBytes(outB []byte, vals, dists []uint64) error {
 				for i := lo; i < hi; i++ {
 					d := atomic.LoadUint64(&dists[i])
 					if d == 0 {
-						wordio.PutU64(outB, i, vals[i])
+						if owOK {
+							ow[i] = vals[i]
+						} else {
+							wordio.PutU64(outB, i, vals[i])
+						}
 						continue
 					}
 					j := i - int(d)
@@ -353,7 +425,11 @@ func fcmDecodeParallelBytes(outB []byte, vals, dists []uint64) error {
 						j -= int(dj)
 					}
 					v := vals[j]
-					wordio.PutU64(outB, i, v)
+					if owOK {
+						ow[i] = v
+					} else {
+						wordio.PutU64(outB, i, v)
+					}
 					vals[i] = v
 					atomic.StoreUint64(&dists[i], 0)
 				}

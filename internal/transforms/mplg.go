@@ -1,6 +1,9 @@
 package transforms
 
 import (
+	"encoding/binary"
+	"math/bits"
+
 	"fpcompress/internal/bitio"
 	"fpcompress/internal/wordio"
 )
@@ -23,6 +26,13 @@ const mplgSubchunk = 512
 // per subchunk a 1-bit fallback flag, a kept-bit-count field (6 bits for
 // 32-bit words, 7 bits for 64-bit words), and the kept low bits of each
 // word. Trailing bytes that do not fill a word follow byte-aligned.
+//
+// The hot paths run over word views (wordio.View32/View64) with a local
+// 64-bit bit-packing accumulator flushed 32 bits at a time straight into
+// the output buffer (encode) and a 64-bit sliding load window over a
+// zero-padded copy of the bit stream (decode). Misaligned buffers fall
+// back to the bitio reference loops; both paths emit/accept identical
+// bytes.
 type MPLG struct {
 	Word wordio.WordSize
 	// Subchunk overrides the 512-byte subchunk size for ablation
@@ -69,6 +79,219 @@ func (m MPLG) Forward(src []byte) []byte {
 // ForwardInto implements Transform (see the package comment for the dst
 // ownership contract).
 func (m MPLG) ForwardInto(dst, src []byte) []byte {
+	if m.Word == wordio.W32 {
+		if sw, ok := wordio.View32(src); ok {
+			return m.forwardFast32(dst, src, sw)
+		}
+	} else {
+		if sw, ok := wordio.View64(src); ok {
+			return m.forwardFast64(dst, src, sw)
+		}
+	}
+	return m.forwardRef(dst, src)
+}
+
+// forwardFast32 packs the bit stream with a register-resident accumulator:
+// every write is at most 32 bits, so keeping fewer than 32 pending bits
+// guarantees a write never straddles the 64-bit accumulator, and each
+// flush is a single big-endian 32-bit store into the pre-grown output.
+func (m MPLG) forwardFast32(dst, src []byte, sw []uint32) []byte {
+	nWords := len(src) / 4
+	tail := src[nWords*4:]
+	wordsPer := m.wordsPerSubchunk(4)
+	nsub := 0
+	if wordsPer > 0 && nWords > 0 {
+		nsub = (nWords + wordsPer - 1) / wordsPer
+	}
+	dst = bitio.AppendUvarint(dst, uint64(len(src)))
+	start0 := len(dst)
+	dst = grow(dst, (nsub*7+nWords*32+7)/8+8)
+	buf := dst
+	bp := start0
+	var acc uint64
+	var nacc uint
+	for start := 0; start < nWords; start += wordsPer {
+		end := start + wordsPer
+		if end > nWords {
+			end = nWords
+		}
+		sub := sw[start:end]
+		maxv := uint32(0)
+		for _, v := range sub {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var flag uint64
+		zig := false
+		if maxv >= 1<<31 {
+			// Enhancement: one more magnitude-sign conversion, then retry.
+			flag, zig = 1, true
+			maxv = 0
+			for _, v := range sub {
+				if z := wordio.ZigZag32(v); z > maxv {
+					maxv = z
+				}
+			}
+		}
+		keep := uint(32 - bits.LeadingZeros32(maxv))
+		// 1-bit flag + 6-bit kept width, MSB-first.
+		acc = acc<<7 | flag<<6 | uint64(keep)
+		nacc += 7
+		if nacc >= 32 {
+			nacc -= 32
+			binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+			bp += 4
+			acc &= 1<<nacc - 1
+		}
+		if keep == 0 {
+			continue
+		}
+		// Every value fits in keep bits by construction of maxv.
+		if zig {
+			for _, v := range sub {
+				acc = acc<<keep | uint64(wordio.ZigZag32(v))
+				nacc += keep
+				if nacc >= 32 {
+					nacc -= 32
+					binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+					bp += 4
+					acc &= 1<<nacc - 1
+				}
+			}
+		} else {
+			for _, v := range sub {
+				acc = acc<<keep | uint64(v)
+				nacc += keep
+				if nacc >= 32 {
+					nacc -= 32
+					binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+					bp += 4
+					acc &= 1<<nacc - 1
+				}
+			}
+		}
+	}
+	bp = bitFinish(buf, bp, acc, nacc)
+	return append(dst[:bp], tail...)
+}
+
+// forwardFast64 is the 64-bit variant: kept widths above 32 bits are
+// written as two sub-32-bit fields so the accumulator invariant holds.
+func (m MPLG) forwardFast64(dst, src []byte, sw []uint64) []byte {
+	nWords := len(src) / 8
+	tail := src[nWords*8:]
+	wordsPer := m.wordsPerSubchunk(8)
+	nsub := 0
+	if nWords > 0 {
+		nsub = (nWords + wordsPer - 1) / wordsPer
+	}
+	dst = bitio.AppendUvarint(dst, uint64(len(src)))
+	start0 := len(dst)
+	dst = grow(dst, (nsub*8+nWords*64+7)/8+8)
+	buf := dst
+	bp := start0
+	var acc uint64
+	var nacc uint
+	for start := 0; start < nWords; start += wordsPer {
+		end := start + wordsPer
+		if end > nWords {
+			end = nWords
+		}
+		sub := sw[start:end]
+		maxv := uint64(0)
+		for _, v := range sub {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var flag uint64
+		zig := false
+		if maxv >= 1<<63 {
+			flag, zig = 1, true
+			maxv = 0
+			for _, v := range sub {
+				if z := wordio.ZigZag64(v); z > maxv {
+					maxv = z
+				}
+			}
+		}
+		keep := uint(64 - bits.LeadingZeros64(maxv))
+		// 1-bit flag + 7-bit kept width, MSB-first.
+		acc = acc<<8 | flag<<7 | uint64(keep)
+		nacc += 8
+		if nacc >= 32 {
+			nacc -= 32
+			binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+			bp += 4
+			acc &= 1<<nacc - 1
+		}
+		if keep == 0 {
+			continue
+		}
+		if keep <= 32 {
+			for _, v := range sub {
+				w := v
+				if zig {
+					w = wordio.ZigZag64(v)
+				}
+				acc = acc<<keep | w
+				nacc += keep
+				if nacc >= 32 {
+					nacc -= 32
+					binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+					bp += 4
+					acc &= 1<<nacc - 1
+				}
+			}
+		} else {
+			hi := keep - 32
+			for _, v := range sub {
+				w := v
+				if zig {
+					w = wordio.ZigZag64(v)
+				}
+				acc = acc<<hi | w>>32
+				nacc += hi
+				if nacc >= 32 {
+					nacc -= 32
+					binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+					bp += 4
+					acc &= 1<<nacc - 1
+				}
+				// Appending 32 bits always reaches the flush threshold, and
+				// flushing subtracts the same 32, so nacc is unchanged.
+				acc = acc<<32 | w&0xffffffff
+				binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+				bp += 4
+				acc &= 1<<nacc - 1
+			}
+		}
+	}
+	bp = bitFinish(buf, bp, acc, nacc)
+	return append(dst[:bp], tail...)
+}
+
+// bitFinish spills an accumulator's remaining pending bits, zero-padded to
+// a byte boundary exactly like bitio.Writer.Align, and returns the new
+// write cursor.
+func bitFinish(buf []byte, bp int, acc uint64, nacc uint) int {
+	for nacc >= 8 {
+		nacc -= 8
+		buf[bp] = byte(acc >> nacc)
+		bp++
+	}
+	if nacc > 0 {
+		buf[bp] = byte(acc << (8 - nacc))
+		bp++
+	}
+	return bp
+}
+
+// forwardRef is the bitio.Writer reference path (and the fallback for
+// misaligned buffers); the accumulator kernels must match it byte for
+// byte.
+func (m MPLG) forwardRef(dst, src []byte) []byte {
 	wsize := int(m.Word)
 	wbits := m.Word.Bits()
 	nWords := len(src) / wsize
@@ -178,15 +401,152 @@ func (m MPLG) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 		return nil, corruptf("MPLG: decoded length %d implausible for %d encoded bytes", declen, len(enc))
 	}
 	wsize := int(m.Word)
-	wbits := m.Word.Bits()
 	nWords := declen / wsize
 	tailLen := declen - nWords*wsize
 	wordsPer := m.wordsPerSubchunk(wsize)
 
-	r := bitio.NewReader(enc[n:])
+	body := enc[n:]
 	base := len(dst)
 	dst = grow(dst, declen)
 	out := dst[base:]
+	var err error
+	if m.Word == wordio.W32 {
+		if ow, ok := wordio.View32(out); ok {
+			err = m.inverseFast32(ow, out, body, nWords, wordsPer, tailLen)
+		} else {
+			err = m.inverseRef(out, body, nWords, wordsPer, tailLen)
+		}
+	} else {
+		if ow, ok := wordio.View64(out); ok {
+			err = m.inverseFast64(ow, out, body, nWords, wordsPer, tailLen)
+		} else {
+			err = m.inverseRef(out, body, nWords, wordsPer, tailLen)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// inverseFast32 unpacks the bit stream through a 64-bit load window over a
+// zero-padded pooled copy of body, so every read is one big-endian load
+// plus shifts with no per-read bounds handling. Truncation is checked once
+// per subchunk (the reads are sequential, so the first out-of-bounds read
+// the reference would hit trips the same batched check).
+func (m MPLG) inverseFast32(ow []uint32, out, body []byte, nWords, wordsPer, tailLen int) error {
+	bp := getBuf()
+	defer putBuf(bp)
+	pad := pooledBytes(bp, len(body)+8)
+	copy(pad, body)
+	clear(pad[len(body):])
+	totalBits := uint(len(body)) * 8
+	pos := uint(0)
+	for start := 0; start < nWords; start += wordsPer {
+		end := start + wordsPer
+		if end > nWords {
+			end = nWords
+		}
+		if pos+7 > totalBits {
+			return corruptf("MPLG: truncated header")
+		}
+		hdr := uint32(binary.BigEndian.Uint64(pad[pos>>3:])>>(57-(pos&7))) & 0x7f
+		pos += 7
+		keep := uint(hdr & 0x3f)
+		if keep > 32 {
+			return corruptf("MPLG: kept bits %d > word size", keep)
+		}
+		sub := ow[start:end]
+		if keep == 0 {
+			// ReadBits(0) yields 0 in both flag modes (UnZigZag32(0) == 0).
+			clear(sub)
+			continue
+		}
+		if pos+keep*uint(len(sub)) > totalBits {
+			return corruptf("MPLG: truncated values")
+		}
+		mask := uint32(1)<<keep - 1
+		sh := 64 - keep
+		if hdr>>6 == 1 {
+			for j := range sub {
+				x := binary.BigEndian.Uint64(pad[pos>>3:])
+				sub[j] = wordio.UnZigZag32(uint32(x>>(sh-(pos&7))) & mask)
+				pos += keep
+			}
+		} else {
+			for j := range sub {
+				x := binary.BigEndian.Uint64(pad[pos>>3:])
+				sub[j] = uint32(x>>(sh-(pos&7))) & mask
+				pos += keep
+			}
+		}
+	}
+	rest := int((pos + 7) / 8)
+	if len(body)-rest < tailLen {
+		return corruptf("MPLG: truncated tail")
+	}
+	copy(out[nWords*4:], body[rest:rest+tailLen])
+	return nil
+}
+
+// inverseFast64 is the 64-bit variant; kept widths above 57 bits can
+// straddle the load window by up to 7 bits, handled with one spill byte.
+func (m MPLG) inverseFast64(ow []uint64, out, body []byte, nWords, wordsPer, tailLen int) error {
+	bp := getBuf()
+	defer putBuf(bp)
+	pad := pooledBytes(bp, len(body)+8)
+	copy(pad, body)
+	clear(pad[len(body):])
+	totalBits := uint(len(body)) * 8
+	pos := uint(0)
+	for start := 0; start < nWords; start += wordsPer {
+		end := start + wordsPer
+		if end > nWords {
+			end = nWords
+		}
+		if pos+8 > totalBits {
+			return corruptf("MPLG: truncated header")
+		}
+		hdr := uint32(binary.BigEndian.Uint64(pad[pos>>3:])>>(56-(pos&7))) & 0xff
+		pos += 8
+		keep := uint(hdr & 0x7f)
+		if keep > 64 {
+			return corruptf("MPLG: kept bits %d > word size", keep)
+		}
+		sub := ow[start:end]
+		if keep == 0 {
+			clear(sub)
+			continue
+		}
+		if pos+keep*uint(len(sub)) > totalBits {
+			return corruptf("MPLG: truncated values")
+		}
+		if hdr>>7 == 1 {
+			for j := range sub {
+				sub[j] = wordio.UnZigZag64(loadBits(pad, pos, keep))
+				pos += keep
+			}
+		} else {
+			for j := range sub {
+				sub[j] = loadBits(pad, pos, keep)
+				pos += keep
+			}
+		}
+	}
+	rest := int((pos + 7) / 8)
+	if len(body)-rest < tailLen {
+		return corruptf("MPLG: truncated tail")
+	}
+	copy(out[nWords*8:], body[rest:rest+tailLen])
+	return nil
+}
+
+// inverseRef is the bitio.Reader reference path (and the fallback for
+// misaligned output buffers).
+func (m MPLG) inverseRef(out, body []byte, nWords, wordsPer, tailLen int) error {
+	wsize := int(m.Word)
+	wbits := m.Word.Bits()
+	r := bitio.NewReader(body)
 	for start := 0; start < nWords; start += wordsPer {
 		end := start + wordsPer
 		if end > nWords {
@@ -194,21 +554,21 @@ func (m MPLG) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 		}
 		flag, err := r.ReadBit()
 		if err != nil {
-			return nil, corruptf("MPLG: truncated header")
+			return corruptf("MPLG: truncated header")
 		}
 		keep64, err := r.ReadBits(m.keepFieldBits())
 		if err != nil {
-			return nil, corruptf("MPLG: truncated header")
+			return corruptf("MPLG: truncated header")
 		}
 		keep := uint(keep64)
 		if keep > uint(wbits) {
-			return nil, corruptf("MPLG: kept bits %d > word size", keep)
+			return corruptf("MPLG: kept bits %d > word size", keep)
 		}
 		if m.Word == wordio.W32 {
 			for i := start; i < end; i++ {
 				v, err := r.ReadBits(keep)
 				if err != nil {
-					return nil, corruptf("MPLG: truncated values")
+					return corruptf("MPLG: truncated values")
 				}
 				if flag == 1 {
 					v = uint64(wordio.UnZigZag32(uint32(v)))
@@ -219,7 +579,7 @@ func (m MPLG) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 			for i := start; i < end; i++ {
 				v, err := r.ReadBits(keep)
 				if err != nil {
-					return nil, corruptf("MPLG: truncated values")
+					return corruptf("MPLG: truncated values")
 				}
 				if flag == 1 {
 					v = wordio.UnZigZag64(v)
@@ -230,10 +590,10 @@ func (m MPLG) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 	}
 	rest := r.Rest()
 	if len(rest) < tailLen {
-		return nil, corruptf("MPLG: truncated tail")
+		return corruptf("MPLG: truncated tail")
 	}
 	copy(out[nWords*wsize:], rest[:tailLen])
-	return dst, nil
+	return nil
 }
 
 // leadingZeros counts leading zeros of v interpreted as a wbits-wide word.

@@ -2,8 +2,10 @@ package transforms
 
 import (
 	"fmt"
+	"math/bits"
 
 	"fpcompress/internal/bitio"
+	"fpcompress/internal/wordio"
 )
 
 // rzeBitmapFloor is the size at which the recursive bitmap compression
@@ -22,6 +24,11 @@ const rzeBitmapFloor = 4
 //
 // Encoded form: uvarint decoded length, recursively compressed bitmap,
 // then the non-zero data bytes.
+//
+// The byte-granularity hot paths scan eight bytes at a time: a uint64 word
+// view plus a SWAR non-zero/changed-byte movemask classifies each 8-byte
+// group as all-skip, all-emit, or mixed, so the dominant all-zero and
+// all-nonzero runs of post-BIT data move at word speed.
 //
 // Granularity exists for the ablation benchmarks: the paper chose byte
 // granularity "to increase the chance of finding zero values" over, say,
@@ -48,6 +55,21 @@ func (z RZE) Name() string {
 	return fmt.Sprintf("RZE%d", z.unit()*8)
 }
 
+// nonzeroMask8 returns one bit per byte of the little-endian word v, set
+// when that byte is non-zero, with the lowest-addressed byte in the most
+// significant result bit — the same MSB-first order as RZE's bitmaps
+// (byte j of v maps to 0x80 >> j).
+//
+// The SWAR: (v & 0x7f..) + 0x7f.. carries into bit 7 of any byte with a
+// low bit set; OR-ing v itself covers bytes whose only set bit is bit 7.
+// Multiplying the per-byte 0x01 mask by 0x8040201008040201 sums bit j*8
+// into bit 63-j (the products 8j+9k collide only mod 9, so no carries),
+// and the top byte of the product is the movemask.
+func nonzeroMask8(v uint64) byte {
+	m := (v | ((v & 0x7f7f7f7f7f7f7f7f) + 0x7f7f7f7f7f7f7f7f)) & 0x8080808080808080
+	return byte(((m >> 7) * 0x8040201008040201) >> 56)
+}
+
 // EncodeRepeatBitmap appends the repeat-eliminated recursive bitmap
 // encoding of b to out (exported for the SIMT kernels in internal/simt,
 // which must reproduce RZE's exact byte layout).
@@ -55,11 +77,73 @@ func EncodeRepeatBitmap(b []byte, out []byte) []byte {
 	return appendRepeatBitmap(out, b)
 }
 
+// buildChangeBitmap fills bm (one bit per byte of cur, MSB-first) with the
+// changed-byte bitmap: bit set when the byte differs from its predecessor
+// (the byte before cur[0] is taken as zero). Full 8-byte groups use the
+// SWAR mask over a word view; the tail — and misaligned buffers — go byte
+// by byte.
+func buildChangeBitmap(bm, cur []byte) {
+	clear(bm)
+	prev := byte(0)
+	i := 0
+	if cw, ok := wordio.View64(cur); ok {
+		for g, v := range cw {
+			// Byte j of v<<8|prev is byte j's predecessor.
+			bm[g] = nonzeroMask8(v ^ (v<<8 | uint64(prev)))
+			prev = byte(v >> 56)
+		}
+		i = len(cw) * 8
+	}
+	for ; i < len(cur); i++ {
+		if cur[i] != prev {
+			bm[i>>3] |= 0x80 >> (i & 7)
+		}
+		prev = cur[i]
+	}
+}
+
+// appendNonRepeats appends the bytes of lvl that differ from their
+// predecessor (the byte before lvl[0] is taken as zero), classifying
+// 8-byte groups with the SWAR changed mask.
+func appendNonRepeats(out, lvl []byte) []byte {
+	prev := byte(0)
+	i := 0
+	if lw, ok := wordio.View64(lvl); ok {
+		for g, v := range lw {
+			x := v ^ (v<<8 | uint64(prev))
+			prev = byte(v >> 56)
+			if x == 0 {
+				continue
+			}
+			base := g * 8
+			m := nonzeroMask8(x)
+			if m == 0xff {
+				out = append(out, lvl[base:base+8]...)
+				continue
+			}
+			for j := 0; j < 8; j++ {
+				if m&(0x80>>j) != 0 {
+					out = append(out, lvl[base+j])
+				}
+			}
+		}
+		i = len(lw) * 8
+	}
+	for ; i < len(lvl); i++ {
+		if lvl[i] != prev {
+			out = append(out, lvl[i])
+		}
+		prev = lvl[i]
+	}
+	return out
+}
+
 // appendRepeatBitmap appends the repeat-eliminated recursive bitmap
 // encoding of b to out. The logical recursion enc(L) = enc(bitmap(L)) +
-// nonrep(L) is run iteratively: the shrinking bitmap levels are built
-// contiguously in one pooled scratch buffer, the deepest (<= floor) level
-// is emitted verbatim, and each level's non-repeating bytes are re-derived
+// nonrep(L) is run iteratively: the shrinking bitmap levels are built in
+// one pooled scratch buffer (each level's start rounded up to 8 bytes so
+// the SWAR passes can alias it as words), the deepest (<= floor) level is
+// emitted verbatim, and each level's non-repeating bytes are re-derived
 // while appending — so the encoder allocates nothing per level.
 func appendRepeatBitmap(out, b []byte) []byte {
 	if len(b) <= rzeBitmapFloor {
@@ -67,27 +151,23 @@ func appendRepeatBitmap(out, b []byte) []byte {
 	}
 	sp := getBuf()
 	defer putBuf(sp)
-	// The level chain totals ~len(b)/7 bytes.
-	scratch := growCap((*sp)[:0], len(b)/7+16)
-	// starts[k] is the offset in scratch where the bitmap of level k begins
-	// (that bitmap being level k+1; level 0 is b itself). Depth is
-	// log8-bounded, ~9 levels for the 64 MiB MaxDecoded cap.
-	starts := make([]int, 0, 16)
+	// The level chain totals ~len(b)/7 bytes plus alignment pads.
+	scratch := growCap((*sp)[:0], len(b)/7+128)
+	// Level k of the chain (level 0 being b itself) has its bitmap — level
+	// k+1 — at scratch[starts[k]:starts[k]+lens[k]]. Depth is log8-bounded,
+	// ~9 levels for the 64 MiB MaxDecoded cap, so the tables live on the
+	// stack.
+	var startA, lenA [16]int
+	starts, lens := startA[:0], lenA[:0]
 	cur := b
 	for len(cur) > rzeBitmapFloor {
 		bmLen := (len(cur) + 7) / 8
-		start := len(scratch)
-		scratch = grow(scratch, bmLen)
-		bm := scratch[start:]
-		clear(bm)
-		prev := byte(0)
-		for i, c := range cur {
-			if c != prev {
-				bm[i>>3] |= 0x80 >> (i & 7)
-			}
-			prev = c
-		}
+		start := (len(scratch) + 7) &^ 7
+		scratch = grow(scratch, start-len(scratch)+bmLen)
+		bm := scratch[start : start+bmLen]
+		buildChangeBitmap(bm, cur)
 		starts = append(starts, start)
+		lens = append(lens, bmLen)
 		cur = bm
 	}
 	*sp = scratch
@@ -97,24 +177,66 @@ func appendRepeatBitmap(out, b []byte) []byte {
 	for k := len(starts) - 1; k >= 0; k-- {
 		lvl := b
 		if k > 0 {
-			lvl = scratch[starts[k-1]:starts[k]]
+			lvl = scratch[starts[k-1] : starts[k-1]+lens[k-1]]
 		}
-		prev := byte(0)
-		for _, c := range lvl {
-			if c != prev {
-				out = append(out, c)
-			}
-			prev = c
-		}
+		out = appendNonRepeats(out, lvl)
 	}
 	return out
 }
 
+// expandRepeatLevel reconstructs one bitmap level: out[i] repeats the
+// previous byte unless bm's bit i is set, in which case the next src byte
+// (from offset consumed) is taken. It returns the updated consumed offset.
+// Groups of eight are dispatched on the bm byte: 0x00 is a pure repeat
+// run, 0xff a straight copy.
+func expandRepeatLevel(out, bm, src []byte, consumed int) (int, error) {
+	groups := len(out) / 8
+	prev := byte(0)
+	for g := 0; g < groups; g++ {
+		m := bm[g]
+		o := out[g*8 : g*8+8]
+		switch {
+		case m == 0:
+			o[0], o[1], o[2], o[3] = prev, prev, prev, prev
+			o[4], o[5], o[6], o[7] = prev, prev, prev, prev
+		case m == 0xff:
+			if consumed+8 > len(src) {
+				return 0, corruptf("RZE: truncated bitmap level")
+			}
+			copy(o, src[consumed:consumed+8])
+			consumed += 8
+			prev = o[7]
+		default:
+			if consumed+bits.OnesCount8(m) > len(src) {
+				return 0, corruptf("RZE: truncated bitmap level")
+			}
+			for j := 0; j < 8; j++ {
+				if m&(0x80>>j) != 0 {
+					prev = src[consumed]
+					consumed++
+				}
+				o[j] = prev
+			}
+		}
+	}
+	for i := groups * 8; i < len(out); i++ {
+		if bm[i>>3]&(0x80>>(i&7)) != 0 {
+			if consumed >= len(src) {
+				return 0, corruptf("RZE: truncated bitmap level")
+			}
+			prev = src[consumed]
+			consumed++
+		}
+		out[i] = prev
+	}
+	return consumed, nil
+}
+
 // decodeRepeatBitmapScratch reconstructs the length-l level-0 bitmap from
 // src, expanding the level chain inside the pooled buffer *bp (no per-level
-// allocation). It returns the bitmap (which may alias src when l is at or
-// below the recursion floor, and otherwise aliases *bp) and the number of
-// src bytes consumed.
+// — or any — allocation; the level tables live on the stack). It returns
+// the bitmap (which may alias src when l is at or below the recursion
+// floor, and otherwise aliases *bp) and the number of src bytes consumed.
 func decodeRepeatBitmapScratch(bp *[]byte, src []byte, l int) ([]byte, int, error) {
 	if l <= rzeBitmapFloor {
 		if len(src) < l {
@@ -123,9 +245,9 @@ func decodeRepeatBitmapScratch(bp *[]byte, src []byte, l int) ([]byte, int, erro
 		return src[:l:l], l, nil
 	}
 	// lens[k] is the size of level k; the chain stops at the first level at
-	// or below the floor.
-	lens := make([]int, 1, 16)
-	lens[0] = l
+	// or below the floor (log8-bounded depth, so the tables fit the stack).
+	var lenA, offA [16]int
+	lens := append(lenA[:0], l)
 	for lens[len(lens)-1] > rzeBitmapFloor {
 		lens = append(lens, (lens[len(lens)-1]+7)/8)
 	}
@@ -136,7 +258,12 @@ func decodeRepeatBitmapScratch(bp *[]byte, src []byte, l int) ([]byte, int, erro
 	}
 	scratch := pooledBytes(bp, total)
 	// Level k occupies scratch[off[k] : off[k]+lens[k]], deepest first.
-	off := make([]int, len(lens))
+	var off []int
+	if len(lens) <= len(offA) {
+		off = offA[:len(lens)]
+	} else {
+		off = make([]int, len(lens))
+	}
 	pos := 0
 	for k := d; k >= 0; k-- {
 		off[k] = pos
@@ -150,16 +277,10 @@ func decodeRepeatBitmapScratch(bp *[]byte, src []byte, l int) ([]byte, int, erro
 	for k := d - 1; k >= 0; k-- {
 		bm := scratch[off[k+1] : off[k+1]+lens[k+1]]
 		out := scratch[off[k] : off[k]+lens[k]]
-		prev := byte(0)
-		for i := range out {
-			if bm[i>>3]&(0x80>>(i&7)) != 0 {
-				if consumed >= len(src) {
-					return nil, 0, corruptf("RZE: truncated bitmap level")
-				}
-				prev = src[consumed]
-				consumed++
-			}
-			out[i] = prev
+		var err error
+		consumed, err = expandRepeatLevel(out, bm, src, consumed)
+		if err != nil {
+			return nil, 0, err
 		}
 	}
 	return scratch[off[0] : off[0]+l], consumed, nil
@@ -175,6 +296,68 @@ func (z RZE) Forward(src []byte) []byte {
 // surviving bytes are appended in a second pass over src, so nothing is
 // allocated beyond dst growth.
 func (z RZE) ForwardInto(dst, src []byte) []byte {
+	g := z.unit()
+	if g == 1 {
+		if sw, ok := wordio.View64(src); ok {
+			return z.forwardFast(dst, src, sw)
+		}
+	}
+	return z.forwardRef(dst, src)
+}
+
+// forwardFast is the byte-granularity hot path: the zero bitmap comes one
+// whole byte at a time from the SWAR mask of each word, and the survivor
+// pass skips all-zero words and bulk-copies all-nonzero ones.
+func (z RZE) forwardFast(dst, src []byte, sw []uint64) []byte {
+	bp := getBuf()
+	defer putBuf(bp)
+	bm := pooledBytes(bp, (len(src)+7)/8)
+	clear(bm)
+	nonzero := 0
+	for g, v := range sw {
+		if v == 0 {
+			continue
+		}
+		m := nonzeroMask8(v)
+		bm[g] = m
+		nonzero += bits.OnesCount8(m)
+	}
+	for i := len(sw) * 8; i < len(src); i++ {
+		if src[i] != 0 {
+			bm[i>>3] |= 0x80 >> (i & 7)
+			nonzero++
+		}
+	}
+	dst = growCap(dst, bitio.UvarintLen(uint64(len(src)))+len(bm)+len(bm)/4+nonzero+16)
+	dst = bitio.AppendUvarint(dst, uint64(len(src)))
+	dst = appendRepeatBitmap(dst, bm)
+	for g, v := range sw {
+		if v == 0 {
+			continue
+		}
+		base := g * 8
+		if m := bm[g]; m != 0xff {
+			for j := 0; j < 8; j++ {
+				if m&(0x80>>j) != 0 {
+					dst = append(dst, src[base+j])
+				}
+			}
+			continue
+		}
+		dst = append(dst, src[base:base+8]...)
+	}
+	for i := len(sw) * 8; i < len(src); i++ {
+		if c := src[i]; c != 0 {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// forwardRef is the byte-at-a-time reference path (all granularities, and
+// the fallback for misaligned buffers at byte granularity); the SWAR path
+// must match it byte for byte.
+func (z RZE) forwardRef(dst, src []byte) []byte {
 	g := z.unit()
 	units := (len(src) + g - 1) / g
 	bp := getBuf()
@@ -232,6 +415,48 @@ func (z RZE) ForwardInto(dst, src []byte) []byte {
 	return dst
 }
 
+// rzeScatterBytes re-inserts the surviving data bytes at the positions
+// bm marks non-zero (out must be pre-zeroed). 8-byte groups dispatch on
+// the bm byte: 0x00 skips, 0xff bulk-copies.
+func rzeScatterBytes(out, bm, data []byte) error {
+	pos := 0
+	groups := len(out) / 8
+	for g := 0; g < groups; g++ {
+		m := bm[g]
+		if m == 0 {
+			continue
+		}
+		o := out[g*8 : g*8+8]
+		if m == 0xff {
+			if pos+8 > len(data) {
+				return corruptf("RZE: truncated data bytes")
+			}
+			copy(o, data[pos:pos+8])
+			pos += 8
+			continue
+		}
+		if pos+bits.OnesCount8(m) > len(data) {
+			return corruptf("RZE: truncated data bytes")
+		}
+		for j := 0; j < 8; j++ {
+			if m&(0x80>>j) != 0 {
+				o[j] = data[pos]
+				pos++
+			}
+		}
+	}
+	for i := groups * 8; i < len(out); i++ {
+		if bm[i>>3]&(0x80>>(i&7)) != 0 {
+			if pos >= len(data) {
+				return corruptf("RZE: truncated data bytes")
+			}
+			out[i] = data[pos]
+			pos++
+		}
+	}
+	return nil
+}
+
 // Inverse implements Transform.
 func (z RZE) Inverse(enc []byte) ([]byte, error) {
 	return z.InverseInto(nil, enc, NoLimit)
@@ -268,19 +493,13 @@ func (z RZE) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 	// Eliminated units decode to zero bytes; the grown region is not
 	// guaranteed fresh, so zero it first.
 	clear(out)
-	pos := 0
 	if g == 1 {
-		for u := 0; u < declen; u++ {
-			if bm[u>>3]&(0x80>>(u&7)) != 0 {
-				if pos >= len(data) {
-					return nil, corruptf("RZE: truncated data bytes")
-				}
-				out[u] = data[pos]
-				pos++
-			}
+		if err := rzeScatterBytes(out, bm, data); err != nil {
+			return nil, err
 		}
 		return dst, nil
 	}
+	pos := 0
 	for u := 0; u < units; u++ {
 		if bm[u>>3]&(0x80>>(u&7)) == 0 {
 			continue

@@ -1,0 +1,10 @@
+// Fallback for big-endian targets and purego builds: no aliasing, every
+// caller takes its byte-accessor reference path.
+
+//go:build !(386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm) || purego
+
+package wordio
+
+func view32(b []byte) ([]uint32, bool) { return nil, len(b) < 4 }
+
+func view64(b []byte) ([]uint64, bool) { return nil, len(b) < 8 }

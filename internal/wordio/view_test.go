@@ -1,0 +1,68 @@
+package wordio
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestViewValuesMatchAccessors checks that, whenever a view is granted, it
+// reads and writes exactly the words the accessor path sees.
+func TestViewValuesMatchAccessors(t *testing.T) {
+	raw := make([]byte, 8*16+5)
+	for i := range raw {
+		raw[i] = byte(i*37 + 11)
+	}
+	for off := 0; off <= 8; off++ {
+		b := raw[off:]
+		if w, ok := View32(b); ok {
+			if len(w) != len(b)/4 {
+				t.Fatalf("off %d: view32 len %d, want %d", off, len(w), len(b)/4)
+			}
+			for i := range w {
+				if w[i] != U32(b, i) {
+					t.Fatalf("off %d word %d: view %08x accessor %08x", off, i, w[i], U32(b, i))
+				}
+			}
+			if len(w) > 0 {
+				w[0] ^= 0xdeadbeef
+				if U32(b, 0) != w[0] {
+					t.Fatalf("off %d: write through view32 not visible to accessor", off)
+				}
+				w[0] ^= 0xdeadbeef
+			}
+		}
+		if w, ok := View64(b); ok {
+			for i := range w {
+				if w[i] != U64(b, i) {
+					t.Fatalf("off %d word %d: view %016x accessor %016x", off, i, w[i], U64(b, i))
+				}
+			}
+		}
+	}
+}
+
+// TestViewShortBuffers pins that buffers without a complete word yield an
+// empty view (ok true) rather than a panic or a bogus slice.
+func TestViewShortBuffers(t *testing.T) {
+	for n := 0; n < 4; n++ {
+		if w, ok := View32(make([]byte, n)); !ok || len(w) != 0 {
+			t.Fatalf("View32(len %d) = (%d words, %v), want empty ok view", n, len(w), ok)
+		}
+	}
+	for n := 0; n < 8; n++ {
+		if w, ok := View64(make([]byte, n)); !ok || len(w) != 0 {
+			t.Fatalf("View64(len %d) = (%d words, %v), want empty ok view", n, len(w), ok)
+		}
+	}
+}
+
+// TestViewEndianness pins the little-endian interpretation: when a view is
+// granted, word 0 must equal the little-endian decoding of the first bytes.
+func TestViewEndianness(t *testing.T) {
+	b := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if w, ok := View64(b); ok && len(w) == 1 {
+		if want := binary.LittleEndian.Uint64(b); w[0] != want {
+			t.Fatalf("view64 word %016x, want little-endian %016x", w[0], want)
+		}
+	}
+}

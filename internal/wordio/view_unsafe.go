@@ -1,0 +1,33 @@
+// Word views by pointer reinterpretation. Only little-endian targets may
+// alias bytes as words (the wire format is little-endian), and only when
+// the base address is word-aligned; misaligned buffers fall back to the
+// copying/accessor path via ok == false. The purego tag disables the
+// unsafe path entirely for auditing or portability builds.
+
+//go:build (386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm) && !purego
+
+package wordio
+
+import "unsafe"
+
+func view32(b []byte) ([]uint32, bool) {
+	n := len(b) / 4
+	if n == 0 {
+		return nil, true
+	}
+	if uintptr(unsafe.Pointer(&b[0]))&3 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n), true
+}
+
+func view64(b []byte) ([]uint64, bool) {
+	n := len(b) / 8
+	if n == 0 {
+		return nil, true
+	}
+	if uintptr(unsafe.Pointer(&b[0]))&7 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n), true
+}
