@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check fuzz-smoke chaos bench-server bench-core bench-transforms bench-smoke fpcd clean
+.PHONY: all build test race vet check fuzz-smoke chaos bench-server bench-core bench-auto bench-transforms bench-smoke fpcd clean
 
 all: check
 
@@ -69,6 +69,15 @@ bench-server:
 # and allocations per operation for every algorithm).
 bench-core:
 	$(GO) test . -run TestEmitCoreBench -count=1 -v
+
+# Auto-mode focus: measures the adaptive Auto32/Auto64 modes against
+# their speed variants (BenchmarkAuto) and runs the mixed-corpus
+# selection test pinning Auto's ratio against every fixed pipeline. The
+# durable ratio/MB/s rows land in BENCH_core.json via `make bench-core`,
+# whose TestEmitCoreBench includes the Auto32/Auto64 selection study.
+bench-auto:
+	$(GO) test . -run '^$$' -bench BenchmarkAuto -benchtime 2s
+	$(GO) test . -run TestAutoSelection -count=1 -v
 
 # Regenerates BENCH_transforms.json (single-thread MB/s for every
 # transform kernel, forward and inverse, over one 16 KiB chunk).

@@ -1,0 +1,111 @@
+package fpcompress
+
+import (
+	"bytes"
+	"testing"
+
+	"fpcompress/internal/sdr"
+)
+
+// autoDomainBytes concatenates the SDR sample files of the named domains,
+// the acceptance corpora for the adaptive modes.
+func autoDomainBytes(files []*sdr.File, domains ...string) []byte {
+	want := map[string]bool{}
+	for _, d := range domains {
+		want[d] = true
+	}
+	var out []byte
+	for _, f := range files {
+		if want[f.Domain] {
+			out = append(out, f.Data...)
+		}
+	}
+	return out
+}
+
+// TestAutoSelection is the acceptance gate for the adaptive modes (run by
+// `make bench-auto` and the CI bench-smoke job):
+//
+//   - on a mixed corpus spanning several double-precision domains, Auto64's
+//     container is strictly smaller than every fixed DP pipeline's — the
+//     whole point of per-chunk selection;
+//   - on homogeneous corpora (one domain per precision), the auto container
+//     is within 2% of the best fixed pipeline's, so adaptivity costs nearly
+//     nothing when there is nothing to adapt to;
+//   - every auto container round-trips bit-exactly.
+//
+// Ratio only — the companion throughput criterion lives in BENCH_core.json's
+// selection-study rows (TestEmitCoreBench), which time the same corpora.
+func TestAutoSelection(t *testing.T) {
+	cfg := sdr.Config{ValuesPerFile: 1 << 16}
+	spFiles, dpFiles := sdr.SingleFiles(cfg), sdr.DoubleFiles(cfg)
+
+	cases := []struct {
+		name      string
+		src       []byte
+		auto      Algorithm
+		fixed     []Algorithm
+		strictWin bool // mixed corpus: must beat every fixed pipeline outright
+	}{
+		{
+			name: "DP-mixed",
+			src: autoDomainBytes(dpFiles,
+				"Instrument", "Simulation", "Climate-DP", "Cosmology-DP"),
+			auto:      Auto64,
+			fixed:     []Algorithm{DPspeed, DPratio, DPbalance},
+			strictWin: true,
+		},
+		{
+			name:  "DP-Simulation",
+			src:   autoDomainBytes(dpFiles, "Simulation"),
+			auto:  Auto64,
+			fixed: []Algorithm{DPspeed, DPratio, DPbalance},
+		},
+		{
+			name:  "SP-ISABEL",
+			src:   autoDomainBytes(spFiles, "ISABEL"),
+			auto:  Auto32,
+			fixed: []Algorithm{SPspeed, SPratio, SPbalance},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if len(c.src) == 0 {
+				t.Fatal("empty corpus: domain names drifted from the sdr package")
+			}
+			autoBlob, err := Compress(c.auto, c.src, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Decompress(autoBlob, nil)
+			if err != nil || !bytes.Equal(back, c.src) {
+				t.Fatalf("%v roundtrip failed: %v", c.auto, err)
+			}
+
+			best := -1
+			for _, alg := range c.fixed {
+				blob, err := Compress(alg, c.src, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("%-9v %8d bytes (ratio %.3f)", alg, len(blob),
+					float64(len(c.src))/float64(len(blob)))
+				if c.strictWin && len(autoBlob) >= len(blob) {
+					t.Errorf("mixed corpus: %v at %d bytes does not beat %v at %d",
+						c.auto, len(autoBlob), alg, len(blob))
+				}
+				if best < 0 || len(blob) < best {
+					best = len(blob)
+				}
+			}
+			t.Logf("%-9v %8d bytes (ratio %.3f)", c.auto, len(autoBlob),
+				float64(len(c.src))/float64(len(autoBlob)))
+			// Homogeneous pin: within 2% of the best fixed pipeline. The
+			// mixed corpus passes trivially (strictly smaller than best).
+			if limit := best + best/50; len(autoBlob) > limit {
+				t.Errorf("%v at %d bytes exceeds best fixed %d by more than 2%%",
+					c.auto, len(autoBlob), best)
+			}
+		})
+	}
+}

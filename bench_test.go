@@ -262,6 +262,55 @@ func BenchmarkAblations(b *testing.B) {
 	}
 }
 
+// BenchmarkAuto measures the adaptive modes against their speed variants
+// over the concatenated per-domain sample: the selection overhead budget
+// is compress throughput within ~1.3x of the speed variant. Run focused
+// via `make bench-auto`.
+func BenchmarkAuto(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		alg  Algorithm
+		prec sdr.Precision
+	}{
+		{"Auto32", Auto32, sdr.Single},
+		{"SPspeed", SPspeed, sdr.Single},
+		{"Auto64", Auto64, sdr.Double},
+		{"DPspeed", DPspeed, sdr.Double},
+	} {
+		var src []byte
+		for _, f := range sampleFiles(tc.prec) {
+			src = append(src, f...)
+		}
+		b.Run(tc.name+"-compress", func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			var encLen int
+			for i := 0; i < b.N; i++ {
+				blob, err := Compress(tc.alg, src, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				encLen = len(blob)
+			}
+			b.ReportMetric(float64(len(src))/float64(encLen), "ratio")
+		})
+		if tc.alg != Auto32 && tc.alg != Auto64 {
+			continue
+		}
+		blob, err := Compress(tc.alg, src, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name+"-decompress", func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				if _, err := Decompress(blob, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFCMWindow sweeps the sorted-order match window (the paper's
 // "preceding four pairs", §3.2) on the repeat-heavy MPI domain.
 func BenchmarkFCMWindow(b *testing.B) {

@@ -9,6 +9,7 @@
 //	fpcz -d             output.fpcz restored.f32  # decompress
 //	fpcz -c -a dpspeed < input.f64 > out.fpcz     # streams via stdin/stdout
 //	fpcz -info out.fpcz                           # inspect a compressed file
+//	fpcz -stats out.fpcz                          # per-chunk scheme breakdown (auto modes)
 //
 // File output is atomic: bytes go to a same-directory temp file that is
 // fsynced and renamed over the destination only on success, so an
@@ -28,6 +29,9 @@ import (
 	"time"
 
 	"fpcompress"
+	"fpcompress/internal/container"
+	"fpcompress/internal/core"
+	"fpcompress/internal/selector"
 )
 
 func main() {
@@ -35,7 +39,8 @@ func main() {
 		compress   = flag.Bool("c", false, "compress")
 		decompress = flag.Bool("d", false, "decompress")
 		info       = flag.Bool("info", false, "describe a compressed file")
-		algName    = flag.String("a", "spspeed", "algorithm: spspeed|spratio|dpspeed|dpratio")
+		stats      = flag.Bool("stats", false, "per-chunk selection breakdown of a compressed file (auto32/auto64 containers)")
+		algName    = flag.String("a", "spspeed", "algorithm: spspeed|spratio|dpspeed|dpratio|spbalance|dpbalance|auto32|auto64")
 		chunkSize  = flag.Int("chunk", 0, "chunk size in bytes (0 = 16384, the paper's default)")
 		parallel   = flag.Int("p", 0, "worker goroutines (0 = all CPUs)")
 		quiet      = flag.Bool("q", false, "suppress the statistics line")
@@ -45,19 +50,24 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*compress, *decompress, *info, *stream, *verify, *algName, *chunkSize, *parallel, *maxDecoded, *quiet, flag.Args()); err != nil {
+	if err := run(*compress, *decompress, *info, *stats, *stream, *verify, *algName, *chunkSize, *parallel, *maxDecoded, *quiet, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "fpcz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(compress, decompress, info, stream, verify bool, algName string, chunkSize, parallel, maxDecoded int, quiet bool, args []string) error {
+func run(compress, decompress, info, stats, stream, verify bool, algName string, chunkSize, parallel, maxDecoded int, quiet bool, args []string) error {
 	switch {
 	case info:
 		if len(args) != 1 {
 			return fmt.Errorf("-info needs exactly one file")
 		}
 		return describe(args[0], maxDecoded)
+	case stats:
+		if len(args) != 1 {
+			return fmt.Errorf("-stats needs exactly one file")
+		}
+		return selectionStats(args[0], maxDecoded)
 	case compress == decompress:
 		return fmt.Errorf("exactly one of -c or -d is required")
 	case verify && !compress:
@@ -176,6 +186,10 @@ func parseAlg(name string) (fpcompress.Algorithm, error) {
 		return fpcompress.SPbalance, nil
 	case "dpbalance":
 		return fpcompress.DPbalance, nil
+	case "auto32":
+		return fpcompress.Auto32, nil
+	case "auto64":
+		return fpcompress.Auto64, nil
 	}
 	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
@@ -274,6 +288,76 @@ func openFiles(args []string) (*input, *atomicOutput, error) {
 		return nil, nil, err
 	}
 	return in, out, nil
+}
+
+// selectionStats prints the per-chunk pipeline selection breakdown of an
+// auto-mode (container v2) file: chunks and stored bytes per scheme, and
+// the cost model's predicted bytes next to the actual stored bytes for the
+// chunks where the recorded scheme was a modeled candidate.
+func selectionStats(path string, maxDecoded int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	h, err := container.Parse(data)
+	if err != nil {
+		return err
+	}
+	a, err := core.New(core.ID(h.Algorithm))
+	if err != nil {
+		return err
+	}
+	if a.Select == nil || h.Version < 2 {
+		return fmt.Errorf("%s: %s containers carry no per-chunk scheme table (use -info)", path, a.Name())
+	}
+	// Decode (CRC-verified) to re-run the cost model on the original chunks.
+	dec, err := fpcompress.Decompress(data, &fpcompress.Options{MaxDecodedSize: maxDecoded})
+	if err != nil {
+		return err
+	}
+	type row struct {
+		chunks            int
+		stored, predicted int
+	}
+	rows := map[byte]*row{}
+	for i := 0; i < h.ChunkCount; i++ {
+		scheme := h.ChunkScheme(i)
+		r := rows[scheme]
+		if r == nil {
+			r = &row{}
+			rows[scheme] = r
+		}
+		r.chunks++
+		r.stored += h.ChunkStoredLen(i)
+		lo := i * h.ChunkSize
+		hi := min(lo+h.ChunkSize, len(dec))
+		for _, p := range predictions(a, dec[lo:hi]) {
+			if p.Scheme == scheme {
+				r.predicted += p.Predicted
+			}
+		}
+	}
+	fmt.Printf("%s: %s, %d chunks of %d bytes, container v%d\n",
+		path, a.Name(), h.ChunkCount, h.ChunkSize, h.Version)
+	fmt.Printf("%-14s %8s %14s %16s\n", "scheme", "chunks", "stored bytes", "predicted bytes")
+	for scheme := byte(0); int(scheme) < selector.NumSchemes; scheme++ {
+		r := rows[scheme]
+		if r == nil {
+			continue
+		}
+		pred := fmt.Sprintf("%d", r.predicted)
+		if scheme == selector.SchemeRaw {
+			pred = "-" // raw fallback stores the chunk verbatim, unpredicted
+		}
+		fmt.Printf("%-14s %8d %14d %16s\n", selector.SchemeName(scheme), r.chunks, r.stored, pred)
+	}
+	return nil
+}
+
+// predictions re-runs the selector's cost model over one original chunk.
+func predictions(a *core.Algorithm, chunk []byte) []selector.Prediction {
+	preds, _ := a.Select.Predict(chunk)
+	return preds
 }
 
 func describe(path string, maxDecoded int) error {

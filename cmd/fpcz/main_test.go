@@ -31,14 +31,14 @@ func TestRunCompressDecompressFiles(t *testing.T) {
 	packed := filepath.Join(dir, "out.fpcz")
 	restored := filepath.Join(dir, "back.f32")
 
-	if err := run(true, false, false, false, false, "spratio", 0, 0, -1, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, false, false, "spratio", 0, 0, -1, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
 	pinfo, _ := os.Stat(packed)
 	if pinfo.Size() >= int64(len(raw)) {
 		t.Error("compression produced no gain on smooth data")
 	}
-	if err := run(false, true, false, false, false, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
+	if err := run(false, true, false, false, false, false, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := os.ReadFile(restored)
@@ -52,10 +52,10 @@ func TestRunStreamMode(t *testing.T) {
 	dir := filepath.Dir(in)
 	packed := filepath.Join(dir, "out.fpczs")
 	restored := filepath.Join(dir, "back.f32")
-	if err := run(true, false, false, true, false, "spspeed", 0, 0, -1, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, true, false, "spspeed", 0, 0, -1, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(false, true, false, true, false, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
+	if err := run(false, true, false, false, true, false, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := os.ReadFile(restored)
@@ -67,26 +67,26 @@ func TestRunStreamMode(t *testing.T) {
 func TestRunInfo(t *testing.T) {
 	in, _ := writeTempValues(t, 1000)
 	packed := filepath.Join(filepath.Dir(in), "o.fpcz")
-	if err := run(true, false, false, false, false, "dpbalance", 0, 0, -1, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, false, false, "dpbalance", 0, 0, -1, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(false, false, true, false, false, "", 0, 0, -1, true, []string{packed}); err != nil {
+	if err := run(false, false, true, false, false, false, "", 0, 0, -1, true, []string{packed}); err != nil {
 		t.Fatalf("info: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(false, false, false, false, false, "", 0, 0, -1, true, nil); err == nil {
+	if err := run(false, false, false, false, false, false, "", 0, 0, -1, true, nil); err == nil {
 		t.Error("neither -c nor -d accepted")
 	}
-	if err := run(true, true, false, false, false, "spspeed", 0, 0, -1, true, nil); err == nil {
+	if err := run(true, true, false, false, false, false, "spspeed", 0, 0, -1, true, nil); err == nil {
 		t.Error("both -c and -d accepted")
 	}
 	in, _ := writeTempValues(t, 10)
-	if err := run(true, false, false, false, false, "nope", 0, 0, -1, true, []string{in, in + ".x"}); err == nil {
+	if err := run(true, false, false, false, false, false, "nope", 0, 0, -1, true, []string{in, in + ".x"}); err == nil {
 		t.Error("bad algorithm accepted")
 	}
-	if err := run(true, false, false, false, false, "spspeed", 0, 0, -1, true, []string{"a", "b", "c"}); err == nil {
+	if err := run(true, false, false, false, false, false, "spspeed", 0, 0, -1, true, []string{"a", "b", "c"}); err == nil {
 		t.Error("too many args accepted")
 	}
 }
@@ -96,6 +96,7 @@ func TestParseAlgAll(t *testing.T) {
 		"spspeed": fpcompress.SPspeed, "SPRATIO": fpcompress.SPratio,
 		"dpspeed": fpcompress.DPspeed, "dpratio": fpcompress.DPratio,
 		"spbalance": fpcompress.SPbalance, "dpbalance": fpcompress.DPbalance,
+		"auto32": fpcompress.Auto32, "AUTO64": fpcompress.Auto64,
 	} {
 		got, err := parseAlg(name)
 		if err != nil || got != want {
@@ -104,25 +105,54 @@ func TestParseAlgAll(t *testing.T) {
 	}
 }
 
+// TestRunStats compresses with the adaptive mode and checks the -stats
+// breakdown runs, and that it refuses fixed-pipeline (v1) containers.
+func TestRunStats(t *testing.T) {
+	in, raw := writeTempValues(t, 50000)
+	dir := filepath.Dir(in)
+	packed := filepath.Join(dir, "auto.fpcz")
+	if err := run(true, false, false, false, false, false, "auto32", 0, 0, -1, true, []string{in, packed}); err != nil {
+		t.Fatal(err)
+	}
+	restored := filepath.Join(dir, "auto.back")
+	if err := run(false, true, false, false, false, false, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(restored)
+	if !bytes.Equal(got, raw) {
+		t.Error("auto roundtrip mismatch")
+	}
+	if err := run(false, false, false, true, false, false, "", 0, 0, -1, true, []string{packed}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	fixed := filepath.Join(dir, "fixed.fpcz")
+	if err := run(true, false, false, false, false, false, "spspeed", 0, 0, -1, true, []string{in, fixed}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, false, false, true, false, false, "", 0, 0, -1, true, []string{fixed}); err == nil {
+		t.Error("-stats accepted a v1 container")
+	}
+}
+
 // TestVerifyFlag checks -verify round-trips before committing and is
 // rejected in the modes where it cannot work.
 func TestVerifyFlag(t *testing.T) {
 	in, _ := writeTempValues(t, 20000)
 	packed := filepath.Join(filepath.Dir(in), "v.fpcz")
-	if err := run(true, false, false, false, true, "spratio", 0, 0, -1, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, false, true, "spratio", 0, 0, -1, true, []string{in, packed}); err != nil {
 		t.Fatalf("compress -verify: %v", err)
 	}
 	if _, err := os.Stat(packed); err != nil {
 		t.Fatalf("verified output missing: %v", err)
 	}
 	restored := filepath.Join(filepath.Dir(in), "v.back")
-	if err := run(false, true, false, false, false, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
+	if err := run(false, true, false, false, false, false, "", 0, 0, -1, true, []string{packed, restored}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(false, true, false, false, true, "", 0, 0, -1, true, []string{packed, restored}); err == nil {
+	if err := run(false, true, false, false, false, true, "", 0, 0, -1, true, []string{packed, restored}); err == nil {
 		t.Error("-verify with -d accepted")
 	}
-	if err := run(true, false, false, true, true, "spspeed", 0, 0, -1, true, []string{in, packed}); err == nil {
+	if err := run(true, false, false, false, true, true, "spspeed", 0, 0, -1, true, []string{in, packed}); err == nil {
 		t.Error("-verify with -stream accepted")
 	}
 }
@@ -135,7 +165,7 @@ func TestAtomicOutputNoPartialFile(t *testing.T) {
 	in, _ := writeTempValues(t, 50000)
 	dir := filepath.Dir(in)
 	packed := filepath.Join(dir, "whole.fpcz")
-	if err := run(true, false, false, false, false, "spspeed", 0, 0, -1, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, false, false, "spspeed", 0, 0, -1, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -149,7 +179,7 @@ func TestAtomicOutputNoPartialFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	target := filepath.Join(dir, "restored.f32")
-	if err := run(false, true, false, false, false, "", 0, 0, -1, true, []string{corrupt, target}); err == nil {
+	if err := run(false, true, false, false, false, false, "", 0, 0, -1, true, []string{corrupt, target}); err == nil {
 		t.Fatal("decompressing a truncated container succeeded")
 	}
 	if _, err := os.Stat(target); !os.IsNotExist(err) {
@@ -159,7 +189,7 @@ func TestAtomicOutputNoPartialFile(t *testing.T) {
 
 	// The same holds in stream mode: a torn frame aborts without output.
 	streamPacked := filepath.Join(dir, "s.fpczs")
-	if err := run(true, false, false, true, false, "spspeed", 0, 0, -1, true, []string{in, streamPacked}); err != nil {
+	if err := run(true, false, false, false, true, false, "spspeed", 0, 0, -1, true, []string{in, streamPacked}); err != nil {
 		t.Fatal(err)
 	}
 	sblob, err := os.ReadFile(streamPacked)
@@ -171,7 +201,7 @@ func TestAtomicOutputNoPartialFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	starget := filepath.Join(dir, "s-restored.f32")
-	if err := run(false, true, false, true, false, "", 0, 0, -1, true, []string{scorrupt, starget}); err == nil {
+	if err := run(false, true, false, false, true, false, "", 0, 0, -1, true, []string{scorrupt, starget}); err == nil {
 		t.Fatal("decompressing a torn stream succeeded")
 	}
 	if _, err := os.Stat(starget); !os.IsNotExist(err) {

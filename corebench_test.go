@@ -20,8 +20,12 @@ import (
 )
 
 type coreBenchResult struct {
-	Algorithm       string  `json:"algorithm"`
-	Op              string  `json:"op"`
+	Algorithm string `json:"algorithm"`
+	Op        string `json:"op"`
+	// Corpus tags the selection-study rows (homogeneous and mixed corpora
+	// comparing the adaptive modes against the fixed pipelines); empty for
+	// the default per-precision payload.
+	Corpus          string  `json:"corpus,omitempty"`
 	PayloadBytes    int     `json:"payload_bytes"`
 	Ops             int     `json:"ops"`
 	MBPerS          float64 `json:"mb_per_sec"`
@@ -129,11 +133,11 @@ func TestEmitCoreBench(t *testing.T) {
 		}
 	}
 	payloads := map[Algorithm][]byte{
-		SPspeed: sp, SPratio: sp, SPbalance: sp,
-		DPspeed: dp, DPratio: dp, DPbalance: dp,
+		SPspeed: sp, SPratio: sp, SPbalance: sp, Auto32: sp,
+		DPspeed: dp, DPratio: dp, DPbalance: dp, Auto64: dp,
 	}
 
-	for _, alg := range []Algorithm{SPspeed, SPratio, DPspeed, DPratio, SPbalance, DPbalance} {
+	for _, alg := range []Algorithm{SPspeed, SPratio, DPspeed, DPratio, SPbalance, DPbalance, Auto32, Auto64} {
 		src := payloads[alg]
 		blob, err := Compress(alg, src, nil)
 		if err != nil {
@@ -167,7 +171,58 @@ func TestEmitCoreBench(t *testing.T) {
 		t.Logf("%s decompress: %.1f MB/s, %.1f allocs/op, %.2f MB alloc/op", alg, mbps, apo, ampo)
 	}
 
+	// Selection study: the adaptive modes against every fixed pipeline of
+	// their word size, compress-only, on one homogeneous corpus per
+	// precision plus the mixed double-precision corpus (the acceptance
+	// corpora for the auto modes: ratio within 2% of the best fixed
+	// pipeline and >=75% of the speed variant's MB/s on homogeneous data,
+	// strictly smaller than every fixed pipeline on the mixed corpus).
+	domainBytes := func(files []*sdr.File, domains ...string) []byte {
+		want := map[string]bool{}
+		for _, d := range domains {
+			want[d] = true
+		}
+		var out []byte
+		for _, f := range files {
+			if want[f.Domain] {
+				out = append(out, f.Data...)
+			}
+		}
+		return out
+	}
+	spFiles, dpFiles := sdr.SingleFiles(cfg), sdr.DoubleFiles(cfg)
+	for _, study := range []struct {
+		corpus string
+		algs   []Algorithm
+		src    []byte
+	}{
+		{"SP-ISABEL", []Algorithm{SPspeed, SPratio, SPbalance, Auto32}, domainBytes(spFiles, "ISABEL")},
+		{"DP-Simulation", []Algorithm{DPspeed, DPratio, DPbalance, Auto64}, domainBytes(dpFiles, "Simulation")},
+		{"DP-mixed", []Algorithm{DPspeed, DPratio, DPbalance, Auto64}, domainBytes(dpFiles, "Instrument", "Simulation", "Climate-DP", "Cosmology-DP")},
+	} {
+		for _, alg := range study.algs {
+			src := study.src
+			blob, err := Compress(alg, src, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mbps, apo, ampo, ops := measureCoreOp(t, len(src), func() {
+				if _, err := Compress(alg, src, nil); err != nil {
+					t.Fatal(err)
+				}
+			})
+			report.Results = append(report.Results, coreBenchResult{
+				Algorithm: alg.String(), Op: "compress", Corpus: study.corpus, PayloadBytes: len(src), Ops: ops,
+				MBPerS: mbps, AllocsPerOp: apo, AllocMBPerOp: ampo, CompressedBytes: len(blob),
+			})
+			t.Logf("%s %s compress: %.1f MB/s, ratio %.3f", study.corpus, alg, mbps, float64(len(src))/float64(len(blob)))
+		}
+	}
+
 	for _, r := range report.Results {
+		if r.Corpus != "" {
+			continue // study rows have no pre-refactor baseline
+		}
 		for _, base := range report.Baseline {
 			if base.Algorithm == r.Algorithm && base.Op == r.Op {
 				d := coreBenchDelta{

@@ -18,6 +18,10 @@
 // and favor compression ratio. All four handle arbitrary byte lengths, but
 // the SP algorithms assume 4-byte-aligned value streams and the DP
 // algorithms 8-byte-aligned streams for good ratios.
+//
+// The repository additionally provides adaptive modes (Auto32/Auto64)
+// that choose a pipeline separately for every chunk from per-chunk
+// statistics, mixing pipelines within one compressed block.
 package fpcompress
 
 import (
@@ -53,6 +57,16 @@ const (
 	SPbalance = core.SPbalance
 	// DPbalance is the double-precision extension pipeline.
 	DPbalance = core.DPbalance
+	// Auto32 and Auto64 (repository extensions) pick a pipeline per 16 kB
+	// chunk: cheap per-chunk statistics feed a cost model that predicts
+	// each candidate's encoded size, and only the predicted winner runs.
+	// The container records the choice per chunk, so one block may mix
+	// pipelines. Use them when one input interleaves data of different
+	// character (mixed fields, multi-variable dumps); on homogeneous data
+	// they track the best fixed pipeline at near-speed-variant throughput.
+	Auto32 = core.Auto32
+	// Auto64 is the double-precision adaptive mode.
+	Auto64 = core.Auto64
 )
 
 // Options tunes compression and decompression. The zero value (and a nil
@@ -169,9 +183,9 @@ func Stages(alg Algorithm) ([]string, error) {
 }
 
 // CompressFloat32s compresses a single-precision value slice. alg must be
-// SPspeed or SPratio.
+// a single-precision algorithm (SPspeed, SPratio, SPbalance, or Auto32).
 func CompressFloat32s(alg Algorithm, vals []float32, opts *Options) ([]byte, error) {
-	if alg != SPspeed && alg != SPratio && alg != SPbalance {
+	if alg != SPspeed && alg != SPratio && alg != SPbalance && alg != Auto32 {
 		return nil, fmt.Errorf("fpcompress: %v is not a single-precision algorithm", alg)
 	}
 	return Compress(alg, Float32Bytes(vals), opts)
@@ -190,9 +204,9 @@ func DecompressFloat32s(data []byte, opts *Options) ([]float32, error) {
 }
 
 // CompressFloat64s compresses a double-precision value slice. alg must be
-// DPspeed or DPratio.
+// a double-precision algorithm (DPspeed, DPratio, DPbalance, or Auto64).
 func CompressFloat64s(alg Algorithm, vals []float64, opts *Options) ([]byte, error) {
-	if alg != DPspeed && alg != DPratio && alg != DPbalance {
+	if alg != DPspeed && alg != DPratio && alg != DPbalance && alg != Auto64 {
 		return nil, fmt.Errorf("fpcompress: %v is not a double-precision algorithm", alg)
 	}
 	return Compress(alg, Float64Bytes(vals), opts)

@@ -31,6 +31,12 @@ func TestGoldenCompressedDigests(t *testing.T) {
 		SPratio: "3aa807248c2e6e601f03e4ce870c569c6f5f3afd88798ae1fe062cafa3eb7ea6",
 		DPspeed: "acaa6c76bf1dd73b57bae7ba3b3e6cf98f1df03873fba4164ae1a2cecca2758e",
 		DPratio: "78c2b3cef4bf2ae794f88bc25a643ba49ffc5ac3e0698cfe50454caaa537f072",
+		// The adaptive modes pin the container-v2 bytes AND the selector's
+		// choices: a cost-model retune that flips any chunk's scheme changes
+		// these, which is a format-affecting event for reproducibility even
+		// though old containers keep decoding.
+		Auto32: "9114f5e9d63cc0dfd8dd84a4dd51f89c87c561e3a009d9ef5fdd36ba221bee13",
+		Auto64: "8d409ad556aa5a33069df08ab4bd6747445032e535f49924c10422f03078502a",
 	}
 	src := goldenInput(100000)
 	for alg, wantHex := range want {
@@ -63,6 +69,35 @@ func TestFrozenContainerDecodes(t *testing.T) {
 	}
 	alg, err := CompressedAlgorithm(blob)
 	if err != nil || alg != SPratio {
+		t.Fatalf("algorithm = %v, err %v", alg, err)
+	}
+	vals, err := DecompressFloat32s(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5}
+	if len(vals) != len(want) {
+		t.Fatalf("got %d values", len(vals))
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("value %d = %v, want %v", i, vals[i], want[i])
+		}
+	}
+}
+
+// TestFrozenAutoContainerDecodes pins decode-side compatibility for the
+// container v2 layout: this hex blob was produced by Auto32 when the
+// per-chunk scheme table first shipped and must decode to the same eight
+// float32 values forever, whatever the selector would choose today.
+func TestFrozenAutoContainerDecodes(t *testing.T) {
+	const frozenHex = "4650435a02071ae864cf20808001011f0521c8e22200203ffe06080c10204060"
+	blob, err := hex.DecodeString(frozenHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := CompressedAlgorithm(blob)
+	if err != nil || alg != Auto32 {
 		t.Fatalf("algorithm = %v, err %v", alg, err)
 	}
 	vals, err := DecompressFloat32s(blob, nil)

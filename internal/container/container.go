@@ -33,8 +33,17 @@ const DefaultChunkSize = 16384
 // magic identifies the container format.
 var magic = [4]byte{'F', 'P', 'C', 'Z'}
 
-// formatVersion is bumped on incompatible layout changes.
-const formatVersion = 1
+// formatVersion is the layout written for plain codecs; formatVersionV2
+// adds the per-chunk scheme table emitted for SchemeCodecs (auto mode).
+// Version 2 generalizes version 1's single raw-fallback flag: where v1
+// records only compressed-or-raw per chunk, v2 also records *which*
+// pipeline encoded each chunk, so one container can mix pipelines and
+// decode routes per chunk. Fixed algorithms keep writing version 1
+// byte-identically.
+const (
+	formatVersion   = 1
+	formatVersionV2 = 2
+)
 
 // ErrFormat reports an invalid or corrupt container.
 var ErrFormat = errors.New("container: invalid format")
@@ -73,6 +82,20 @@ type IntoCodec interface {
 	BudgetCodec
 	ForwardInto(dst, chunk []byte) []byte
 	InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error)
+}
+
+// SchemeCodec is implemented by codecs that choose a pipeline per chunk
+// (auto mode). ForwardSchemeInto appends the encoding of chunk to dst and
+// additionally returns the scheme byte identifying the pipeline used;
+// InverseSchemeInto decodes one chunk according to its recorded scheme.
+// The engine emits container format v2 for these codecs, storing one
+// scheme byte per chunk after the size table; scheme byte 0 is reserved
+// by the container for raw-fallback chunks, which never reach the codec.
+// Implementations must be safe for concurrent use and must not retain dst.
+type SchemeCodec interface {
+	Codec
+	ForwardSchemeInto(dst, chunk []byte) ([]byte, byte)
+	InverseSchemeInto(dst, enc []byte, scheme byte, maxDecoded int) ([]byte, error)
 }
 
 // inverse decodes one chunk through the tightest interface the codec
@@ -138,6 +161,9 @@ func (p Params) workers(nChunks int) int {
 
 // Header describes a parsed container.
 type Header struct {
+	// Version is the container layout version (1, or 2 when the container
+	// carries a per-chunk scheme table).
+	Version     byte
 	Algorithm   byte
 	OriginalLen int
 	ChunkSize   int
@@ -147,6 +173,9 @@ type Header struct {
 	CRC uint32
 	// entries[i] = compressed size <<1 | compressedFlag
 	entries []uint64
+	// schemes is the v2 per-chunk scheme table (nil for v1); it aliases the
+	// parsed container.
+	schemes []byte
 	// offsets is the prefix sum over stored chunk sizes, computed once in
 	// Parse: chunk i's bytes are payload[offsets[i]:offsets[i+1]]. Cached
 	// so per-chunk random access is O(1) instead of a linear rescan.
@@ -154,6 +183,20 @@ type Header struct {
 	// payload is the concatenated chunk data.
 	payload []byte
 }
+
+// ChunkScheme returns chunk i's scheme byte: 0 for raw chunks and for
+// every chunk of a v1 container (whose single codec needs no routing),
+// otherwise the pipeline identifier recorded in the v2 scheme table.
+func (h *Header) ChunkScheme(i int) byte {
+	if h.schemes == nil {
+		return 0
+	}
+	return h.schemes[i]
+}
+
+// ChunkStoredLen returns the stored byte size of chunk i in the payload
+// (the compressed size, or the span size for raw chunks).
+func (h *Header) ChunkStoredLen(i int) int { return int(h.entries[i] >> 1) }
 
 // chunkSpan returns the original-data byte range [lo,hi) that chunk i
 // decodes to.
@@ -194,13 +237,14 @@ func growCap(b []byte, n int) []byte {
 // DecompressAppend (chunk records, per-chunk CRCs, per-worker arenas),
 // recycled through a pool so the steady state allocates none of it.
 type engineState struct {
-	sizes  []int    // compressed (or raw) size of chunk i
-	flags  []byte   // 1 = compressed, 0 = raw fallback
-	owner  []int32  // worker whose arena holds chunk i (-1 = raw, scattered from src)
-	off    []int    // chunk i's offset within its owner's arena
-	pos    []int    // chunk i's offset within the payload (prefix sum of sizes)
-	crcs   []uint32 // CRC32-C of chunk i's original bytes
-	arenas [][]byte // per-worker append-only encode arenas
+	sizes   []int    // compressed (or raw) size of chunk i
+	flags   []byte   // 1 = compressed, 0 = raw fallback
+	schemes []byte   // chunk i's scheme byte (SchemeCodec encodes only)
+	owner   []int32  // worker whose arena holds chunk i (-1 = raw, scattered from src)
+	off     []int    // chunk i's offset within its owner's arena
+	pos     []int    // chunk i's offset within the payload (prefix sum of sizes)
+	crcs    []uint32 // CRC32-C of chunk i's original bytes
+	arenas  [][]byte // per-worker append-only encode arenas
 }
 
 var enginePool = sync.Pool{New: func() any { return new(engineState) }}
@@ -210,6 +254,7 @@ func getEngineState(nChunks, nWorkers int) *engineState {
 	if cap(st.sizes) < nChunks {
 		st.sizes = make([]int, nChunks)
 		st.flags = make([]byte, nChunks)
+		st.schemes = make([]byte, nChunks)
 		st.owner = make([]int32, nChunks)
 		st.off = make([]int, nChunks)
 		st.pos = make([]int, nChunks)
@@ -217,6 +262,7 @@ func getEngineState(nChunks, nWorkers int) *engineState {
 	}
 	st.sizes = st.sizes[:nChunks]
 	st.flags = st.flags[:nChunks]
+	st.schemes = st.schemes[:nChunks]
 	st.owner = st.owner[:nChunks]
 	st.off = st.off[:nChunks]
 	st.pos = st.pos[:nChunks]
@@ -256,6 +302,11 @@ func CompressAppend(dst, src []byte, algID byte, codec Codec, p Params) []byte {
 	st := getEngineState(nChunks, nw)
 	defer putEngineState(st)
 	ic, hasInto := codec.(IntoCodec)
+	sc, hasScheme := codec.(SchemeCodec)
+	version := byte(formatVersion)
+	if hasScheme {
+		version = formatVersionV2
+	}
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -277,22 +328,28 @@ func CompressAppend(dst, src []byte, algID byte, codec Codec, p Params) []byte {
 				chunk := src[lo:hi]
 				st.crcs[i] = crc32.Checksum(chunk, crcTable)
 				start := len(arena)
-				if hasInto {
+				scheme := byte(0)
+				switch {
+				case hasScheme:
+					arena, scheme = sc.ForwardSchemeInto(arena, chunk)
+				case hasInto:
 					arena = ic.ForwardInto(arena, chunk)
-				} else {
+				default:
 					arena = append(arena, codec.Forward(chunk)...)
 				}
 				if encLen := len(arena) - start; encLen < len(chunk) {
 					st.sizes[i] = encLen
 					st.flags[i] = 1
+					st.schemes[i] = scheme
 					st.owner[i] = int32(worker)
 					st.off[i] = start
 				} else {
 					// Worst-case cap: emit the original data for chunks
-					// that do not compress.
+					// that do not compress (scheme byte 0 = raw).
 					arena = arena[:start]
 					st.sizes[i] = len(chunk)
 					st.flags[i] = 0
+					st.schemes[i] = 0
 					st.owner[i] = -1
 				}
 			}
@@ -313,16 +370,21 @@ func CompressAppend(dst, src []byte, algID byte, codec Codec, p Params) []byte {
 		crc = combineChunkCRCs(st.crcs, cs, lastLen)
 	}
 
-	// Header and size table, laid out exactly as Assemble writes them.
-	dst = growCap(dst, total+len(st.sizes)*3+32)
+	// Header and size table, laid out exactly as Assemble writes them (for
+	// v1); a v2 container additionally carries the scheme table between the
+	// size table and the payload.
+	dst = growCap(dst, total+len(st.sizes)*4+32)
 	dst = append(dst, magic[:]...)
-	dst = append(dst, formatVersion, algID)
+	dst = append(dst, version, algID)
 	dst = append(dst, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
 	dst = bitio.AppendUvarint(dst, uint64(len(src)))
 	dst = bitio.AppendUvarint(dst, uint64(cs))
 	dst = bitio.AppendUvarint(dst, uint64(nChunks))
 	for i, s := range st.sizes {
 		dst = bitio.AppendUvarint(dst, uint64(s)<<1|uint64(st.flags[i]))
+	}
+	if hasScheme {
+		dst = append(dst, st.schemes...)
 	}
 
 	// Parallel scatter: workers copy chunk outputs (and raw chunks straight
@@ -365,12 +427,13 @@ func CompressAppend(dst, src []byte, algID byte, codec Codec, p Params) []byte {
 	return dst
 }
 
-// Assemble builds the container byte layout from already-compressed chunk
-// data: header, size table, then the payload (the chunks concatenated in
-// order). It is shared by the goroutine engine above and by the
-// SIMT-structured kernels in internal/simt, which scatter their chunk
-// outputs into the payload at offsets from a decoupled-look-back scan —
-// both must produce byte-identical containers.
+// Assemble builds the v1 container byte layout from already-compressed
+// chunk data: header, size table, then the payload (the chunks
+// concatenated in order). It is shared by the goroutine engine above and
+// by the SIMT-structured kernels in internal/simt, which scatter their
+// chunk outputs into the payload at offsets from a decoupled-look-back
+// scan — both must produce byte-identical containers. (Scheme-routing
+// codecs go through CompressAppend, which emits the v2 layout.)
 func Assemble(algID byte, crc uint32, srcLen, chunkSize int, sizes []int, rawFlags []bool, payload []byte) []byte {
 	out := make([]byte, 0, len(payload)+len(sizes)*3+32)
 	out = append(out, magic[:]...)
@@ -414,6 +477,7 @@ var headerPool = sync.Pool{New: func() any { return new(Header) }}
 // returning it to the pool, so the pool does not retain the container.
 func putHeader(h *Header) {
 	h.payload = nil
+	h.schemes = nil
 	headerPool.Put(h)
 }
 
@@ -423,9 +487,10 @@ func (h *Header) parse(data []byte) error {
 	if len(data) < 10 || [4]byte(data[:4]) != magic {
 		return fmt.Errorf("%w: bad magic", ErrFormat)
 	}
-	if data[4] != formatVersion {
+	if data[4] != formatVersion && data[4] != formatVersionV2 {
 		return fmt.Errorf("%w: unsupported version %d", ErrFormat, data[4])
 	}
+	h.Version = data[4]
 	h.Algorithm = data[5]
 	h.CRC = uint32(data[6]) | uint32(data[7])<<8 | uint32(data[8])<<16 | uint32(data[9])<<24
 	pos := 10
@@ -476,6 +541,26 @@ func (h *Header) parse(data []byte) error {
 		h.offsets[i+1] = int(total)
 		pos += n
 	}
+	h.schemes = nil
+	if h.Version == formatVersionV2 {
+		// The scheme table is one byte per chunk between the size table and
+		// the payload. Its presence is checked before the payload-length
+		// equality so a truncated table fails with its own error, and the
+		// raw flag must agree with scheme byte 0 in both directions — a raw
+		// chunk bypasses the codec entirely, so a non-raw scheme on it (or a
+		// raw scheme on a compressed chunk) could route bytes to the wrong
+		// decoder.
+		if len(data)-pos < h.ChunkCount {
+			return fmt.Errorf("%w: truncated scheme table (%d chunks, %d bytes left)", ErrFormat, h.ChunkCount, len(data)-pos)
+		}
+		h.schemes = data[pos : pos+h.ChunkCount]
+		pos += h.ChunkCount
+		for i, e := range h.entries {
+			if raw, scheme := e&1 == 0, h.schemes[i]; raw != (scheme == 0) {
+				return fmt.Errorf("%w: chunk %d raw flag %v conflicts with scheme %d", ErrFormat, i, raw, scheme)
+			}
+		}
+	}
 	if uint64(len(data)-pos) != total {
 		return fmt.Errorf("%w: payload is %d bytes, size table says %d", ErrFormat, len(data)-pos, total)
 	}
@@ -491,9 +576,29 @@ func (h *Header) CompressedPayloadLen() int { return len(h.payload) }
 // decode budget. The allocation is refused, not attempted.
 var ErrBudget = errors.New("container: declared output exceeds decode budget")
 
+// schemeCodecFor validates the container version against the codec's
+// routing capability: a v2 container can only decode through a SchemeCodec
+// (its chunks name their pipelines), and a SchemeCodec can only decode v2
+// containers (a v1 container records no schemes to route by). It returns
+// the scheme router to use, nil for the v1 path.
+func (h *Header) schemeCodecFor(codec Codec) (SchemeCodec, error) {
+	sc, ok := codec.(SchemeCodec)
+	if h.Version >= formatVersionV2 {
+		if !ok {
+			return nil, fmt.Errorf("%w: v2 container's algorithm %d does not route per-chunk schemes", ErrFormat, h.Algorithm)
+		}
+		return sc, nil
+	}
+	if ok {
+		return nil, fmt.Errorf("%w: v1 container carries no scheme table for algorithm %d", ErrFormat, h.Algorithm)
+	}
+	return nil, nil
+}
+
 // decodeChunk decodes chunk i into its exact decoded size, routing raw
-// chunks past the codec. enc must be the chunk's stored bytes.
-func (h *Header) decodeChunk(i int, enc []byte, codec Codec) ([]byte, error) {
+// chunks past the codec. enc must be the chunk's stored bytes. sc must be
+// h.schemeCodecFor(codec)'s result.
+func (h *Header) decodeChunk(i int, enc []byte, codec Codec, sc SchemeCodec) ([]byte, error) {
 	lo, hi := h.chunkSpan(i)
 	if h.entries[i]&1 == 0 {
 		// Raw chunk: stored verbatim, so its size must equal its span.
@@ -502,7 +607,13 @@ func (h *Header) decodeChunk(i int, enc []byte, codec Codec) ([]byte, error) {
 		}
 		return enc, nil
 	}
-	dec, err := inverse(codec, enc, hi-lo)
+	var dec []byte
+	var err error
+	if sc != nil {
+		dec, err = sc.InverseSchemeInto(nil, enc, h.schemes[i], hi-lo)
+	} else {
+		dec, err = inverse(codec, enc, hi-lo)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("chunk %d: %w", i, err)
 	}
@@ -523,8 +634,9 @@ func Decompress(data []byte, codec Codec, p Params) ([]byte, error) {
 
 // decodeChunkInto decodes chunk i directly into span (its exact
 // original-data range within the output). Raw chunks are copied verbatim;
-// IntoCodec chunks decode in place with no intermediate buffer.
-func (h *Header) decodeChunkInto(i int, span, enc []byte, codec Codec, ic IntoCodec) error {
+// SchemeCodec and IntoCodec chunks decode in place with no intermediate
+// buffer.
+func (h *Header) decodeChunkInto(i int, span, enc []byte, codec Codec, ic IntoCodec, sc SchemeCodec) error {
 	if h.entries[i]&1 == 0 {
 		// Raw chunk: stored verbatim, so its size must equal its span.
 		if len(enc) != len(span) {
@@ -535,9 +647,12 @@ func (h *Header) decodeChunkInto(i int, span, enc []byte, codec Codec, ic IntoCo
 	}
 	var dec []byte
 	var err error
-	if ic != nil {
+	switch {
+	case sc != nil:
+		dec, err = sc.InverseSchemeInto(span[:0:len(span)], enc, h.schemes[i], len(span))
+	case ic != nil:
 		dec, err = ic.InverseInto(span[:0:len(span)], enc, len(span))
-	} else {
+	default:
 		dec, err = inverse(codec, enc, len(span))
 	}
 	if err != nil {
@@ -570,6 +685,10 @@ func DecompressAppend(dst []byte, data []byte, codec Codec, p Params) ([]byte, e
 	if budget := p.DecodeBudget(); budget >= 0 && h.OriginalLen > budget {
 		return nil, fmt.Errorf("%w: %d bytes declared, budget %d", ErrBudget, h.OriginalLen, budget)
 	}
+	sc, err := h.schemeCodecFor(codec)
+	if err != nil {
+		return nil, err
+	}
 	base := len(dst)
 	dst = growExact(dst, h.OriginalLen)
 	out := dst[base:]
@@ -591,7 +710,7 @@ func DecompressAppend(dst []byte, data []byte, codec Codec, p Params) ([]byte, e
 				}
 				lo, hi := h.chunkSpan(i)
 				span := out[lo:hi]
-				if err := h.decodeChunkInto(i, span, h.payload[h.offsets[i]:h.offsets[i+1]], codec, ic); err != nil {
+				if err := h.decodeChunkInto(i, span, h.payload[h.offsets[i]:h.offsets[i+1]], codec, ic, sc); err != nil {
 					// Copy before publishing: taking err's own address would
 					// make every iteration's err escape to the heap, even on
 					// the (universal) success path.
@@ -649,7 +768,11 @@ func (h *Header) DecompressChunkLimit(i int, codec Codec, maxDecoded int) ([]byt
 	if maxDecoded >= 0 && hi-lo > maxDecoded {
 		return nil, fmt.Errorf("%w: chunk %d spans %d bytes, budget %d", ErrBudget, i, hi-lo, maxDecoded)
 	}
-	dec, err := h.decodeChunk(i, h.payload[h.offsets[i]:h.offsets[i+1]], codec)
+	sc, err := h.schemeCodecFor(codec)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := h.decodeChunk(i, h.payload[h.offsets[i]:h.offsets[i+1]], codec, sc)
 	if err != nil {
 		return nil, err
 	}

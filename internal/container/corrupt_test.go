@@ -44,7 +44,10 @@ func TestParseCorruptHeaders(t *testing.T) {
 		{"empty", nil},
 		{"short", []byte("FPC")},
 		{"bad magic", append([]byte("XPCZ"), valid[4:]...)},
-		{"bad version", append([]byte("FPCZ\x02"), valid[5:]...)},
+		{"bad version", append([]byte("FPCZ\x03"), valid[5:]...)},
+		// Version 2 is valid only with a scheme table; stamping it onto a
+		// v1 layout starves the payload of the table bytes.
+		{"v2 stamp on v1 layout", append([]byte("FPCZ\x02"), valid[5:]...)},
 		{"truncated header varints", valid[:11]},
 		{"header varint over 2^56", rawContainer(1<<57, 256, 1, nil, nil)},
 		{"zero chunk size", rawContainer(100, 0, 1, []uint64{100 << 1}, make([]byte, 100))},
@@ -172,16 +175,23 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
-// FuzzDecompressContainer mutates genuine containers through the full
+// FuzzDecompressContainer mutates genuine containers — v1 and v2 (whose
+// per-chunk scheme table the fuzzer freely rewrites) — through the full
 // engine under a small budget; arbitrary bytes must produce an error or
 // correct output, never a panic or a large allocation.
 func FuzzDecompressContainer(f *testing.F) {
 	f.Add(buildValid(f, 1000, 256))
 	f.Add(buildValid(f, 100_000, 4096))
+	f.Add(Compress(schemeTestSrc(256, 9), 9, schemeTestCodec{}, Params{ChunkSize: 256}))
+	f.Add(Compress(schemeTestSrc(512, 30), 9, schemeTestCodec{}, Params{ChunkSize: 512}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec, err := Decompress(data, shrinkCodec{}, Params{MaxDecoded: 1 << 20, Parallelism: 2})
 		if err == nil && len(dec) > 1<<20 {
 			t.Fatalf("decoded %d bytes past the 1 MiB budget", len(dec))
+		}
+		dec, err = Decompress(data, schemeTestCodec{}, Params{MaxDecoded: 1 << 20, Parallelism: 2})
+		if err == nil && len(dec) > 1<<20 {
+			t.Fatalf("scheme decode produced %d bytes past the 1 MiB budget", len(dec))
 		}
 	})
 }

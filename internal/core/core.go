@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"fpcompress/internal/container"
+	"fpcompress/internal/selector"
 	"fpcompress/internal/transforms"
 	"fpcompress/internal/wordio"
 )
@@ -47,6 +48,15 @@ const (
 	SPbalance ID = 5
 	// DPbalance is the double-precision extension pipeline.
 	DPbalance ID = 6
+	// Auto32 and Auto64 pick a pipeline per 16 kB chunk via the
+	// internal/selector cost model and record the choice in the container's
+	// v2 per-chunk scheme table; decoding routes each chunk to the pipeline
+	// that encoded it. The candidate set is the word size's fixed chunk
+	// pipelines (speed, balance, and ratio — without DPratio's whole-input
+	// FCM stage, which cannot apply to independently decodable chunks).
+	Auto32 ID = 7
+	// Auto64 is the double-precision adaptive mode.
+	Auto64 ID = 8
 )
 
 // String implements fmt.Stringer.
@@ -64,6 +74,10 @@ func (id ID) String() string {
 		return "SPbalance"
 	case DPbalance:
 		return "DPbalance"
+	case Auto32:
+		return "Auto32"
+	case Auto64:
+		return "Auto64"
 	}
 	return fmt.Sprintf("ID(%d)", byte(id))
 }
@@ -80,21 +94,43 @@ type Algorithm struct {
 	// Pre runs over the entire input before chunking (inverse runs after
 	// de-chunking). Nil for all algorithms except DPratio.
 	Pre transforms.Transform
-	// Chunked is applied independently to every 16 kB chunk.
+	// Chunked is applied independently to every 16 kB chunk (empty for the
+	// auto modes, which pick per chunk through Select).
 	Chunked transforms.Pipeline
+	// Select is the per-chunk pipeline selector driving the Auto32/Auto64
+	// modes; nil for the fixed algorithms.
+	Select *selector.Selector
 }
 
 // Name returns the paper's name for the algorithm.
 func (a *Algorithm) Name() string { return a.ID.String() }
 
 // Stages lists the stage names in application order, including the
-// whole-input pre-stage.
+// whole-input pre-stage. The auto modes report one pseudo-stage naming
+// the selection, since their real stages vary per chunk.
 func (a *Algorithm) Stages() []string {
+	if a.Select != nil {
+		if a.Word == wordio.W32 {
+			return []string{"AUTO32"}
+		}
+		return []string{"AUTO64"}
+	}
 	var s []string
 	if a.Pre != nil {
 		s = append(s, a.Pre.Name())
 	}
 	return append(s, a.Chunked.Names()...)
+}
+
+// ChunkCodec returns the container codec this algorithm encodes and
+// decodes chunks with: the per-chunk selector for the auto modes, the
+// fixed chunk pipeline otherwise. Random access uses it to decode single
+// chunks of any non-pre-stage algorithm.
+func (a *Algorithm) ChunkCodec() container.Codec {
+	if a.Select != nil {
+		return a.Select
+	}
+	return chunkCodec{a.Chunked}
 }
 
 // Compress encodes src into a self-describing container.
@@ -114,7 +150,7 @@ func (a *Algorithm) CompressAppend(dst, src []byte, p container.Params) []byte {
 		*pb = a.Pre.ForwardInto((*pb)[:0], src)
 		buf = *pb
 	}
-	dst = container.CompressAppend(dst, buf, byte(a.ID), chunkCodec{a.Chunked}, p)
+	dst = container.CompressAppend(dst, buf, byte(a.ID), a.ChunkCodec(), p)
 	if pb != nil {
 		preBufPool.Put(pb)
 	}
@@ -145,7 +181,7 @@ func (a *Algorithm) DecompressAppend(dst []byte, data []byte, p container.Params
 	}
 	budget := p.DecodeBudget()
 	if a.Pre == nil {
-		return container.DecompressAppend(dst, data, chunkCodec{a.Chunked}, p)
+		return container.DecompressAppend(dst, data, a.ChunkCodec(), p)
 	}
 	cp := p
 	if budget >= 0 {
@@ -156,7 +192,7 @@ func (a *Algorithm) DecompressAppend(dst []byte, data []byte, p container.Params
 		}
 	}
 	pb := preBufPool.Get().(*[]byte)
-	buf, err := container.DecompressAppend((*pb)[:0], data, chunkCodec{a.Chunked}, cp)
+	buf, err := container.DecompressAppend((*pb)[:0], data, a.ChunkCodec(), cp)
 	if err != nil {
 		preBufPool.Put(pb)
 		return nil, err
@@ -244,6 +280,18 @@ func New(id ID) (*Algorithm, error) {
 				transforms.RZE{},
 			},
 		}, nil
+	case Auto32:
+		return &Algorithm{
+			ID:     Auto32,
+			Word:   wordio.W32,
+			Select: selector.New(wordio.W32),
+		}, nil
+	case Auto64:
+		return &Algorithm{
+			ID:     Auto64,
+			Word:   wordio.W64,
+			Select: selector.New(wordio.W64),
+		}, nil
 	}
 	return nil, fmt.Errorf("%w: id %d", ErrUnknownAlgorithm, byte(id))
 }
@@ -254,9 +302,9 @@ func All() []*Algorithm {
 }
 
 // AllExtended returns the paper's algorithms plus the repository's
-// lcsynth-derived extensions.
+// lcsynth-derived extensions and the adaptive auto modes.
 func AllExtended() []*Algorithm {
-	return build(SPspeed, SPratio, DPspeed, DPratio, SPbalance, DPbalance)
+	return build(SPspeed, SPratio, DPspeed, DPratio, SPbalance, DPbalance, Auto32, Auto64)
 }
 
 func build(ids ...ID) []*Algorithm {

@@ -191,7 +191,7 @@ func TestParallelCompressionIsDeterministic(t *testing.T) {
 // SPbalance/DPbalance pipelines: they must roundtrip, and on smooth data
 // land between the paper's speed and ratio modes on compression ratio.
 func TestExtensionAlgorithms(t *testing.T) {
-	if len(AllExtended()) != 6 || len(All()) != 4 {
+	if len(AllExtended()) != 8 || len(All()) != 4 {
 		t.Fatal("algorithm set sizes wrong")
 	}
 	sp := smoothSP(1<<17, 31)

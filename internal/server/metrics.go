@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"fpcompress/internal/selector"
 )
 
 // Metrics are the server's per-operation counters and latency histograms.
@@ -135,6 +137,13 @@ type Snapshot struct {
 	MaxInflightBytes      int64  `json:"max_inflight_bytes"`
 	ByteBudgetRejections  uint64 `json:"byte_budget_rejections"`
 	Ops                   map[string]OpSnapshot `json:"ops"`
+	// Auto-mode per-chunk selection counters (process-wide, from
+	// internal/selector): scheme name -> chunks encoded with that scheme,
+	// plus escape-hatch re-encode activity. Empty until an Auto32/Auto64
+	// request is served.
+	AutoSelection     map[string]uint64 `json:"auto_selection,omitempty"`
+	AutoReencodeTried uint64            `json:"auto_reencode_tried"`
+	AutoReencodeKept  uint64            `json:"auto_reencode_kept"`
 }
 
 func (m *metrics) snapshot(concurrency, queueDepth int) Snapshot {
@@ -168,5 +177,11 @@ func (m *metrics) snapshot(concurrency, queueDepth int) Snapshot {
 		}
 		s.Ops[op.String()] = os
 	}
+	sel := selector.Counters()
+	if len(sel.PerScheme) > 0 {
+		s.AutoSelection = sel.PerScheme
+	}
+	s.AutoReencodeTried = sel.ReencodeTried
+	s.AutoReencodeKept = sel.ReencodeKept
 	return s
 }

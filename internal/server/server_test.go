@@ -79,7 +79,7 @@ func (tc *testConn) mustRoundTrip(t *testing.T, op Op, alg byte, payload []byte)
 // width so every pipeline sees representative data.
 func testPayload(id core.ID, n int, seed int64) []byte {
 	switch id {
-	case core.SPspeed, core.SPratio, core.SPbalance:
+	case core.SPspeed, core.SPratio, core.SPbalance, core.Auto32:
 		b := make([]byte, n*4)
 		for i := 0; i < n; i++ {
 			u := math.Float32bits(float32(math.Sin(float64(i+int(seed))/40.0)) * 1e3)
@@ -102,13 +102,14 @@ func testPayload(id core.ID, n int, seed int64) []byte {
 }
 
 // TestRoundTripAllAlgorithms drives concurrent compress+decompress round
-// trips for all six algorithm IDs over loopback and checks the server's
-// bytes are identical to the local engine's.
+// trips for every registered algorithm ID (including the adaptive auto
+// modes) over loopback and checks the server's bytes are identical to the
+// local engine's.
 func TestRoundTripAllAlgorithms(t *testing.T) {
 	// The raw test connections do not retry on busy, so give the queue
 	// room for all 18 concurrent connections.
 	_, addr := startServer(t, Config{QueueDepth: 64})
-	algs := []core.ID{core.SPspeed, core.SPratio, core.DPspeed, core.DPratio, core.SPbalance, core.DPbalance}
+	algs := []core.ID{core.SPspeed, core.SPratio, core.DPspeed, core.DPratio, core.SPbalance, core.DPbalance, core.Auto32, core.Auto64}
 	var wg sync.WaitGroup
 	for _, id := range algs {
 		for worker := 0; worker < 3; worker++ {
@@ -256,6 +257,22 @@ func TestStatsOp(t *testing.T) {
 	// recorded, so it sees every earlier stats call but not itself.
 	if stats := snap.Ops[OpStats.String()]; stats.Requests < 1 {
 		t.Errorf("stats op requests = %d, want >= 1", stats.Requests)
+	}
+
+	// An adaptive-mode request surfaces the per-scheme selection counters.
+	if st, _ := tc.mustRoundTrip(t, OpCompress, byte(core.Auto32), testPayload(core.Auto32, 8192, 7)); st != StatusOK {
+		t.Fatalf("auto32 compress: status %v", st)
+	}
+	_, payload = tc.mustRoundTrip(t, OpStats, 0, nil)
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		t.Fatal(err)
+	}
+	var autoChunks uint64
+	for _, n := range snap.AutoSelection {
+		autoChunks += n
+	}
+	if autoChunks == 0 {
+		t.Errorf("auto_selection counters empty after an auto32 request: %v", snap.AutoSelection)
 	}
 }
 

@@ -91,10 +91,17 @@ func bestSplit(lead []int) int {
 	for _, l := range lead {
 		hist[l]++
 	}
+	k, _ := bestSplitHist(&hist, len(lead))
+	return k
+}
+
+// bestSplitHist is bestSplit over a precomputed histogram (hist[l] = words
+// with exactly l eliminable leading bits, n = total words). It returns the
+// chosen k and the modeled gain k*cnt[k] in bits.
+func bestSplitHist(hist *[65]int, n int) (bestK, bestGain int) {
 	// cnt[k] = number of words with lead >= k (suffix sum).
 	cnt := 0
-	n := len(lead)
-	bestK, bestGain := 0, n // k=0 costs 64n = 65n - n, i.e. gain n
+	bestK, bestGain = 0, n // k=0 costs 64n = 65n - n, i.e. gain n
 	for k := 64; k >= 1; k-- {
 		cnt += hist[k]
 		// hist[64] counts words where all 64 bits are eliminable; they are
@@ -103,7 +110,16 @@ func bestSplit(lead []int) int {
 			bestK, bestGain = k, gain
 		}
 	}
-	return bestK
+	return bestK, bestGain
+}
+
+// SplitModelBits exposes the adaptive transforms' size model for the
+// auto-mode selector: given the leading-eliminable-bit histogram of an
+// n-word chunk it returns the modeled encoded size in bits, 65n - k*cnt[k]
+// for the same k bestSplit would choose (the model RAZE and RARE minimize).
+func SplitModelBits(hist *[65]int, n int) int {
+	_, gain := bestSplitHist(hist, n)
+	return 65*n - gain
 }
 
 // adaptiveForwardInto encodes src for either RAZE or RARE (selected by

@@ -32,9 +32,11 @@ func (b Bit) Name() string {
 	return "BIT64"
 }
 
-// transpose32 performs an in-place 32x32 bit-matrix transpose
-// (Hacker's Delight, fig. 7-3).
-func transpose32(a *[32]uint32) {
+// Transpose32 performs an in-place 32x32 bit-matrix transpose (Hacker's
+// Delight, fig. 7-3): on output a[i] bit (31-j) equals input a[j] bit
+// (31-i). Exported because the selector's BIT→RZE pricing reuses it to
+// materialize the plane-major zero bitmap from group ORs.
+func Transpose32(a *[32]uint32) {
 	m := uint32(0x0000FFFF)
 	for j := uint(16); j != 0; j >>= 1 {
 		for k := 0; k < 32; k = (k + int(j) + 1) &^ int(j) {
@@ -71,7 +73,7 @@ func bitForward32(ow, sw []uint32, nb int) {
 	var blk [32]uint32
 	for k := 0; k < nb; k++ {
 		copy(blk[:], sw[k*32:k*32+32])
-		transpose32(&blk)
+		Transpose32(&blk)
 		for plane := 0; plane < 32; plane++ {
 			ow[plane*nb+k] = blk[plane]
 		}
@@ -97,7 +99,7 @@ func bitInverse32(ow, ew []uint32, nb int) {
 		for plane := 0; plane < 32; plane++ {
 			blk[plane] = ew[plane*nb+k]
 		}
-		transpose32(&blk)
+		Transpose32(&blk)
 		copy(ow[k*32:k*32+32], blk[:])
 	}
 }
@@ -135,7 +137,7 @@ func (b Bit) ForwardInto(dst, src []byte) []byte {
 			for j := 0; j < 32; j++ {
 				blk[j] = wordio.U32(src, k*32+j)
 			}
-			transpose32(&blk)
+			Transpose32(&blk)
 			for plane := 0; plane < 32; plane++ {
 				wordio.PutU32(out, plane*nb+k, blk[plane])
 			}
@@ -202,7 +204,7 @@ func (b Bit) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 			for plane := 0; plane < 32; plane++ {
 				blk[plane] = wordio.U32(enc, plane*nb+k)
 			}
-			transpose32(&blk)
+			Transpose32(&blk)
 			for j := 0; j < 32; j++ {
 				wordio.PutU32(out, k*32+j, blk[j])
 			}

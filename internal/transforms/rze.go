@@ -77,6 +77,36 @@ func EncodeRepeatBitmap(b []byte, out []byte) []byte {
 	return appendRepeatBitmap(out, b)
 }
 
+// ZeroBitmap fills bm — which must hold (len(src)+7)/8 bytes — with RZE's
+// non-zero-byte bitmap of src (bit i set when src[i] != 0, MSB-first within
+// each byte) and returns the number of non-zero bytes. Together with
+// EncodeRepeatBitmap this lets the auto-mode selector price an RZE stage
+// exactly without encoding it: the output is always
+// uvarint(len) + repeat-bitmap + the non-zero bytes.
+func ZeroBitmap(bm, src []byte) int {
+	clear(bm)
+	nonzero := 0
+	i := 0
+	if sw, ok := wordio.View64(src); ok {
+		for g, v := range sw {
+			if v == 0 {
+				continue
+			}
+			m := nonzeroMask8(v)
+			bm[g] = m
+			nonzero += bits.OnesCount8(m)
+		}
+		i = len(sw) * 8
+	}
+	for ; i < len(src); i++ {
+		if src[i] != 0 {
+			bm[i>>3] |= 0x80 >> (i & 7)
+			nonzero++
+		}
+	}
+	return nonzero
+}
+
 // buildChangeBitmap fills bm (one bit per byte of cur, MSB-first) with the
 // changed-byte bitmap: bit set when the byte differs from its predecessor
 // (the byte before cur[0] is taken as zero). Full 8-byte groups use the
@@ -182,6 +212,49 @@ func appendRepeatBitmap(out, b []byte) []byte {
 		out = appendNonRepeats(out, lvl)
 	}
 	return out
+}
+
+// RepeatBitmapLen returns len(EncodeRepeatBitmap(b, nil)) without
+// materializing the encoding: each level contributes exactly the popcount
+// of its change bitmap (the bytes appendNonRepeats would emit), plus the
+// deepest level verbatim. The auto-mode selector prices RZE stages by size
+// alone, and skipping the byte gathering makes the length a fraction of
+// the encode cost.
+func RepeatBitmapLen(b []byte) int {
+	if len(b) <= rzeBitmapFloor {
+		return len(b)
+	}
+	sp := getBuf()
+	defer putBuf(sp)
+	scratch := growCap((*sp)[:0], len(b)/7+128)
+	total := 0
+	cur := b
+	for len(cur) > rzeBitmapFloor {
+		bmLen := (len(cur) + 7) / 8
+		start := (len(scratch) + 7) &^ 7
+		scratch = grow(scratch, start-len(scratch)+bmLen)
+		bm := scratch[start : start+bmLen]
+		buildChangeBitmap(bm, cur)
+		total += popcountBytes(bm)
+		cur = bm
+	}
+	*sp = scratch
+	return total + len(cur)
+}
+
+// popcountBytes counts the set bits of b, a word at a time.
+func popcountBytes(b []byte) int {
+	n, i := 0, 0
+	if w, ok := wordio.View64(b); ok {
+		for _, v := range w {
+			n += bits.OnesCount64(v)
+		}
+		i = len(w) * 8
+	}
+	for ; i < len(b); i++ {
+		n += bits.OnesCount8(b[i])
+	}
+	return n
 }
 
 // expandRepeatLevel reconstructs one bitmap level: out[i] repeats the

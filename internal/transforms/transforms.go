@@ -243,8 +243,21 @@ func (p Pipeline) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
 // so each stage gets 2*maxDecoded+64 of headroom — still proportional to
 // the true decoded size, which is what bounds memory under hostile input.
 // Intermediate outputs live in pooled scratch; only the final stage writes
-// into dst.
+// into dst. The fully decoded length is checked against maxDecoded exactly,
+// so the budget holds even for stages (like the bit transposes) whose output
+// size is fixed by their input and which therefore ignore the budget.
 func (p Pipeline) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
+	out, err := p.inverseInto(dst, enc, maxDecoded)
+	if err != nil {
+		return nil, err
+	}
+	if maxDecoded >= 0 && len(out)-len(dst) > maxDecoded {
+		return nil, corruptf("pipeline: decoded length %d exceeds budget %d", len(out)-len(dst), maxDecoded)
+	}
+	return out, nil
+}
+
+func (p Pipeline) inverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 	stageBudget := maxDecoded
 	if maxDecoded >= 0 {
 		if maxDecoded < (math.MaxInt-64)/2 {

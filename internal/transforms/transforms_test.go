@@ -247,6 +247,38 @@ func TestRZEAllZeroOverhead(t *testing.T) {
 	}
 }
 
+// TestRepeatBitmapLen pins the length-only pricing helper against the real
+// encoder across bitmap shapes: all-zero, all-ones, sparse, dense-random,
+// run-structured, and misaligned/odd lengths (including the <= floor case).
+func TestRepeatBitmapLen(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := [][]byte{
+		{}, {0xff}, make([]byte, 3), make([]byte, 4), make([]byte, 5),
+		make([]byte, 2048), make([]byte, 2049), make([]byte, 777),
+	}
+	dense := make([]byte, 2048)
+	rng.Read(dense)
+	cases = append(cases, dense)
+	sparse := make([]byte, 2048)
+	for i := 0; i < 20; i++ {
+		sparse[rng.Intn(len(sparse))] = byte(1 + rng.Intn(255))
+	}
+	cases = append(cases, sparse)
+	runs := make([]byte, 1024)
+	for i := range runs {
+		if i/100%2 == 0 {
+			runs[i] = 0xaa
+		}
+	}
+	cases = append(cases, runs, runs[1:], runs[3:500])
+	for i, bm := range cases {
+		want := len(EncodeRepeatBitmap(bm, nil))
+		if got := RepeatBitmapLen(bm); got != want {
+			t.Errorf("case %d (len %d): RepeatBitmapLen = %d, encoder emits %d", i, len(bm), got, want)
+		}
+	}
+}
+
 // TestFCMPaperExample mirrors Figure 6: the sequence a b a b c a b. With a
 // three-value context, the second (a,b) pair after context (a,b,a)/(b,a,b)
 // repeats and must be encoded as distances, as must the final (a,b).

@@ -6,13 +6,13 @@ import (
 
 	"fpcompress/internal/container"
 	"fpcompress/internal/core"
-	"fpcompress/internal/transforms"
 )
 
 // Random access: because every 16 kB chunk is compressed independently
 // (paper §3), a compressed block supports decompressing arbitrary byte
 // ranges without touching the rest — the capability ZFP markets for
-// compressed arrays. It is available for SPspeed, SPratio, and DPspeed;
+// compressed arrays. It is available for every algorithm without a
+// whole-input pre-stage, including the adaptive Auto32/Auto64 modes;
 // DPratio's whole-input FCM stage makes its chunks interdependent, so
 // opening a DPratio block returns ErrNoRandomAccess.
 
@@ -22,7 +22,7 @@ var ErrNoRandomAccess = errors.New("fpcompress: algorithm does not support rando
 // RandomAccess provides ranged reads over one compressed block.
 type RandomAccess struct {
 	header     *container.Header
-	chunked    transforms.Pipeline
+	codec      container.Codec
 	maxDecoded int
 }
 
@@ -45,7 +45,7 @@ func OpenRandomAccess(data []byte, opts *Options) (*RandomAccess, error) {
 	}
 	return &RandomAccess{
 		header:     h,
-		chunked:    a.Chunked,
+		codec:      a.ChunkCodec(),
 		maxDecoded: opts.params().DecodeBudget(),
 	}, nil
 }
@@ -64,11 +64,10 @@ func (ra *RandomAccess) ReadAt(p []byte, off int64) (int, error) {
 	}
 	n := 0
 	cs := ra.header.ChunkSize
-	codec := pipelineCodec{ra.chunked}
 	for n < len(p) && int(off)+n < ra.header.OriginalLen {
 		pos := int(off) + n
 		ci := pos / cs
-		dec, err := ra.header.DecompressChunkLimit(ci, codec, ra.maxDecoded)
+		dec, err := ra.header.DecompressChunkLimit(ci, ra.codec, ra.maxDecoded)
 		if err != nil {
 			return n, err
 		}
@@ -113,14 +112,4 @@ func (ra *RandomAccess) Float64At(index, count int) ([]float64, error) {
 		return nil, err
 	}
 	return BytesFloat64(buf), nil
-}
-
-// pipelineCodec adapts a transform pipeline to container.Codec (mirrors
-// core's internal adapter).
-type pipelineCodec struct{ p transforms.Pipeline }
-
-func (c pipelineCodec) Forward(chunk []byte) []byte        { return c.p.Forward(chunk) }
-func (c pipelineCodec) Inverse(enc []byte) ([]byte, error) { return c.p.Inverse(enc) }
-func (c pipelineCodec) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
-	return c.p.InverseLimit(enc, maxDecoded)
 }

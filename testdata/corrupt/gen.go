@@ -100,6 +100,72 @@ func main() {
 	files["transform-declen-lie.bin"] = raw(256, 256, 1,
 		[]uint64{uint64(len(lie))<<1 | 1}, lie)
 
+	// Container v2 (per-chunk scheme table) seeds, derived from valid
+	// Auto32/Auto64 containers. schemeOffset walks the header to the first
+	// scheme-table byte; the table is not covered by the payload CRC, so a
+	// mutated scheme byte survives parsing and must be caught at routing.
+	schemeOffset := func(blob []byte) int {
+		pos := 10
+		var count uint64
+		for i := 0; i < 3; i++ {
+			v, n := bitio.Uvarint(blob[pos:])
+			count = v
+			pos += n
+		}
+		for i := uint64(0); i < count; i++ {
+			_, n := bitio.Uvarint(blob[pos:])
+			pos += n
+		}
+		return pos
+	}
+
+	auto64, err := fpcompress.Compress(fpcompress.Auto64, fpcompress.Float64Bytes(vals), nil)
+	if err != nil {
+		panic(err)
+	}
+	// A scheme ID no pipeline answers to: typed routing error, no panic.
+	su := clone(auto64)
+	su[schemeOffset(su)] = 99
+	files["scheme-unknown-id.bin"] = su
+
+	vals32 := make([]float32, 8192)
+	for i := range vals32 {
+		vals32[i] = float32(300 + math.Sin(float64(i)/25))
+	}
+	auto32, err := fpcompress.CompressFloat32s(fpcompress.Auto32, vals32, nil)
+	if err != nil {
+		panic(err)
+	}
+	// A 64-bit pipeline scheme (3 = DPspeed's chunk pipeline) recorded in a
+	// 32-bit container: the word-size check must refuse the route.
+	sw := clone(auto32)
+	sw[schemeOffset(sw)] = 3
+	files["scheme-word-mismatch.bin"] = sw
+
+	// Hand-assembled v2 layouts (algorithm ID 8 = Auto64 so decoding
+	// reaches the real scheme router).
+	rawV2 := func(originalLen, chunkSize, chunkCount uint64, entries []uint64, schemes, payload []byte) []byte {
+		out := []byte{'F', 'P', 'C', 'Z', 2, 8, 0, 0, 0, 0}
+		out = bitio.AppendUvarint(out, originalLen)
+		out = bitio.AppendUvarint(out, chunkSize)
+		out = bitio.AppendUvarint(out, chunkCount)
+		for _, e := range entries {
+			out = bitio.AppendUvarint(out, e)
+		}
+		out = append(out, schemes...)
+		return append(out, payload...)
+	}
+
+	// Two declared chunks but a one-byte scheme table: rejected with the
+	// truncated-scheme-table error before any payload work.
+	files["scheme-table-truncated.bin"] = rawV2(512, 256, 2,
+		[]uint64{100<<1 | 1, 100<<1 | 1}, []byte{3}, make([]byte, 200))
+
+	// A raw (uncompressed) chunk carrying a non-raw scheme byte: the flag
+	// and the scheme table disagree, so the route is ambiguous — reject.
+	files["scheme-raw-conflict.bin"] = rawV2(256, 256, 1,
+		[]uint64{256 << 1}, []byte{3}, make([]byte, 256))
+
 	for name, data := range files {
 		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
 			panic(err)
