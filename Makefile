@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check fuzz-smoke chaos bench-server bench-core bench-auto bench-transforms bench-smoke fpcd clean
+.PHONY: all build test race vet check purego fuzz-smoke chaos bench-server bench-core bench-auto bench-transforms bench-smoke fpcd clean
 
 all: check
 
@@ -22,12 +22,13 @@ vet:
 
 # The serving subsystem (internal/server) and the public client/stream
 # layer (root package) must stay clean under the race detector, and so
-# must the alignment-dispatched transform kernels (the differential
-# offset tests cover both the unsafe word-view and byte-reference paths).
+# must the alignment-dispatched transform kernels and the fused
+# single-pass kernels (the differential offset tests cover the unsafe
+# word-view, byte-reference, and fused-vs-reference paths).
 race:
 	$(GO) test -race -count=1 ./internal/server/...
 	$(GO) test -race -count=1 -run 'Client|Stream' .
-	$(GO) test -race -count=1 -run 'TestKernel' ./internal/transforms
+	$(GO) test -race -count=1 -run 'TestKernel|TestFused' ./internal/transforms/...
 
 check: build vet test race
 
@@ -38,12 +39,16 @@ FUZZTIME ?= 10s
 TRANSFORM_FUZZERS := FuzzDiffMSInverse FuzzBitInverse FuzzMPLGInverse \
 	FuzzRZEInverse FuzzFCMInverse FuzzRAZEInverse FuzzRAREInverse \
 	FuzzPipelineInverse
+FUSED_FUZZERS := FuzzFusedKernels
 CONTAINER_FUZZERS := FuzzParse FuzzDecompressContainer
 ROOT_FUZZERS := FuzzContainerDecompress FuzzDecompress FuzzStreamReader
 
 fuzz-smoke:
 	@for f in $(TRANSFORM_FUZZERS); do \
 		$(GO) test ./internal/transforms -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+	@for f in $(FUSED_FUZZERS); do \
+		$(GO) test ./internal/transforms/fused -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 	@for f in $(CONTAINER_FUZZERS); do \
 		$(GO) test ./internal/container -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) || exit 1; \
@@ -80,15 +85,26 @@ bench-auto:
 	$(GO) test . -run TestAutoSelection -count=1 -v
 
 # Regenerates BENCH_transforms.json (single-thread MB/s for every
-# transform kernel, forward and inverse, over one 16 KiB chunk).
+# transform kernel, forward and inverse, over one 16 KiB chunk). The
+# fused emitter runs second: it re-reads the file and merges in the
+# fused single-pass kernel rows.
 bench-transforms:
 	$(GO) test ./internal/transforms -run TestEmitTransformsBench -count=1 -v
+	$(GO) test ./internal/transforms/fused -run TestEmitFusedBench -count=1 -v
 
-# One-iteration smoke over every microbenchmark: catches benchmarks that
-# panic or fail to build without paying for a full measurement run.
+# One-iteration smoke over every microbenchmark (including the fused
+# kernels): catches benchmarks that panic or fail to build without paying
+# for a full measurement run.
 bench-smoke:
-	$(GO) test ./internal/transforms -run '^$$' -bench . -benchtime 1x
+	$(GO) test ./internal/transforms/... -run '^$$' -bench . -benchtime 1x
 	$(GO) test . -run '^$$' -bench . -benchtime 1x
+
+# Cross-checks the purego build tag: every unsafe word-view falls back to
+# the byte-accessor reference paths and the fused kernels to their
+# stage-by-stage pipelines, so the whole suite must still pass.
+purego:
+	$(GO) build -tags purego ./...
+	$(GO) test -tags purego -count=1 ./internal/wordio ./internal/transforms/... ./internal/core ./internal/selector .
 
 # Builds the compression daemon to bin/fpcd.
 fpcd:

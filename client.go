@@ -7,7 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
+	"math/rand/v2"
 	"net"
 	"strings"
 	"sync"
@@ -321,7 +321,7 @@ func DialMulti(addrs []string, opts *ClientOptions) (*Client, error) {
 	c := &Client{
 		addrs:    clean,
 		opts:     opts,
-		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:      rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), rand.Uint64())),
 		breakers: make([]breaker, len(clean)),
 	}
 	for i := range c.breakers {
@@ -418,7 +418,9 @@ func retryable(err error) bool {
 // backoffDelay is the sleep before retry number attempt (0-based): full
 // jitter uniform in [base, base·2^attempt], so the first retry waits at
 // least base and the envelope doubles per attempt. The shift saturates to
-// keep the arithmetic overflow-free at absurd attempt counts.
+// keep the arithmetic overflow-free at absurd attempt counts. The jitter
+// comes from the per-Client math/rand/v2 source, so the retry path takes
+// no global lock and tests can replay a seeded sequence.
 func backoffDelay(base time.Duration, attempt int, rng *rand.Rand) time.Duration {
 	if attempt > 20 {
 		attempt = 20
@@ -427,7 +429,7 @@ func backoffDelay(base time.Duration, attempt int, rng *rand.Rand) time.Duration
 	if hi <= base {
 		return base
 	}
-	return base + time.Duration(rng.Int63n(int64(hi-base)+1))
+	return base + time.Duration(rng.Int64N(int64(hi-base)+1))
 }
 
 // do performs one operation with retry-with-jittered-backoff. When the

@@ -2,7 +2,7 @@ package fpcompress
 
 import (
 	"errors"
-	"math/rand"
+	"math/rand/v2"
 	"net"
 	"testing"
 	"time"
@@ -11,9 +11,10 @@ import (
 )
 
 // TestBackoffJitterBounds samples the backoff schedule and asserts every
-// delay stays inside the documented envelope [base, 2^attempt·base].
+// delay stays inside the documented envelope [base, 2^attempt·base]. The
+// seeded PCG source makes the sampled sequence replayable.
 func TestBackoffJitterBounds(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 1))
 	base := 10 * time.Millisecond
 	for attempt := 0; attempt <= 8; attempt++ {
 		lo, hi := base, base<<uint(attempt)

@@ -21,6 +21,7 @@ import (
 	"fpcompress/internal/container"
 	"fpcompress/internal/selector"
 	"fpcompress/internal/transforms"
+	"fpcompress/internal/transforms/fused"
 	"fpcompress/internal/wordio"
 )
 
@@ -124,13 +125,19 @@ func (a *Algorithm) Stages() []string {
 
 // ChunkCodec returns the container codec this algorithm encodes and
 // decodes chunks with: the per-chunk selector for the auto modes, the
-// fixed chunk pipeline otherwise. Random access uses it to decode single
-// chunks of any non-pre-stage algorithm.
+// fixed chunk pipeline otherwise — run through its fused single-pass
+// kernel when one exists (byte-identical to the stage-by-stage pipeline,
+// so the container format is unaffected). Random access uses it to decode
+// single chunks of any non-pre-stage algorithm.
 func (a *Algorithm) ChunkCodec() container.Codec {
 	if a.Select != nil {
 		return a.Select
 	}
-	return chunkCodec{a.Chunked}
+	cc := chunkCodec{p: a.Chunked}
+	if k, ok := fused.Match(a.Chunked); ok {
+		cc.k = k
+	}
+	return cc
 }
 
 // Compress encodes src into a self-describing container.
@@ -206,15 +213,32 @@ func (a *Algorithm) DecompressAppend(dst []byte, data []byte, p container.Params
 // chunkCodec adapts a transform pipeline to the container.IntoCodec
 // interface, so the engine can hand each chunk its exact decoded size as
 // an allocation bound and encode/decode chunks without per-chunk buffers.
-type chunkCodec struct{ p transforms.Pipeline }
+// When the pipeline matches a known fusion, k carries the fused
+// single-pass kernel and every call routes through it (the kernel itself
+// falls back to the stage-by-stage pipeline on misaligned buffers or
+// purego builds).
+type chunkCodec struct {
+	p transforms.Pipeline
+	k fused.Kernel
+}
 
-func (c chunkCodec) Forward(chunk []byte) []byte           { return c.p.Forward(chunk) }
-func (c chunkCodec) ForwardInto(dst, chunk []byte) []byte  { return c.p.ForwardInto(dst, chunk) }
-func (c chunkCodec) Inverse(enc []byte) ([]byte, error)    { return c.p.Inverse(enc) }
+func (c chunkCodec) Forward(chunk []byte) []byte { return c.ForwardInto(nil, chunk) }
+func (c chunkCodec) ForwardInto(dst, chunk []byte) []byte {
+	if c.k != nil {
+		return c.k.ForwardInto(dst, chunk)
+	}
+	return c.p.ForwardInto(dst, chunk)
+}
+func (c chunkCodec) Inverse(enc []byte) ([]byte, error) {
+	return c.InverseInto(nil, enc, transforms.NoLimit)
+}
 func (c chunkCodec) InverseLimit(enc []byte, maxDecoded int) ([]byte, error) {
-	return c.p.InverseLimit(enc, maxDecoded)
+	return c.InverseInto(nil, enc, maxDecoded)
 }
 func (c chunkCodec) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
+	if c.k != nil {
+		return c.k.InverseInto(dst, enc, maxDecoded)
+	}
 	return c.p.InverseInto(dst, enc, maxDecoded)
 }
 

@@ -47,6 +47,7 @@ import (
 
 	"fpcompress/internal/bitio"
 	"fpcompress/internal/transforms"
+	"fpcompress/internal/transforms/fused"
 	"fpcompress/internal/wordio"
 )
 
@@ -152,8 +153,21 @@ type Selector struct {
 	cands     [3]byte // candidate schemes, fastest first
 	diff      transforms.DiffMS
 	mplg      transforms.MPLG
-	ratioTail transforms.Pipeline           // W32: BIT→RZE, W64: RAZE→RARE (applied to the DIFFMS stream)
+	ratioTail transforms.Pipeline             // W32: BIT→RZE, W64: RAZE→RARE (applied to the DIFFMS stream)
 	full      [NumSchemes]transforms.Pipeline // decode pipelines by scheme
+	fspeed    speedKernel                     // fused speed encoder (DIFFMS+MPLG with gate statistics)
+	fusedK    [NumSchemes]fused.Kernel        // fused decode kernels by scheme (nil where no fusion exists)
+}
+
+// speedKernel is the fused speed-pipeline encoder the hot path runs: a
+// fused.Kernel that also accumulates the speed-wins gate's statistics
+// (group ORs for the exact BIT32→RZE price, the leading-zero histogram for
+// the RAZE→RARE model) during its single pass, so the gate never has to
+// materialize or re-read the DIFFMS stream. Both fused speed kernels
+// implement it.
+type speedKernel interface {
+	fused.Kernel
+	ForwardStatsInto(dst, src []byte, gs *fused.GateStats) ([]byte, bool)
 }
 
 // New returns the selector for one word size.
@@ -170,12 +184,22 @@ func New(word wordio.WordSize) *Selector {
 		s.full[SchemeMPLG32] = transforms.Pipeline{s.diff, s.mplg}
 		s.full[SchemeMPLGRZE32] = transforms.Pipeline{s.diff, s.mplg, transforms.RZE{}}
 		s.full[SchemeBitRZE32] = transforms.Pipeline{s.diff, transforms.Bit{Word: word}, transforms.RZE{}}
+		s.fspeed = fused.NewSpeed32()
 	} else {
 		s.cands = [3]byte{SchemeMPLG64, SchemeMPLGRZE64, SchemeRazeRare64}
 		s.ratioTail = transforms.Pipeline{transforms.RAZE{}, transforms.RARE{}}
 		s.full[SchemeMPLG64] = transforms.Pipeline{s.diff, s.mplg}
 		s.full[SchemeMPLGRZE64] = transforms.Pipeline{s.diff, s.mplg, transforms.RZE{}}
 		s.full[SchemeRazeRare64] = transforms.Pipeline{s.diff, transforms.RAZE{}, transforms.RARE{}}
+		s.fspeed = fused.NewSpeed64()
+	}
+	for scheme := range s.full {
+		if len(s.full[scheme]) == 0 {
+			continue
+		}
+		if k, ok := fused.Match(s.full[scheme]); ok {
+			s.fusedK[scheme] = k
+		}
 	}
 	return s
 }
@@ -196,6 +220,7 @@ type state struct {
 	ors  []uint32 // byte-swapped 8-word group ORs (BIT pricing)
 	w32  []uint32 // word-copy fallback when views are unavailable
 	w64  []uint64
+	gs   fused.GateStats // gate statistics from the fused speed encoder
 }
 
 var statePool = sync.Pool{New: func() any { return new(state) }}
@@ -283,45 +308,53 @@ func (st *state) rzeCost(src []byte) int {
 }
 
 // bitSurvivors32 fills st.ors with the byte-swapped 8-word group ORs of
-// diff's full 32-word blocks and returns the exact number of non-zero bytes
-// BIT32→RZE would keep: BIT lays full blocks out plane-major — output word
-// plane*nb+k holds bit (31-plane) of each of block k's 32 words, so its
-// little-endian byte b covers source words k*32+(3-b)*8 … +8, and a group
-// OR decides for every plane at once whether that output byte survives.
-// Words beyond the last full block and tail bytes are copied verbatim by
-// BIT and survive iff non-zero.
-func (st *state) bitSurvivors32(diff []byte) int {
+// diff's full 32-word blocks — the array that determines exactly which
+// bytes BIT32→RZE keeps: BIT lays full blocks out plane-major — output
+// word plane*nb+k holds bit (31-plane) of each of block k's 32 words, so
+// its little-endian byte b covers source words k*32+(3-b)*8 … +8, and a
+// group OR decides for every plane at once whether that output byte
+// survives. Words beyond the last full block and tail bytes are copied
+// verbatim by BIT and survive iff non-zero.
+func (st *state) bitSurvivors32(diff []byte) {
 	dw := st.words32(diff)
 	nb := len(dw) / 32
 	ors := needU32(&st.ors, nb*4)
-	nonzero := 0
 	for k := 0; k < nb; k++ {
 		base := k * 32
 		for b := 0; b < 4; b++ {
 			q := base + (3-b)*8
-			or := dw[q] | dw[q+1] | dw[q+2] | dw[q+3] |
+			ors[k*4+b] = dw[q] | dw[q+1] | dw[q+2] | dw[q+3] |
 				dw[q+4] | dw[q+5] | dw[q+6] | dw[q+7]
-			ors[k*4+b] = or
-			nonzero += bits.OnesCount32(or)
 		}
 	}
-	for _, c := range diff[nb*128:] {
-		if c != 0 {
-			nonzero++
-		}
-	}
-	return nonzero
 }
 
 // bitRZECost32 returns the exact size of BIT32→RZE over the DIFFMS stream
 // without running the transpose: the group ORs from bitSurvivors32 give
 // both RZE's surviving-byte count and its exact zero bitmap.
 func (st *state) bitRZECost32(diff []byte) int {
-	nonzero := st.bitSurvivors32(diff)
+	st.bitSurvivors32(diff)
 	nb := len(diff) / 4 / 32
-	ng := nb * 4
-	ors := st.ors[:ng]
-	bm := needBytes(&st.bm, (len(diff)+7)/8)
+	return st.bitRZECost32From(st.ors[:nb*4], diff[nb*128:], len(diff))
+}
+
+// bitRZECost32From is bitRZECost32 over pre-computed inputs: the
+// byte-swapped group ORs of the DIFFMS stream's full 32-word blocks
+// (bitSurvivors32's layout), the stream's bytes past the last full block,
+// and its total length. The fused speed kernel hands these straight to
+// the gate, so pricing the ratio candidate costs no pass over the stream.
+func (st *state) bitRZECost32From(ors []uint32, tail []byte, diffLen int) int {
+	nonzero := 0
+	for _, or := range ors {
+		nonzero += bits.OnesCount32(or)
+	}
+	for _, c := range tail {
+		if c != 0 {
+			nonzero++
+		}
+	}
+	ng := len(ors)
+	bm := needBytes(&st.bm, (diffLen+7)/8)
 	pos := 0
 	bmw, viewOK := wordio.View32(bm[:4*ng])
 	if ng%32 == 0 && viewOK {
@@ -372,14 +405,15 @@ func (st *state) bitRZECost32(diff []byte) int {
 		}
 	}
 	// Words beyond the last full block and trailing partial-word bytes are
-	// copied verbatim by BIT; their bitmap bits come straight from diff.
-	for _, c := range diff[nb*128:] {
+	// copied verbatim by BIT; their bitmap bits come straight from the
+	// stream's tail.
+	for _, c := range tail {
 		if c != 0 {
 			bm[pos>>3] |= 0x80 >> (pos & 7)
 		}
 		pos++
 	}
-	return bitio.UvarintLen(uint64(len(diff))) + transforms.RepeatBitmapLen(bm) + nonzero
+	return bitio.UvarintLen(uint64(diffLen)) + transforms.RepeatBitmapLen(bm) + nonzero
 }
 
 // razeRareCost64 is the modeled RAZE→RARE size over the DIFFMS stream's
@@ -501,6 +535,28 @@ func (s *Selector) speedWins(st *state, chunk, mplgEnc []byte) bool {
 	return razeRareCost64(&hist, len(dw), len(chunk)) >= thresh
 }
 
+// speedWinsStats is speedWins over the fused kernel's gate statistics:
+// the same three prices, with the ratio leg computed from the group ORs /
+// leading-zero histogram the fused pass accumulated instead of from a
+// materialized DIFFMS stream. Like speedWins, a true return never changes
+// the selection relative to full pricing.
+func (s *Selector) speedWinsStats(st *state, chunk, mplgEnc []byte) bool {
+	thresh := len(mplgEnc) - len(chunk)*s.marginPct/100
+	if thresh <= 0 {
+		return true // no candidate can beat speed by more than the margin
+	}
+	// Balance (MPLG→RZE): survivors of the MPLG encoding.
+	if bitio.UvarintLen(uint64(len(mplgEnc)))+nonzeroCount(mplgEnc) < thresh {
+		return false
+	}
+	if s.word == wordio.W32 {
+		// Ratio (BIT→RZE): the exact price from the accumulated group ORs.
+		return st.bitRZECost32From(st.gs.Ors, st.gs.Tail, len(chunk)) >= thresh
+	}
+	// Ratio (RAZE→RARE): the model over the accumulated histogram.
+	return razeRareCost64(&st.gs.Hist, st.gs.Words, len(chunk)) >= thresh
+}
+
 // ForwardSchemeInto encodes chunk with the predicted-best candidate,
 // appending to dst, and returns the grown slice plus the scheme byte for
 // the container's per-chunk scheme table. The container layer still applies
@@ -513,13 +569,29 @@ func (s *Selector) ForwardSchemeInto(dst, chunk []byte) ([]byte, byte) {
 	// Encode the speed candidate straight into dst: it is both the fastest
 	// candidate's real output and the balance candidate's input, and when
 	// the gate fires (the common case on homogeneous data) it is already in
-	// place — no copy, no further pricing.
-	st.diff = s.diff.ForwardInto(st.diff[:0], chunk)
+	// place — no copy, no further pricing. The fused kernel does it in one
+	// pass over the chunk, accumulating the gate's statistics as it goes,
+	// so no DIFFMS stream is materialized at all on this path; when fusion
+	// is unavailable (purego, misaligned chunk) the stage-by-stage path
+	// prices the gate from the materialized stream as before.
 	start := len(dst)
-	dst = s.mplg.ForwardInto(dst, st.diff)
-	if s.speedWins(st, chunk, dst[start:]) {
-		schemeCounts[s.cands[0]].Add(1)
-		return dst, s.cands[0]
+	if ndst, ok := s.fspeed.ForwardStatsInto(dst, chunk, &st.gs); ok {
+		dst = ndst
+		if s.speedWinsStats(st, chunk, dst[start:]) {
+			schemeCounts[s.cands[0]].Add(1)
+			return dst, s.cands[0]
+		}
+		// A slow candidate might win (rare): materialize the DIFFMS stream
+		// after all — the exact pricing and the slow candidates' encoders
+		// consume it below.
+		st.diff = s.diff.ForwardInto(st.diff[:0], chunk)
+	} else {
+		st.diff = s.diff.ForwardInto(st.diff[:0], chunk)
+		dst = s.mplg.ForwardInto(dst, st.diff)
+		if s.speedWins(st, chunk, dst[start:]) {
+			schemeCounts[s.cands[0]].Add(1)
+			return dst, s.cands[0]
+		}
 	}
 
 	// A slow candidate might win: pull the tentative MPLG encoding out of
@@ -567,6 +639,9 @@ func (s *Selector) InverseSchemeInto(dst, enc []byte, scheme byte, maxDecoded in
 	}
 	if !ValidScheme(s.word, scheme) {
 		return nil, schemeErrf("scheme %d (%s) in a %s container", scheme, SchemeName(scheme), s.word)
+	}
+	if k := s.fusedK[scheme]; k != nil {
+		return k.InverseInto(dst, enc, maxDecoded)
 	}
 	return s.full[scheme].InverseInto(dst, enc, maxDecoded)
 }

@@ -1,0 +1,188 @@
+package fused
+
+// Fused-kernel microbenchmarks over one 16 KiB chunk, paired against
+// their stage-by-stage reference pipelines so the fusion win is measured
+// directly. BenchmarkFusedForward/BenchmarkFusedInverse feed `go test
+// -bench`; TestEmitFusedBench merges fused rows into the repository-root
+// BENCH_transforms.json written by the transforms emitter (regenerate
+// both with `make bench-transforms`).
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"fpcompress/internal/wordio"
+)
+
+const benchChunk = 16 * 1024
+
+// benchData is smooth float-like data — the compressible common case the
+// kernels are tuned for — at the benchmarked kernel's word size
+// (transforms.benchData's recipe, so rows are comparable).
+func benchData(word wordio.WordSize) []byte {
+	b := make([]byte, benchChunk)
+	if word == wordio.W32 {
+		for i := 0; i+4 <= len(b); i += 4 {
+			wordio.PutU32(b[i:], 0, math.Float32bits(float32(100+math.Sin(float64(i)/256))))
+		}
+		return b
+	}
+	for i := 0; i+8 <= len(b); i += 8 {
+		wordio.PutU64(b[i:], 0, math.Float64bits(100+math.Sin(float64(i)/512)))
+	}
+	return b
+}
+
+type benchFused struct {
+	k    Kernel
+	word wordio.WordSize
+}
+
+func benchKernels() []benchFused {
+	return []benchFused{
+		{NewSpeed32(), wordio.W32},
+		{NewSpeed64(), wordio.W64},
+		{NewRatio32(), wordio.W32},
+	}
+}
+
+func BenchmarkFusedForward(b *testing.B) {
+	for _, f := range benchKernels() {
+		b.Run(f.k.Name(), func(b *testing.B) {
+			src := benchData(f.word)
+			var dst []byte
+			b.SetBytes(benchChunk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = f.k.ForwardInto(dst[:0], src)
+			}
+		})
+		b.Run(f.k.Name()+"/reference", func(b *testing.B) {
+			src := benchData(f.word)
+			ref := f.k.Pipeline()
+			var dst []byte
+			b.SetBytes(benchChunk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = ref.ForwardInto(dst[:0], src)
+			}
+		})
+	}
+}
+
+func BenchmarkFusedInverse(b *testing.B) {
+	for _, f := range benchKernels() {
+		b.Run(f.k.Name(), func(b *testing.B) {
+			src := benchData(f.word)
+			enc := f.k.ForwardInto(nil, src)
+			var dst []byte
+			var err error
+			b.SetBytes(benchChunk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if dst, err = f.k.InverseInto(dst[:0], enc, benchChunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// transformBenchResult/Report mirror the transforms emitter's JSON schema
+// so fused rows merge into the same file.
+type transformBenchResult struct {
+	Transform    string  `json:"transform"`
+	Op           string  `json:"op"`
+	ChunkBytes   int     `json:"chunk_bytes"`
+	Ops          int     `json:"ops"`
+	MBPerS       float64 `json:"mb_per_sec"`
+	EncodedBytes int     `json:"encoded_bytes,omitempty"`
+}
+
+type transformBenchReport struct {
+	Benchmark  string                 `json:"benchmark"`
+	Command    string                 `json:"command"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Results    []transformBenchResult `json:"results"`
+}
+
+func measureKernel(fn func()) (mbps float64, ops int) {
+	for i := 0; i < 16; i++ {
+		fn()
+	}
+	const minDur = 200 * time.Millisecond
+	start := time.Now()
+	for time.Since(start) < minDur {
+		fn()
+		ops++
+	}
+	return float64(benchChunk) * float64(ops) / time.Since(start).Seconds() / 1e6, ops
+}
+
+const benchFile = "../../../BENCH_transforms.json"
+
+// TestEmitFusedBench appends/refreshes the fused kernel rows in
+// BENCH_transforms.json, preserving the per-stage rows the transforms
+// emitter wrote (run `make bench-transforms` to regenerate both in
+// order). Missing file degrades to a fused-only report so the target
+// works standalone.
+func TestEmitFusedBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark emit in -short mode")
+	}
+	report := transformBenchReport{Benchmark: "transform_kernel_throughput"}
+	if raw, err := os.ReadFile(benchFile); err == nil {
+		if err := json.Unmarshal(raw, &report); err != nil {
+			t.Fatalf("existing %s is unparseable: %v", benchFile, err)
+		}
+	}
+	if !strings.Contains(report.Command, "TestEmitFusedBench") {
+		report.Command = strings.TrimSpace(report.Command) + " + go test ./internal/transforms/fused -run TestEmitFusedBench -count=1 -v   (make bench-transforms)"
+	}
+	// Drop stale fused rows, then re-measure.
+	kept := report.Results[:0]
+	for _, r := range report.Results {
+		if !strings.HasPrefix(r.Transform, "FUSED(") {
+			kept = append(kept, r)
+		}
+	}
+	report.Results = kept
+	for _, f := range benchKernels() {
+		src := benchData(f.word)
+		enc := f.k.ForwardInto(nil, src)
+		var dst []byte
+		var err error
+
+		mbps, ops := measureKernel(func() { dst = f.k.ForwardInto(dst[:0], src) })
+		report.Results = append(report.Results, transformBenchResult{
+			Transform: f.k.Name(), Op: "forward", ChunkBytes: benchChunk, Ops: ops,
+			MBPerS: mbps, EncodedBytes: len(enc),
+		})
+		t.Logf("%s forward: %.1f MB/s", f.k.Name(), mbps)
+
+		mbps, ops = measureKernel(func() {
+			if dst, err = f.k.InverseInto(dst[:0], enc, benchChunk); err != nil {
+				t.Fatal(err)
+			}
+		})
+		report.Results = append(report.Results, transformBenchResult{
+			Transform: f.k.Name(), Op: "inverse", ChunkBytes: benchChunk, Ops: ops,
+			MBPerS: mbps,
+		})
+		t.Logf("%s inverse: %.1f MB/s", f.k.Name(), mbps)
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchFile, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package fused
+
+import (
+	"fpcompress/internal/transforms"
+	"fpcompress/internal/wordio"
+)
+
+// Ratio32 is the fused DIFFMS32+BIT32+RZE kernel behind SPratio (and the
+// auto modes' 32-bit ratio candidate). The difference+zigzag feeds the
+// 32x32 register-tile bit transpose directly, eliminating the DIFFMS
+// intermediate and one full chunk pass; the plane-major layout is global
+// to the chunk, so one pooled scratch buffer holds it and RZE's exact
+// encoder (transforms.RZE) consumes it in place.
+type Ratio32 struct {
+	ref transforms.Pipeline
+}
+
+// NewRatio32 returns the fused SPratio kernel.
+func NewRatio32() *Ratio32 {
+	return &Ratio32{ref: transforms.Pipeline{
+		transforms.DiffMS{Word: wordio.W32},
+		transforms.Bit{Word: wordio.W32},
+		transforms.RZE{},
+	}}
+}
+
+// Name implements Kernel.
+func (k *Ratio32) Name() string { return "FUSED(DIFFMS32+BIT32+RZE)" }
+
+// Pipeline implements Kernel.
+func (k *Ratio32) Pipeline() transforms.Pipeline { return k.ref }
+
+// ForwardInto implements Kernel: per 32-word block, difference+zigzag into
+// the transpose tile, transpose, and scatter into the pooled plane-major
+// buffer; diff words past the last full block and trailing bytes are
+// copied verbatim (BIT32's layout), then RZE encodes the buffer into dst.
+func (k *Ratio32) ForwardInto(dst, src []byte) []byte {
+	sw, ok := wordio.View32(src)
+	if !ok {
+		return k.ref.ForwardInto(dst, src)
+	}
+	sp := getBuf()
+	defer putBuf(sp)
+	scratch := pooledBytes(sp, len(src))
+	ow, ok := wordio.View32(scratch)
+	if !ok {
+		return k.ref.ForwardInto(dst, src)
+	}
+	nWords := len(sw)
+	nb := nWords / 32
+	var blk [32]uint32
+	prev := uint32(0)
+	for b := 0; b < nb; b++ {
+		sub := sw[b*32 : b*32+32]
+		for j, v := range sub {
+			blk[j] = wordio.ZigZag32(v - prev)
+			prev = v
+		}
+		transforms.Transpose32(&blk)
+		for plane := 0; plane < 32; plane++ {
+			ow[plane*nb+b] = blk[plane]
+		}
+	}
+	for i := nb * 32; i < nWords; i++ {
+		v := sw[i]
+		ow[i] = wordio.ZigZag32(v - prev)
+		prev = v
+	}
+	copy(scratch[nWords*4:], src[nWords*4:])
+	return transforms.RZE{}.ForwardInto(dst, scratch)
+}
+
+// InverseInto implements Kernel: RZE's exact decoder reconstructs the
+// plane-major stream into pooled scratch (under the pipeline's interior
+// stage budget), then each block is gathered, transposed, and
+// un-zigzag+prefix-summed straight into dst in one pass.
+func (k *Ratio32) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
+	sp := getBuf()
+	defer putBuf(sp)
+	bitted, err := transforms.RZE{}.InverseInto((*sp)[:0], enc, stageBudget(maxDecoded))
+	if err != nil {
+		return nil, err
+	}
+	*sp = bitted
+	declen := len(bitted)
+	if maxDecoded >= 0 && declen > maxDecoded {
+		return nil, corruptf("pipeline: decoded length %d exceeds budget %d", declen, maxDecoded)
+	}
+	ew, ok := wordio.View32(bitted)
+	if !ok {
+		return transforms.Pipeline{k.ref[0], k.ref[1]}.InverseInto(dst, bitted, maxDecoded)
+	}
+	ndst := grow(dst, declen)
+	out := ndst[len(ndst)-declen:]
+	ow, ok := wordio.View32(out)
+	if !ok {
+		return transforms.Pipeline{k.ref[0], k.ref[1]}.InverseInto(dst, bitted, maxDecoded)
+	}
+	nWords := declen / 4
+	nb := nWords / 32
+	var blk [32]uint32
+	prev := uint32(0)
+	for b := 0; b < nb; b++ {
+		for plane := 0; plane < 32; plane++ {
+			blk[plane] = ew[plane*nb+b]
+		}
+		transforms.Transpose32(&blk)
+		sub := ow[b*32 : b*32+32]
+		for j, z := range blk {
+			prev += wordio.UnZigZag32(z)
+			sub[j] = prev
+		}
+	}
+	for i := nb * 32; i < nWords; i++ {
+		prev += wordio.UnZigZag32(ew[i])
+		ow[i] = prev
+	}
+	copy(out[nWords*4:], bitted[nWords*4:])
+	return ndst, nil
+}

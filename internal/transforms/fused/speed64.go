@@ -1,0 +1,243 @@
+package fused
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"fpcompress/internal/bitio"
+	"fpcompress/internal/transforms"
+	"fpcompress/internal/wordio"
+)
+
+// Speed64 is the fused DIFFMS64+MPLG64 kernel behind DPspeed (and the
+// auto modes' 64-bit speed candidate): the 64-word-subchunk analogue of
+// Speed32, with MPLG64's 8-bit subchunk headers and split packing for
+// kept widths above 32 bits.
+type Speed64 struct {
+	ref transforms.Pipeline
+}
+
+// NewSpeed64 returns the fused DPspeed kernel.
+func NewSpeed64() *Speed64 {
+	return &Speed64{ref: transforms.Pipeline{
+		transforms.DiffMS{Word: wordio.W64},
+		transforms.MPLG{Word: wordio.W64},
+	}}
+}
+
+// Name implements Kernel.
+func (k *Speed64) Name() string { return "FUSED(DIFFMS64+MPLG64)" }
+
+// Pipeline implements Kernel.
+func (k *Speed64) Pipeline() transforms.Pipeline { return k.ref }
+
+// ForwardInto implements Kernel.
+func (k *Speed64) ForwardInto(dst, src []byte) []byte {
+	out, ok := k.forward(dst, src, nil)
+	if !ok {
+		return k.ref.ForwardInto(dst, src)
+	}
+	return out
+}
+
+// ForwardStatsInto is ForwardInto plus the selector gate's leading-zero
+// histogram of the diff stream (the RAZE→RARE cost-model input),
+// accumulated inside the fused pass. ok is false — with dst untouched —
+// when the fused path is unavailable.
+func (k *Speed64) ForwardStatsInto(dst, src []byte, gs *GateStats) ([]byte, bool) {
+	return k.forward(dst, src, gs)
+}
+
+// forward mirrors transforms.MPLG.forwardFast64 over the DIFFMS64 stream,
+// with the difference+zigzag fused into the subchunk tile fill.
+func (k *Speed64) forward(dst, src []byte, gs *GateStats) ([]byte, bool) {
+	sw, ok := wordio.View64(src)
+	if !ok {
+		return nil, false
+	}
+	nWords := len(sw)
+	tail := src[nWords*8:]
+	nsub := (nWords + mplgSubchunkWords64 - 1) / mplgSubchunkWords64
+	if gs != nil {
+		gs.Words = nWords
+		gs.Hist = [65]int{}
+	}
+	dst = bitio.AppendUvarint(dst, uint64(len(src)))
+	start0 := len(dst)
+	dst = grow(dst, (nsub*8+nWords*64+7)/8+8)
+	buf := dst
+	bp := start0
+	var acc uint64
+	var nacc uint
+	var tile [mplgSubchunkWords64]uint64
+	prev := uint64(0)
+	for start := 0; start < nWords; start += mplgSubchunkWords64 {
+		end := start + mplgSubchunkWords64
+		if end > nWords {
+			end = nWords
+		}
+		sub := sw[start:end]
+		t := tile[:len(sub)]
+		m := uint64(0)
+		if gs != nil {
+			for j, v := range sub {
+				z := wordio.ZigZag64(v - prev)
+				prev = v
+				t[j] = z
+				m |= z
+				gs.Hist[bits.LeadingZeros64(z)]++
+			}
+		} else {
+			for j, v := range sub {
+				z := wordio.ZigZag64(v - prev)
+				prev = v
+				t[j] = z
+				m |= z
+			}
+		}
+		var flag uint64
+		zig := false
+		if m >= 1<<63 {
+			flag, zig = 1, true
+			m = 0
+			for _, z := range t {
+				m |= wordio.ZigZag64(z)
+			}
+		}
+		keep := uint(64 - bits.LeadingZeros64(m))
+		acc = acc<<8 | flag<<7 | uint64(keep)
+		nacc += 8
+		if nacc >= 32 {
+			nacc -= 32
+			binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+			bp += 4
+			acc &= 1<<nacc - 1
+		}
+		if keep == 0 {
+			continue
+		}
+		if keep <= 32 {
+			for _, z := range t {
+				w := z
+				if zig {
+					w = wordio.ZigZag64(z)
+				}
+				acc = acc<<keep | w
+				nacc += keep
+				if nacc >= 32 {
+					nacc -= 32
+					binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+					bp += 4
+					acc &= 1<<nacc - 1
+				}
+			}
+		} else {
+			hi := keep - 32
+			for _, z := range t {
+				w := z
+				if zig {
+					w = wordio.ZigZag64(z)
+				}
+				acc = acc<<hi | w>>32
+				nacc += hi
+				if nacc >= 32 {
+					nacc -= 32
+					binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+					bp += 4
+					acc &= 1<<nacc - 1
+				}
+				// Appending 32 bits always reaches the flush threshold, and
+				// flushing subtracts the same 32, so nacc is unchanged.
+				acc = acc<<32 | w&0xffffffff
+				binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
+				bp += 4
+				acc &= 1<<nacc - 1
+			}
+		}
+	}
+	bp = bitFinish(buf, bp, acc, nacc)
+	return append(dst[:bp], tail...), true
+}
+
+// InverseInto implements Kernel: MPLG64 unpack and DIFFMS64 prefix-sum
+// reconstruction fused into one pass, mirroring
+// transforms.MPLG.inverseFast64's bit stream handling exactly.
+func (k *Speed64) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
+	declen64, n := bitio.Uvarint(enc)
+	if n == 0 {
+		return nil, corruptf("MPLG: bad length prefix")
+	}
+	if declen64 > transforms.MaxDecoded {
+		return nil, corruptf("MPLG: decoded length %d exceeds budget %d", declen64, transforms.MaxDecoded)
+	}
+	if maxDecoded >= 0 && declen64 > uint64(maxDecoded) {
+		return nil, corruptf("pipeline: decoded length %d exceeds budget %d", declen64, maxDecoded)
+	}
+	declen := int(declen64)
+	if declen > (len(enc)+2)*8*512 {
+		return nil, corruptf("MPLG: decoded length %d implausible for %d encoded bytes", declen, len(enc))
+	}
+	nWords := declen / 8
+	tailLen := declen - nWords*8
+	body := enc[n:]
+	ndst := grow(dst, declen)
+	out := ndst[len(ndst)-declen:]
+	ow, ok := wordio.View64(out)
+	if !ok {
+		return k.ref.InverseInto(dst, enc, maxDecoded)
+	}
+
+	bpool := getBuf()
+	defer putBuf(bpool)
+	pad := pooledBytes(bpool, len(body)+8)
+	copy(pad, body)
+	clear(pad[len(body):])
+	totalBits := uint(len(body)) * 8
+	pos := uint(0)
+	prev := uint64(0)
+	for start := 0; start < nWords; start += mplgSubchunkWords64 {
+		end := start + mplgSubchunkWords64
+		if end > nWords {
+			end = nWords
+		}
+		if pos+8 > totalBits {
+			return nil, corruptf("MPLG: truncated header")
+		}
+		hdr := uint32(binary.BigEndian.Uint64(pad[pos>>3:])>>(56-(pos&7))) & 0xff
+		pos += 8
+		keep := uint(hdr & 0x7f)
+		if keep > 64 {
+			return nil, corruptf("MPLG: kept bits %d > word size", keep)
+		}
+		sub := ow[start:end]
+		if keep == 0 {
+			for j := range sub {
+				sub[j] = prev
+			}
+			continue
+		}
+		if pos+keep*uint(len(sub)) > totalBits {
+			return nil, corruptf("MPLG: truncated values")
+		}
+		if hdr>>7 == 1 {
+			for j := range sub {
+				z := wordio.UnZigZag64(loadBits(pad, pos, keep))
+				prev += wordio.UnZigZag64(z)
+				sub[j] = prev
+				pos += keep
+			}
+		} else {
+			for j := range sub {
+				prev += wordio.UnZigZag64(loadBits(pad, pos, keep))
+				sub[j] = prev
+				pos += keep
+			}
+		}
+	}
+	rest := int((pos + 7) / 8)
+	if len(body)-rest < tailLen {
+		return nil, corruptf("MPLG: truncated tail")
+	}
+	copy(out[nWords*8:], body[rest:rest+tailLen])
+	return ndst, nil
+}

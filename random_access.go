@@ -3,6 +3,7 @@ package fpcompress
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"fpcompress/internal/container"
 	"fpcompress/internal/core"
@@ -56,15 +57,18 @@ func (ra *RandomAccess) Len() int { return ra.header.OriginalLen }
 // ChunkSize returns the independent-chunk granularity in bytes.
 func (ra *RandomAccess) ChunkSize() int { return ra.header.ChunkSize }
 
-// ReadAt implements io.ReaderAt semantics over the uncompressed data,
-// decompressing only the chunks the range touches.
+// ReadAt implements io.ReaderAt over the uncompressed data, decompressing
+// only the chunks the range touches. Per the io.ReaderAt contract it
+// returns io.EOF (not a private error) when the read stops at end of
+// data, so io.SectionReader, io.ReadFull, and errors.Is(err, io.EOF)
+// compose with it.
 func (ra *RandomAccess) ReadAt(p []byte, off int64) (int, error) {
-	if off < 0 || off > int64(ra.header.OriginalLen) {
-		return 0, fmt.Errorf("fpcompress: offset %d out of range [0,%d]", off, ra.header.OriginalLen)
+	if off < 0 {
+		return 0, fmt.Errorf("fpcompress: negative offset %d", off)
 	}
 	n := 0
 	cs := ra.header.ChunkSize
-	for n < len(p) && int(off)+n < ra.header.OriginalLen {
+	for n < len(p) && off+int64(n) < int64(ra.header.OriginalLen) {
 		pos := int(off) + n
 		ci := pos / cs
 		dec, err := ra.header.DecompressChunkLimit(ci, ra.codec, ra.maxDecoded)
@@ -74,12 +78,15 @@ func (ra *RandomAccess) ReadAt(p []byte, off int64) (int, error) {
 		n += copy(p[n:], dec[pos-ci*cs:])
 	}
 	if n < len(p) {
-		return n, errShortRead
+		return n, io.EOF
 	}
 	return n, nil
 }
 
-var errShortRead = errors.New("fpcompress: read past end of data")
+// errShortRead is the typed error Float32At/Float64At return for requests
+// past the declared end of data. It wraps io.EOF (the cause is end of
+// data), so errors.Is works with either sentinel.
+var errShortRead = fmt.Errorf("fpcompress: read past end of data: %w", io.EOF)
 
 // Float32At decompresses count float32 values starting at value index.
 func (ra *RandomAccess) Float32At(index, count int) ([]float32, error) {

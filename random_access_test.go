@@ -3,6 +3,7 @@ package fpcompress
 import (
 	"bytes"
 	"errors"
+	"io"
 	"math"
 	"math/rand"
 	"testing"
@@ -99,6 +100,86 @@ func TestRandomAccessBounds(t *testing.T) {
 	}
 	if _, err := ra.ReadAt(nil, 1000); err != nil {
 		t.Errorf("empty read at end: %v", err)
+	}
+}
+
+// TestRandomAccessEOFSemantics pins ReadAt to the io.ReaderAt contract:
+// a read stopping at end of data returns the bytes read plus io.EOF (the
+// standard sentinel, not a private error), an exact-end read returns nil,
+// and zero-length reads at or past the end succeed with n=0.
+func TestRandomAccessEOFSemantics(t *testing.T) {
+	src := Float32Bytes(sampleFloats32(250, 17)) // 1000 bytes
+	blob, err := Compress(SPspeed, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := OpenRandomAccess(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := int64(len(src))
+	cases := []struct {
+		name    string
+		size    int
+		off     int64
+		wantN   int
+		wantErr error
+	}{
+		{"exact end", 10, end - 10, 10, nil},
+		{"short at end", 10, end - 4, 4, io.EOF},
+		{"at end", 10, end, 0, io.EOF},
+		{"past end", 10, end + 5, 0, io.EOF},
+		{"zero-length at end", 0, end, 0, nil},
+		{"zero-length past end", 0, end + 100, 0, nil},
+	}
+	for _, c := range cases {
+		n, err := ra.ReadAt(make([]byte, c.size), c.off)
+		if n != c.wantN || !errors.Is(err, c.wantErr) {
+			t.Errorf("%s: ReadAt(%d bytes, off %d) = (%d, %v), want (%d, %v)",
+				c.name, c.size, c.off, n, err, c.wantN, c.wantErr)
+		}
+		if c.wantErr == nil && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+	}
+	// Typed value reads past the end keep their descriptive error but now
+	// wrap io.EOF, since end-of-data is the cause.
+	if _, err := ra.Float32At(240, 100); !errors.Is(err, io.EOF) {
+		t.Errorf("Float32At past end: %v does not wrap io.EOF", err)
+	}
+}
+
+// TestRandomAccessSectionReader composes ReadAt with io.SectionReader —
+// the canonical io.ReaderAt consumer — and streams a middle section plus
+// the tail through io.ReadAll, which only terminates cleanly if ReadAt's
+// EOF semantics are exact.
+func TestRandomAccessSectionReader(t *testing.T) {
+	src := Float64Bytes(sampleFloats64(40000, 19))
+	blob, err := Compress(DPspeed, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := OpenRandomAccess(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := io.NewSectionReader(ra, 100000, 50000)
+	got, err := io.ReadAll(mid)
+	if err != nil {
+		t.Fatalf("section read: %v", err)
+	}
+	if !bytes.Equal(got, src[100000:150000]) {
+		t.Fatal("section read differs from source")
+	}
+	// A section extending past the end: ReadAll must stop at the data's
+	// end without an error.
+	tail := io.NewSectionReader(ra, int64(len(src))-777, 10000)
+	got, err = io.ReadAll(tail)
+	if err != nil {
+		t.Fatalf("tail section read: %v", err)
+	}
+	if !bytes.Equal(got, src[len(src)-777:]) {
+		t.Fatal("tail section read differs from source")
 	}
 }
 
