@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check purego fuzz-smoke chaos bench-server bench-core bench-auto bench-transforms bench-smoke fpcd clean
+.PHONY: all build test race vet check purego fuzz-smoke chaos salvage scrub bench-server bench-core bench-auto bench-transforms bench-smoke fpcd clean
 
 all: check
 
@@ -41,7 +41,7 @@ TRANSFORM_FUZZERS := FuzzDiffMSInverse FuzzBitInverse FuzzMPLGInverse \
 	FuzzPipelineInverse
 FUSED_FUZZERS := FuzzFusedKernels
 CONTAINER_FUZZERS := FuzzParse FuzzDecompressContainer
-ROOT_FUZZERS := FuzzContainerDecompress FuzzDecompress FuzzStreamReader
+ROOT_FUZZERS := FuzzContainerDecompress FuzzDecompressPartial FuzzDecompress FuzzStreamReader
 
 fuzz-smoke:
 	@for f in $(TRANSFORM_FUZZERS); do \
@@ -64,6 +64,18 @@ fuzz-smoke:
 CHAOSTIME ?= 1
 chaos:
 	CHAOSTIME=$(CHAOSTIME) $(GO) test -race -count=1 -run TestChaosSoak -v .
+
+# Storage bit-rot soak: deterministic bit flips and torn writes against
+# self-healing (v3) containers under -race, checking the salvage
+# guarantees round by round (parity repair, partial decode, degraded
+# serving). Same CHAOSTIME/CHAOS_SEED conventions as `make chaos`.
+salvage:
+	CHAOSTIME=$(CHAOSTIME) $(GO) test -race -count=1 -run 'TestSalvageSoak|TestDegradedServer' -v .
+
+# End-to-end scrub/repair CLI check: fpcz -scrub and -repair exit codes
+# and the repaired container's byte identity.
+scrub:
+	$(GO) test -count=1 -run TestScrubRepair -v ./cmd/fpcz/
 
 # Regenerates BENCH_server.json (loopback serving throughput for SPspeed
 # and DPratio at 1, 4, and GOMAXPROCS clients).

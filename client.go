@@ -32,6 +32,14 @@ import (
 // MaxRetries; ErrBusy surfaces only once retries are exhausted.
 var ErrBusy = server.ErrBusy
 
+// ErrPartialResult reports that a degraded-mode server (fpcd -degraded)
+// salvaged only part of a damaged container: the returned bytes are real
+// data with quarantined chunk ranges zero-filled. It is returned TOGETHER
+// with the data — callers opt in by checking errors.Is(err,
+// ErrPartialResult) and deciding whether partial data is acceptable. Not
+// retried: the server already did its best.
+var ErrPartialResult = errors.New("fpcompress: partial result (some chunk ranges were unrecoverable and are zero-filled)")
+
 // ErrCircuitOpen reports that every configured address has an open
 // circuit breaker: recent consecutive failures tripped them and their
 // cool-downs have not elapsed, so the Client fails fast instead of
@@ -411,6 +419,9 @@ func retryable(err error) bool {
 	if errors.Is(err, ErrBusy) {
 		return true
 	}
+	if errors.Is(err, ErrPartialResult) {
+		return false // the server already salvaged all it could
+	}
 	var re *RemoteError
 	return !errors.As(err, &re)
 }
@@ -446,7 +457,8 @@ func (c *Client) do(op server.Op, alg byte, payload []byte) ([]byte, error) {
 			return out, nil
 		}
 		if !retryable(err) {
-			return nil, err
+			// out survives the error: ErrPartialResult carries salvaged data.
+			return out, err
 		}
 		if attempt >= retries {
 			return nil, &RetryError{Attempts: attempt + 1, Budget: retries, Err: err}
@@ -487,6 +499,10 @@ func (c *Client) roundTrip(op server.Op, alg byte, payload []byte) ([]byte, erro
 	switch st {
 	case server.StatusOK:
 		return resp, nil
+	case server.StatusPartial:
+		// Degraded-mode server: resp is real data with quarantined ranges
+		// zero-filled. Both travel back to the caller.
+		return resp, ErrPartialResult
 	case server.StatusBusy:
 		// The connection stays healthy: a busy rejection is a complete,
 		// well-framed response.
@@ -509,7 +525,9 @@ func (c *Client) Compress(alg Algorithm, src []byte) ([]byte, error) {
 }
 
 // Decompress decodes a compressed block on the server; the algorithm is
-// read from the block header as in the local API.
+// read from the block header as in the local API. Against a degraded-mode
+// server (fpcd -degraded) a damaged container may yield data together with
+// ErrPartialResult; see that sentinel for the contract.
 func (c *Client) Decompress(data []byte) ([]byte, error) {
 	return c.do(server.OpDecompress, 0, data)
 }

@@ -10,6 +10,7 @@
 //	fpcd -queue 32 -max-payload 16777216  # deeper queue, 16 MiB payload cap
 //	fpcd -max-conns 256 -read-timeout 10s # tighter connection-level limits
 //	fpcd -max-inflight-bytes 268435456    # cap buffered request bytes at 256 MiB
+//	fpcd -degraded                        # serve damaged containers best-effort (partial status)
 //	fpcd -debug localhost:6060            # expvar metrics at /debug/vars
 //	fpcd -pprof localhost:6060            # net/http/pprof at /debug/pprof/
 //
@@ -45,6 +46,7 @@ func main() {
 		maxConns    = flag.Int("max-conns", 0, "concurrent connection cap; excess get a busy response and a close (0 = 1024, negative = unlimited)")
 		readTimeout = flag.Duration("read-timeout", 0, "how long one request's bytes may take to arrive before the slow client is disconnected (0 = 30s, negative = no limit)")
 		maxInflight = flag.Int64("max-inflight-bytes", 0, "global cap on admitted-but-unanswered request payload bytes (0 = 4x max-payload, negative = unlimited)")
+		degraded    = flag.Bool("degraded", false, "serve damaged containers best-effort: retry failed decompressions through the degraded decoder and answer partial-result responses with unrecoverable chunk ranges zero-filled")
 		debugAddr   = flag.String("debug", "", "optional HTTP address serving expvar metrics at /debug/vars")
 		pprofAddr   = flag.String("pprof", "", "optional HTTP address serving net/http/pprof profiles at /debug/pprof/")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before open connections are dropped")
@@ -62,6 +64,7 @@ func main() {
 		MaxConns:         *maxConns,
 		ReadTimeout:      *readTimeout,
 		MaxInflightBytes: *maxInflight,
+		Degraded:         *degraded,
 	})
 	expvar.Publish("fpcd", expvar.Func(func() any { return srv.StatsSnapshot() }))
 	// expvar and net/http/pprof both register on the default mux, so every

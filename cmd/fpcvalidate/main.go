@@ -5,29 +5,44 @@
 // zeros, tiny and empty inputs), verifying bit-exact lossless roundtrips
 // everywhere, and prints a pass/fail matrix.
 //
+// With file arguments it switches to deep container verification: every
+// chunk of every named .fpcz file is checked against its stored CRC32-C
+// (self-healing v3 containers) or decoded under the whole-container CRC
+// (v1/v2), with parity repairs attempted, and the worst damage found
+// selects the exit code — 10 metadata corrupt, 11 data lost, 12 repairable
+// damage, 1 I/O error, 0 clean.
+//
 // Usage:
 //
 //	fpcvalidate             # full matrix (a few minutes)
 //	fpcvalidate -values 8192 -quick
+//	fpcvalidate out1.fpcz out2.fpcz   # deep per-chunk verification
 package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
+	"fpcompress"
 	"fpcompress/internal/eval"
 	"fpcompress/internal/sdr"
 )
 
 func main() {
 	var (
-		values = flag.Int("values", 16384, "values per synthetic file")
-		quick  = flag.Bool("quick", false, "first file per domain only")
+		values     = flag.Int("values", 16384, "values per synthetic file")
+		quick      = flag.Bool("quick", false, "first file per domain only")
+		maxDecoded = flag.Int("max-decoded", 0, "decode budget in bytes per verified file (0 = 64 MiB; -1 = unlimited, trusted files only)")
 	)
 	flag.Parse()
+
+	if args := flag.Args(); len(args) > 0 {
+		os.Exit(validateFiles(args, *maxDecoded))
+	}
 
 	cfg := sdr.Config{ValuesPerFile: *values}
 	fails := 0
@@ -75,6 +90,83 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("\nall compressors lossless on all inputs")
+}
+
+// Exit codes of the file-verification mode, ordered by severity (shared
+// with fpcz -scrub so scripts branch uniformly): metadata corruption is
+// worse than lost chunks, which is worse than repairable damage.
+const (
+	exitOK            = 0
+	exitIO            = 1
+	exitHeaderCorrupt = 10
+	exitChunkCorrupt  = 11
+	exitRepairable    = 12
+)
+
+// severity ranks exit codes so multi-file runs report the worst finding.
+func severity(code int) int {
+	switch code {
+	case exitHeaderCorrupt:
+		return 4
+	case exitChunkCorrupt:
+		return 3
+	case exitRepairable:
+		return 2
+	case exitIO:
+		return 1
+	}
+	return 0
+}
+
+// validateFiles deep-verifies each named container chunk by chunk and
+// returns the worst exit code found.
+func validateFiles(paths []string, maxDecoded int) int {
+	worst := exitOK
+	for _, path := range paths {
+		code := validateFile(path, maxDecoded)
+		if severity(code) > severity(worst) {
+			worst = code
+		}
+	}
+	return worst
+}
+
+func validateFile(path string, maxDecoded int) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpcvalidate:", err)
+		return exitIO
+	}
+	_, rep, err := fpcompress.DecompressPartial(data, &fpcompress.Options{MaxDecodedSize: maxDecoded})
+	if err != nil {
+		fmt.Printf("%-30s FAIL %v\n", path, err)
+		switch {
+		case errors.Is(err, fpcompress.ErrPartialPreStage):
+			return exitChunkCorrupt
+		case errors.Is(err, fpcompress.ErrDecodeBudget):
+			return exitIO
+		default:
+			return exitHeaderCorrupt
+		}
+	}
+	for i, s := range rep.States {
+		if s == fpcompress.ChunkOK {
+			continue
+		}
+		lo, hi := rep.Span(i)
+		fmt.Printf("%-30s chunk %d [%d:%d): %v\n", path, i, lo, hi, s)
+	}
+	c := rep.Counts()
+	switch {
+	case c.Quarantined > 0 || c.Unverified > 0:
+		fmt.Printf("%-30s FAIL v%d, %s\n", path, rep.Version, rep.Summary())
+		return exitChunkCorrupt
+	case c.Repaired > 0:
+		fmt.Printf("%-30s REPAIRABLE v%d, %s\n", path, rep.Version, rep.Summary())
+		return exitRepairable
+	}
+	fmt.Printf("%-30s ok v%d, %s\n", path, rep.Version, rep.Summary())
+	return exitOK
 }
 
 func roundtrips(s eval.Subject, f *sdr.File) bool {

@@ -10,6 +10,9 @@
 //	fpcz -c -a dpspeed < input.f64 > out.fpcz     # streams via stdin/stdout
 //	fpcz -info out.fpcz                           # inspect a compressed file
 //	fpcz -stats out.fpcz                          # per-chunk scheme breakdown (auto modes)
+//	fpcz -c -parity 8 input.f32 out.fpcz          # self-healing container (v3, XOR parity)
+//	fpcz -scrub out.fpcz                          # deep per-chunk integrity check
+//	fpcz -repair damaged.fpcz restored.fpcz       # rewrite from salvaged + repaired chunks
 //
 // File output is atomic: bytes go to a same-directory temp file that is
 // fsynced and renamed over the destination only on success, so an
@@ -20,6 +23,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -47,16 +51,154 @@ func main() {
 		stream     = flag.Bool("stream", false, "framed streaming mode: constant memory, for inputs larger than RAM")
 		maxDecoded = flag.Int("max-decoded", 0, "decode budget in bytes for -d and -info (0 = 64 MiB; -1 = unlimited, for trusted files only)")
 		verify     = flag.Bool("verify", false, "with -c: decompress the result and byte-compare against the input before committing the output (roughly doubles runtime and holds a second copy in memory)")
+		integrity  = flag.Bool("integrity", false, "with -c: write the self-healing container layout (v3): per-chunk CRC32-C values and checksummed metadata")
+		parity     = flag.Int("parity", 0, "with -c: append one XOR parity chunk per N data chunks, making any single lost chunk per group repairable (implies -integrity; storage overhead ~1/N)")
+		scrub      = flag.Bool("scrub", false, "deep per-chunk integrity check of one compressed file; exit 0 clean, 12 damaged-but-repairable, 11 data lost, 10 metadata corrupt")
+		repair     = flag.Bool("repair", false, "rewrite a damaged container from its intact and parity-repaired chunks: fpcz -repair in.fpcz out.fpcz")
 	)
 	flag.Parse()
 
-	if err := run(*compress, *decompress, *info, *stats, *stream, *verify, *algName, *chunkSize, *parallel, *maxDecoded, *quiet, flag.Args()); err != nil {
+	if *scrub || *repair {
+		code, err := runIntegrity(*scrub, *repair, *maxDecoded, *parallel, *quiet, flag.Args())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpcz:", err)
+		}
+		os.Exit(code)
+	}
+	if err := run(*compress, *decompress, *info, *stats, *stream, *verify, *algName, *chunkSize, *parallel, *maxDecoded, *integrity, *parity, *quiet, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "fpcz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(compress, decompress, info, stats, stream, verify bool, algName string, chunkSize, parallel, maxDecoded int, quiet bool, args []string) error {
+// Exit codes for the integrity modes (-scrub, -repair), shared with
+// fpcvalidate so scripts can branch on severity uniformly.
+const (
+	exitOK            = 0  // every chunk verified clean
+	exitUsage         = 1  // usage or I/O error, nothing said about the data
+	exitHeaderCorrupt = 10 // metadata unusable: nothing in the file can be located
+	exitChunkCorrupt  = 11 // chunk data lost beyond repair
+	exitRepairable    = 12 // damage present but fully recovered from parity
+)
+
+// runIntegrity dispatches -scrub and -repair, returning the process exit
+// code (see the exit* constants).
+func runIntegrity(scrub, repair bool, maxDecoded, parallel int, quiet bool, args []string) (int, error) {
+	switch {
+	case scrub && repair:
+		return exitUsage, fmt.Errorf("-scrub and -repair are mutually exclusive (scrub first, then repair)")
+	case scrub:
+		if len(args) != 1 {
+			return exitUsage, fmt.Errorf("-scrub needs exactly one file")
+		}
+		return scrubFile(args[0], maxDecoded, quiet)
+	default:
+		if len(args) != 2 {
+			return exitUsage, fmt.Errorf("-repair needs an input and an output file")
+		}
+		return repairFile(args[0], args[1], maxDecoded, parallel, quiet)
+	}
+}
+
+// classifyPartialErr maps a DecompressPartial failure to an exit code:
+// anything that makes the metadata unusable is exitHeaderCorrupt, a
+// whole-input pre-stage that cannot survive damage is data loss, and
+// budget/IO problems say nothing about the file.
+func classifyPartialErr(err error) int {
+	switch {
+	case errors.Is(err, fpcompress.ErrPartialPreStage):
+		return exitChunkCorrupt
+	case errors.Is(err, fpcompress.ErrDecodeBudget):
+		return exitUsage
+	default:
+		return exitHeaderCorrupt
+	}
+}
+
+// reportCode maps a completed per-chunk report to an exit code.
+func reportCode(rep *fpcompress.ChunkReport) int {
+	c := rep.Counts()
+	switch {
+	case c.Quarantined > 0 || c.Unverified > 0:
+		return exitChunkCorrupt
+	case c.Repaired > 0:
+		return exitRepairable
+	}
+	return exitOK
+}
+
+// scrubFile deep-verifies one compressed file chunk by chunk and prints a
+// per-chunk damage report.
+func scrubFile(path string, maxDecoded int, quiet bool) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return exitUsage, err
+	}
+	_, rep, err := fpcompress.DecompressPartial(data, &fpcompress.Options{MaxDecodedSize: maxDecoded})
+	if err != nil {
+		return classifyPartialErr(err), fmt.Errorf("%s: %w", path, err)
+	}
+	if !quiet {
+		for i, s := range rep.States {
+			if s == fpcompress.ChunkOK {
+				continue
+			}
+			lo, hi := rep.Span(i)
+			fmt.Printf("%s: chunk %d [%d:%d): %v\n", path, i, lo, hi, s)
+		}
+	}
+	fmt.Printf("%s: v%d, %s\n", path, rep.Version, rep.Summary())
+	return reportCode(rep), nil
+}
+
+// repairFile decodes a damaged container (repairing from parity where it
+// can) and, if every byte was recovered, rewrites a pristine container
+// with the same layout parameters — chunk size, integrity tables, parity
+// grouping — so the output is what an undamaged writer would have
+// produced.
+func repairFile(inPath, outPath string, maxDecoded, parallel int, quiet bool) (int, error) {
+	data, err := os.ReadFile(inPath)
+	if err != nil {
+		return exitUsage, err
+	}
+	alg, err := fpcompress.CompressedAlgorithm(data)
+	if err != nil {
+		return exitHeaderCorrupt, fmt.Errorf("%s: %w", inPath, err)
+	}
+	dec, rep, err := fpcompress.DecompressPartial(data, &fpcompress.Options{MaxDecodedSize: maxDecoded})
+	if err != nil {
+		return classifyPartialErr(err), fmt.Errorf("%s: %w", inPath, err)
+	}
+	if code := reportCode(rep); code == exitChunkCorrupt {
+		return code, fmt.Errorf("%s: cannot repair, data lost beyond parity (%s)", inPath, rep.Summary())
+	}
+	blob, err := fpcompress.Compress(alg, dec, &fpcompress.Options{
+		ChunkSize:   rep.ChunkSize,
+		Parallelism: parallel,
+		Integrity:   rep.Version >= 3,
+		Parity:      rep.ParityGroup,
+	})
+	if err != nil {
+		return exitUsage, err
+	}
+	out, err := newAtomicOutput(outPath)
+	if err != nil {
+		return exitUsage, err
+	}
+	defer out.Abort()
+	if _, err := out.Write(blob); err != nil {
+		return exitUsage, err
+	}
+	if err := out.Commit(); err != nil {
+		return exitUsage, err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "repaired %s -> %s (%s)\n", inPath, outPath, rep.Summary())
+	}
+	return exitOK, nil
+}
+
+func run(compress, decompress, info, stats, stream, verify bool, algName string, chunkSize, parallel, maxDecoded int, integrity bool, parity int, quiet bool, args []string) error {
 	switch {
 	case info:
 		if len(args) != 1 {
@@ -74,6 +216,8 @@ func run(compress, decompress, info, stats, stream, verify bool, algName string,
 		return fmt.Errorf("-verify only applies to -c (decompression is already checksum-verified)")
 	case verify && stream:
 		return fmt.Errorf("-verify is not supported with -stream (the input is consumed as it is read); verify whole files instead")
+	case (integrity || parity != 0) && !compress:
+		return fmt.Errorf("-integrity and -parity only apply to -c (they choose the written layout)")
 	}
 
 	in, out, err := openFiles(args)
@@ -86,7 +230,7 @@ func run(compress, decompress, info, stats, stream, verify bool, algName string,
 	defer in.close()
 
 	if stream {
-		opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel, MaxDecodedSize: maxDecoded}
+		opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel, MaxDecodedSize: maxDecoded, Integrity: integrity, Parity: parity}
 		start := time.Now()
 		var n int64
 		if compress {
@@ -118,7 +262,7 @@ func run(compress, decompress, info, stats, stream, verify bool, algName string,
 	if err != nil {
 		return err
 	}
-	opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel, MaxDecodedSize: maxDecoded}
+	opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel, MaxDecodedSize: maxDecoded, Integrity: integrity, Parity: parity}
 	start := time.Now()
 	var result []byte
 	if compress {

@@ -1,6 +1,7 @@
 package fpcompress
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
@@ -25,13 +26,31 @@ func corpusFiles(t testing.TB) map[string][]byte {
 	return files
 }
 
+// selfHealingSeeds are corpus files whose damage the strict decoder
+// repairs transparently — a v3 container with one corrupt chunk per parity
+// group, or with damage confined to a parity block the clean data never
+// consults. For these, Decompress must SUCCEED; everything else in the
+// corpus must fail.
+var selfHealingSeeds = map[string]bool{
+	"v3-parity-repairable.bin":    true,
+	"v3-parity-chunk-corrupt.bin": true,
+}
+
 // TestCorruptCorpus replays every checked-in hostile container through the
 // public decode paths: each must fail with an error — no panic, no
-// over-allocation (the default 64 MiB budget applies). These files are
-// regression seeds for specific hardening fixes; see testdata/corrupt/README.md.
+// over-allocation (the default 64 MiB budget applies) — except the
+// self-healing seeds, which must decode despite their damage. These files
+// are regression seeds for specific hardening fixes; see
+// testdata/corrupt/README.md.
 func TestCorruptCorpus(t *testing.T) {
 	for name, data := range corpusFiles(t) {
 		t.Run(name, func(t *testing.T) {
+			if selfHealingSeeds[name] {
+				if _, err := Decompress(data, nil); err != nil {
+					t.Fatalf("strict decode failed to self-heal: %v", err)
+				}
+				return
+			}
 			if dec, err := Decompress(data, nil); err == nil {
 				t.Fatalf("Decompress accepted corrupt container (%d bytes out)", len(dec))
 			}
@@ -39,10 +58,13 @@ func TestCorruptCorpus(t *testing.T) {
 			if err != nil {
 				return // rejected at parse time: fine
 			}
-			// Parse-clean but chunk-corrupt: reads must error, not panic.
-			buf := make([]byte, 16)
+			// Parse-clean but damaged: a full scan must surface an error
+			// somewhere, not panic (the damage may sit past the first chunk).
+			// The declared length is hostile, so cap the scan allocation; the
+			// real seeds are all far smaller than the cap.
+			buf := make([]byte, min(ra.Len(), 1<<20))
 			if _, err := ra.ReadAt(buf, 0); err == nil && ra.Len() > 0 {
-				t.Error("ReadAt succeeded on corrupt chunk data")
+				t.Error("full random-access scan succeeded on corrupt container")
 			}
 		})
 	}
@@ -71,6 +93,141 @@ func TestCorruptCorpusBudgets(t *testing.T) {
 	} else {
 		t.Error("size-table-overflow.bin missing from corpus")
 	}
+}
+
+// TestCorruptCorpusV3 pins each self-healing (v3) seed to its intended
+// typed outcome, so a regression that turns localized damage into a
+// generic failure (or vice versa) cannot slip through.
+func TestCorruptCorpusV3(t *testing.T) {
+	files := corpusFiles(t)
+	get := func(name string) []byte {
+		t.Helper()
+		data, ok := files[name]
+		if !ok {
+			t.Fatalf("%s missing from corpus (run go run testdata/corrupt/gen.go)", name)
+		}
+		return data
+	}
+
+	t.Run("chunk-crc-flip", func(t *testing.T) {
+		data := get("v3-chunk-crc-flip.bin")
+		if _, err := Decompress(data, nil); !errors.Is(err, ErrChunkCorrupt) {
+			t.Errorf("strict decode: got %v, want ErrChunkCorrupt", err)
+		}
+		dec, rep, err := DecompressPartial(data, nil)
+		if err != nil {
+			t.Fatalf("partial decode: %v", err)
+		}
+		c := rep.Counts()
+		if c.Quarantined != 1 || c.OK != len(rep.States)-1 {
+			t.Errorf("report = %s, want exactly 1 quarantined", rep.Summary())
+		}
+		if len(dec) != rep.OriginalLen {
+			t.Errorf("partial decode returned %d bytes, report declares %d", len(dec), rep.OriginalLen)
+		}
+		for _, r := range rep.QuarantinedRanges() {
+			for _, b := range dec[r[0]:r[1]] {
+				if b != 0 {
+					t.Fatalf("quarantined range [%d:%d) not zero-filled", r[0], r[1])
+				}
+			}
+		}
+	})
+
+	t.Run("parity-repairable", func(t *testing.T) {
+		data := get("v3-parity-repairable.bin")
+		_, rep, err := DecompressPartial(data, nil)
+		if err != nil {
+			t.Fatalf("partial decode: %v", err)
+		}
+		if c := rep.Counts(); c.Repaired != 1 || !rep.AllOK() {
+			t.Errorf("report = %s, want exactly 1 repaired and all intact", rep.Summary())
+		}
+	})
+
+	t.Run("torn-tail", func(t *testing.T) {
+		data := get("v3-torn-tail.bin")
+		if _, err := Decompress(data, nil); err == nil {
+			t.Error("strict decode accepted a torn container")
+		}
+		dec, rep, err := DecompressPartial(data, nil)
+		if err != nil {
+			t.Fatalf("partial decode: %v", err)
+		}
+		if c := rep.Counts(); c.Quarantined == 0 {
+			t.Errorf("report = %s, want the torn range quarantined", rep.Summary())
+		}
+		if len(dec) != rep.OriginalLen {
+			t.Errorf("partial decode returned %d bytes, report declares %d", len(dec), rep.OriginalLen)
+		}
+	})
+
+	t.Run("meta-crc-flip", func(t *testing.T) {
+		data := get("v3-meta-crc-flip.bin")
+		if _, _, err := DecompressPartial(data, nil); !errors.Is(err, ErrHeaderCorrupt) {
+			t.Errorf("partial decode: got %v, want ErrHeaderCorrupt (unverifiable metadata is fatal)", err)
+		}
+	})
+
+	t.Run("scheme-bitflip", func(t *testing.T) {
+		// v2's scheme table is unprotected (caught only at routing); v3's is
+		// under the metadata CRC, so the flip is rejected up front.
+		data := get("v3-scheme-bitflip.bin")
+		if _, _, err := DecompressPartial(data, nil); !errors.Is(err, ErrHeaderCorrupt) {
+			t.Errorf("partial decode: got %v, want ErrHeaderCorrupt", err)
+		}
+	})
+}
+
+// FuzzDecompressPartial drives the degraded decoder with mutated
+// containers: it must never panic, must respect the decode budget, and on
+// success its ChunkReport must be consistent with the returned bytes —
+// declared length honored, quarantined ranges zero-filled, and agreement
+// with the strict decoder whenever that one succeeds.
+func FuzzDecompressPartial(f *testing.F) {
+	for _, data := range corpusFiles(f) {
+		f.Add(data)
+	}
+	vals := make([]float32, 5000)
+	for i := range vals {
+		vals[i] = float32(i%89) * 0.25
+	}
+	blob, err := CompressFloat32s(SPspeed, vals, &Options{ChunkSize: 4096, Parity: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	opts := &Options{MaxDecodedSize: 1 << 20}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, rep, err := DecompressPartial(data, opts)
+		if err != nil {
+			return // refused outright; the only contract is no panic
+		}
+		if rep == nil {
+			t.Fatal("successful partial decode returned a nil report")
+		}
+		if len(dec) > 1<<20 {
+			t.Fatalf("decoded %d bytes past the 1 MiB budget", len(dec))
+		}
+		if len(dec) != rep.OriginalLen {
+			t.Fatalf("returned %d bytes but the report declares %d", len(dec), rep.OriginalLen)
+		}
+		for _, r := range rep.QuarantinedRanges() {
+			for _, b := range dec[r[0]:r[1]] {
+				if b != 0 {
+					t.Fatalf("quarantined range [%d:%d) not zero-filled", r[0], r[1])
+				}
+			}
+		}
+		if strict, serr := Decompress(data, opts); serr == nil {
+			if !bytes.Equal(dec, strict) {
+				t.Fatal("partial and strict decode disagree on an intact container")
+			}
+			if !rep.AllOK() {
+				t.Fatalf("strict decode succeeded but the report claims damage: %s", rep.Summary())
+			}
+		}
+	})
 }
 
 // FuzzContainerDecompress mutates the corrupt corpus (and a valid

@@ -96,6 +96,19 @@ type Options struct {
 	// negative means no bound — only for trusted local data, never for
 	// bytes that crossed a network.
 	MaxDecodedSize int
+	// Integrity selects the self-healing container layout (format v3): the
+	// per-chunk CRC32-C table is stored instead of discarded, and all
+	// metadata (header, size table, scheme table) is covered by its own
+	// CRC32-C. Costs 4 bytes per chunk. v3 blocks verify every random-access
+	// read, localize corruption to single chunks, and support
+	// DecompressPartial's repair/quarantine semantics. Implied by Parity.
+	Integrity bool
+	// Parity > 0 additionally appends one XOR parity chunk per group of
+	// Parity data chunks (RAID-5-style), letting decode transparently
+	// reconstruct any single lost or corrupt chunk per group. Storage
+	// overhead is roughly 1/Parity of the original data size; Parity = 8
+	// is a reasonable durability/overhead midpoint.
+	Parity int
 }
 
 // DefaultMaxDecodedSize is the decode budget applied when
@@ -110,6 +123,8 @@ func (o *Options) params() container.Params {
 		ChunkSize:   o.ChunkSize,
 		Parallelism: o.Parallelism,
 		MaxDecoded:  o.MaxDecodedSize,
+		Integrity:   o.Integrity,
+		Parity:      o.Parity,
 	}
 }
 
@@ -161,6 +176,63 @@ func AppendDecompress(dst []byte, data []byte, opts *Options) ([]byte, error) {
 		return nil, err
 	}
 	return a.DecompressAppend(dst, data, opts.params())
+}
+
+// ChunkState is the per-chunk outcome of a degraded decode.
+type ChunkState = container.ChunkState
+
+// Per-chunk outcomes reported by DecompressPartial and ReadAtPartial.
+const (
+	// ChunkSkipped marks a chunk a ranged read did not examine.
+	ChunkSkipped = container.ChunkSkipped
+	// ChunkOK marks a chunk that decoded and verified clean.
+	ChunkOK = container.ChunkOK
+	// ChunkRepaired marks a chunk reconstructed from XOR parity and
+	// re-verified against its stored CRC32-C.
+	ChunkRepaired = container.ChunkRepaired
+	// ChunkQuarantined marks a chunk lost beyond repair; its output span is
+	// zero-filled.
+	ChunkQuarantined = container.ChunkQuarantined
+	// ChunkUnverified marks a chunk that decoded structurally but whose
+	// integrity cannot be established (v1/v2 blocks under damage).
+	ChunkUnverified = container.ChunkUnverified
+)
+
+// ChunkReport is the per-chunk outcome of a degraded decode: one ChunkState
+// per chunk plus the Span/Counts/AllOK/QuarantinedRanges helpers.
+type ChunkReport = container.Report
+
+// ErrHeaderCorrupt reports a self-healing (v3) block whose metadata failed
+// its own CRC32-C: nothing in it can be trusted, so even DecompressPartial
+// refuses it.
+var ErrHeaderCorrupt = container.ErrHeaderChecksum
+
+// ErrChunkCorrupt reports chunk-level corruption beyond parity repair in a
+// strict Decompress of a self-healing (v3) block. DecompressPartial
+// quarantines such chunks instead of failing.
+var ErrChunkCorrupt = container.ErrChunkCorrupt
+
+// ErrPartialPreStage reports a degraded block compressed by an algorithm
+// with a whole-input pre-stage (DPratio): damage cannot be localized past
+// the pre-stage, so no partial output is possible.
+var ErrPartialPreStage = core.ErrPreStagePartial
+
+// DecompressPartial is Decompress for damaged blocks: it verifies chunk by
+// chunk, transparently repairs from parity where the block carries it,
+// zero-fills what it cannot recover, and returns the decoded bytes together
+// with a per-chunk ChunkReport instead of one fatal error. The error is
+// non-nil only when nothing can be salvaged: unparseable or
+// checksum-failed metadata (ErrHeaderCorrupt), a declared output beyond
+// the decode budget, or a pre-stage algorithm under damage
+// (ErrPartialPreStage). Note that plain Decompress already self-heals v3
+// blocks when parity suffices — reach for DecompressPartial when it
+// returns ErrChunkCorrupt and partial data is better than none.
+func DecompressPartial(data []byte, opts *Options) ([]byte, *ChunkReport, error) {
+	a, err := core.FromContainer(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a.DecompressPartialAppend(nil, data, opts.params())
 }
 
 // CompressedAlgorithm reports which algorithm produced a compressed block.

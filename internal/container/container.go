@@ -40,9 +40,24 @@ var magic = [4]byte{'F', 'P', 'C', 'Z'}
 // pipeline encoded each chunk, so one container can mix pipelines and
 // decode routes per chunk. Fixed algorithms keep writing version 1
 // byte-identically.
+//
+// formatVersionV3 is the opt-in self-healing layout (Params.Integrity /
+// Params.Parity): a flags byte, the per-chunk CRC32-C table the engine
+// already computes, optional XOR parity groups, and a metadata CRC32-C
+// covering everything before the payload (closing the v1/v2 gap where the
+// size and scheme tables sat outside any checksum). See integrity.go.
 const (
 	formatVersion   = 1
 	formatVersionV2 = 2
+	formatVersionV3 = 3
+)
+
+// v3 header flag bits. Unknown bits are rejected: they would change the
+// layout in ways this decoder cannot skip.
+const (
+	flagSchemes   byte = 1 << 0 // per-chunk scheme table present
+	flagParity    byte = 1 << 1 // XOR parity groups present
+	flagKnownMask      = flagSchemes | flagParity
 )
 
 // ErrFormat reports an invalid or corrupt container.
@@ -124,6 +139,17 @@ type Params struct {
 	// length before any allocation. 0 means DefaultMaxDecoded; negative
 	// means no bound (trusted input only).
 	MaxDecoded int
+	// Integrity selects container format v3: the per-chunk CRC32-C table is
+	// stored (instead of folded into the whole-input CRC and discarded) and
+	// the header, size table, and scheme table are covered by their own
+	// CRC32-C. Costs 4 bytes per chunk plus 5 header bytes. Implied by
+	// Parity > 0.
+	Integrity bool
+	// Parity > 0 additionally appends one XOR parity chunk per group of
+	// Parity data chunks, letting decode reconstruct any single lost or
+	// corrupt chunk per group. Overhead is ~ChunkSize/Parity bytes per
+	// chunk-size worth of input plus 4 bytes per group.
+	Parity int
 }
 
 func (p Params) chunkSize() int {
@@ -161,8 +187,8 @@ func (p Params) workers(nChunks int) int {
 
 // Header describes a parsed container.
 type Header struct {
-	// Version is the container layout version (1, or 2 when the container
-	// carries a per-chunk scheme table).
+	// Version is the container layout version (1; 2 when the container
+	// carries a per-chunk scheme table; 3 for the self-healing layout).
 	Version     byte
 	Algorithm   byte
 	OriginalLen int
@@ -171,17 +197,35 @@ type Header struct {
 	// CRC is the CRC32-C of the original (pre-compression) bytes; verified
 	// after decompression so corruption that survives decoding is caught.
 	CRC uint32
+	// Flags is the v3 flags byte (0 for v1/v2).
+	Flags byte
+	// ParityGroup is the v3 parity group size N (one XOR parity chunk per N
+	// data chunks); 0 when the container carries no parity.
+	ParityGroup int
 	// entries[i] = compressed size <<1 | compressedFlag
 	entries []uint64
-	// schemes is the v2 per-chunk scheme table (nil for v1); it aliases the
-	// parsed container.
+	// schemes is the per-chunk scheme table (v2 always, v3 when flagged;
+	// nil otherwise); it aliases the parsed container.
 	schemes []byte
+	// chunkCRCs is the v3 per-chunk CRC32-C table (4 LE bytes per chunk,
+	// hashing each chunk's *original* bytes); nil for v1/v2. Aliases the
+	// parsed container.
+	chunkCRCs []byte
+	// parityCRCs is the v3 per-group parity-chunk CRC32-C table (4 LE bytes
+	// per group, hashing the stored parity bytes); nil without parity.
+	parityCRCs []byte
 	// offsets is the prefix sum over stored chunk sizes, computed once in
 	// Parse: chunk i's bytes are payload[offsets[i]:offsets[i+1]]. Cached
 	// so per-chunk random access is O(1) instead of a linear rescan.
 	offsets []int
-	// payload is the concatenated chunk data.
+	// payload is the concatenated chunk data. A salvage (lenient) parse of a
+	// torn container may leave it shorter than the size table's total; the
+	// strict parse guarantees it complete.
 	payload []byte
+	// parity is the v3 parity payload region following the data payload
+	// (group g's bytes occupy [g*ChunkSize, g*ChunkSize+parityLen(g))); it
+	// too may be short after a salvage parse.
+	parity []byte
 }
 
 // ChunkScheme returns chunk i's scheme byte: 0 for raw chunks and for
@@ -245,6 +289,8 @@ type engineState struct {
 	pos     []int    // chunk i's offset within the payload (prefix sum of sizes)
 	crcs    []uint32 // CRC32-C of chunk i's original bytes
 	arenas  [][]byte // per-worker append-only encode arenas
+	parity  []byte   // concatenated XOR parity blocks (v3 parity encodes only)
+	pcrcs   []uint32 // CRC32-C of each parity block
 }
 
 var enginePool = sync.Pool{New: func() any { return new(engineState) }}
@@ -303,9 +349,24 @@ func CompressAppend(dst, src []byte, algID byte, codec Codec, p Params) []byte {
 	defer putEngineState(st)
 	ic, hasInto := codec.(IntoCodec)
 	sc, hasScheme := codec.(SchemeCodec)
+	parityN := p.Parity
+	if parityN < 0 {
+		parityN = 0
+	}
+	integrity := p.Integrity || parityN > 0
 	version := byte(formatVersion)
 	if hasScheme {
 		version = formatVersionV2
+	}
+	var flags byte
+	if integrity {
+		version = formatVersionV3
+		if hasScheme {
+			flags |= flagSchemes
+		}
+		if parityN > 0 {
+			flags |= flagParity
+		}
 	}
 
 	var next atomic.Int64
@@ -370,21 +431,49 @@ func CompressAppend(dst, src []byte, algID byte, codec Codec, p Params) []byte {
 		crc = combineChunkCRCs(st.crcs, cs, lastLen)
 	}
 
+	// Parity blocks are built (and their CRCs taken) before the header is
+	// written because the parity CRC table lives in the checksummed metadata
+	// region; the blocks themselves land after the data payload.
+	if parityN > 0 {
+		st.buildParity(src, cs, parityN)
+	} else {
+		st.parity = st.parity[:0]
+		st.pcrcs = st.pcrcs[:0]
+	}
+
 	// Header and size table, laid out exactly as Assemble writes them (for
 	// v1); a v2 container additionally carries the scheme table between the
-	// size table and the payload.
-	dst = growCap(dst, total+len(st.sizes)*4+32)
+	// size table and the payload, and a v3 container the flags byte, the
+	// integrity tables, and a metadata CRC (see integrity.go).
+	start := len(dst)
+	dst = growCap(dst, total+len(st.parity)+len(st.sizes)*4+4*nChunks+4*len(st.pcrcs)+40)
 	dst = append(dst, magic[:]...)
 	dst = append(dst, version, algID)
 	dst = append(dst, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+	if integrity {
+		dst = append(dst, flags)
+	}
 	dst = bitio.AppendUvarint(dst, uint64(len(src)))
 	dst = bitio.AppendUvarint(dst, uint64(cs))
 	dst = bitio.AppendUvarint(dst, uint64(nChunks))
+	if parityN > 0 {
+		dst = bitio.AppendUvarint(dst, uint64(parityN))
+	}
 	for i, s := range st.sizes {
 		dst = bitio.AppendUvarint(dst, uint64(s)<<1|uint64(st.flags[i]))
 	}
 	if hasScheme {
 		dst = append(dst, st.schemes...)
+	}
+	if integrity {
+		for _, c := range st.crcs {
+			dst = append(dst, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+		}
+		for _, c := range st.pcrcs {
+			dst = append(dst, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+		}
+		m := crc32.Checksum(dst[start:], crcTable)
+		dst = append(dst, byte(m), byte(m>>8), byte(m>>16), byte(m>>24))
 	}
 
 	// Parallel scatter: workers copy chunk outputs (and raw chunks straight
@@ -407,7 +496,7 @@ func CompressAppend(dst, src []byte, algID byte, codec Codec, p Params) []byte {
 		for i := 0; i < nChunks; i++ {
 			scatter(i)
 		}
-		return dst
+		return append(dst, st.parity...)
 	}
 	next.Store(0)
 	for w := 0; w < nw; w++ {
@@ -424,7 +513,7 @@ func CompressAppend(dst, src []byte, algID byte, codec Codec, p Params) []byte {
 		}()
 	}
 	wg.Wait()
-	return dst
+	return append(dst, st.parity...)
 }
 
 // Assemble builds the v1 container byte layout from already-compressed
@@ -463,7 +552,20 @@ func ChecksumOf(src []byte) uint32 { return crc32.Checksum(src, crcTable) }
 // larger than O(len(data)).
 func Parse(data []byte) (*Header, error) {
 	h := new(Header)
-	if err := h.parse(data); err != nil {
+	if err := h.parse(data, false); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// ParseSalvage is Parse for damaged containers: the metadata (header, size
+// table, scheme table, and for v3 the integrity tables under their own
+// CRC32-C) must still be intact, but a payload cut short by truncation or a
+// torn write is tolerated — the missing chunks simply read as unavailable.
+// Used by the degraded-decode layer and the scrub/repair tools.
+func ParseSalvage(data []byte) (*Header, error) {
+	h := new(Header)
+	if err := h.parse(data, true); err != nil {
 		return nil, err
 	}
 	return h, nil
@@ -478,28 +580,56 @@ var headerPool = sync.Pool{New: func() any { return new(Header) }}
 func putHeader(h *Header) {
 	h.payload = nil
 	h.schemes = nil
+	h.chunkCRCs = nil
+	h.parityCRCs = nil
+	h.parity = nil
 	headerPool.Put(h)
 }
 
 // parse is Parse into an existing (possibly recycled) header, reusing its
-// entry and offset tables when they are large enough.
-func (h *Header) parse(data []byte) error {
+// entry and offset tables when they are large enough. With lenient set, a
+// payload (or parity region) shorter than the metadata declares is
+// tolerated — salvage mode for torn containers; the metadata itself must
+// always be intact and, for v3, pass its own CRC32-C.
+func (h *Header) parse(data []byte, lenient bool) error {
 	if len(data) < 10 || [4]byte(data[:4]) != magic {
 		return fmt.Errorf("%w: bad magic", ErrFormat)
 	}
-	if data[4] != formatVersion && data[4] != formatVersionV2 {
+	switch data[4] {
+	case formatVersion, formatVersionV2, formatVersionV3:
+	default:
 		return fmt.Errorf("%w: unsupported version %d", ErrFormat, data[4])
 	}
 	h.Version = data[4]
 	h.Algorithm = data[5]
 	h.CRC = uint32(data[6]) | uint32(data[7])<<8 | uint32(data[8])<<16 | uint32(data[9])<<24
+	h.Flags = 0
+	h.ParityGroup = 0
 	pos := 10
+	if h.Version == formatVersionV3 {
+		if len(data) < 11 {
+			return fmt.Errorf("%w: truncated v3 header", ErrFormat)
+		}
+		h.Flags = data[10]
+		if h.Flags&^byte(flagKnownMask) != 0 {
+			return fmt.Errorf("%w: unknown v3 flags %#02x", ErrFormat, h.Flags)
+		}
+		pos = 11
+	}
 	for _, dst := range []*int{&h.OriginalLen, &h.ChunkSize, &h.ChunkCount} {
 		v, n := bitio.Uvarint(data[pos:])
 		if n == 0 || v > uint64(1)<<56 {
 			return fmt.Errorf("%w: bad header varint", ErrFormat)
 		}
 		*dst = int(v)
+		pos += n
+	}
+	if h.Flags&flagParity != 0 {
+		v, n := bitio.Uvarint(data[pos:])
+		if n == 0 || v == 0 || v > uint64(1)<<32 {
+			return fmt.Errorf("%w: bad parity group size", ErrFormat)
+		}
+		h.ParityGroup = int(v)
 		pos += n
 	}
 	if h.ChunkSize <= 0 {
@@ -525,7 +655,14 @@ func (h *Header) parse(data []byte) error {
 	// Accumulate the size table in uint64 and bound every entry and the
 	// running total by the container length, so no crafted entry sequence
 	// can overflow int and sneak past the payload-length equality check.
+	// A salvage parse must accept sizes beyond the (torn) container, so it
+	// bounds them by the varint cap instead: offsets stay far from int
+	// overflow, and chunks past the available bytes simply read as
+	// unavailable.
 	limit := uint64(len(data))
+	if lenient {
+		limit = uint64(1) << 56
+	}
 	var total uint64
 	for i := range h.entries {
 		v, n := bitio.Uvarint(data[pos:])
@@ -542,7 +679,10 @@ func (h *Header) parse(data []byte) error {
 		pos += n
 	}
 	h.schemes = nil
-	if h.Version == formatVersionV2 {
+	h.chunkCRCs = nil
+	h.parityCRCs = nil
+	h.parity = nil
+	if h.Version == formatVersionV2 || h.Flags&flagSchemes != 0 {
 		// The scheme table is one byte per chunk between the size table and
 		// the payload. Its presence is checked before the payload-length
 		// equality so a truncated table fails with its own error, and the
@@ -561,10 +701,48 @@ func (h *Header) parse(data []byte) error {
 			}
 		}
 	}
-	if uint64(len(data)-pos) != total {
-		return fmt.Errorf("%w: payload is %d bytes, size table says %d", ErrFormat, len(data)-pos, total)
+	if h.Version == formatVersionV3 {
+		// Integrity tables: the per-chunk CRC32-C table, the per-group
+		// parity CRC table, then a metadata CRC32-C covering every byte so
+		// far. The metadata CRC is what makes the rest trustworthy — a
+		// flipped bit in the size table, scheme table, or CRC tables is
+		// detected here as localized header corruption instead of decoding
+		// through garbage offsets.
+		pc := h.parityGroups()
+		need := 4*h.ChunkCount + 4*pc + 4
+		if len(data)-pos < need {
+			return fmt.Errorf("%w: truncated integrity tables (%d bytes left, need %d)", ErrFormat, len(data)-pos, need)
+		}
+		h.chunkCRCs = data[pos : pos+4*h.ChunkCount]
+		pos += 4 * h.ChunkCount
+		if pc > 0 {
+			h.parityCRCs = data[pos : pos+4*pc]
+			pos += 4 * pc
+		}
+		stored := uint32(data[pos]) | uint32(data[pos+1])<<8 | uint32(data[pos+2])<<16 | uint32(data[pos+3])<<24
+		if got := crc32.Checksum(data[:pos], crcTable); got != stored {
+			return fmt.Errorf("%w: got %08x, header says %08x", ErrHeaderChecksum, got, stored)
+		}
+		pos += 4
 	}
-	h.payload = data[pos:]
+	parityTotal := uint64(h.ParityPayloadLen())
+	switch avail := uint64(len(data) - pos); {
+	case avail == total+parityTotal:
+		// Complete container.
+	case lenient && avail < total+parityTotal:
+		// Torn container: payload and/or parity region cut short. The
+		// decode layer checks availability chunk by chunk.
+	case avail < total+parityTotal:
+		return fmt.Errorf("%w: payload is %d bytes, size table says %d", ErrFormat, avail, total+parityTotal)
+	default:
+		return fmt.Errorf("%w: %d payload bytes, size table says %d", ErrFormat, avail, total+parityTotal)
+	}
+	dataEnd := pos + int(total)
+	if dataEnd > len(data) {
+		dataEnd = len(data)
+	}
+	h.payload = data[pos:dataEnd]
+	h.parity = data[dataEnd:]
 	return nil
 }
 
@@ -576,21 +754,21 @@ func (h *Header) CompressedPayloadLen() int { return len(h.payload) }
 // decode budget. The allocation is refused, not attempted.
 var ErrBudget = errors.New("container: declared output exceeds decode budget")
 
-// schemeCodecFor validates the container version against the codec's
-// routing capability: a v2 container can only decode through a SchemeCodec
-// (its chunks name their pipelines), and a SchemeCodec can only decode v2
-// containers (a v1 container records no schemes to route by). It returns
-// the scheme router to use, nil for the v1 path.
+// schemeCodecFor validates the container's scheme table against the codec's
+// routing capability: a container carrying a scheme table (v2 always, v3
+// when flagged) can only decode through a SchemeCodec, and a SchemeCodec
+// can only decode containers that record schemes to route by. It returns
+// the scheme router to use, nil for the fixed-pipeline path.
 func (h *Header) schemeCodecFor(codec Codec) (SchemeCodec, error) {
 	sc, ok := codec.(SchemeCodec)
-	if h.Version >= formatVersionV2 {
+	if h.schemes != nil {
 		if !ok {
-			return nil, fmt.Errorf("%w: v2 container's algorithm %d does not route per-chunk schemes", ErrFormat, h.Algorithm)
+			return nil, fmt.Errorf("%w: v%d container's algorithm %d does not route per-chunk schemes", ErrFormat, h.Version, h.Algorithm)
 		}
 		return sc, nil
 	}
 	if ok {
-		return nil, fmt.Errorf("%w: v1 container carries no scheme table for algorithm %d", ErrFormat, h.Algorithm)
+		return nil, fmt.Errorf("%w: v%d container carries no scheme table for algorithm %d", ErrFormat, h.Version, h.Algorithm)
 	}
 	return nil, nil
 }
@@ -679,7 +857,7 @@ func (h *Header) decodeChunkInto(i int, span, enc []byte, codec Codec, ic IntoCo
 func DecompressAppend(dst []byte, data []byte, codec Codec, p Params) ([]byte, error) {
 	h := headerPool.Get().(*Header)
 	defer putHeader(h)
-	if err := h.parse(data); err != nil {
+	if err := h.parse(data, false); err != nil {
 		return nil, err
 	}
 	if budget := p.DecodeBudget(); budget >= 0 && h.OriginalLen > budget {
@@ -688,6 +866,13 @@ func DecompressAppend(dst []byte, data []byte, codec Codec, p Params) ([]byte, e
 	sc, err := h.schemeCodecFor(codec)
 	if err != nil {
 		return nil, err
+	}
+	if h.Version >= formatVersionV3 {
+		// The self-healing layout verifies chunk by chunk against the stored
+		// CRC table and transparently repairs single-chunk-per-group damage
+		// from parity; anything beyond that is a typed ErrChunkCorrupt.
+		rep := &Report{}
+		return h.decodeResilient(dst, codec, sc, p, rep, true)
 	}
 	base := len(dst)
 	dst = growExact(dst, h.OriginalLen)
@@ -743,6 +928,10 @@ func (h *Header) ChunkPayload(i int) ([]byte, bool, error) {
 	if i < 0 || i >= h.ChunkCount {
 		return nil, false, fmt.Errorf("%w: chunk %d of %d", ErrFormat, i, h.ChunkCount)
 	}
+	if h.offsets[i+1] > len(h.payload) {
+		// Only possible on a salvage-parsed (torn) container.
+		return nil, false, fmt.Errorf("%w: chunk %d bytes missing (torn container)", ErrChunkCorrupt, i)
+	}
 	return h.payload[h.offsets[i]:h.offsets[i+1]], h.entries[i]&1 == 0, nil
 }
 
@@ -768,13 +957,32 @@ func (h *Header) DecompressChunkLimit(i int, codec Codec, maxDecoded int) ([]byt
 	if maxDecoded >= 0 && hi-lo > maxDecoded {
 		return nil, fmt.Errorf("%w: chunk %d spans %d bytes, budget %d", ErrBudget, i, hi-lo, maxDecoded)
 	}
+	if h.offsets[i+1] > len(h.payload) {
+		// Only possible on a salvage-parsed (torn) container.
+		return nil, fmt.Errorf("%w: chunk %d bytes missing (torn container)", ErrChunkCorrupt, i)
+	}
 	sc, err := h.schemeCodecFor(codec)
 	if err != nil {
 		return nil, err
 	}
 	dec, err := h.decodeChunk(i, h.payload[h.offsets[i]:h.offsets[i+1]], codec, sc)
 	if err != nil {
+		if h.chunkCRCs != nil {
+			// v3: a chunk that fails to decode is chunk-level corruption —
+			// typed so callers can distinguish it from header damage and
+			// attempt a parity repair.
+			return nil, fmt.Errorf("%w: %w", ErrChunkCorrupt, err)
+		}
 		return nil, err
+	}
+	if stored, ok := h.ChunkCRC(i); ok {
+		// v3: every random-access read is end-to-end verified against the
+		// stored per-chunk CRC — including raw chunks, which v1/v2 cannot
+		// check at all outside a whole-container decode.
+		if got := crc32.Checksum(dec, crcTable); got != stored {
+			return nil, fmt.Errorf("%w: chunk %d CRC %08x, header says %08x", ErrChunkCorrupt, i, got, stored)
+		}
+		countVerified.Add(1)
 	}
 	if h.entries[i]&1 == 0 {
 		// Raw chunks alias the container; copy so callers own the bytes.

@@ -210,6 +210,63 @@ func (a *Algorithm) DecompressAppend(dst []byte, data []byte, p container.Params
 	return out, err
 }
 
+// ErrPreStagePartial reports a degraded container whose algorithm runs a
+// whole-input pre-stage (DPratio's FCM): a quarantined chunk poisons every
+// later byte of the pre-stage stream, so no partial reconstruction is
+// possible. The accompanying Report still localizes the damage (its chunk
+// indices refer to the encoded pre-stage stream).
+var ErrPreStagePartial = errors.New("core: whole-input pre-stage cannot decode a degraded container")
+
+// DecompressPartial is the degraded-decode entry point: best-effort
+// decoding of a damaged container with a per-chunk container.Report. See
+// container.DecompressPartial for the chunk semantics; for pre-stage
+// algorithms the report must come back fully intact (repairs included) or
+// the decode fails with ErrPreStagePartial.
+func (a *Algorithm) DecompressPartial(data []byte, p container.Params) ([]byte, *container.Report, error) {
+	return a.DecompressPartialAppend(nil, data, p)
+}
+
+// DecompressPartialAppend is DecompressPartial appending to dst (which may
+// be nil), with append-semantics buffer ownership.
+func (a *Algorithm) DecompressPartialAppend(dst, data []byte, p container.Params) ([]byte, *container.Report, error) {
+	id, err := container.AlgorithmID(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ID(id) != a.ID {
+		return nil, nil, fmt.Errorf("%w: container says %s, decoding as %s", ErrUnknownAlgorithm, ID(id), a.ID)
+	}
+	budget := p.DecodeBudget()
+	if a.Pre == nil {
+		return container.DecompressPartialAppend(dst, data, a.ChunkCodec(), p)
+	}
+	cp := p
+	if budget >= 0 {
+		if f, ok := a.Pre.(interface{ EncodedCap(int) int }); ok && budget < math.MaxInt/2-16 {
+			cp.MaxDecoded = f.EncodedCap(budget)
+		} else {
+			cp.MaxDecoded = -1 // unknown expansion: the pre-stage enforces the budget below
+		}
+	}
+	pb := preBufPool.Get().(*[]byte)
+	buf, rep, err := container.DecompressPartialAppend((*pb)[:0], data, a.ChunkCodec(), cp)
+	if err != nil {
+		preBufPool.Put(pb)
+		return nil, rep, err
+	}
+	*pb = buf
+	if !rep.AllOK() {
+		preBufPool.Put(pb)
+		return nil, rep, fmt.Errorf("%w: %s (%s)", ErrPreStagePartial, a.ID, rep.Summary())
+	}
+	out, err := a.Pre.InverseInto(dst, buf, budget)
+	preBufPool.Put(pb)
+	if err != nil {
+		return nil, rep, err
+	}
+	return out, rep, nil
+}
+
 // chunkCodec adapts a transform pipeline to the container.IntoCodec
 // interface, so the engine can hand each chunk its exact decoded size as
 // an allocation bound and encode/decode chunks without per-chunk buffers.

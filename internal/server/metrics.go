@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fpcompress/internal/container"
 	"fpcompress/internal/selector"
 )
 
@@ -90,6 +91,7 @@ type metrics struct {
 	slowClients   atomic.Uint64 // connections dropped by the read timeout
 	inflightBytes atomic.Int64  // payload bytes admitted and not yet answered
 	bytesRejected atomic.Uint64 // requests refused by the in-flight byte budget
+	degraded      atomic.Uint64 // StatusPartial responses served in degraded mode
 	ops           [4]opMetrics  // index 0 unused; 1..3 = compress, decompress, stats
 }
 
@@ -144,6 +146,14 @@ type Snapshot struct {
 	AutoSelection     map[string]uint64 `json:"auto_selection,omitempty"`
 	AutoReencodeTried uint64            `json:"auto_reencode_tried"`
 	AutoReencodeKept  uint64            `json:"auto_reencode_kept"`
+	// Self-healing container activity: StatusPartial responses served by
+	// this server, plus the process-wide chunk integrity counters from
+	// internal/container (verified against stored CRCs, reconstructed from
+	// parity, lost beyond repair).
+	DegradedResponses uint64 `json:"degraded_responses"`
+	ChunksVerified    uint64 `json:"chunks_verified"`
+	ChunksRepaired    uint64 `json:"chunks_repaired"`
+	ChunksQuarantined uint64 `json:"chunks_quarantined"`
 }
 
 func (m *metrics) snapshot(concurrency, queueDepth int) Snapshot {
@@ -183,5 +193,10 @@ func (m *metrics) snapshot(concurrency, queueDepth int) Snapshot {
 	}
 	s.AutoReencodeTried = sel.ReencodeTried
 	s.AutoReencodeKept = sel.ReencodeKept
+	rc := container.Counters()
+	s.DegradedResponses = m.degraded.Load()
+	s.ChunksVerified = rc.Verified
+	s.ChunksRepaired = rc.Repaired
+	s.ChunksQuarantined = rc.Quarantined
 	return s
 }

@@ -86,6 +86,11 @@ const (
 	// the server's read timeout (slowloris defense). The connection is
 	// closed after this response; reconnect and resend faster.
 	StatusSlowClient Status = 6
+	// StatusPartial reports a degraded-mode decompression: the payload is
+	// real result data (like StatusOK), but one or more chunks of the
+	// container could not be verified or repaired and their byte ranges are
+	// zero-filled. Only sent when the server runs with Degraded enabled.
+	StatusPartial Status = 7
 )
 
 // String implements fmt.Stringer.
@@ -105,6 +110,8 @@ func (s Status) String() string {
 		return "payload too large"
 	case StatusSlowClient:
 		return "slow client"
+	case StatusPartial:
+		return "partial result"
 	}
 	return fmt.Sprintf("status(%d)", byte(s))
 }

@@ -71,6 +71,14 @@ type Config struct {
 	// goroutine and buffers while other connections keep serving.
 	// 0 = DefaultReadTimeout; negative = no limit.
 	ReadTimeout time.Duration
+	// Degraded enables best-effort serving of damaged containers: when a
+	// strict OpDecompress fails, the server retries through the degraded
+	// decoder (per-chunk verification, parity repair, quarantine) and, if
+	// anything is salvageable, answers StatusPartial with the partial data
+	// — quarantined byte ranges zero-filled — instead of StatusError.
+	// Off by default because partial data must be opted into, never
+	// silently substituted for an error.
+	Degraded bool
 	// MaxInflightBytes caps the sum of request payload bytes admitted and
 	// not yet answered, across all connections — a semaphore over bytes,
 	// not just job count, so N slow connections cannot each hold a
@@ -531,11 +539,14 @@ func (s *Server) execute(j *job) jobResult {
 	defer s.metrics.inflight.Add(-1)
 	start := time.Now()
 	out, buf, status, msg := s.runCodec(j)
-	s.metrics.record(j.op, start, len(j.payload), len(out), status == StatusOK)
-	if status != StatusOK {
+	// StatusPartial carries result data and counts as a (degraded) success;
+	// it is tallied separately in the degraded counter.
+	served := status == StatusOK || status == StatusPartial
+	s.metrics.record(j.op, start, len(j.payload), len(out), served)
+	if !served {
 		return jobResult{status: status, payload: []byte(msg)}
 	}
-	return jobResult{status: StatusOK, payload: out, buf: buf}
+	return jobResult{status: status, payload: out, buf: buf}
 }
 
 // runCodec executes the codec for one job, building the response payload in
@@ -577,6 +588,16 @@ func (s *Server) runCodec(j *job) (out []byte, buf *[]byte, status Status, msg s
 		}
 		buf = getPayloadBuf()
 		res, err := a.DecompressAppend((*buf)[:0], j.payload, s.cfg.params())
+		if err != nil && s.cfg.Degraded {
+			// Strict decode refused the container; salvage what verifies and
+			// answer StatusPartial so the client knows the data is incomplete
+			// (quarantined ranges zero-filled).
+			res, _, err = a.DecompressPartialAppend((*buf)[:0], j.payload, s.cfg.params())
+			if err == nil {
+				status = StatusPartial
+				s.metrics.degraded.Add(1)
+			}
+		}
 		if err != nil {
 			putPayloadBuf(buf)
 			buf, status, msg = nil, StatusError, err.Error()

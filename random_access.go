@@ -83,6 +83,69 @@ func (ra *RandomAccess) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
+// OpenRandomAccessPartial is OpenRandomAccess for damaged blocks: it
+// tolerates torn tails (payload bytes missing off the end) that strict
+// parsing rejects, so the surviving chunks stay readable via ReadAtPartial.
+// Self-healing (v3) metadata must still pass its own CRC32-C — with the
+// tables unverifiable nothing can be located, and ErrHeaderCorrupt is
+// returned.
+func OpenRandomAccessPartial(data []byte, opts *Options) (*RandomAccess, error) {
+	a, err := core.FromContainer(data)
+	if err != nil {
+		return nil, err
+	}
+	if a.Pre != nil {
+		return nil, ErrNoRandomAccess
+	}
+	h, err := container.ParseSalvage(data)
+	if err != nil {
+		return nil, err
+	}
+	return &RandomAccess{
+		header:     h,
+		codec:      a.ChunkCodec(),
+		maxDecoded: opts.params().DecodeBudget(),
+	}, nil
+}
+
+// ReadAtPartial is ReadAt for damaged blocks: chunk-level corruption is
+// repaired from XOR parity where the block carries it, and chunks lost
+// beyond repair are zero-filled in p instead of failing the read. The
+// returned ChunkReport records the outcome per chunk — chunks outside the
+// requested range stay ChunkSkipped. The error mirrors ReadAt's contract:
+// io.EOF when the read stops at end of data, and fatal conditions (a chunk
+// whose declared size exceeds the decode budget) abort with the bytes
+// recovered so far.
+func (ra *RandomAccess) ReadAtPartial(p []byte, off int64) (int, *ChunkReport, error) {
+	rep := ra.header.NewReport()
+	if off < 0 {
+		return 0, rep, fmt.Errorf("fpcompress: negative offset %d", off)
+	}
+	n := 0
+	cs := ra.header.ChunkSize
+	for n < len(p) && off+int64(n) < int64(ra.header.OriginalLen) {
+		pos := int(off) + n
+		ci := pos / cs
+		dec, state, err := ra.header.DecompressChunkRepair(ci, ra.codec, ra.maxDecoded)
+		rep.States[ci] = state
+		if state == ChunkQuarantined {
+			_, hi := rep.Span(ci)
+			m := min(hi-pos, len(p)-n)
+			clear(p[n : n+m])
+			n += m
+			continue
+		}
+		if err != nil {
+			return n, rep, err
+		}
+		n += copy(p[n:], dec[pos-ci*cs:])
+	}
+	if n < len(p) {
+		return n, rep, io.EOF
+	}
+	return n, rep, nil
+}
+
 // errShortRead is the typed error Float32At/Float64At return for requests
 // past the declared end of data. It wraps io.EOF (the cause is end of
 // data), so errors.Is works with either sentinel.

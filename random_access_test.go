@@ -188,3 +188,119 @@ func TestRandomAccessGarbage(t *testing.T) {
 		t.Error("garbage accepted")
 	}
 }
+
+// TestRandomAccessPartial exercises the degraded random-access path on a
+// damaged v3 container: reads through intact chunks repair or verify
+// transparently, reads through lost chunks zero-fill and quarantine, and
+// untouched chunks stay ChunkSkipped in the report.
+func TestRandomAccessPartial(t *testing.T) {
+	src := Float32Bytes(sampleFloats32(20000, 5))
+	cs := 4096
+
+	t.Run("parity-repair", func(t *testing.T) {
+		blob, err := Compress(SPspeed, src, &Options{ChunkSize: cs, Parity: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		corruptStoredChunk(t, blob, 1, 77)
+		ra, err := OpenRandomAccessPartial(blob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 3*cs)
+		n, rep, err := ra.ReadAtPartial(buf, 0)
+		if err != nil || n != len(buf) {
+			t.Fatalf("ReadAtPartial = %d, %v", n, err)
+		}
+		if !bytes.Equal(buf, src[:len(buf)]) {
+			t.Error("repairing read returned wrong bytes")
+		}
+		if rep.States[1] != ChunkRepaired {
+			t.Errorf("chunk 1 state = %v, want ChunkRepaired", rep.States[1])
+		}
+		if rep.States[0] != ChunkOK || rep.States[2] != ChunkOK {
+			t.Errorf("intact chunks = %v/%v, want ChunkOK", rep.States[0], rep.States[2])
+		}
+		for i := 3; i < len(rep.States); i++ {
+			if rep.States[i] != ChunkSkipped {
+				t.Fatalf("untouched chunk %d state = %v, want ChunkSkipped", i, rep.States[i])
+			}
+		}
+	})
+
+	t.Run("quarantine-zero-fill", func(t *testing.T) {
+		blob, err := Compress(SPspeed, src, &Options{ChunkSize: cs, Integrity: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		corruptStoredChunk(t, blob, 2, 78)
+		// The strict opener still accepts (the container parses); reads
+		// through the lost chunk must fail there, not return zeros.
+		raStrict, err := OpenRandomAccess(blob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := raStrict.ReadAt(make([]byte, cs), int64(2*cs)); err == nil {
+			t.Error("strict ReadAt returned data from a corrupt chunk")
+		}
+		ra, err := OpenRandomAccessPartial(blob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A read spanning chunks 1..3: intact parts byte-exact, the lost
+		// chunk zero-filled and quarantined.
+		buf := make([]byte, 3*cs)
+		n, rep, err := ra.ReadAtPartial(buf, int64(cs))
+		if err != nil || n != len(buf) {
+			t.Fatalf("ReadAtPartial = %d, %v", n, err)
+		}
+		if !bytes.Equal(buf[:cs], src[cs:2*cs]) || !bytes.Equal(buf[2*cs:], src[3*cs:4*cs]) {
+			t.Error("intact spans of the partial read differ from the original")
+		}
+		for _, b := range buf[cs : 2*cs] {
+			if b != 0 {
+				t.Fatal("quarantined span not zero-filled")
+			}
+		}
+		if rep.States[2] != ChunkQuarantined {
+			t.Errorf("chunk 2 state = %v, want ChunkQuarantined", rep.States[2])
+		}
+		if got := rep.Counts(); got.OK != 2 || got.Quarantined != 1 {
+			t.Errorf("report = %s, want 2 ok + 1 quarantined", rep.Summary())
+		}
+	})
+
+	t.Run("torn-container", func(t *testing.T) {
+		blob, err := Compress(SPspeed, src, &Options{ChunkSize: cs, Integrity: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		torn := blob[:len(blob)-7] // loses part of the final chunk
+		if _, err := OpenRandomAccess(torn, nil); err == nil {
+			t.Error("strict open accepted a torn container")
+		}
+		ra, err := OpenRandomAccessPartial(torn, nil)
+		if err != nil {
+			t.Fatalf("salvage open: %v", err)
+		}
+		// The head reads clean; the tail comes back zero-filled.
+		head := make([]byte, cs)
+		if _, rep, err := ra.ReadAtPartial(head, 0); err != nil || !bytes.Equal(head, src[:cs]) {
+			t.Fatalf("head read: %v (state %v)", err, rep.States[0])
+		}
+		last := len(src) / cs
+		tail := make([]byte, len(src)-last*cs)
+		n, rep, err := ra.ReadAtPartial(tail, int64(last*cs))
+		if err != nil || n != len(tail) {
+			t.Fatalf("tail read = %d, %v", n, err)
+		}
+		if rep.States[last] != ChunkQuarantined {
+			t.Errorf("torn chunk state = %v, want ChunkQuarantined", rep.States[last])
+		}
+		for _, b := range tail {
+			if b != 0 {
+				t.Fatal("torn span not zero-filled")
+			}
+		}
+	})
+}

@@ -166,6 +166,118 @@ func main() {
 	files["scheme-raw-conflict.bin"] = rawV2(256, 256, 1,
 		[]uint64{256 << 1}, []byte{3}, make([]byte, 256))
 
+	// Container v3 (self-healing layout) seeds: per-chunk CRCs, checksummed
+	// metadata, optional XOR parity. v3Layout walks the written layout to
+	// the structural offsets the mutations below need: metaEnd (one past
+	// the stored metadata CRC), the payload chunk offsets, and the start of
+	// the parity region.
+	v3Layout := func(blob []byte) (metaEnd int, chunkOffs []int, parityStart int) {
+		flags := blob[10]
+		pos := 11
+		next := func() uint64 {
+			v, n := bitio.Uvarint(blob[pos:])
+			pos += n
+			return v
+		}
+		next() // original length
+		next() // chunk size
+		count := next()
+		groups := uint64(0)
+		if flags&2 != 0 {
+			pn := next()
+			groups = (count + pn - 1) / pn
+		}
+		sizes := make([]int, count)
+		for i := range sizes {
+			sizes[i] = int(next() >> 1)
+		}
+		if flags&1 != 0 {
+			pos += int(count) // per-chunk scheme table
+		}
+		pos += 4*int(count) + 4*int(groups) + 4 // CRC tables + metadata CRC
+		metaEnd = pos
+		chunkOffs = []int{pos}
+		for _, s := range sizes {
+			pos += s
+			chunkOffs = append(chunkOffs, pos)
+		}
+		return metaEnd, chunkOffs, pos
+	}
+
+	// 32 KiB of data in 4 KiB chunks: 8 chunks, 2 parity groups of 4.
+	v3opts := func(parity int) *fpcompress.Options {
+		return &fpcompress.Options{ChunkSize: 4096, Integrity: true, Parity: parity}
+	}
+	v3i, err := fpcompress.CompressFloat32s(fpcompress.SPspeed, vals32, v3opts(0))
+	if err != nil {
+		panic(err)
+	}
+	v3p, err := fpcompress.CompressFloat32s(fpcompress.SPspeed, vals32, v3opts(4))
+	if err != nil {
+		panic(err)
+	}
+
+	// A flipped payload byte with no parity: the per-chunk CRC localizes it
+	// (strict decode fails with the typed chunk error; partial decode
+	// quarantines exactly that chunk and returns the rest).
+	cc := clone(v3i)
+	_, offs, _ := v3Layout(cc)
+	cc[offs[1]] ^= 0xFF
+	files["v3-chunk-crc-flip.bin"] = cc
+
+	// The same flip with parity: strict decode must SUCCEED, transparently
+	// reconstructing the chunk (see selfHealingSeeds in the corpus test).
+	pr := clone(v3p)
+	_, offs, _ = v3Layout(pr)
+	pr[offs[2]] ^= 0xFF
+	files["v3-parity-repairable.bin"] = pr
+
+	// A flipped byte inside a parity block while the data is clean: benign
+	// (strict decode succeeds without touching parity).
+	pc := clone(v3p)
+	_, _, pstart := v3Layout(pc)
+	pc[pstart] ^= 0xFF
+	files["v3-parity-chunk-corrupt.bin"] = pc
+
+	// A torn tail: the writer died mid-payload, taking part of the last
+	// chunk and all parity with it. Strict parse rejects; salvage parse
+	// accepts and partial decode quarantines the missing range.
+	tt := clone(v3p)
+	_, offs, _ = v3Layout(tt)
+	files["v3-torn-tail.bin"] = tt[:offs[len(offs)-1]-5]
+
+	// A flipped bit in the stored metadata CRC: nothing after the header
+	// can be trusted, so even partial decode refuses (typed header error).
+	mc := clone(v3i)
+	metaEnd, _, _ := v3Layout(mc)
+	mc[metaEnd-1] ^= 0x01
+	files["v3-meta-crc-flip.bin"] = mc
+
+	// A mutated scheme byte in a v3 auto container: unlike v2 (where the
+	// scheme table is unprotected and the mutation must be caught at
+	// routing), v3's metadata CRC covers the table and rejects up front.
+	auto32v3, err := fpcompress.CompressFloat32s(fpcompress.Auto32, vals32, v3opts(0))
+	if err != nil {
+		panic(err)
+	}
+	sv := clone(auto32v3)
+	if sv[10]&1 == 0 {
+		panic("expected a scheme table in the v3 auto container")
+	}
+	pos := 11
+	var cnt uint64
+	for i := 0; i < 3; i++ { // originalLen, chunkSize, chunkCount
+		v, n := bitio.Uvarint(sv[pos:])
+		cnt = v
+		pos += n
+	}
+	for i := uint64(0); i < cnt; i++ { // size table
+		_, n := bitio.Uvarint(sv[pos:])
+		pos += n
+	}
+	sv[pos] ^= 0xFF // first scheme byte
+	files["v3-scheme-bitflip.bin"] = sv
+
 	for name, data := range files {
 		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
 			panic(err)
