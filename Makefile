@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check purego fuzz-smoke chaos salvage scrub bench-server bench-core bench-auto bench-transforms bench-smoke fpcd clean
+.PHONY: all build test race vet check purego noasm crossarm fuzz-smoke chaos salvage scrub bench-server bench-core bench-auto bench-transforms bench-smoke fpcd clean
 
 all: check
 
@@ -15,10 +15,14 @@ test:
 
 # The second invocation runs the unsafeptr analyzer by itself: the default
 # vet set skips it under some configurations, and the wordio view helpers
-# plus the kernels built on them are exactly the code it audits.
+# plus the kernels built on them are exactly the code it audits. The third
+# runs asmdecl alone over the hand-written assembly in internal/simd: it
+# checks every FP offset and frame size in the kernels against their Go
+# declarations.
 vet:
 	$(GO) vet ./...
 	$(GO) vet -unsafeptr ./...
+	$(GO) vet -asmdecl ./internal/simd/
 
 # The serving subsystem (internal/server) and the public client/stream
 # layer (root package) must stay clean under the race detector, and so
@@ -117,6 +121,22 @@ bench-smoke:
 purego:
 	$(GO) build -tags purego ./...
 	$(GO) test -tags purego -count=1 ./internal/wordio ./internal/transforms/... ./internal/core ./internal/selector .
+
+# Cross-checks the noasm build tag: the SIMD dispatch in internal/simd
+# compiles out (every kernel declines) and the transform suite must pass
+# on the pure-Go word kernels alone. Mirrors purego, which additionally
+# disables the unsafe word views.
+noasm:
+	$(GO) build -tags noasm ./...
+	$(GO) test -tags noasm -count=1 ./internal/simd ./internal/transforms/... ./internal/core ./internal/selector .
+
+# Qemu-free arm64 check: cross-compiles the whole module (including the
+# NEON assembly) and runs vet over the arm64 build of internal/simd, so
+# NEON syntax or calling-convention rot is caught without arm64 hardware.
+crossarm:
+	GOARCH=arm64 $(GO) build ./...
+	GOARCH=arm64 $(GO) vet ./internal/simd/
+	GOARCH=arm64 $(GO) test -c -o /dev/null ./internal/simd/
 
 # Builds the compression daemon to bin/fpcd.
 fpcd:

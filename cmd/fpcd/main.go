@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"fpcompress/internal/server"
+	"fpcompress/internal/simd"
 )
 
 func main() {
@@ -67,6 +68,10 @@ func main() {
 		Degraded:         *degraded,
 	})
 	expvar.Publish("fpcd", expvar.Func(func() any { return srv.StatsSnapshot() }))
+	// The dispatched transform kernel path ("scalar", "avx2", or "neon"),
+	// so a fleet's /debug/vars show which code path produced its numbers.
+	simdPath := expvar.NewString("fpcd.simd")
+	simdPath.Set(simd.Active())
 	// expvar and net/http/pprof both register on the default mux, so every
 	// debug listener serves the full /debug/vars + /debug/pprof/ surface;
 	// -debug and -pprof only choose where to listen. Identical addresses

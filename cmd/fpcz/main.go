@@ -36,6 +36,7 @@ import (
 	"fpcompress/internal/container"
 	"fpcompress/internal/core"
 	"fpcompress/internal/selector"
+	"fpcompress/internal/simd"
 )
 
 func main() {
@@ -483,6 +484,7 @@ func selectionStats(path string, maxDecoded int) error {
 	}
 	fmt.Printf("%s: %s, %d chunks of %d bytes, container v%d\n",
 		path, a.Name(), h.ChunkCount, h.ChunkSize, h.Version)
+	fmt.Printf("kernel path: %s (best available: %s)\n", simd.Active(), simd.Available())
 	fmt.Printf("%-14s %8s %14s %16s\n", "scheme", "chunks", "stored bytes", "predicted bytes")
 	for scheme := byte(0); int(scheme) < selector.NumSchemes; scheme++ {
 		r := rows[scheme]

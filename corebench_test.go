@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"fpcompress/internal/sdr"
+	"fpcompress/internal/simd"
 )
 
 type coreBenchResult struct {
@@ -38,6 +39,7 @@ type coreBenchReport struct {
 	Benchmark    string            `json:"benchmark"`
 	Command      string            `json:"command"`
 	GOMAXPROCS   int               `json:"gomaxprocs"`
+	Runtime      simd.Info         `json:"runtime"`
 	Results      []coreBenchResult `json:"results"`
 	BaselineNote string            `json:"baseline_note"`
 	Baseline     []coreBenchResult `json:"baseline"`
@@ -109,6 +111,7 @@ func TestEmitCoreBench(t *testing.T) {
 		Benchmark:    "core_codec_throughput_and_allocs",
 		Command:      "go test . -run TestEmitCoreBench -count=1 -v   (make bench-core)",
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Runtime:      simd.RuntimeInfo(),
 		BaselineNote: "baseline measured with this same harness and payloads at the commit preceding the zero-allocation refactor (pooled scratch, append-into APIs, parallel scatter, combined per-chunk CRCs)",
 		Baseline:     coreBenchBaseline,
 	}

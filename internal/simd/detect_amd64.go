@@ -1,0 +1,31 @@
+//go:build amd64 && !noasm && !purego
+
+package simd
+
+// cpuid and xgetbv are implemented in detect_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// detect reports levelAVX2 when the CPU supports AVX2 and the OS has
+// enabled YMM state (OSXSAVE set and XCR0 covering XMM+YMM), the standard
+// three-step check: CPUID.1:ECX for OSXSAVE+AVX, XGETBV(0) for state
+// enablement, CPUID.7.0:EBX for AVX2 itself.
+func detect() int32 {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return levelScalar
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveAVX = 1<<27 | 1<<28
+	if ecx1&osxsaveAVX != osxsaveAVX {
+		return levelScalar
+	}
+	if xeax, _ := xgetbv(); xeax&6 != 6 {
+		return levelScalar
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	if ebx7&(1<<5) == 0 {
+		return levelScalar
+	}
+	return levelAVX2
+}

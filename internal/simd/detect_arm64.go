@@ -1,0 +1,7 @@
+//go:build arm64 && !noasm && !purego
+
+package simd
+
+// detect: NEON (AdvSIMD) is architectural on arm64 — every Go-supported
+// arm64 target has it — so no runtime probing is needed.
+func detect() int32 { return levelNEON }

@@ -1,0 +1,61 @@
+package simd
+
+import (
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Info attributes a measurement (or a serving process) to the code path
+// and hardware that produced it; the benchmark emitters embed it in
+// BENCH_core.json and BENCH_transforms.json.
+type Info struct {
+	GOARCH string `json:"goarch"`
+	// GOAMD64 is the amd64 microarchitecture level the binary was compiled
+	// for (from the build info; empty when the toolchain did not record it
+	// or on other architectures).
+	GOAMD64 string `json:"goamd64,omitempty"`
+	// KernelPath is the dispatched simd path: "scalar", "avx2", or "neon".
+	KernelPath string `json:"kernel_path"`
+	// BestAvailable is what the hardware and build support, regardless of
+	// FPC_DISABLE_SIMD/Disable.
+	BestAvailable string `json:"best_available"`
+	CPUModel      string `json:"cpu_model,omitempty"`
+}
+
+// RuntimeInfo snapshots the current dispatch state and environment.
+func RuntimeInfo() Info {
+	inf := Info{
+		GOARCH:        runtime.GOARCH,
+		KernelPath:    Active(),
+		BestAvailable: Available(),
+		CPUModel:      cpuModel(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "GOAMD64" {
+				inf.GOAMD64 = s.Value
+			}
+		}
+	}
+	return inf
+}
+
+// cpuModel best-effort reads the CPU model string; empty where the
+// platform offers no cheap way to get one.
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok {
+			switch strings.TrimSpace(k) {
+			case "model name", "Processor", "cpu model":
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,160 @@
+//go:build arm64 && !noasm && !purego
+
+#include "textflag.h"
+
+// NEON kernels: diff+zigzag forward and the MPLG OR width-scans. Zigzag's
+// arithmetic shift is built from basic ops (unsigned shift of the sign bit,
+// then 0-x to smear it) so only universally-supported vector mnemonics are
+// needed. Go arm64 operand order: op Vm, Vn, Vd computes Vd = Vn op Vm.
+
+// func diffZigOr32Asm(dst, src *uint32, groups int) uint32
+//
+// Groups of 4 dwords; the caller guarantees src[-1] is addressable.
+TEXT ·diffZigOr32Asm(SB), NOSPLIT, $0-28
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD groups+16(FP), R2
+	SUB  $4, R1, R3           // predecessor stream, one dword behind
+	VEOR V7.B16, V7.B16, V7.B16
+
+loop32:
+	VLD1 (R1), [V0.S4]        // cur
+	VLD1 (R3), [V1.S4]        // pred
+	ADD  $16, R1
+	ADD  $16, R3
+	VSUB V1.S4, V0.S4, V2.S4  // diff = cur - pred
+	VSHL $1, V2.S4, V3.S4
+	VUSHR $31, V2.S4, V4.S4   // sign bit -> 1
+	VEOR V5.B16, V5.B16, V5.B16
+	VSUB V4.S4, V5.S4, V4.S4  // 0 - sign: all-ones when negative
+	VEOR V4.B16, V3.B16, V2.B16
+	VST1.P [V2.S4], 16(R0)
+	VORR V2.B16, V7.B16, V7.B16
+	SUBS $1, R2, R2
+	BNE  loop32
+
+	VMOV V7.D[0], R4
+	VMOV V7.D[1], R5
+	ORR  R5, R4, R4
+	LSR  $32, R4, R5
+	ORR  R5, R4, R4
+	MOVWU R4, ret+24(FP)
+	RET
+
+// func diffZigOr64Asm(dst, src *uint64, groups int) uint64
+//
+// Groups of 2 qwords; src[-1] addressable.
+TEXT ·diffZigOr64Asm(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD groups+16(FP), R2
+	SUB  $8, R1, R3
+	VEOR V7.B16, V7.B16, V7.B16
+
+loop64:
+	VLD1 (R1), [V0.D2]
+	VLD1 (R3), [V1.D2]
+	ADD  $16, R1
+	ADD  $16, R3
+	VSUB V1.D2, V0.D2, V2.D2
+	VSHL $1, V2.D2, V3.D2
+	VUSHR $63, V2.D2, V4.D2
+	VEOR V5.B16, V5.B16, V5.B16
+	VSUB V4.D2, V5.D2, V4.D2
+	VEOR V4.B16, V3.B16, V2.B16
+	VST1.P [V2.D2], 16(R0)
+	VORR V2.B16, V7.B16, V7.B16
+	SUBS $1, R2, R2
+	BNE  loop64
+
+	VMOV V7.D[0], R4
+	VMOV V7.D[1], R5
+	ORR  R5, R4, R4
+	MOVD R4, ret+24(FP)
+	RET
+
+// func or32Asm(src *uint32, groups int) uint32
+TEXT ·or32Asm(SB), NOSPLIT, $0-20
+	MOVD src+0(FP), R1
+	MOVD groups+8(FP), R2
+	VEOR V7.B16, V7.B16, V7.B16
+
+orloop32:
+	VLD1.P 16(R1), [V0.S4]
+	VORR V0.B16, V7.B16, V7.B16
+	SUBS $1, R2, R2
+	BNE  orloop32
+
+	VMOV V7.D[0], R4
+	VMOV V7.D[1], R5
+	ORR  R5, R4, R4
+	LSR  $32, R4, R5
+	ORR  R5, R4, R4
+	MOVWU R4, ret+16(FP)
+	RET
+
+// func zigOr32Asm(src *uint32, groups int) uint32
+TEXT ·zigOr32Asm(SB), NOSPLIT, $0-20
+	MOVD src+0(FP), R1
+	MOVD groups+8(FP), R2
+	VEOR V7.B16, V7.B16, V7.B16
+	VEOR V5.B16, V5.B16, V5.B16
+
+zorloop32:
+	VLD1.P 16(R1), [V0.S4]
+	VSHL $1, V0.S4, V3.S4
+	VUSHR $31, V0.S4, V4.S4
+	VSUB V4.S4, V5.S4, V4.S4
+	VEOR V4.B16, V3.B16, V0.B16
+	VORR V0.B16, V7.B16, V7.B16
+	SUBS $1, R2, R2
+	BNE  zorloop32
+
+	VMOV V7.D[0], R4
+	VMOV V7.D[1], R5
+	ORR  R5, R4, R4
+	LSR  $32, R4, R5
+	ORR  R5, R4, R4
+	MOVWU R4, ret+16(FP)
+	RET
+
+// func or64Asm(src *uint64, groups int) uint64
+TEXT ·or64Asm(SB), NOSPLIT, $0-24
+	MOVD src+0(FP), R1
+	MOVD groups+8(FP), R2
+	VEOR V7.B16, V7.B16, V7.B16
+
+orloop64:
+	VLD1.P 16(R1), [V0.D2]
+	VORR V0.B16, V7.B16, V7.B16
+	SUBS $1, R2, R2
+	BNE  orloop64
+
+	VMOV V7.D[0], R4
+	VMOV V7.D[1], R5
+	ORR  R5, R4, R4
+	MOVD R4, ret+16(FP)
+	RET
+
+// func zigOr64Asm(src *uint64, groups int) uint64
+TEXT ·zigOr64Asm(SB), NOSPLIT, $0-24
+	MOVD src+0(FP), R1
+	MOVD groups+8(FP), R2
+	VEOR V7.B16, V7.B16, V7.B16
+	VEOR V5.B16, V5.B16, V5.B16
+
+zorloop64:
+	VLD1.P 16(R1), [V0.D2]
+	VSHL $1, V0.D2, V3.D2
+	VUSHR $63, V0.D2, V4.D2
+	VSUB V4.D2, V5.D2, V4.D2
+	VEOR V4.B16, V3.B16, V0.B16
+	VORR V0.B16, V7.B16, V7.B16
+	SUBS $1, R2, R2
+	BNE  zorloop64
+
+	VMOV V7.D[0], R4
+	VMOV V7.D[1], R5
+	ORR  R5, R4, R4
+	MOVD R4, ret+16(FP)
+	RET

@@ -1,0 +1,373 @@
+//go:build amd64 && !noasm && !purego
+
+#include "textflag.h"
+
+// BIT plane-transpose kernels (AVX2).
+//
+// Core idea for one 32x32 bit-matrix block: deinterleave the 32 words into
+// four byte-planes Bk (byte k of every word), with word order REVERSED so
+// that VPMOVMSKB's little-endian bit order matches the transpose's
+// MSB-first plane convention (output plane p bit 31-j = word j bit 31-p).
+// Byte z of Bk is byte k of word 31-z, so VPMOVMSKB extracts plane
+// p = 24-8k+s after s VPADDB doublings (the MSB of byte k walks down from
+// bit 8k+7 to 8k+7-s). 32 movemasks emit all 32 planes.
+//
+// The deinterleave: VPSHUFB groups the four bytes of each word-quad into
+// dwords (word-descending within each dword), an 8x4 dword transpose
+// (VPUNPCK[LH]DQ + VPUNPCK[LH]QDQ) collects dword k of every quad, and one
+// VPERMD puts the quads in descending word order.
+//
+// 64-bit blocks decompose into four 32x32 transposes over the hi/lo dword
+// half-matrices: out[i<32] = {hi: T(A)[i], lo: T(C)[i]} and
+// out[i>=32] = {hi: T(B)[i-32], lo: T(D)[i-32]}, where A/B are the hi/lo
+// dwords of words 0-31 and C/D of words 32-63.
+
+// bshuf<>: per-lane byte gather [12,8,4,0,13,9,5,1,14,10,6,2,15,11,7,3]
+// (dword d of each lane = byte d of the lane's four words, word-descending).
+DATA bshuf<>+0(SB)/8, $0x0105090d0004080c
+DATA bshuf<>+8(SB)/8, $0x03070b0f02060a0e
+DATA bshuf<>+16(SB)/8, $0x0105090d0004080c
+DATA bshuf<>+24(SB)/8, $0x03070b0f02060a0e
+GLOBL bshuf<>(SB), RODATA|NOPTR, $32
+
+// permrev<>: dword permutation [7,3,6,2,5,1,4,0] ordering the eight
+// word-quads high-to-low.
+DATA permrev<>+0(SB)/4, $7
+DATA permrev<>+4(SB)/4, $3
+DATA permrev<>+8(SB)/4, $6
+DATA permrev<>+12(SB)/4, $2
+DATA permrev<>+16(SB)/4, $5
+DATA permrev<>+20(SB)/4, $1
+DATA permrev<>+24(SB)/4, $4
+DATA permrev<>+28(SB)/4, $0
+GLOBL permrev<>(SB), RODATA|NOPTR, $32
+
+// hilo<>: dword permutation [1,3,5,7,0,2,4,6] splitting qword hi dwords
+// into the low half and lo dwords into the high half.
+DATA hilo<>+0(SB)/4, $1
+DATA hilo<>+4(SB)/4, $3
+DATA hilo<>+8(SB)/4, $5
+DATA hilo<>+12(SB)/4, $7
+DATA hilo<>+16(SB)/4, $0
+DATA hilo<>+20(SB)/4, $2
+DATA hilo<>+24(SB)/4, $4
+DATA hilo<>+28(SB)/4, $6
+GLOBL hilo<>(SB), RODATA|NOPTR, $32
+
+// iota8<>: dwords [0..7] for gather index construction.
+DATA iota8<>+0(SB)/4, $0
+DATA iota8<>+4(SB)/4, $1
+DATA iota8<>+8(SB)/4, $2
+DATA iota8<>+12(SB)/4, $3
+DATA iota8<>+16(SB)/4, $4
+DATA iota8<>+20(SB)/4, $5
+DATA iota8<>+24(SB)/4, $6
+DATA iota8<>+28(SB)/4, $7
+GLOBL iota8<>(SB), RODATA|NOPTR, $32
+
+// TRANS32 core: Y0-Y3 = 32 input words -> Y0-Y3 = word-reversed byte
+// planes B0-B3 (Y3 = plane group p=0..7). Clobbers Y4-Y7. Expects
+// Y14=bshuf, Y15=permrev.
+#define TRANS32CORE \
+	VPSHUFB Y14, Y0, Y0 \
+	VPSHUFB Y14, Y1, Y1 \
+	VPSHUFB Y14, Y2, Y2 \
+	VPSHUFB Y14, Y3, Y3 \
+	VPUNPCKLDQ Y1, Y0, Y4 \
+	VPUNPCKHDQ Y1, Y0, Y5 \
+	VPUNPCKLDQ Y3, Y2, Y6 \
+	VPUNPCKHDQ Y3, Y2, Y7 \
+	VPUNPCKLQDQ Y6, Y4, Y0 \
+	VPUNPCKHQDQ Y6, Y4, Y1 \
+	VPUNPCKLQDQ Y7, Y5, Y2 \
+	VPUNPCKHQDQ Y7, Y5, Y3 \
+	VPERMD Y0, Y15, Y0 \
+	VPERMD Y1, Y15, Y1 \
+	VPERMD Y2, Y15, Y2 \
+	VPERMD Y3, Y15, Y3
+
+// EMIT8: emit the 8 planes of byte-plane register yr to (DX), advancing DX
+// by R11 per plane.
+#define EMIT8(yr) \
+	VPMOVMSKB yr, AX \
+	MOVL AX, (DX) \
+	ADDQ R11, DX \
+	VPADDB yr, yr, yr \
+	VPMOVMSKB yr, AX \
+	MOVL AX, (DX) \
+	ADDQ R11, DX \
+	VPADDB yr, yr, yr \
+	VPMOVMSKB yr, AX \
+	MOVL AX, (DX) \
+	ADDQ R11, DX \
+	VPADDB yr, yr, yr \
+	VPMOVMSKB yr, AX \
+	MOVL AX, (DX) \
+	ADDQ R11, DX \
+	VPADDB yr, yr, yr \
+	VPMOVMSKB yr, AX \
+	MOVL AX, (DX) \
+	ADDQ R11, DX \
+	VPADDB yr, yr, yr \
+	VPMOVMSKB yr, AX \
+	MOVL AX, (DX) \
+	ADDQ R11, DX \
+	VPADDB yr, yr, yr \
+	VPMOVMSKB yr, AX \
+	MOVL AX, (DX) \
+	ADDQ R11, DX \
+	VPADDB yr, yr, yr \
+	VPMOVMSKB yr, AX \
+	MOVL AX, (DX) \
+	ADDQ R11, DX
+
+// EMIT32: all 32 planes in ascending order (Y3 holds p=0..7).
+#define EMIT32 \
+	EMIT8(Y3) \
+	EMIT8(Y2) \
+	EMIT8(Y1) \
+	EMIT8(Y0)
+
+// func bitFwd32Asm(dst, src *uint32, nb int)
+//
+// src: nb contiguous 32-word blocks; dst: plane-major, block k's plane p
+// at dst[p*nb+k].
+TEXT ·bitFwd32Asm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ nb+16(FP), R10
+	MOVQ nb+16(FP), R11
+	SHLQ $2, R11              // plane stride in bytes
+	VMOVDQU bshuf<>(SB), Y14
+	VMOVDQU permrev<>(SB), Y15
+	MOVQ DI, R12              // &dst[k]
+
+f32blk:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VMOVDQU 64(SI), Y2
+	VMOVDQU 96(SI), Y3
+	ADDQ $128, SI
+	TRANS32CORE
+	MOVQ R12, DX
+	EMIT32
+	ADDQ $4, R12
+	DECQ R10
+	JNZ  f32blk
+
+	VZEROUPPER
+	RET
+
+// func bitInv32Asm(dst, src *uint32, nb int)
+//
+// src: plane-major (block k's plane p at src[p*nb+k]); dst: contiguous
+// blocks. The transpose is an involution, so this is the same core with
+// gathered loads and contiguous stores.
+TEXT ·bitInv32Asm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ nb+16(FP), R10
+	MOVQ $4, R11              // contiguous output stride
+	VMOVDQU bshuf<>(SB), Y14
+	VMOVDQU permrev<>(SB), Y15
+	// Gather index vectors: (8g + [0..7]) * nb dwords, g = 0..3.
+	VMOVD nb+16(FP), X8
+	VPBROADCASTD X8, Y8       // nb
+	VMOVDQU iota8<>(SB), Y9
+	VPMULLD Y8, Y9, Y10       // [0..7]*nb
+	VPSLLD $3, Y8, Y8         // 8*nb
+	VPADDD Y8, Y10, Y11
+	VPADDD Y8, Y11, Y12
+	VPADDD Y8, Y12, Y13
+
+i32blk:
+	VPCMPEQD Y8, Y8, Y8
+	VPGATHERDD Y8, (SI)(Y10*4), Y0
+	VPCMPEQD Y8, Y8, Y8
+	VPGATHERDD Y8, (SI)(Y11*4), Y1
+	VPCMPEQD Y8, Y8, Y8
+	VPGATHERDD Y8, (SI)(Y12*4), Y2
+	VPCMPEQD Y8, Y8, Y8
+	VPGATHERDD Y8, (SI)(Y13*4), Y3
+	ADDQ $4, SI               // next block: base +1 dword
+	TRANS32CORE
+	MOVQ DI, DX
+	EMIT32
+	ADDQ $128, DI             // next output block
+	DECQ R10
+	JNZ  i32blk
+
+	VZEROUPPER
+	RET
+
+// LOADHALF64: load 32 qwords at (SI) and split into hi-dword rows
+// (Y0,Y2,Y4,Y6) and lo-dword rows (Y1,Y3,Y5,Y7). Expects Y13=hilo.
+// Clobbers Y8, Y9.
+#define LOADPAIR64(off, ya, yb) \
+	VMOVDQU off(SI), Y8 \
+	VMOVDQU off+32(SI), Y9 \
+	VPERMD Y8, Y13, Y8 \
+	VPERMD Y9, Y13, Y9 \
+	VPERM2I128 $0x20, Y9, Y8, ya \
+	VPERM2I128 $0x31, Y9, Y8, yb
+
+#define LOADHALF64 \
+	LOADPAIR64(0, Y0, Y1) \
+	LOADPAIR64(64, Y2, Y3) \
+	LOADPAIR64(128, Y4, Y5) \
+	LOADPAIR64(192, Y6, Y7)
+
+// TRANS32B: the TRANS32CORE with inputs in Y0,Y2,Y4,Y6 and temps
+// Y8-Y12, leaving Y1,Y3,Y5,Y7 (the second half-matrix) untouched.
+// Outputs: Y9 = plane group 0-7, Y10 = 8-15, Y8 = 16-23, Y12 = 24-31.
+#define TRANS32B \
+	VPSHUFB Y14, Y0, Y0 \
+	VPSHUFB Y14, Y2, Y2 \
+	VPSHUFB Y14, Y4, Y4 \
+	VPSHUFB Y14, Y6, Y6 \
+	VPUNPCKLDQ Y2, Y0, Y8 \
+	VPUNPCKHDQ Y2, Y0, Y9 \
+	VPUNPCKLDQ Y6, Y4, Y10 \
+	VPUNPCKHDQ Y6, Y4, Y11 \
+	VPUNPCKLQDQ Y10, Y8, Y12 \
+	VPUNPCKHQDQ Y10, Y8, Y8 \
+	VPUNPCKLQDQ Y11, Y9, Y10 \
+	VPUNPCKHQDQ Y11, Y9, Y9 \
+	VPERMD Y12, Y15, Y12 \
+	VPERMD Y8, Y15, Y8 \
+	VPERMD Y10, Y15, Y10 \
+	VPERMD Y9, Y15, Y9
+
+// EMIT32B: TRANS32B's outputs in ascending plane order.
+#define EMIT32B \
+	EMIT8(Y9) \
+	EMIT8(Y10) \
+	EMIT8(Y8) \
+	EMIT8(Y12)
+
+// MOVB2A: move the second half-matrix rows (Y1,Y3,Y5,Y7) into the
+// TRANS32B input slots (Y0,Y2,Y4,Y6).
+#define MOVB2A \
+	VMOVDQA Y1, Y0 \
+	VMOVDQA Y3, Y2 \
+	VMOVDQA Y5, Y4 \
+	VMOVDQA Y7, Y6
+
+// func bitFwd64Asm(dst, src *uint64, nb int)
+//
+// src: nb contiguous 64-qword blocks; dst: plane-major qwords, block k's
+// plane p at dst[p*nb+k].
+TEXT ·bitFwd64Asm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ nb+16(FP), R10
+	MOVQ nb+16(FP), R11
+	SHLQ $3, R11              // qword plane stride in bytes
+	MOVQ R11, R13
+	SHLQ $5, R13              // 32*nb*8: second half-row offset
+	VMOVDQU bshuf<>(SB), Y14
+	VMOVDQU permrev<>(SB), Y15
+	MOVQ DI, R12              // &dst[k] (qword k of plane row 0)
+
+f64blk:
+	VMOVDQU hilo<>(SB), Y13
+	LOADHALF64                // words 0-31: A rows (hi) + B rows (lo)
+	TRANS32B                  // T(A)
+	LEAQ 4(R12), DX           // out rows 0-31, hi dwords
+	EMIT32B
+	MOVB2A
+	TRANS32B                  // T(B)
+	LEAQ 4(R12)(R13*1), DX    // out rows 32-63, hi dwords
+	EMIT32B
+	ADDQ $256, SI
+	VMOVDQU hilo<>(SB), Y13
+	LOADHALF64                // words 32-63: C rows (hi) + D rows (lo)
+	TRANS32B                  // T(C)
+	MOVQ R12, DX              // out rows 0-31, lo dwords
+	EMIT32B
+	MOVB2A
+	TRANS32B                  // T(D)
+	LEAQ 0(R12)(R13*1), DX    // out rows 32-63, lo dwords
+	EMIT32B
+	ADDQ $256, SI
+	ADDQ $8, R12
+	DECQ R10
+	JNZ  f64blk
+
+	VZEROUPPER
+	RET
+
+// func bitInv64Asm(dst, src *uint64, nb int)
+//
+// src: plane-major qwords; dst: contiguous 64-qword blocks. Four gathered
+// 32x32 transposes per block, mirroring bitFwd64Asm.
+TEXT ·bitInv64Asm(SB), NOSPLIT, $128-24
+// GATHER4: four VPGATHERDD loads into Y0,Y2,Y4,Y6 from base register AX.
+// The dword index vectors live in the stack frame at 0/32/64/96(SP)
+// because TRANS32B clobbers Y8-Y12; they are reloaded on every use.
+// (Defined inside the TEXT so vet's asmdecl checks the SP references
+// against this function's 128-byte frame.)
+#define GATHER4 \
+	VMOVDQU 0(SP), Y10 \
+	VMOVDQU 32(SP), Y11 \
+	VMOVDQU 64(SP), Y12 \
+	VMOVDQU 96(SP), Y13 \
+	VPCMPEQD Y8, Y8, Y8 \
+	VPGATHERDD Y8, (AX)(Y10*4), Y0 \
+	VPCMPEQD Y8, Y8, Y8 \
+	VPGATHERDD Y8, (AX)(Y11*4), Y2 \
+	VPCMPEQD Y8, Y8, Y8 \
+	VPGATHERDD Y8, (AX)(Y12*4), Y4 \
+	VPCMPEQD Y8, Y8, Y8 \
+	VPGATHERDD Y8, (AX)(Y13*4), Y6
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ nb+16(FP), R10
+	MOVQ $8, R11              // contiguous qword output stride
+	VMOVDQU bshuf<>(SB), Y14
+	VMOVDQU permrev<>(SB), Y15
+	// Gather indices: qword row 8g+j is at dword offset (8g+j)*2nb.
+	VMOVD nb+16(FP), X8
+	VPBROADCASTD X8, Y8
+	VPSLLD $1, Y8, Y8         // 2*nb
+	VMOVDQU iota8<>(SB), Y9
+	VPMULLD Y8, Y9, Y10       // [0..7]*2nb
+	VPSLLD $3, Y8, Y8         // 16*nb
+	VPADDD Y8, Y10, Y11
+	VPADDD Y8, Y11, Y12
+	VPADDD Y8, Y12, Y13
+	VMOVDQU Y10, 0(SP)
+	VMOVDQU Y11, 32(SP)
+	VMOVDQU Y12, 64(SP)
+	VMOVDQU Y13, 96(SP)
+	MOVQ nb+16(FP), R13
+	SHLQ $8, R13              // 32*nb*8: second plane-half byte offset
+
+i64blk:
+	LEAQ 4(SI), AX            // planes 0-31, hi dwords -> A'
+	GATHER4
+	TRANS32B                  // T(A'): out words 0-31 hi dwords
+	LEAQ 4(DI), DX
+	EMIT32B
+	LEAQ 4(SI)(R13*1), AX     // planes 32-63, hi dwords
+	GATHER4
+	TRANS32B                  // -> out words 0-31 lo dwords
+	MOVQ DI, DX
+	EMIT32B
+	MOVQ SI, AX               // planes 0-31, lo dwords
+	GATHER4
+	TRANS32B                  // -> out words 32-63 hi dwords
+	LEAQ 260(DI), DX
+	EMIT32B
+	LEAQ 0(SI)(R13*1), AX     // planes 32-63, lo dwords
+	GATHER4
+	TRANS32B                  // -> out words 32-63 lo dwords
+	LEAQ 256(DI), DX
+	EMIT32B
+	ADDQ $8, SI               // next block: base +1 qword
+	ADDQ $512, DI
+	DECQ R10
+	JNZ  i64blk
+
+	VZEROUPPER
+	RET

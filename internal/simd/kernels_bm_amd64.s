@@ -1,0 +1,76 @@
+//go:build amd64 && !noasm && !purego
+
+#include "textflag.h"
+
+// RZE bitmap kernels (AVX2). Both produce RZE's MSB-first bitmaps: bm byte
+// g holds the mask of source bytes 8g..8g+7 with byte j at bit 7-j. The
+// trick is a per-qword byte reversal (VPSHUFB) of the compare mask so that
+// VPMOVMSKB's little-endian bit order lands each byte's flag at the
+// MSB-first position; the 32-bit movemask then stores little-endian as four
+// finished bitmap bytes.
+
+// revq<>: shuffle pattern reversing the bytes of each qword in place
+// (within each 128-bit lane).
+DATA revq<>+0(SB)/8, $0x0001020304050607
+DATA revq<>+8(SB)/8, $0x08090a0b0c0d0e0f
+DATA revq<>+16(SB)/8, $0x0001020304050607
+DATA revq<>+24(SB)/8, $0x08090a0b0c0d0e0f
+GLOBL revq<>(SB), RODATA|NOPTR, $32
+
+// func nonzeroBMAsm(bm *byte, src *byte, blocks int) int
+//
+// For each 32-byte block of src, writes 4 bitmap bytes (bit set = source
+// byte non-zero) and returns the total number of set bits.
+TEXT ·nonzeroBMAsm(SB), NOSPLIT, $0-32
+	MOVQ bm+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ blocks+16(FP), CX
+	VPXOR Y5, Y5, Y5            // zero for compares
+	VMOVDQU revq<>(SB), Y6
+	XORQ AX, AX                 // popcount accumulator
+
+nzloop:
+	VMOVDQU (SI), Y0
+	VPCMPEQB Y5, Y0, Y1         // 0xFF where byte == 0
+	VPSHUFB Y6, Y1, Y1          // reverse bytes within each qword
+	VPMOVMSKB Y1, DX            // bit k = (reversed byte k is zero)
+	NOTL DX
+	MOVL DX, (DI)               // 4 finished bitmap bytes, little-endian
+	POPCNTL DX, DX
+	ADDQ DX, AX
+	ADDQ $32, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  nzloop
+
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func changeBMAsm(bm *byte, cur *byte, blocks int)
+//
+// For each 32-byte block of cur, writes 4 bitmap bytes with the bit set
+// when the byte differs from its predecessor. The caller guarantees
+// cur[-1] is addressable and holds the true predecessor (the wrapper peels
+// the first group).
+TEXT ·changeBMAsm(SB), NOSPLIT, $0-24
+	MOVQ bm+0(FP), DI
+	MOVQ cur+8(FP), SI
+	MOVQ blocks+16(FP), CX
+	VMOVDQU revq<>(SB), Y6
+
+chloop:
+	VMOVDQU (SI), Y0
+	VMOVDQU -1(SI), Y1          // predecessors
+	VPCMPEQB Y1, Y0, Y1         // 0xFF where byte == predecessor
+	VPSHUFB Y6, Y1, Y1
+	VPMOVMSKB Y1, DX
+	NOTL DX
+	MOVL DX, (DI)
+	ADDQ $32, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  chloop
+
+	VZEROUPPER
+	RET

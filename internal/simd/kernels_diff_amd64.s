@@ -1,0 +1,268 @@
+//go:build amd64 && !noasm && !purego
+
+#include "textflag.h"
+
+// DIFFMS diff+zigzag kernels and the MPLG OR width-scans (AVX2).
+//
+// Operand-order note: Go assembly reverses the Intel operand list, so
+// VPSUBD Ya, Yb, Yc means c = b - a.
+
+// func diffZigOr32Asm(dst, src *uint32, groups int) uint32
+//
+// dst[i] = ZigZag32(src[i] - src[i-1]) for i in [0, groups*8), returning
+// the OR of all outputs. The caller guarantees src[-1] is addressable (the
+// wrapper peels the first word group), groups >= 1.
+TEXT ·diffZigOr32Asm(SB), NOSPLIT, $0-28
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ groups+16(FP), CX
+	VPXOR Y7, Y7, Y7          // OR accumulator
+
+loop32:
+	VMOVDQU (SI), Y0          // cur: src[i..i+7]
+	VMOVDQU -4(SI), Y1        // pred: src[i-1..i+6]
+	VPSUBD Y1, Y0, Y2         // diff = cur - pred
+	VPSLLD $1, Y2, Y3
+	VPSRAD $31, Y2, Y4
+	VPXOR  Y3, Y4, Y2         // zigzag = diff<<1 ^ diff>>31 (arith)
+	VMOVDQU Y2, (DI)
+	VPOR   Y2, Y7, Y7
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop32
+
+	// Horizontal OR of Y7 into AX.
+	VEXTRACTI128 $1, Y7, X6
+	VPOR   X6, X7, X7
+	VPSHUFD $0x4E, X7, X6     // swap qwords
+	VPOR   X6, X7, X7
+	VPSHUFD $0xB1, X7, X6     // swap dwords
+	VPOR   X6, X7, X7
+	VMOVD  X7, AX
+	VZEROUPPER
+	MOVL AX, ret+24(FP)
+	RET
+
+// func diffZigOr64Asm(dst, src *uint64, groups int) uint64
+//
+// 64-bit variant over groups of 4 qwords; src[-1] addressable.
+TEXT ·diffZigOr64Asm(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ groups+16(FP), CX
+	VPXOR Y7, Y7, Y7
+
+loop64:
+	VMOVDQU (SI), Y0
+	VMOVDQU -8(SI), Y1
+	VPSUBQ Y1, Y0, Y2
+	VPSLLQ $1, Y2, Y3
+	// Arithmetic 64-bit shift right by 63 == broadcast sign: compare the
+	// sign bit via VPCMPGTQ against zero (AVX2 has no VPSRAQ).
+	VPXOR   Y5, Y5, Y5
+	VPCMPGTQ Y2, Y5, Y4       // Y4 = (0 > diff) ? ~0 : 0  == diff>>63
+	VPXOR  Y3, Y4, Y2
+	VMOVDQU Y2, (DI)
+	VPOR   Y2, Y7, Y7
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop64
+
+	VEXTRACTI128 $1, Y7, X6
+	VPOR   X6, X7, X7
+	VPSHUFD $0x4E, X7, X6
+	VPOR   X6, X7, X7
+	VMOVQ  X7, AX
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func unDiffZig32Asm(dst, src *uint32, groups int, prev uint32) uint32
+//
+// dst[i] = prev + sum of UnZigZag32(src[0..i]): the un-zigzag + prefix-sum
+// inverse over groups of 8 dwords. Returns the final running value.
+TEXT ·unDiffZig32Asm(SB), NOSPLIT, $0-36
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ groups+16(FP), CX
+	MOVL prev+24(FP), AX
+	VMOVD AX, X6
+	VPBROADCASTD X6, Y6            // running value in every lane
+	VPCMPEQD Y5, Y5, Y5
+	VPSRLD $31, Y5, Y5             // Y5 = 1 in every dword
+	VPXOR Y4, Y4, Y4               // zero
+
+undz32loop:
+	VMOVDQU (SI), Y0
+	// unzigzag: (x>>1) ^ -(x&1)
+	VPSRLD $1, Y0, Y1
+	VPAND  Y5, Y0, Y2
+	VPSUBD Y2, Y4, Y2              // -(x&1)
+	VPXOR  Y1, Y2, Y0
+	// Inclusive prefix sum within the 8 dwords.
+	VPSLLDQ $4, Y0, Y1
+	VPADDD Y1, Y0, Y0
+	VPSLLDQ $8, Y0, Y1
+	VPADDD Y1, Y0, Y0              // per-lane prefix sums
+	VPERM2I128 $0x28, Y0, Y4, Y1   // Y1 = [0, lane0 of Y0]
+	VPSHUFD $0xFF, Y1, Y1          // broadcast lane totals (dword3) per lane
+	VPADDD Y1, Y0, Y0              // carry lane0 total into lane1
+	VPADDD Y6, Y0, Y0              // add running value
+	VMOVDQU Y0, (DI)
+	// New running value = dword 7, broadcast for the next group.
+	VEXTRACTI128 $1, Y0, X1
+	VPSHUFD $0xFF, X1, X1
+	VPBROADCASTD X1, Y6
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  undz32loop
+
+	VMOVD X6, AX
+	VZEROUPPER
+	MOVL AX, ret+32(FP)
+	RET
+
+// func unDiffZig64Asm(dst, src *uint64, groups int, prev uint64) uint64
+//
+// 64-bit variant over groups of 4 qwords.
+TEXT ·unDiffZig64Asm(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ groups+16(FP), CX
+	MOVQ prev+24(FP), AX
+	VMOVQ AX, X6
+	VPBROADCASTQ X6, Y6
+	VPCMPEQD Y5, Y5, Y5
+	VPSRLQ $63, Y5, Y5             // Y5 = 1 in every qword
+	VPXOR Y4, Y4, Y4
+
+undz64loop:
+	VMOVDQU (SI), Y0
+	VPSRLQ $1, Y0, Y1
+	VPAND  Y5, Y0, Y2
+	VPSUBQ Y2, Y4, Y2
+	VPXOR  Y1, Y2, Y0
+	// Inclusive prefix sum within the 4 qwords.
+	VPSLLDQ $8, Y0, Y1
+	VPADDQ Y1, Y0, Y0              // per-lane prefix sums
+	VPERM2I128 $0x28, Y0, Y4, Y1   // Y1 = [0, lane0 of Y0] (qwords [0,0,p0,p1])
+	VPERMQ $0xF0, Y1, Y1           // [0,0,p1,p1]: lane0 total into both lane1 qwords
+	VPADDQ Y1, Y0, Y0
+	VPADDQ Y6, Y0, Y0
+	VMOVDQU Y0, (DI)
+	VPERMQ $0xFF, Y0, Y6           // broadcast qword 3 as the new running value
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  undz64loop
+
+	VMOVQ X6, AX
+	VZEROUPPER
+	MOVQ AX, ret+32(FP)
+	RET
+
+// func or32Asm(src *uint32, groups int) uint32
+//
+// OR of groups*8 dwords (the MPLG width scan: OR and max have the same
+// bit length and the same top bit, the only properties MPLG uses).
+TEXT ·or32Asm(SB), NOSPLIT, $0-20
+	MOVQ src+0(FP), SI
+	MOVQ groups+8(FP), CX
+	VPXOR Y7, Y7, Y7
+
+or32loop:
+	VPOR (SI), Y7, Y7
+	ADDQ $32, SI
+	DECQ CX
+	JNZ  or32loop
+
+	VEXTRACTI128 $1, Y7, X6
+	VPOR   X6, X7, X7
+	VPSHUFD $0x4E, X7, X6
+	VPOR   X6, X7, X7
+	VPSHUFD $0xB1, X7, X6
+	VPOR   X6, X7, X7
+	VMOVD  X7, AX
+	VZEROUPPER
+	MOVL AX, ret+16(FP)
+	RET
+
+// func zigOr32Asm(src *uint32, groups int) uint32
+//
+// OR of ZigZag32(src[i]) over groups*8 dwords (MPLG's enhancement retry
+// scan).
+TEXT ·zigOr32Asm(SB), NOSPLIT, $0-20
+	MOVQ src+0(FP), SI
+	MOVQ groups+8(FP), CX
+	VPXOR Y7, Y7, Y7
+
+zor32loop:
+	VMOVDQU (SI), Y0
+	VPSLLD $1, Y0, Y1
+	VPSRAD $31, Y0, Y2
+	VPXOR  Y1, Y2, Y0
+	VPOR   Y0, Y7, Y7
+	ADDQ $32, SI
+	DECQ CX
+	JNZ  zor32loop
+
+	VEXTRACTI128 $1, Y7, X6
+	VPOR   X6, X7, X7
+	VPSHUFD $0x4E, X7, X6
+	VPOR   X6, X7, X7
+	VPSHUFD $0xB1, X7, X6
+	VPOR   X6, X7, X7
+	VMOVD  X7, AX
+	VZEROUPPER
+	MOVL AX, ret+16(FP)
+	RET
+
+// func or64Asm(src *uint64, groups int) uint64
+TEXT ·or64Asm(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), SI
+	MOVQ groups+8(FP), CX
+	VPXOR Y7, Y7, Y7
+
+or64loop:
+	VPOR (SI), Y7, Y7
+	ADDQ $32, SI
+	DECQ CX
+	JNZ  or64loop
+
+	VEXTRACTI128 $1, Y7, X6
+	VPOR   X6, X7, X7
+	VPSHUFD $0x4E, X7, X6
+	VPOR   X6, X7, X7
+	VMOVQ  X7, AX
+	VZEROUPPER
+	MOVQ AX, ret+16(FP)
+	RET
+
+// func zigOr64Asm(src *uint64, groups int) uint64
+TEXT ·zigOr64Asm(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), SI
+	MOVQ groups+8(FP), CX
+	VPXOR Y7, Y7, Y7
+	VPXOR Y5, Y5, Y5
+
+zor64loop:
+	VMOVDQU (SI), Y0
+	VPSLLQ $1, Y0, Y1
+	VPCMPGTQ Y0, Y5, Y2       // diff>>63 via sign compare
+	VPXOR  Y1, Y2, Y0
+	VPOR   Y0, Y7, Y7
+	ADDQ $32, SI
+	DECQ CX
+	JNZ  zor64loop
+
+	VEXTRACTI128 $1, Y7, X6
+	VPOR   X6, X7, X7
+	VPSHUFD $0x4E, X7, X6
+	VPOR   X6, X7, X7
+	VMOVQ  X7, AX
+	VZEROUPPER
+	MOVQ AX, ret+16(FP)
+	RET

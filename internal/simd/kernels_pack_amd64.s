@@ -1,0 +1,443 @@
+//go:build amd64 && !noasm && !purego
+
+#include "textflag.h"
+
+// MPLG bit-stream accumulators. Pack mirrors the Go accumulator loop
+// exactly — same flush points, same big-endian 32-bit stores — but without
+// Go's shift guards and bounds checks, with the value load, optional
+// zigzag, and both variable shifts kept in registers. Unpack replaces the
+// scalar 64-bit big-endian load window with a 4-wide VPGATHERQQ +
+// byte-swap + per-lane variable shift (VPSRLVQ), decoding four fields per
+// iteration.
+
+DATA revq2<>+0(SB)/8, $0x0001020304050607
+DATA revq2<>+8(SB)/8, $0x08090a0b0c0d0e0f
+DATA revq2<>+16(SB)/8, $0x0001020304050607
+DATA revq2<>+24(SB)/8, $0x08090a0b0c0d0e0f
+GLOBL revq2<>(SB), RODATA|NOPTR, $32
+
+// narrow32<>: VPERMD control packing the low dword of each qword lane
+// into the low 128 bits.
+DATA narrow32<>+0(SB)/4, $0
+DATA narrow32<>+4(SB)/4, $2
+DATA narrow32<>+8(SB)/4, $4
+DATA narrow32<>+12(SB)/4, $6
+DATA narrow32<>+16(SB)/4, $0
+DATA narrow32<>+20(SB)/4, $0
+DATA narrow32<>+24(SB)/4, $0
+DATA narrow32<>+28(SB)/4, $0
+GLOBL narrow32<>(SB), RODATA|NOPTR, $32
+
+// func pack32Asm(buf *byte, bp int, acc, nacc uint64, src *uint32, n int, keep, zig uint64) (newBp int, newAcc, newNacc uint64)
+//
+// Appends n keep-bit fields (1 <= keep <= 32) to the MSB-first stream,
+// preserving the accumulator invariant nacc < 32 between calls.
+TEXT ·pack32Asm(SB), NOSPLIT, $0-88
+	MOVQ buf+0(FP), BX
+	MOVQ bp+8(FP), DI
+	ADDQ BX, DI               // write cursor
+	MOVQ acc+16(FP), R11
+	MOVQ nacc+24(FP), R9
+	MOVQ src+32(FP), SI
+	MOVQ n+40(FP), R10
+	MOVQ keep+48(FP), R8
+	MOVQ zig+56(FP), AX
+	TESTQ AX, AX
+	JNZ  p32zig
+
+p32loop:
+	MOVL (SI), AX
+	ADDQ $4, SI
+	MOVQ R8, CX
+	SHLQ CL, R11
+	ORQ  AX, R11
+	ADDQ R8, R9
+	CMPQ R9, $32
+	JLT  p32next
+	SUBQ $32, R9
+	MOVQ R11, DX
+	MOVQ R9, CX
+	SHRQ CL, DX
+	BSWAPL DX
+	MOVL DX, (DI)
+	ADDQ $4, DI
+p32next:
+	DECQ R10
+	JNZ  p32loop
+	JMP  p32done
+
+p32zig:
+	MOVL (SI), AX
+	ADDQ $4, SI
+	MOVL AX, DX               // zigzag32: x<<1 ^ x>>31 (arith)
+	SHLL $1, AX
+	SARL $31, DX
+	XORL DX, AX
+	MOVQ R8, CX
+	SHLQ CL, R11
+	ORQ  AX, R11
+	ADDQ R8, R9
+	CMPQ R9, $32
+	JLT  p32znext
+	SUBQ $32, R9
+	MOVQ R11, DX
+	MOVQ R9, CX
+	SHRQ CL, DX
+	BSWAPL DX
+	MOVL DX, (DI)
+	ADDQ $4, DI
+p32znext:
+	DECQ R10
+	JNZ  p32zig
+
+p32done:
+	SUBQ BX, DI
+	MOVQ DI, newBp+64(FP)
+	// Return acc reduced to its low nacc valid bits, matching the Go
+	// loop's post-flush mask.
+	MOVQ R9, CX
+	MOVQ $1, DX
+	SHLQ CL, DX
+	DECQ DX
+	ANDQ DX, R11
+	MOVQ R11, newAcc+72(FP)
+	MOVQ R9, newNacc+80(FP)
+	RET
+
+// func pack64Asm(buf *byte, bp int, acc, nacc uint64, src *uint64, n int, keep, zig uint64) (newBp int, newAcc, newNacc uint64)
+//
+// 64-bit variant (1 <= keep <= 64). Widths above 32 are written as two
+// sub-32-bit fields exactly like the Go loop: hi = keep-32 bits, then the
+// low 32 with an unconditional flush.
+TEXT ·pack64Asm(SB), NOSPLIT, $0-88
+	MOVQ buf+0(FP), BX
+	MOVQ bp+8(FP), DI
+	ADDQ BX, DI
+	MOVQ acc+16(FP), R11
+	MOVQ nacc+24(FP), R9
+	MOVQ src+32(FP), SI
+	MOVQ n+40(FP), R10
+	MOVQ keep+48(FP), R8
+	MOVQ zig+56(FP), R13
+	CMPQ R8, $32
+	JGT  p64wide
+
+	// keep <= 32: one field per word.
+	TESTQ R13, R13
+	JNZ  p64zig
+p64loop:
+	MOVQ (SI), AX
+	ADDQ $8, SI
+	MOVQ R8, CX
+	SHLQ CL, R11
+	ORQ  AX, R11
+	ADDQ R8, R9
+	CMPQ R9, $32
+	JLT  p64next
+	SUBQ $32, R9
+	MOVQ R11, DX
+	MOVQ R9, CX
+	SHRQ CL, DX
+	BSWAPL DX
+	MOVL DX, (DI)
+	ADDQ $4, DI
+p64next:
+	DECQ R10
+	JNZ  p64loop
+	JMP  p64done
+
+p64zig:
+	MOVQ (SI), AX
+	ADDQ $8, SI
+	MOVQ AX, DX               // zigzag64: x<<1 ^ x>>63 (arith)
+	SHLQ $1, AX
+	SARQ $63, DX
+	XORQ DX, AX
+	MOVQ R8, CX
+	SHLQ CL, R11
+	ORQ  AX, R11
+	ADDQ R8, R9
+	CMPQ R9, $32
+	JLT  p64znext
+	SUBQ $32, R9
+	MOVQ R11, DX
+	MOVQ R9, CX
+	SHRQ CL, DX
+	BSWAPL DX
+	MOVL DX, (DI)
+	ADDQ $4, DI
+p64znext:
+	DECQ R10
+	JNZ  p64zig
+	JMP  p64done
+
+p64wide:
+	SUBQ $32, R8              // R8 = hi = keep - 32 (1..32)
+	TESTQ R13, R13
+	JNZ  p64wzig
+p64wloop:
+	MOVQ (SI), AX
+	ADDQ $8, SI
+p64wbody:
+	MOVQ AX, R12
+	SHRQ $32, R12             // high 32 bits
+	MOVQ R8, CX
+	SHLQ CL, R11
+	ORQ  R12, R11
+	ADDQ R8, R9
+	CMPQ R9, $32
+	JLT  p64wlow
+	SUBQ $32, R9
+	MOVQ R11, DX
+	MOVQ R9, CX
+	SHRQ CL, DX
+	BSWAPL DX
+	MOVL DX, (DI)
+	ADDQ $4, DI
+p64wlow:
+	// Low 32 bits: appending 32 always reaches the flush threshold and
+	// flushing subtracts the same 32, so nacc is unchanged.
+	MOVL AX, AX               // zero-extend low 32
+	SHLQ $32, R11
+	ORQ  AX, R11
+	MOVQ R11, DX
+	MOVQ R9, CX
+	SHRQ CL, DX
+	BSWAPL DX
+	MOVL DX, (DI)
+	ADDQ $4, DI
+	DECQ R10
+	JNZ  p64wloop
+	JMP  p64done
+
+p64wzig:
+	MOVQ (SI), AX
+	ADDQ $8, SI
+	MOVQ AX, DX
+	SHLQ $1, AX
+	SARQ $63, DX
+	XORQ DX, AX
+	MOVQ AX, R12
+	SHRQ $32, R12
+	MOVQ R8, CX
+	SHLQ CL, R11
+	ORQ  R12, R11
+	ADDQ R8, R9
+	CMPQ R9, $32
+	JLT  p64wzlow
+	SUBQ $32, R9
+	MOVQ R11, DX
+	MOVQ R9, CX
+	SHRQ CL, DX
+	BSWAPL DX
+	MOVL DX, (DI)
+	ADDQ $4, DI
+p64wzlow:
+	MOVL AX, AX
+	SHLQ $32, R11
+	ORQ  AX, R11
+	MOVQ R11, DX
+	MOVQ R9, CX
+	SHRQ CL, DX
+	BSWAPL DX
+	MOVL DX, (DI)
+	ADDQ $4, DI
+	DECQ R10
+	JNZ  p64wzig
+
+p64done:
+	SUBQ BX, DI
+	MOVQ DI, newBp+64(FP)
+	MOVQ R9, CX
+	MOVQ $1, DX
+	SHLQ CL, DX
+	DECQ DX
+	ANDQ DX, R11
+	MOVQ R11, newAcc+72(FP)
+	MOVQ R9, newNacc+80(FP)
+	RET
+
+// func unpack32Asm(dst *uint32, groups int, pad *byte, pos, keep, unzig uint64) uint64
+//
+// Decodes groups*4 keep-bit fields (1 <= keep <= 32) starting at bit pos
+// of pad, optionally un-zigzagging, and returns the new bit position. The
+// caller guarantees pad extends 8 bytes past the last touched field byte
+// (MPLG's zero-padded decode copy).
+TEXT ·unpack32Asm(SB), NOSPLIT, $32-56
+	MOVQ dst+0(FP), DI
+	MOVQ groups+8(FP), R10
+	MOVQ pad+16(FP), SI
+	MOVQ pos+24(FP), R9
+	MOVQ keep+32(FP), R8
+
+	// posv = pos + [0, keep, 2k, 3k] via the local frame.
+	MOVQ $0, 0(SP)
+	MOVQ R8, 8(SP)
+	LEAQ (R8)(R8*1), AX
+	MOVQ AX, 16(SP)
+	LEAQ (AX)(R8*1), AX
+	MOVQ AX, 24(SP)
+	VMOVDQU (SP), Y0          // field offsets
+	VMOVQ R9, X1
+	VPBROADCASTQ X1, Y1
+	VPADDQ Y1, Y0, Y0         // Y0 = posv
+	LEAQ 0(R8)(R8*2), AX
+	ADDQ R8, AX               // AX = 4*keep
+	VMOVQ AX, X1
+	VPBROADCASTQ X1, Y4       // step
+	MOVQ $1, DX
+	MOVQ R8, CX
+	SHLQ CL, DX
+	DECQ DX
+	VMOVQ DX, X1
+	VPBROADCASTQ X1, Y5       // mask = 1<<keep - 1
+	MOVQ $64, DX
+	SUBQ R8, DX
+	VMOVQ DX, X1
+	VPBROADCASTQ X1, Y6       // 64 - keep
+	MOVQ $7, DX
+	VMOVQ DX, X1
+	VPBROADCASTQ X1, Y8       // 7
+	VMOVDQU revq2<>(SB), Y12
+	VMOVDQU narrow32<>(SB), Y13
+	MOVQ unzig+40(FP), DX
+	TESTQ DX, DX
+	JNZ  u32zig
+
+u32loop:
+	VPSRLQ $3, Y0, Y1         // byte indices
+	VPCMPEQD Y9, Y9, Y9       // gather mask (consumed by the gather)
+	VPGATHERQQ Y9, (SI)(Y1*1), Y10
+	VPSHUFB Y12, Y10, Y10     // big-endian 64-bit windows
+	VPAND  Y8, Y0, Y11        // pos & 7
+	VPSUBQ Y11, Y6, Y11       // 64 - keep - (pos&7)
+	VPSRLVQ Y11, Y10, Y10
+	VPAND  Y5, Y10, Y10
+	VPERMD Y10, Y13, Y10      // low dwords of each qword lane
+	VMOVDQU X10, (DI)
+	VPADDQ Y4, Y0, Y0
+	ADDQ $16, DI
+	ADDQ AX, R9
+	DECQ R10
+	JNZ  u32loop
+	JMP  u32done
+
+u32zig:
+	VPCMPEQD Y7, Y7, Y7
+	VPSRLD $31, Y7, Y7        // 1 per dword
+	VPXOR Y3, Y3, Y3          // zero
+u32zloop:
+	VPSRLQ $3, Y0, Y1
+	VPCMPEQD Y9, Y9, Y9
+	VPGATHERQQ Y9, (SI)(Y1*1), Y10
+	VPSHUFB Y12, Y10, Y10
+	VPAND  Y8, Y0, Y11
+	VPSUBQ Y11, Y6, Y11
+	VPSRLVQ Y11, Y10, Y10
+	VPAND  Y5, Y10, Y10
+	// unzigzag32 on dword granularity (the zero high dwords stay zero).
+	VPSRLD $1, Y10, Y1
+	VPAND  Y7, Y10, Y2
+	VPSUBD Y2, Y3, Y2
+	VPXOR  Y1, Y2, Y10
+	VPERMD Y10, Y13, Y10
+	VMOVDQU X10, (DI)
+	VPADDQ Y4, Y0, Y0
+	ADDQ $16, DI
+	ADDQ AX, R9
+	DECQ R10
+	JNZ  u32zloop
+
+u32done:
+	VZEROUPPER
+	MOVQ R9, ret+48(FP)
+	RET
+
+// func unpack64Asm(dst *uint64, groups int, pad *byte, pos, keep, unzig uint64) uint64
+//
+// 64-bit variant (1 <= keep <= 57: the field plus its leading bit offset
+// must fit one 64-bit load window; the wrapper declines wider fields).
+TEXT ·unpack64Asm(SB), NOSPLIT, $32-56
+	MOVQ dst+0(FP), DI
+	MOVQ groups+8(FP), R10
+	MOVQ pad+16(FP), SI
+	MOVQ pos+24(FP), R9
+	MOVQ keep+32(FP), R8
+
+	MOVQ $0, 0(SP)
+	MOVQ R8, 8(SP)
+	LEAQ (R8)(R8*1), AX
+	MOVQ AX, 16(SP)
+	LEAQ (AX)(R8*1), AX
+	MOVQ AX, 24(SP)
+	VMOVDQU (SP), Y0
+	VMOVQ R9, X1
+	VPBROADCASTQ X1, Y1
+	VPADDQ Y1, Y0, Y0
+	LEAQ 0(R8)(R8*2), AX
+	ADDQ R8, AX
+	VMOVQ AX, X1
+	VPBROADCASTQ X1, Y4
+	MOVQ $1, DX
+	MOVQ R8, CX
+	SHLQ CL, DX
+	DECQ DX
+	VMOVQ DX, X1
+	VPBROADCASTQ X1, Y5
+	MOVQ $64, DX
+	SUBQ R8, DX
+	VMOVQ DX, X1
+	VPBROADCASTQ X1, Y6
+	MOVQ $7, DX
+	VMOVQ DX, X1
+	VPBROADCASTQ X1, Y8
+	VMOVDQU revq2<>(SB), Y12
+	MOVQ unzig+40(FP), DX
+	TESTQ DX, DX
+	JNZ  u64zig
+
+u64loop:
+	VPSRLQ $3, Y0, Y1
+	VPCMPEQD Y9, Y9, Y9
+	VPGATHERQQ Y9, (SI)(Y1*1), Y10
+	VPSHUFB Y12, Y10, Y10
+	VPAND  Y8, Y0, Y11
+	VPSUBQ Y11, Y6, Y11
+	VPSRLVQ Y11, Y10, Y10
+	VPAND  Y5, Y10, Y10
+	VMOVDQU Y10, (DI)
+	VPADDQ Y4, Y0, Y0
+	ADDQ $32, DI
+	ADDQ AX, R9
+	DECQ R10
+	JNZ  u64loop
+	JMP  u64done
+
+u64zig:
+	VPCMPEQD Y7, Y7, Y7
+	VPSRLQ $63, Y7, Y7        // 1 per qword
+	VPXOR Y3, Y3, Y3
+u64zloop:
+	VPSRLQ $3, Y0, Y1
+	VPCMPEQD Y9, Y9, Y9
+	VPGATHERQQ Y9, (SI)(Y1*1), Y10
+	VPSHUFB Y12, Y10, Y10
+	VPAND  Y8, Y0, Y11
+	VPSUBQ Y11, Y6, Y11
+	VPSRLVQ Y11, Y10, Y10
+	VPAND  Y5, Y10, Y10
+	VPSRLQ $1, Y10, Y1
+	VPAND  Y7, Y10, Y2
+	VPSUBQ Y2, Y3, Y2
+	VPXOR  Y1, Y2, Y10
+	VMOVDQU Y10, (DI)
+	VPADDQ Y4, Y0, Y0
+	ADDQ $32, DI
+	ADDQ AX, R9
+	DECQ R10
+	JNZ  u64zloop
+
+u64done:
+	VZEROUPPER
+	MOVQ R9, ret+48(FP)
+	RET

@@ -1,0 +1,435 @@
+//go:build amd64 && !noasm && !purego
+
+package simd
+
+// Assembly bodies (kernels_*_amd64.s). Each processes only whole SIMD
+// groups; the Go wrappers peel heads (where a kernel reads one element
+// before its pointer) and finish tails with the same scalar arithmetic the
+// reference kernels use, so wrapper output is byte-identical to the
+// reference for every length and alignment.
+
+//go:noescape
+func diffZigOr32Asm(dst, src *uint32, groups int) uint32
+
+//go:noescape
+func diffZigOr64Asm(dst, src *uint64, groups int) uint64
+
+//go:noescape
+func unDiffZig32Asm(dst, src *uint32, groups int, prev uint32) uint32
+
+//go:noescape
+func unDiffZig64Asm(dst, src *uint64, groups int, prev uint64) uint64
+
+//go:noescape
+func or32Asm(src *uint32, groups int) uint32
+
+//go:noescape
+func zigOr32Asm(src *uint32, groups int) uint32
+
+//go:noescape
+func or64Asm(src *uint64, groups int) uint64
+
+//go:noescape
+func zigOr64Asm(src *uint64, groups int) uint64
+
+//go:noescape
+func nonzeroBMAsm(bm *byte, src *byte, blocks int) int
+
+//go:noescape
+func changeBMAsm(bm *byte, cur *byte, blocks int)
+
+// minWords is the slice length below which the wrappers decline and let
+// the caller run its scalar path: too short to amortize the vector
+// prologue.
+const minWords = 16
+
+func zigzag32(x uint32) uint32   { return (x << 1) ^ uint32(int32(x)>>31) }
+func zigzag64(x uint64) uint64   { return (x << 1) ^ uint64(int64(x)>>63) }
+func unzigzag32(x uint32) uint32 { return (x >> 1) ^ -(x & 1) }
+func unzigzag64(x uint64) uint64 { return (x >> 1) ^ -(x & 1) }
+
+// DiffZigOr32 computes dst[i] = ZigZag32(src[i] - src[i-1]) (src[-1] taken
+// as prev) for all of src and returns the OR of the outputs. len(dst) must
+// be >= len(src).
+func DiffZigOr32(dst, src []uint32, prev uint32) (uint32, bool) {
+	if active.Load() != levelAVX2 || len(src) < minWords {
+		return 0, false
+	}
+	var or uint32
+	for j := 0; j < 8; j++ { // head: predecessor crosses the slice start
+		z := zigzag32(src[j] - prev)
+		prev = src[j]
+		dst[j] = z
+		or |= z
+	}
+	n := 8
+	if g := (len(src) - n) / 8; g > 0 {
+		or |= diffZigOr32Asm(&dst[n], &src[n], g)
+		n += g * 8
+		prev = src[n-1]
+	}
+	for ; n < len(src); n++ {
+		z := zigzag32(src[n] - prev)
+		prev = src[n]
+		dst[n] = z
+		or |= z
+	}
+	return or, true
+}
+
+// DiffZigOr64 is the 64-bit variant of DiffZigOr32.
+func DiffZigOr64(dst, src []uint64, prev uint64) (uint64, bool) {
+	if active.Load() != levelAVX2 || len(src) < minWords {
+		return 0, false
+	}
+	var or uint64
+	for j := 0; j < 4; j++ {
+		z := zigzag64(src[j] - prev)
+		prev = src[j]
+		dst[j] = z
+		or |= z
+	}
+	n := 4
+	if g := (len(src) - n) / 4; g > 0 {
+		or |= diffZigOr64Asm(&dst[n], &src[n], g)
+		n += g * 4
+		prev = src[n-1]
+	}
+	for ; n < len(src); n++ {
+		z := zigzag64(src[n] - prev)
+		prev = src[n]
+		dst[n] = z
+		or |= z
+	}
+	return or, true
+}
+
+// UnDiffZig32 computes the DIFFMS inverse dst[i] = prev + Σ
+// UnZigZag32(src[0..i]) and returns the final running value. dst and src
+// may alias exactly (dst[i] is written after src[i] is read).
+func UnDiffZig32(dst, src []uint32, prev uint32) (uint32, bool) {
+	if active.Load() != levelAVX2 || len(src) < minWords {
+		return 0, false
+	}
+	n := 0
+	if g := len(src) / 8; g > 0 {
+		prev = unDiffZig32Asm(&dst[0], &src[0], g, prev)
+		n = g * 8
+	}
+	for ; n < len(src); n++ {
+		prev += unzigzag32(src[n])
+		dst[n] = prev
+	}
+	return prev, true
+}
+
+// UnDiffZig64 is the 64-bit variant of UnDiffZig32.
+func UnDiffZig64(dst, src []uint64, prev uint64) (uint64, bool) {
+	if active.Load() != levelAVX2 || len(src) < minWords {
+		return 0, false
+	}
+	n := 0
+	if g := len(src) / 4; g > 0 {
+		prev = unDiffZig64Asm(&dst[0], &src[0], g, prev)
+		n = g * 4
+	}
+	for ; n < len(src); n++ {
+		prev += unzigzag64(src[n])
+		dst[n] = prev
+	}
+	return prev, true
+}
+
+// Or32 returns the OR of src. MPLG's width scan uses OR in place of max:
+// both have the same bit length and top bit, the only properties the
+// format derives from the scan.
+func Or32(src []uint32) (uint32, bool) {
+	if active.Load() != levelAVX2 || len(src) < minWords {
+		return 0, false
+	}
+	var or uint32
+	n := 0
+	if g := len(src) / 8; g > 0 {
+		or = or32Asm(&src[0], g)
+		n = g * 8
+	}
+	for ; n < len(src); n++ {
+		or |= src[n]
+	}
+	return or, true
+}
+
+// ZigOr32 returns the OR of ZigZag32(src[i]) (MPLG's enhancement retry
+// scan).
+func ZigOr32(src []uint32) (uint32, bool) {
+	if active.Load() != levelAVX2 || len(src) < minWords {
+		return 0, false
+	}
+	var or uint32
+	n := 0
+	if g := len(src) / 8; g > 0 {
+		or = zigOr32Asm(&src[0], g)
+		n = g * 8
+	}
+	for ; n < len(src); n++ {
+		or |= zigzag32(src[n])
+	}
+	return or, true
+}
+
+// Or64 is the 64-bit variant of Or32.
+func Or64(src []uint64) (uint64, bool) {
+	if active.Load() != levelAVX2 || len(src) < minWords {
+		return 0, false
+	}
+	var or uint64
+	n := 0
+	if g := len(src) / 4; g > 0 {
+		or = or64Asm(&src[0], g)
+		n = g * 4
+	}
+	for ; n < len(src); n++ {
+		or |= src[n]
+	}
+	return or, true
+}
+
+// ZigOr64 is the 64-bit variant of ZigOr32.
+func ZigOr64(src []uint64) (uint64, bool) {
+	if active.Load() != levelAVX2 || len(src) < minWords {
+		return 0, false
+	}
+	var or uint64
+	n := 0
+	if g := len(src) / 4; g > 0 {
+		or = zigOr64Asm(&src[0], g)
+		n = g * 4
+	}
+	for ; n < len(src); n++ {
+		or |= zigzag64(src[n])
+	}
+	return or, true
+}
+
+// NonzeroBM fills bm (>= (len(src)+7)/8 bytes, which it clears first) with
+// RZE's non-zero-byte bitmap of src — bit i set when src[i] != 0,
+// MSB-first within each byte — and returns the number of set bits.
+func NonzeroBM(bm, src []byte) (int, bool) {
+	if active.Load() != levelAVX2 || len(src) < 64 {
+		return 0, false
+	}
+	clear(bm[:(len(src)+7)/8])
+	nonzero := 0
+	n := 0
+	if b := len(src) / 32; b > 0 {
+		nonzero = nonzeroBMAsm(&bm[0], &src[0], b)
+		n = b * 32
+	}
+	for ; n < len(src); n++ {
+		if src[n] != 0 {
+			bm[n>>3] |= 0x80 >> (n & 7)
+			nonzero++
+		}
+	}
+	return nonzero, true
+}
+
+// ChangeBM fills bm (>= (len(cur)+7)/8 bytes, cleared first) with RZE's
+// changed-byte bitmap of cur: bit i set when cur[i] differs from its
+// predecessor (cur[-1] taken as zero), MSB-first within each byte.
+func ChangeBM(bm, cur []byte) bool {
+	if active.Load() != levelAVX2 || len(cur) < 64 {
+		return false
+	}
+	clear(bm[:(len(cur)+7)/8])
+	prev := byte(0)
+	for j := 0; j < 8; j++ { // head: predecessor crosses the slice start
+		if cur[j] != prev {
+			bm[0] |= 0x80 >> j
+		}
+		prev = cur[j]
+	}
+	n := 8
+	if b := (len(cur) - n) / 32; b > 0 {
+		changeBMAsm(&bm[1], &cur[8], b)
+		n += b * 32
+		prev = cur[n-1]
+	}
+	for ; n < len(cur); n++ {
+		if cur[n] != prev {
+			bm[n>>3] |= 0x80 >> (n & 7)
+		}
+		prev = cur[n]
+	}
+	return true
+}
+
+//go:noescape
+func pack32Asm(buf *byte, bp int, acc, nacc uint64, src *uint32, n int, keep, zig uint64) (newBp int, newAcc, newNacc uint64)
+
+//go:noescape
+func pack64Asm(buf *byte, bp int, acc, nacc uint64, src *uint64, n int, keep, zig uint64) (newBp int, newAcc, newNacc uint64)
+
+//go:noescape
+func unpack32Asm(dst *uint32, groups int, pad *byte, pos, keep, unzig uint64) uint64
+
+//go:noescape
+func unpack64Asm(dst *uint64, groups int, pad *byte, pos, keep, unzig uint64) uint64
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Pack32 appends len(src) keep-bit fields (1 <= keep <= 32, optionally
+// zigzagged first) to the MSB-first bit stream held in (buf, bp, acc,
+// nacc), with the same accumulator invariant as MPLG's scalar loop: at
+// most 31 pending bits between calls, flushes as big-endian 32-bit stores.
+// Returns the updated (bp, acc, nacc).
+func Pack32(buf []byte, bp int, acc uint64, nacc uint, src []uint32, keep uint, zig bool) (int, uint64, uint, bool) {
+	if active.Load() != levelAVX2 || len(src) < minWords || keep < 1 || keep > 32 || nacc >= 32 {
+		return bp, acc, nacc, false
+	}
+	total := uint64(nacc) + uint64(keep)*uint64(len(src))
+	if uint64(bp)+4*(total/32) > uint64(len(buf)) {
+		return bp, acc, nacc, false
+	}
+	nbp, nacc2, nn := pack32Asm(&buf[0], bp, acc, uint64(nacc), &src[0], len(src), uint64(keep), b2u(zig))
+	return nbp, nacc2, uint(nn), true
+}
+
+// Pack64 is the 64-bit variant of Pack32 (1 <= keep <= 64; widths above 32
+// split into two sub-32-bit fields exactly like the scalar loop).
+func Pack64(buf []byte, bp int, acc uint64, nacc uint, src []uint64, keep uint, zig bool) (int, uint64, uint, bool) {
+	if active.Load() != levelAVX2 || len(src) < minWords || keep < 1 || keep > 64 || nacc >= 32 {
+		return bp, acc, nacc, false
+	}
+	total := uint64(nacc) + uint64(keep)*uint64(len(src))
+	if uint64(bp)+4*(total/32) > uint64(len(buf)) {
+		return bp, acc, nacc, false
+	}
+	nbp, nacc2, nn := pack64Asm(&buf[0], bp, acc, uint64(nacc), &src[0], len(src), uint64(keep), b2u(zig))
+	return nbp, nacc2, uint(nn), true
+}
+
+// Unpack32 decodes len(dst) keep-bit fields (1 <= keep <= 32, optionally
+// un-zigzagged) starting at bit pos of pad and returns the new bit
+// position. pad must extend at least 8 bytes past the byte holding the
+// last field bit (MPLG's zero-padded decode copy provides this).
+func Unpack32(dst []uint32, pad []byte, pos uint64, keep uint, unzig bool) (uint64, bool) {
+	if active.Load() != levelAVX2 || len(dst) < minWords || keep < 1 || keep > 32 {
+		return pos, false
+	}
+	end := pos + uint64(keep)*uint64(len(dst))
+	if (end-1)/8+8 > uint64(len(pad)) {
+		return pos, false
+	}
+	n := 0
+	if g := len(dst) / 4; g > 0 {
+		pos = unpack32Asm(&dst[0], g, &pad[0], pos, uint64(keep), b2u(unzig))
+		n = g * 4
+	}
+	mask := uint32(1)<<keep - 1
+	sh := 64 - keep
+	for ; n < len(dst); n++ {
+		x := beU64(pad[pos>>3:])
+		v := uint32(x>>(sh-uint(pos&7))) & mask
+		if unzig {
+			v = unzigzag32(v)
+		}
+		dst[n] = v
+		pos += uint64(keep)
+	}
+	return pos, true
+}
+
+// Unpack64 is the 64-bit variant of Unpack32, limited to keep <= 57 so
+// every field plus its leading bit offset fits one 64-bit load window
+// (wider fields decline; the caller's scalar loadBits loop handles them).
+func Unpack64(dst []uint64, pad []byte, pos uint64, keep uint, unzig bool) (uint64, bool) {
+	if active.Load() != levelAVX2 || len(dst) < minWords || keep < 1 || keep > 57 {
+		return pos, false
+	}
+	end := pos + uint64(keep)*uint64(len(dst))
+	if (end-1)/8+8 > uint64(len(pad)) {
+		return pos, false
+	}
+	n := 0
+	if g := len(dst) / 4; g > 0 {
+		pos = unpack64Asm(&dst[0], g, &pad[0], pos, uint64(keep), b2u(unzig))
+		n = g * 4
+	}
+	mask := uint64(1)<<keep - 1
+	sh := 64 - keep
+	for ; n < len(dst); n++ {
+		x := beU64(pad[pos>>3:])
+		v := (x >> (sh - uint(pos&7))) & mask
+		if unzig {
+			v = unzigzag64(v)
+		}
+		dst[n] = v
+		pos += uint64(keep)
+	}
+	return pos, true
+}
+
+// beU64 is binary.BigEndian.Uint64 without the import.
+func beU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[7]) | uint64(b[6])<<8 | uint64(b[5])<<16 | uint64(b[4])<<24 |
+		uint64(b[3])<<32 | uint64(b[2])<<40 | uint64(b[1])<<48 | uint64(b[0])<<56
+}
+
+//go:noescape
+func bitFwd32Asm(dst, src *uint32, nb int)
+
+//go:noescape
+func bitInv32Asm(dst, src *uint32, nb int)
+
+//go:noescape
+func bitFwd64Asm(dst, src *uint64, nb int)
+
+//go:noescape
+func bitInv64Asm(dst, src *uint64, nb int)
+
+// BitFwd32 transposes nb 32-word blocks of src into dst's plane-major
+// layout (block k's plane p at dst[p*nb+k]); both slices must hold at
+// least 32*nb words. dst and src must not overlap.
+func BitFwd32(dst, src []uint32, nb int) bool {
+	if active.Load() != levelAVX2 || nb < 1 || len(dst) < 32*nb || len(src) < 32*nb {
+		return false
+	}
+	bitFwd32Asm(&dst[0], &src[0], nb)
+	return true
+}
+
+// BitInv32 is the inverse of BitFwd32: plane-major src back to contiguous
+// blocks.
+func BitInv32(dst, src []uint32, nb int) bool {
+	if active.Load() != levelAVX2 || nb < 1 || len(dst) < 32*nb || len(src) < 32*nb {
+		return false
+	}
+	bitInv32Asm(&dst[0], &src[0], nb)
+	return true
+}
+
+// BitFwd64 transposes nb 64-word blocks (as four 32x32 dword
+// half-transposes per block); both slices must hold at least 64*nb words.
+func BitFwd64(dst, src []uint64, nb int) bool {
+	if active.Load() != levelAVX2 || nb < 1 || len(dst) < 64*nb || len(src) < 64*nb {
+		return false
+	}
+	bitFwd64Asm(&dst[0], &src[0], nb)
+	return true
+}
+
+// BitInv64 is the inverse of BitFwd64.
+func BitInv64(dst, src []uint64, nb int) bool {
+	if active.Load() != levelAVX2 || nb < 1 || len(dst) < 64*nb || len(src) < 64*nb {
+		return false
+	}
+	bitInv64Asm(&dst[0], &src[0], nb)
+	return true
+}

@@ -1,0 +1,200 @@
+//go:build arm64 && !noasm && !purego
+
+package simd
+
+// NEON covers the streaming kernels (diff+zigzag and the OR width-scans);
+// the remaining wrappers decline and the callers run their scalar
+// reference paths. See the package comment: per-kernel coverage may differ
+// between ISAs, the per-call ok contract makes that transparent.
+
+//go:noescape
+func diffZigOr32Asm(dst, src *uint32, groups int) uint32
+
+//go:noescape
+func diffZigOr64Asm(dst, src *uint64, groups int) uint64
+
+//go:noescape
+func or32Asm(src *uint32, groups int) uint32
+
+//go:noescape
+func zigOr32Asm(src *uint32, groups int) uint32
+
+//go:noescape
+func or64Asm(src *uint64, groups int) uint64
+
+//go:noescape
+func zigOr64Asm(src *uint64, groups int) uint64
+
+const minWords = 16
+
+func zigzag32(x uint32) uint32 { return (x << 1) ^ uint32(int32(x)>>31) }
+func zigzag64(x uint64) uint64 { return (x << 1) ^ uint64(int64(x)>>63) }
+
+// DiffZigOr32 computes dst[i] = ZigZag32(src[i] - src[i-1]) (src[-1] taken
+// as prev) for all of src and returns the OR of the outputs. len(dst) must
+// be >= len(src).
+func DiffZigOr32(dst, src []uint32, prev uint32) (uint32, bool) {
+	if active.Load() != levelNEON || len(src) < minWords {
+		return 0, false
+	}
+	var or uint32
+	for j := 0; j < 4; j++ { // head: predecessor crosses the slice start
+		z := zigzag32(src[j] - prev)
+		prev = src[j]
+		dst[j] = z
+		or |= z
+	}
+	n := 4
+	if g := (len(src) - n) / 4; g > 0 {
+		or |= diffZigOr32Asm(&dst[n], &src[n], g)
+		n += g * 4
+		prev = src[n-1]
+	}
+	for ; n < len(src); n++ {
+		z := zigzag32(src[n] - prev)
+		prev = src[n]
+		dst[n] = z
+		or |= z
+	}
+	return or, true
+}
+
+// DiffZigOr64 is the 64-bit variant of DiffZigOr32.
+func DiffZigOr64(dst, src []uint64, prev uint64) (uint64, bool) {
+	if active.Load() != levelNEON || len(src) < minWords {
+		return 0, false
+	}
+	var or uint64
+	for j := 0; j < 2; j++ {
+		z := zigzag64(src[j] - prev)
+		prev = src[j]
+		dst[j] = z
+		or |= z
+	}
+	n := 2
+	if g := (len(src) - n) / 2; g > 0 {
+		or |= diffZigOr64Asm(&dst[n], &src[n], g)
+		n += g * 2
+		prev = src[n-1]
+	}
+	for ; n < len(src); n++ {
+		z := zigzag64(src[n] - prev)
+		prev = src[n]
+		dst[n] = z
+		or |= z
+	}
+	return or, true
+}
+
+// UnDiffZig32: loop-carried prefix sum; not implemented in NEON.
+func UnDiffZig32(dst, src []uint32, prev uint32) (uint32, bool) { return 0, false }
+
+// UnDiffZig64: loop-carried prefix sum; not implemented in NEON.
+func UnDiffZig64(dst, src []uint64, prev uint64) (uint64, bool) { return 0, false }
+
+// Or32 returns the OR of src (MPLG's width scan; OR and max share bit
+// length and top bit, the only properties the format derives).
+func Or32(src []uint32) (uint32, bool) {
+	if active.Load() != levelNEON || len(src) < minWords {
+		return 0, false
+	}
+	var or uint32
+	n := 0
+	if g := len(src) / 4; g > 0 {
+		or = or32Asm(&src[0], g)
+		n = g * 4
+	}
+	for ; n < len(src); n++ {
+		or |= src[n]
+	}
+	return or, true
+}
+
+// ZigOr32 returns the OR of ZigZag32(src[i]).
+func ZigOr32(src []uint32) (uint32, bool) {
+	if active.Load() != levelNEON || len(src) < minWords {
+		return 0, false
+	}
+	var or uint32
+	n := 0
+	if g := len(src) / 4; g > 0 {
+		or = zigOr32Asm(&src[0], g)
+		n = g * 4
+	}
+	for ; n < len(src); n++ {
+		or |= zigzag32(src[n])
+	}
+	return or, true
+}
+
+// Or64 is the 64-bit variant of Or32.
+func Or64(src []uint64) (uint64, bool) {
+	if active.Load() != levelNEON || len(src) < minWords {
+		return 0, false
+	}
+	var or uint64
+	n := 0
+	if g := len(src) / 2; g > 0 {
+		or = or64Asm(&src[0], g)
+		n = g * 2
+	}
+	for ; n < len(src); n++ {
+		or |= src[n]
+	}
+	return or, true
+}
+
+// ZigOr64 is the 64-bit variant of ZigOr32.
+func ZigOr64(src []uint64) (uint64, bool) {
+	if active.Load() != levelNEON || len(src) < minWords {
+		return 0, false
+	}
+	var or uint64
+	n := 0
+	if g := len(src) / 2; g > 0 {
+		or = zigOr64Asm(&src[0], g)
+		n = g * 2
+	}
+	for ; n < len(src); n++ {
+		or |= zigzag64(src[n])
+	}
+	return or, true
+}
+
+// NonzeroBM: movemask-style bitmaps; not implemented in NEON.
+func NonzeroBM(bm, src []byte) (int, bool) { return 0, false }
+
+// ChangeBM: movemask-style bitmaps; not implemented in NEON.
+func ChangeBM(bm, cur []byte) bool { return false }
+
+// Pack32: bit-stream accumulator; not implemented in NEON.
+func Pack32(buf []byte, bp int, acc uint64, nacc uint, src []uint32, keep uint, zig bool) (int, uint64, uint, bool) {
+	return bp, acc, nacc, false
+}
+
+// Pack64: bit-stream accumulator; not implemented in NEON.
+func Pack64(buf []byte, bp int, acc uint64, nacc uint, src []uint64, keep uint, zig bool) (int, uint64, uint, bool) {
+	return bp, acc, nacc, false
+}
+
+// Unpack32: gather-based field decode; not implemented in NEON.
+func Unpack32(dst []uint32, pad []byte, pos uint64, keep uint, unzig bool) (uint64, bool) {
+	return pos, false
+}
+
+// Unpack64: gather-based field decode; not implemented in NEON.
+func Unpack64(dst []uint64, pad []byte, pos uint64, keep uint, unzig bool) (uint64, bool) {
+	return pos, false
+}
+
+// BitFwd32: movemask-based plane transpose; not implemented in NEON.
+func BitFwd32(dst, src []uint32, nb int) bool { return false }
+
+// BitInv32: movemask-based plane transpose; not implemented in NEON.
+func BitInv32(dst, src []uint32, nb int) bool { return false }
+
+// BitFwd64: movemask-based plane transpose; not implemented in NEON.
+func BitFwd64(dst, src []uint64, nb int) bool { return false }
+
+// BitInv64: movemask-based plane transpose; not implemented in NEON.
+func BitInv64(dst, src []uint64, nb int) bool { return false }

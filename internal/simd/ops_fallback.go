@@ -1,0 +1,35 @@
+//go:build (!amd64 && !arm64) || noasm || purego
+
+package simd
+
+// No assembly kernels in this build: every wrapper declines and the caller
+// runs its scalar reference path.
+
+func DiffZigOr32(dst, src []uint32, prev uint32) (uint32, bool) { return 0, false }
+func DiffZigOr64(dst, src []uint64, prev uint64) (uint64, bool) { return 0, false }
+func UnDiffZig32(dst, src []uint32, prev uint32) (uint32, bool) { return 0, false }
+func UnDiffZig64(dst, src []uint64, prev uint64) (uint64, bool) { return 0, false }
+func Or32(src []uint32) (uint32, bool)                          { return 0, false }
+func ZigOr32(src []uint32) (uint32, bool)                       { return 0, false }
+func Or64(src []uint64) (uint64, bool)                          { return 0, false }
+func ZigOr64(src []uint64) (uint64, bool)                       { return 0, false }
+func NonzeroBM(bm, src []byte) (int, bool)                      { return 0, false }
+func ChangeBM(bm, cur []byte) bool                              { return false }
+
+func Pack32(buf []byte, bp int, acc uint64, nacc uint, src []uint32, keep uint, zig bool) (int, uint64, uint, bool) {
+	return bp, acc, nacc, false
+}
+func Pack64(buf []byte, bp int, acc uint64, nacc uint, src []uint64, keep uint, zig bool) (int, uint64, uint, bool) {
+	return bp, acc, nacc, false
+}
+func Unpack32(dst []uint32, pad []byte, pos uint64, keep uint, unzig bool) (uint64, bool) {
+	return pos, false
+}
+func Unpack64(dst []uint64, pad []byte, pos uint64, keep uint, unzig bool) (uint64, bool) {
+	return pos, false
+}
+
+func BitFwd32(dst, src []uint32, nb int) bool { return false }
+func BitInv32(dst, src []uint32, nb int) bool { return false }
+func BitFwd64(dst, src []uint64, nb int) bool { return false }
+func BitInv64(dst, src []uint64, nb int) bool { return false }

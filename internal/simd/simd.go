@@ -1,0 +1,111 @@
+// Package simd provides runtime-dispatched architecture-specific kernels
+// (AVX2 on amd64, NEON on arm64) for the four hottest transform inner
+// loops: the DIFFMS diff+zigzag pass, the BIT 32x32/64x64 plane transpose,
+// the MPLG pack/unpack bit accumulators, and the RZE nonzero/change
+// movemask scans.
+//
+// # Dispatch contract
+//
+// Every kernel here is an accelerator, never the implementation of record:
+// the word-level kernels in internal/transforms remain the always-built
+// reference path, and a simd kernel must emit bytes identical to its
+// reference for every input (pinned by the differential tests in this
+// package and by internal/transforms' kernels_test.go harness, which runs
+// both paths in one process via Disable).
+//
+// Every kernel returns ok=false — leaving its outputs untouched — when it
+// is not dispatched, and the caller then runs its reference path. The
+// three reasons a kernel is unavailable:
+//
+//   - the CPU lacks the ISA extension (AVX2 requires CPUID leaf-7 EBX bit 5
+//     plus OS-enabled YMM state via XGETBV; NEON is architectural on
+//     arm64),
+//   - the build disables assembly (noasm or purego build tags), or
+//   - the environment disables it (FPC_DISABLE_SIMD=1, read at init) or a
+//     test called Disable.
+//
+// On arm64, NEON currently covers the diff+zigzag and movemask-bitmap
+// families only; the BIT transpose and MPLG accumulators report
+// unavailable and run their scalar word kernels (see DESIGN.md §10 for the
+// extension recipe). The per-call ok contract exists exactly so coverage
+// can differ per ISA without any caller knowing.
+//
+// # Assembly calling conventions
+//
+// The assembly routines use the stable ABI0 (frame-pointer-free, arguments
+// on the stack) and are declared //go:noescape: they never retain, grow,
+// or allocate slices, and every slice length handed to them has already
+// been validated by the Go wrapper. Vector bodies process full SIMD groups
+// only; the Go wrappers in this package finish tails with the same scalar
+// arithmetic the references use, so alignment and length edge cases stay
+// in Go code.
+package simd
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Feature levels, in the order Active reports them.
+const (
+	levelScalar int32 = iota
+	levelAVX2
+	levelNEON
+)
+
+// active is the dispatch level: levelScalar means every On* gate reports
+// false. It is atomic only so tests can flip it under -race; production
+// code writes it once at init.
+var active atomic.Int32
+
+// hwLevel is what the hardware supports, regardless of the current enable
+// state; Enable restores to this.
+var hwLevel int32
+
+func init() {
+	hwLevel = detect() // per-GOARCH; levelScalar when the build has no asm
+	if os.Getenv("FPC_DISABLE_SIMD") == "1" {
+		active.Store(levelScalar)
+		return
+	}
+	active.Store(hwLevel)
+}
+
+// Active names the dispatched kernel path: "scalar", "avx2", or "neon".
+// Surfaced by fpcz -stats, the fpcd expvar snapshot, and the bench
+// emitters so measurements are attributable to a code path.
+func Active() string {
+	switch active.Load() {
+	case levelAVX2:
+		return "avx2"
+	case levelNEON:
+		return "neon"
+	}
+	return "scalar"
+}
+
+// Available names the best kernel path the hardware and build support,
+// independent of FPC_DISABLE_SIMD/Disable.
+func Available() string {
+	switch hwLevel {
+	case levelAVX2:
+		return "avx2"
+	case levelNEON:
+		return "neon"
+	}
+	return "scalar"
+}
+
+// Disable forces every On* gate to false until Enable is called. It exists
+// for the differential test harnesses (scalar-vs-simd in one process);
+// production callers use FPC_DISABLE_SIMD=1 instead. Safe to call
+// concurrently with kernel use: callers that already passed an On* gate
+// finish on the simd path, which emits identical bytes anyway.
+func Disable() { active.Store(levelScalar) }
+
+// Enable restores dispatch to the hardware-supported level (a no-op when
+// the build or CPU has no kernels).
+func Enable() { active.Store(hwLevel) }
+
+// Enabled reports whether any kernel family is currently dispatched.
+func Enabled() bool { return active.Load() != levelScalar }

@@ -1,0 +1,662 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The simd package's own differential harness: every wrapper is compared
+// against a locally-written scalar model (NOT the transforms package's
+// kernels — those comparisons live in transforms' kernels_test.go) across
+// the usual adversarial lengths and alignments. On builds without
+// assembly every wrapper declines and the loops are vacuous.
+
+var testLengths = []int{0, 1, 3, 4, 7, 8, 11, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 512, 515, 1000, 4096, 4099}
+
+func refZig32(x uint32) uint32   { return (x << 1) ^ uint32(int32(x)>>31) }
+func refZig64(x uint64) uint64   { return (x << 1) ^ uint64(int64(x)>>63) }
+func refUnzig32(x uint32) uint32 { return (x >> 1) ^ -(x & 1) }
+func refUnzig64(x uint64) uint64 { return (x >> 1) ^ -(x & 1) }
+
+func fill32(r *rand.Rand, s []uint32) {
+	for i := range s {
+		switch r.Intn(4) {
+		case 0:
+			s[i] = r.Uint32()
+		case 1:
+			s[i] = r.Uint32() & 0xff
+		case 2:
+			s[i] = 0
+		default:
+			s[i] = uint32(int32(-1) * int32(r.Intn(1000)))
+		}
+	}
+}
+
+func fill64(r *rand.Rand, s []uint64) {
+	for i := range s {
+		switch r.Intn(4) {
+		case 0:
+			s[i] = r.Uint64()
+		case 1:
+			s[i] = r.Uint64() & 0xffff
+		case 2:
+			s[i] = 0
+		default:
+			s[i] = uint64(int64(-1) * int64(r.Intn(1000)))
+		}
+	}
+}
+
+func TestActiveStrings(t *testing.T) {
+	a, hw := Active(), Available()
+	ok := map[string]bool{"scalar": true, "avx2": true, "neon": true}
+	if !ok[a] || !ok[hw] {
+		t.Fatalf("Active()=%q Available()=%q, want scalar/avx2/neon", a, hw)
+	}
+	if !Enabled() && a != "scalar" {
+		t.Fatalf("Enabled()=false but Active()=%q", a)
+	}
+}
+
+func TestDisableEnable(t *testing.T) {
+	defer Enable()
+	Disable()
+	if Active() != "scalar" {
+		t.Fatalf("Active()=%q after Disable", Active())
+	}
+	if _, ok := Or32(make([]uint32, 1024)); ok {
+		t.Fatal("Or32 accepted work while disabled")
+	}
+	Enable()
+	if Active() != Available() {
+		t.Fatalf("Active()=%q != Available()=%q after Enable", Active(), Available())
+	}
+}
+
+func TestDiffZigOr32(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range testLengths {
+		for off := 0; off < 4; off++ {
+			backing := make([]uint32, n+off)
+			src := backing[off:]
+			fill32(r, src)
+			prev := r.Uint32()
+			want := make([]uint32, n)
+			var wantOr uint32
+			p := prev
+			for i, v := range src {
+				z := refZig32(v - p)
+				p = v
+				want[i] = z
+				wantOr |= z
+			}
+			got := make([]uint32, n)
+			or, ok := DiffZigOr32(got, src, prev)
+			if !ok {
+				continue
+			}
+			if or != wantOr {
+				t.Fatalf("n=%d off=%d: or=%#x want %#x", n, off, or, wantOr)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d off=%d i=%d: got %#x want %#x", n, off, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDiffZigOr64(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range testLengths {
+		for off := 0; off < 4; off++ {
+			backing := make([]uint64, n+off)
+			src := backing[off:]
+			fill64(r, src)
+			prev := r.Uint64()
+			want := make([]uint64, n)
+			var wantOr uint64
+			p := prev
+			for i, v := range src {
+				z := refZig64(v - p)
+				p = v
+				want[i] = z
+				wantOr |= z
+			}
+			got := make([]uint64, n)
+			or, ok := DiffZigOr64(got, src, prev)
+			if !ok {
+				continue
+			}
+			if or != wantOr {
+				t.Fatalf("n=%d off=%d: or=%#x want %#x", n, off, or, wantOr)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d off=%d i=%d: got %#x want %#x", n, off, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestUnDiffZig32(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range testLengths {
+		for off := 0; off < 4; off++ {
+			backing := make([]uint32, n+off)
+			src := backing[off:]
+			fill32(r, src)
+			prev := r.Uint32()
+			want := make([]uint32, n)
+			p := prev
+			for i, v := range src {
+				p += refUnzig32(v)
+				want[i] = p
+			}
+			got := make([]uint32, n)
+			last, ok := UnDiffZig32(got, src, prev)
+			if !ok {
+				continue
+			}
+			if last != p {
+				t.Fatalf("n=%d off=%d: last=%#x want %#x", n, off, last, p)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d off=%d i=%d: got %#x want %#x", n, off, i, got[i], want[i])
+				}
+			}
+			// Exact aliasing (dst == src) must work: the fused inverse
+			// decodes in place.
+			inplace := append([]uint32(nil), src...)
+			if _, ok := UnDiffZig32(inplace, inplace, prev); ok {
+				for i := range want {
+					if inplace[i] != want[i] {
+						t.Fatalf("n=%d off=%d i=%d (aliased): got %#x want %#x", n, off, i, inplace[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUnDiffZig64(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, n := range testLengths {
+		for off := 0; off < 4; off++ {
+			backing := make([]uint64, n+off)
+			src := backing[off:]
+			fill64(r, src)
+			prev := r.Uint64()
+			want := make([]uint64, n)
+			p := prev
+			for i, v := range src {
+				p += refUnzig64(v)
+				want[i] = p
+			}
+			got := make([]uint64, n)
+			last, ok := UnDiffZig64(got, src, prev)
+			if !ok {
+				continue
+			}
+			if last != p {
+				t.Fatalf("n=%d off=%d: last=%#x want %#x", n, off, last, p)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d off=%d i=%d: got %#x want %#x", n, off, i, got[i], want[i])
+				}
+			}
+			inplace := append([]uint64(nil), src...)
+			if _, ok := UnDiffZig64(inplace, inplace, prev); ok {
+				for i := range want {
+					if inplace[i] != want[i] {
+						t.Fatalf("n=%d off=%d i=%d (aliased): got %#x want %#x", n, off, i, inplace[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOrScans(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range testLengths {
+		for off := 0; off < 4; off++ {
+			b32 := make([]uint32, n+off)
+			s32 := b32[off:]
+			fill32(r, s32)
+			var wantOr, wantZig uint32
+			for _, v := range s32 {
+				wantOr |= v
+				wantZig |= refZig32(v)
+			}
+			if got, ok := Or32(s32); ok && got != wantOr {
+				t.Fatalf("Or32 n=%d off=%d: got %#x want %#x", n, off, got, wantOr)
+			}
+			if got, ok := ZigOr32(s32); ok && got != wantZig {
+				t.Fatalf("ZigOr32 n=%d off=%d: got %#x want %#x", n, off, got, wantZig)
+			}
+
+			b64 := make([]uint64, n+off)
+			s64 := b64[off:]
+			fill64(r, s64)
+			var wantOr64, wantZig64 uint64
+			for _, v := range s64 {
+				wantOr64 |= v
+				wantZig64 |= refZig64(v)
+			}
+			if got, ok := Or64(s64); ok && got != wantOr64 {
+				t.Fatalf("Or64 n=%d off=%d: got %#x want %#x", n, off, got, wantOr64)
+			}
+			if got, ok := ZigOr64(s64); ok && got != wantZig64 {
+				t.Fatalf("ZigOr64 n=%d off=%d: got %#x want %#x", n, off, got, wantZig64)
+			}
+		}
+	}
+}
+
+func TestNonzeroBM(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for _, n := range testLengths {
+		for off := 0; off < 8; off++ {
+			backing := make([]byte, n+off)
+			src := backing[off:]
+			for i := range src {
+				if r.Intn(3) == 0 {
+					src[i] = byte(r.Intn(256))
+				}
+			}
+			bmLen := (n + 7) / 8
+			want := make([]byte, bmLen)
+			wantNZ := 0
+			for i, c := range src {
+				if c != 0 {
+					want[i>>3] |= 0x80 >> (i & 7)
+					wantNZ++
+				}
+			}
+			got := make([]byte, bmLen)
+			for i := range got {
+				got[i] = 0xAA // NonzeroBM must clear
+			}
+			nz, ok := NonzeroBM(got, src)
+			if !ok {
+				continue
+			}
+			if nz != wantNZ {
+				t.Fatalf("n=%d off=%d: nonzero=%d want %d", n, off, nz, wantNZ)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d off=%d bm[%d]: got %08b want %08b", n, off, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestChangeBM(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range testLengths {
+		for off := 0; off < 8; off++ {
+			backing := make([]byte, n+off)
+			cur := backing[off:]
+			// Runs of repeats with occasional changes, like real bitmap
+			// levels.
+			c := byte(0)
+			for i := range cur {
+				if r.Intn(4) == 0 {
+					c = byte(r.Intn(256))
+				}
+				cur[i] = c
+			}
+			bmLen := (n + 7) / 8
+			want := make([]byte, bmLen)
+			prev := byte(0)
+			for i, v := range cur {
+				if v != prev {
+					want[i>>3] |= 0x80 >> (i & 7)
+				}
+				prev = v
+			}
+			got := make([]byte, bmLen)
+			for i := range got {
+				got[i] = 0xAA
+			}
+			if !ChangeBM(got, cur) {
+				continue
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d off=%d bm[%d]: got %08b want %08b", n, off, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// refPack32 is the transforms scalar accumulator loop, verbatim.
+func refPack32(buf []byte, bp int, acc uint64, nacc uint, src []uint32, keep uint, zig bool) (int, uint64, uint) {
+	for _, v := range src {
+		if zig {
+			v = refZig32(v)
+		}
+		acc = acc<<keep | uint64(v)
+		nacc += keep
+		if nacc >= 32 {
+			nacc -= 32
+			w := uint32(acc >> nacc)
+			buf[bp] = byte(w >> 24)
+			buf[bp+1] = byte(w >> 16)
+			buf[bp+2] = byte(w >> 8)
+			buf[bp+3] = byte(w)
+			bp += 4
+			acc &= 1<<nacc - 1
+		}
+	}
+	return bp, acc, nacc
+}
+
+func refPack64(buf []byte, bp int, acc uint64, nacc uint, src []uint64, keep uint, zig bool) (int, uint64, uint) {
+	flush := func(w uint32) {
+		buf[bp] = byte(w >> 24)
+		buf[bp+1] = byte(w >> 16)
+		buf[bp+2] = byte(w >> 8)
+		buf[bp+3] = byte(w)
+		bp += 4
+	}
+	if keep <= 32 {
+		for _, v := range src {
+			if zig {
+				v = refZig64(v)
+			}
+			acc = acc<<keep | v
+			nacc += keep
+			if nacc >= 32 {
+				nacc -= 32
+				flush(uint32(acc >> nacc))
+				acc &= 1<<nacc - 1
+			}
+		}
+		return bp, acc, nacc
+	}
+	hi := keep - 32
+	for _, v := range src {
+		if zig {
+			v = refZig64(v)
+		}
+		acc = acc<<hi | v>>32
+		nacc += hi
+		if nacc >= 32 {
+			nacc -= 32
+			flush(uint32(acc >> nacc))
+			acc &= 1<<nacc - 1
+		}
+		acc = acc<<32 | v&0xffffffff
+		flush(uint32(acc >> nacc))
+		acc &= 1<<nacc - 1
+	}
+	return bp, acc, nacc
+}
+
+func TestPack32(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for _, n := range testLengths {
+		for keep := uint(1); keep <= 32; keep++ {
+			for _, zig := range []bool{false, true} {
+				src := make([]uint32, n)
+				for i := range src {
+					src[i] = r.Uint32() & (1<<keep - 1)
+				}
+				if zig {
+					// Values must zigzag into keep bits: draw from unzig space.
+					for i := range src {
+						src[i] = refUnzig32(src[i])
+					}
+				}
+				nacc := uint(r.Intn(32))
+				acc := uint64(r.Uint32()) & (1<<nacc - 1)
+				bp := r.Intn(5)
+				size := bp + (int(nacc)+n*int(keep))/8 + 16
+				want := make([]byte, size)
+				got := make([]byte, size)
+				wbp, wacc, wnacc := refPack32(want, bp, acc, nacc, src, keep, zig)
+				gbp, gacc, gnacc, ok := Pack32(got, bp, acc, nacc, src, keep, zig)
+				if !ok {
+					continue
+				}
+				if gbp != wbp || gacc != wacc || gnacc != wnacc {
+					t.Fatalf("n=%d keep=%d zig=%v: state (%d,%#x,%d) want (%d,%#x,%d)", n, keep, zig, gbp, gacc, gnacc, wbp, wacc, wnacc)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d keep=%d zig=%v byte %d: got %#x want %#x", n, keep, zig, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPack64(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, n := range testLengths {
+		for keep := uint(1); keep <= 64; keep++ {
+			for _, zig := range []bool{false, true} {
+				src := make([]uint64, n)
+				for i := range src {
+					v := r.Uint64()
+					if keep < 64 {
+						v &= 1<<keep - 1
+					}
+					if zig {
+						v = refUnzig64(v)
+					}
+					src[i] = v
+				}
+				nacc := uint(r.Intn(32))
+				acc := uint64(r.Uint32()) & (1<<nacc - 1)
+				bp := r.Intn(5)
+				size := bp + (int(nacc)+n*int(keep))/8 + 16
+				want := make([]byte, size)
+				got := make([]byte, size)
+				wbp, wacc, wnacc := refPack64(want, bp, acc, nacc, src, keep, zig)
+				gbp, gacc, gnacc, ok := Pack64(got, bp, acc, nacc, src, keep, zig)
+				if !ok {
+					continue
+				}
+				if gbp != wbp || gacc != wacc || gnacc != wnacc {
+					t.Fatalf("n=%d keep=%d zig=%v: state (%d,%#x,%d) want (%d,%#x,%d)", n, keep, zig, gbp, gacc, gnacc, wbp, wacc, wnacc)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d keep=%d zig=%v byte %d: got %#x want %#x", n, keep, zig, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUnpack32(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for _, n := range testLengths {
+		for keep := uint(1); keep <= 32; keep++ {
+			for _, unzig := range []bool{false, true} {
+				pos := uint64(r.Intn(64))
+				bits := pos + uint64(keep)*uint64(n)
+				pad := make([]byte, (bits+7)/8+8)
+				r.Read(pad[:len(pad)-8])
+				want := make([]uint32, n)
+				p := pos
+				mask := uint32(1)<<keep - 1
+				for i := range want {
+					x := beU64ref(pad[p>>3:])
+					v := uint32(x>>(64-keep-uint(p&7))) & mask
+					if unzig {
+						v = refUnzig32(v)
+					}
+					want[i] = v
+					p += uint64(keep)
+				}
+				got := make([]uint32, n)
+				np, ok := Unpack32(got, pad, pos, keep, unzig)
+				if !ok {
+					continue
+				}
+				if np != p {
+					t.Fatalf("n=%d keep=%d: pos=%d want %d", n, keep, np, p)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d keep=%d unzig=%v i=%d: got %#x want %#x", n, keep, unzig, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUnpack64(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, n := range testLengths {
+		for keep := uint(1); keep <= 57; keep++ {
+			for _, unzig := range []bool{false, true} {
+				pos := uint64(r.Intn(64))
+				bits := pos + uint64(keep)*uint64(n)
+				pad := make([]byte, (bits+7)/8+8)
+				r.Read(pad[:len(pad)-8])
+				want := make([]uint64, n)
+				p := pos
+				mask := uint64(1)<<keep - 1
+				for i := range want {
+					x := beU64ref(pad[p>>3:])
+					v := (x >> (64 - keep - uint(p&7))) & mask
+					if unzig {
+						v = refUnzig64(v)
+					}
+					want[i] = v
+					p += uint64(keep)
+				}
+				got := make([]uint64, n)
+				np, ok := Unpack64(got, pad, pos, keep, unzig)
+				if !ok {
+					continue
+				}
+				if np != p {
+					t.Fatalf("n=%d keep=%d: pos=%d want %d", n, keep, np, p)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d keep=%d unzig=%v i=%d: got %#x want %#x", n, keep, unzig, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func beU64ref(b []byte) uint64 {
+	return uint64(b[7]) | uint64(b[6])<<8 | uint64(b[5])<<16 | uint64(b[4])<<24 |
+		uint64(b[3])<<32 | uint64(b[2])<<40 | uint64(b[1])<<48 | uint64(b[0])<<56
+}
+
+// refTranspose32/64 are the Hacker's Delight in-place transposes from the
+// transforms package, re-stated as the model.
+func refTranspose32(a *[32]uint32) {
+	m := uint32(0x0000FFFF)
+	for j := uint(16); j != 0; j >>= 1 {
+		for k := 0; k < 32; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k+int(j)] >> j)) & m
+			a[k] ^= t
+			a[k+int(j)] ^= t << j
+		}
+		m ^= m << (j >> 1)
+	}
+}
+
+func refTranspose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; j >>= 1 {
+		for k := 0; k < 64; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k+int(j)] >> j)) & m
+			a[k] ^= t
+			a[k+int(j)] ^= t << j
+		}
+		m ^= m << (j >> 1)
+	}
+}
+
+func TestBit32(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for _, nb := range []int{1, 2, 3, 7, 8, 128, 129} {
+		src := make([]uint32, 32*nb)
+		fill32(r, src)
+		want := make([]uint32, 32*nb)
+		var blk [32]uint32
+		for k := 0; k < nb; k++ {
+			copy(blk[:], src[k*32:k*32+32])
+			refTranspose32(&blk)
+			for p := 0; p < 32; p++ {
+				want[p*nb+k] = blk[p]
+			}
+		}
+		got := make([]uint32, 32*nb)
+		if !BitFwd32(got, src, nb) {
+			t.Skip("no SIMD in this build")
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("fwd nb=%d word %d: got %#08x want %#08x", nb, i, got[i], want[i])
+			}
+		}
+		back := make([]uint32, 32*nb)
+		if !BitInv32(back, got, nb) {
+			t.Fatal("BitInv32 declined")
+		}
+		for i := range src {
+			if back[i] != src[i] {
+				t.Fatalf("inv nb=%d word %d: got %#08x want %#08x", nb, i, back[i], src[i])
+			}
+		}
+	}
+}
+
+func TestBit64(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for _, nb := range []int{1, 2, 3, 7, 8, 32, 33} {
+		src := make([]uint64, 64*nb)
+		fill64(r, src)
+		want := make([]uint64, 64*nb)
+		var blk [64]uint64
+		for k := 0; k < nb; k++ {
+			copy(blk[:], src[k*64:k*64+64])
+			refTranspose64(&blk)
+			for p := 0; p < 64; p++ {
+				want[p*nb+k] = blk[p]
+			}
+		}
+		got := make([]uint64, 64*nb)
+		if !BitFwd64(got, src, nb) {
+			t.Skip("no SIMD in this build")
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("fwd nb=%d word %d: got %#016x want %#016x", nb, i, got[i], want[i])
+			}
+		}
+		back := make([]uint64, 64*nb)
+		if !BitInv64(back, got, nb) {
+			t.Fatal("BitInv64 declined")
+		}
+		for i := range src {
+			if back[i] != src[i] {
+				t.Fatalf("inv nb=%d word %d: got %#016x want %#016x", nb, i, back[i], src[i])
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"fpcompress/internal/simd"
 	"fpcompress/internal/wordio"
 )
 
@@ -94,10 +95,14 @@ func BenchmarkInverse(b *testing.B) {
 }
 
 type transformBenchResult struct {
-	Transform    string  `json:"transform"`
-	Op           string  `json:"op"`
-	ChunkBytes   int     `json:"chunk_bytes"`
-	Ops          int     `json:"ops"`
+	Transform  string `json:"transform"`
+	Op         string `json:"op"`
+	ChunkBytes int    `json:"chunk_bytes"`
+	Ops        int    `json:"ops"`
+	// Path is the kernel path the row measured ("avx2", "neon", or
+	// "scalar"); on builds with SIMD kernels each transform gets one row
+	// per path so the speedup is visible in the report itself.
+	Path         string  `json:"path,omitempty"`
 	MBPerS       float64 `json:"mb_per_sec"`
 	EncodedBytes int     `json:"encoded_bytes,omitempty"`
 }
@@ -106,6 +111,7 @@ type transformBenchReport struct {
 	Benchmark  string                 `json:"benchmark"`
 	Command    string                 `json:"command"`
 	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Runtime    simd.Info              `json:"runtime"`
 	Results    []transformBenchResult `json:"results"`
 }
 
@@ -130,31 +136,48 @@ func TestEmitTransformsBench(t *testing.T) {
 		Benchmark:  "transform_kernel_throughput",
 		Command:    "go test ./internal/transforms -run TestEmitTransformsBench -count=1 -v   (make bench-transforms)",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Runtime:    simd.RuntimeInfo(),
 	}
-	for _, k := range benchKernels() {
-		src := benchData(k.word)
-		enc := k.tr.ForwardInto(nil, src)
-		var dst []byte
-		var err error
-
-		mbps, ops := measureKernel(func() { dst = k.tr.ForwardInto(dst[:0], src) })
-		report.Results = append(report.Results, transformBenchResult{
-			Transform: k.tr.Name(), Op: "forward", ChunkBytes: benchChunk, Ops: ops,
-			MBPerS: mbps, EncodedBytes: len(enc),
-		})
-		t.Logf("%s forward: %.1f MB/s", k.tr.Name(), mbps)
-
-		mbps, ops = measureKernel(func() {
-			if dst, err = k.tr.InverseInto(dst[:0], enc, benchChunk); err != nil {
-				t.Fatal(err)
-			}
-		})
-		report.Results = append(report.Results, transformBenchResult{
-			Transform: k.tr.Name(), Op: "inverse", ChunkBytes: benchChunk, Ops: ops,
-			MBPerS: mbps,
-		})
-		t.Logf("%s inverse: %.1f MB/s", k.tr.Name(), mbps)
+	// One pass per kernel path: the dispatched path first, then — when the
+	// build has SIMD kernels — the same measurements with dispatch
+	// disabled, so the report carries its own scalar baseline.
+	paths := []string{simd.Active()}
+	if simd.Active() != "scalar" {
+		paths = append(paths, "scalar")
 	}
+	defer simd.Enable()
+	for _, path := range paths {
+		if path == "scalar" {
+			simd.Disable()
+		} else {
+			simd.Enable()
+		}
+		for _, k := range benchKernels() {
+			src := benchData(k.word)
+			enc := k.tr.ForwardInto(nil, src)
+			var dst []byte
+			var err error
+
+			mbps, ops := measureKernel(func() { dst = k.tr.ForwardInto(dst[:0], src) })
+			report.Results = append(report.Results, transformBenchResult{
+				Transform: k.tr.Name(), Op: "forward", ChunkBytes: benchChunk, Ops: ops,
+				Path: path, MBPerS: mbps, EncodedBytes: len(enc),
+			})
+			t.Logf("%s forward (%s): %.1f MB/s", k.tr.Name(), path, mbps)
+
+			mbps, ops = measureKernel(func() {
+				if dst, err = k.tr.InverseInto(dst[:0], enc, benchChunk); err != nil {
+					t.Fatal(err)
+				}
+			})
+			report.Results = append(report.Results, transformBenchResult{
+				Transform: k.tr.Name(), Op: "inverse", ChunkBytes: benchChunk, Ops: ops,
+				Path: path, MBPerS: mbps,
+			})
+			t.Logf("%s inverse (%s): %.1f MB/s", k.tr.Name(), path, mbps)
+		}
+	}
+	simd.Enable()
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)

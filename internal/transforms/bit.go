@@ -1,6 +1,7 @@
 package transforms
 
 import (
+	"fpcompress/internal/simd"
 	"fpcompress/internal/wordio"
 )
 
@@ -70,6 +71,9 @@ func (b Bit) Forward(src []byte) []byte {
 // copied into the register-resident tile, transposed, and scattered with
 // stride nb (the plane-major layout).
 func bitForward32(ow, sw []uint32, nb int) {
+	if nb > 0 && simd.BitFwd32(ow, sw, nb) {
+		return
+	}
 	var blk [32]uint32
 	for k := 0; k < nb; k++ {
 		copy(blk[:], sw[k*32:k*32+32])
@@ -81,6 +85,9 @@ func bitForward32(ow, sw []uint32, nb int) {
 }
 
 func bitForward64(ow, sw []uint64, nb int) {
+	if nb > 0 && simd.BitFwd64(ow, sw, nb) {
+		return
+	}
 	var blk [64]uint64
 	for k := 0; k < nb; k++ {
 		copy(blk[:], sw[k*64:k*64+64])
@@ -94,6 +101,9 @@ func bitForward64(ow, sw []uint64, nb int) {
 // bitInverse32 gathers each block's planes with stride nb, transposes, and
 // stores the block contiguously.
 func bitInverse32(ow, ew []uint32, nb int) {
+	if nb > 0 && simd.BitInv32(ow, ew, nb) {
+		return
+	}
 	var blk [32]uint32
 	for k := 0; k < nb; k++ {
 		for plane := 0; plane < 32; plane++ {
@@ -105,6 +115,9 @@ func bitInverse32(ow, ew []uint32, nb int) {
 }
 
 func bitInverse64(ow, ew []uint64, nb int) {
+	if nb > 0 && simd.BitInv64(ow, ew, nb) {
+		return
+	}
 	var blk [64]uint64
 	for k := 0; k < nb; k++ {
 		for plane := 0; plane < 64; plane++ {

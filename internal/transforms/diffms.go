@@ -1,6 +1,7 @@
 package transforms
 
 import (
+	"fpcompress/internal/simd"
 	"fpcompress/internal/wordio"
 )
 
@@ -45,6 +46,9 @@ func (d DiffMS) Forward(src []byte) []byte {
 // a 4-wide unroll keeps the subtract/shift/xor chains independent.
 func diffMSForward32(out, src []uint32) {
 	out = out[:len(src)]
+	if _, ok := simd.DiffZigOr32(out, src, 0); ok {
+		return
+	}
 	prev := uint32(0)
 	i := 0
 	for ; i+4 <= len(src); i += 4 {
@@ -64,6 +68,9 @@ func diffMSForward32(out, src []uint32) {
 
 func diffMSForward64(out, src []uint64) {
 	out = out[:len(src)]
+	if _, ok := simd.DiffZigOr64(out, src, 0); ok {
+		return
+	}
 	prev := uint64(0)
 	i := 0
 	for ; i+4 <= len(src); i += 4 {
@@ -150,6 +157,9 @@ func (d DiffMS) Inverse(enc []byte) ([]byte, error) {
 // un-zigzagging the next block while the adds retire still overlaps work.
 func diffMSInverse32(out, enc []uint32) {
 	out = out[:len(enc)]
+	if _, ok := simd.UnDiffZig32(out, enc, 0); ok {
+		return
+	}
 	prev := uint32(0)
 	i := 0
 	for ; i+4 <= len(enc); i += 4 {
@@ -171,6 +181,9 @@ func diffMSInverse32(out, enc []uint32) {
 
 func diffMSInverse64(out, enc []uint64) {
 	out = out[:len(enc)]
+	if _, ok := simd.UnDiffZig64(out, enc, 0); ok {
+		return
+	}
 	prev := uint64(0)
 	i := 0
 	for ; i+4 <= len(enc); i += 4 {

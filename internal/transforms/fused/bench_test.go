@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"fpcompress/internal/simd"
 	"fpcompress/internal/wordio"
 )
 
@@ -102,6 +103,7 @@ type transformBenchResult struct {
 	Op           string  `json:"op"`
 	ChunkBytes   int     `json:"chunk_bytes"`
 	Ops          int     `json:"ops"`
+	Path         string  `json:"path,omitempty"`
 	MBPerS       float64 `json:"mb_per_sec"`
 	EncodedBytes int     `json:"encoded_bytes,omitempty"`
 }
@@ -110,6 +112,7 @@ type transformBenchReport struct {
 	Benchmark  string                 `json:"benchmark"`
 	Command    string                 `json:"command"`
 	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Runtime    simd.Info              `json:"runtime"`
 	Results    []transformBenchResult `json:"results"`
 }
 
@@ -154,30 +157,46 @@ func TestEmitFusedBench(t *testing.T) {
 		}
 	}
 	report.Results = kept
-	for _, f := range benchKernels() {
-		src := benchData(f.word)
-		enc := f.k.ForwardInto(nil, src)
-		var dst []byte
-		var err error
-
-		mbps, ops := measureKernel(func() { dst = f.k.ForwardInto(dst[:0], src) })
-		report.Results = append(report.Results, transformBenchResult{
-			Transform: f.k.Name(), Op: "forward", ChunkBytes: benchChunk, Ops: ops,
-			MBPerS: mbps, EncodedBytes: len(enc),
-		})
-		t.Logf("%s forward: %.1f MB/s", f.k.Name(), mbps)
-
-		mbps, ops = measureKernel(func() {
-			if dst, err = f.k.InverseInto(dst[:0], enc, benchChunk); err != nil {
-				t.Fatal(err)
-			}
-		})
-		report.Results = append(report.Results, transformBenchResult{
-			Transform: f.k.Name(), Op: "inverse", ChunkBytes: benchChunk, Ops: ops,
-			MBPerS: mbps,
-		})
-		t.Logf("%s inverse: %.1f MB/s", f.k.Name(), mbps)
+	report.Runtime = simd.RuntimeInfo()
+	// Dispatched path first, then the forced-scalar baseline on builds with
+	// SIMD kernels (mirrors the transforms emitter).
+	paths := []string{simd.Active()}
+	if simd.Active() != "scalar" {
+		paths = append(paths, "scalar")
 	}
+	defer simd.Enable()
+	for _, path := range paths {
+		if path == "scalar" {
+			simd.Disable()
+		} else {
+			simd.Enable()
+		}
+		for _, f := range benchKernels() {
+			src := benchData(f.word)
+			enc := f.k.ForwardInto(nil, src)
+			var dst []byte
+			var err error
+
+			mbps, ops := measureKernel(func() { dst = f.k.ForwardInto(dst[:0], src) })
+			report.Results = append(report.Results, transformBenchResult{
+				Transform: f.k.Name(), Op: "forward", ChunkBytes: benchChunk, Ops: ops,
+				Path: path, MBPerS: mbps, EncodedBytes: len(enc),
+			})
+			t.Logf("%s forward (%s): %.1f MB/s", f.k.Name(), path, mbps)
+
+			mbps, ops = measureKernel(func() {
+				if dst, err = f.k.InverseInto(dst[:0], enc, benchChunk); err != nil {
+					t.Fatal(err)
+				}
+			})
+			report.Results = append(report.Results, transformBenchResult{
+				Transform: f.k.Name(), Op: "inverse", ChunkBytes: benchChunk, Ops: ops,
+				Path: path, MBPerS: mbps,
+			})
+			t.Logf("%s inverse (%s): %.1f MB/s", f.k.Name(), path, mbps)
+		}
+	}
+	simd.Enable()
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)

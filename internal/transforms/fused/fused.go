@@ -166,7 +166,6 @@ func pooledBytes(p *[]byte, n int) []byte {
 	return b[:n]
 }
 
-
 // bitFinish spills an accumulator's remaining pending bits zero-padded to
 // a byte boundary (identical to the transforms kernels' flush) and returns
 // the new write cursor.

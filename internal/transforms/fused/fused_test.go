@@ -7,6 +7,7 @@ import (
 	"math/bits"
 	"testing"
 
+	"fpcompress/internal/simd"
 	"fpcompress/internal/transforms"
 	"fpcompress/internal/wordio"
 )
@@ -204,10 +205,10 @@ func TestFusedMatch(t *testing.T) {
 		{transforms.Pipeline{d64, transforms.MPLG{Word: wordio.W64}}, "FUSED(DIFFMS64+MPLG64)"},
 		{transforms.Pipeline{d32, transforms.Bit{Word: wordio.W32}, transforms.RZE{}}, "FUSED(DIFFMS32+BIT32+RZE)"},
 		{transforms.Pipeline{d32, transforms.Bit{Word: wordio.W32}, transforms.RZE{Granularity: 1}}, "FUSED(DIFFMS32+BIT32+RZE)"},
-		{transforms.Pipeline{d32, transforms.MPLG{Word: wordio.W64}}, ""},                               // word mismatch
-		{transforms.Pipeline{d32, transforms.MPLG{Word: wordio.W32, Subchunk: 256}}, ""},                // non-default subchunk
-		{transforms.Pipeline{d32, transforms.MPLG{Word: wordio.W32}, transforms.RZE{}}, ""},             // balance: not fused
-		{transforms.Pipeline{d64, transforms.RAZE{}, transforms.RARE{}}, ""},                            // DP ratio tail: not fused
+		{transforms.Pipeline{d32, transforms.MPLG{Word: wordio.W64}}, ""},                                // word mismatch
+		{transforms.Pipeline{d32, transforms.MPLG{Word: wordio.W32, Subchunk: 256}}, ""},                 // non-default subchunk
+		{transforms.Pipeline{d32, transforms.MPLG{Word: wordio.W32}, transforms.RZE{}}, ""},              // balance: not fused
+		{transforms.Pipeline{d64, transforms.RAZE{}, transforms.RARE{}}, ""},                             // DP ratio tail: not fused
 		{transforms.Pipeline{d32, transforms.Bit{Word: wordio.W32}, transforms.RZE{Granularity: 4}}, ""}, // non-byte RZE
 		{transforms.Pipeline{d32}, ""},
 		{transforms.Pipeline{}, ""},
@@ -298,7 +299,9 @@ func TestFusedGateStats(t *testing.T) {
 // FuzzFusedKernels differences every fused kernel against its reference
 // pipeline on arbitrary chunks: forward bytes must match, round-trips
 // must reconstruct, and decoding the chunk bytes as if they were an
-// encoding must fail or succeed identically on both paths.
+// encoding must fail or succeed identically on both paths. On builds with
+// SIMD kernels the forward/round-trip checks also run with dispatch
+// disabled, pinning the SIMD and scalar fused paths to the same bytes.
 func FuzzFusedKernels(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
@@ -320,6 +323,18 @@ func FuzzFusedKernels(f *testing.F) {
 			}
 			if !bytes.Equal(got, chunk) {
 				t.Fatalf("%s: fused round-trip differs", k.Name())
+			}
+			if simd.Enabled() {
+				simd.Disable()
+				encScalar := k.ForwardInto(nil, chunk)
+				gotScalar, errScalar := k.InverseInto(nil, enc, len(chunk))
+				simd.Enable()
+				if !bytes.Equal(encScalar, enc) {
+					t.Fatalf("%s: scalar fused forward differs from SIMD", k.Name())
+				}
+				if errScalar != nil || !bytes.Equal(gotScalar, chunk) {
+					t.Fatalf("%s: scalar fused round-trip differs (err=%v)", k.Name(), errScalar)
+				}
 			}
 			// The chunk itself as hostile encoded input: both decoders must
 			// agree on acceptance, and on acceptance produce the same bytes.

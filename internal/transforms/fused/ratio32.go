@@ -1,6 +1,7 @@
 package fused
 
 import (
+	"fpcompress/internal/simd"
 	"fpcompress/internal/transforms"
 	"fpcompress/internal/wordio"
 )
@@ -49,6 +50,28 @@ func (k *Ratio32) ForwardInto(dst, src []byte) []byte {
 	nWords := len(sw)
 	nb := nWords / 32
 	var blk [32]uint32
+	// SIMD path: diff+zigzag the whole chunk into a pooled stream, then the
+	// strided block transpose runs over it in one call. The extra stream
+	// buffer is the price of the wide transpose kernel; both paths emit the
+	// same scratch bytes.
+	dp := getBuf()
+	defer putBuf(dp)
+	if dw, okv := wordio.View32(pooledBytes(dp, nWords*4)); okv {
+		if _, okd := simd.DiffZigOr32(dw, sw, 0); okd {
+			if nb > 0 && !simd.BitFwd32(ow, dw, nb) {
+				for b := 0; b < nb; b++ {
+					copy(blk[:], dw[b*32:b*32+32])
+					transforms.Transpose32(&blk)
+					for plane := 0; plane < 32; plane++ {
+						ow[plane*nb+b] = blk[plane]
+					}
+				}
+			}
+			copy(ow[nb*32:nWords], dw[nb*32:nWords])
+			copy(scratch[nWords*4:], src[nWords*4:])
+			return transforms.RZE{}.ForwardInto(dst, scratch)
+		}
+	}
 	prev := uint32(0)
 	for b := 0; b < nb; b++ {
 		sub := sw[b*32 : b*32+32]
@@ -100,6 +123,28 @@ func (k *Ratio32) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 	nb := nWords / 32
 	var blk [32]uint32
 	prev := uint32(0)
+	// SIMD path: gathered block transposes reconstruct the DIFFMS stream
+	// into a pooled buffer, then one un-zigzag + prefix-sum pass fills dst.
+	if nb > 0 {
+		dp := getBuf()
+		defer putBuf(dp)
+		if dw, okv := wordio.View32(pooledBytes(dp, nb*32*4)); okv && simd.BitInv32(dw, ew, nb) {
+			if p2, okz := simd.UnDiffZig32(ow[:nb*32], dw, 0); okz {
+				prev = p2
+			} else {
+				for i, z := range dw[:nb*32] {
+					prev += wordio.UnZigZag32(z)
+					ow[i] = prev
+				}
+			}
+			for i := nb * 32; i < nWords; i++ {
+				prev += wordio.UnZigZag32(ew[i])
+				ow[i] = prev
+			}
+			copy(out[nWords*4:], bitted[nWords*4:])
+			return ndst, nil
+		}
+	}
 	for b := 0; b < nb; b++ {
 		for plane := 0; plane < 32; plane++ {
 			blk[plane] = ew[plane*nb+b]

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"fpcompress/internal/bitio"
+	"fpcompress/internal/simd"
 	"fpcompress/internal/transforms"
 	"fpcompress/internal/wordio"
 )
@@ -88,12 +89,16 @@ func (k *Speed32) forward(dst, src []byte, gs *GateStats) ([]byte, bool) {
 		}
 		sub := sw[start:end]
 		t := tile[:len(sub)]
-		m := uint32(0)
-		for j, v := range sub {
-			z := wordio.ZigZag32(v - prev)
-			prev = v
-			t[j] = z
-			m |= z
+		m, simdOK := simd.DiffZigOr32(t, sub, prev)
+		if simdOK {
+			prev = sub[len(sub)-1]
+		} else {
+			for j, v := range sub {
+				z := wordio.ZigZag32(v - prev)
+				prev = v
+				t[j] = z
+				m |= z
+			}
 		}
 		if gs != nil {
 			// Group ORs of the diff words, 4 per full 32-word block, in the
@@ -117,9 +122,11 @@ func (k *Speed32) forward(dst, src []byte, gs *GateStats) ([]byte, bool) {
 		if m >= 1<<31 {
 			// MPLG's enhancement: one extra magnitude-sign conversion.
 			flag, zig = 1, true
-			m = 0
-			for _, z := range t {
-				m |= wordio.ZigZag32(z)
+			if m, simdOK = simd.ZigOr32(t); !simdOK {
+				m = 0
+				for _, z := range t {
+					m |= wordio.ZigZag32(z)
+				}
 			}
 		}
 		keep := uint(32 - bits.LeadingZeros32(m))
@@ -134,7 +141,9 @@ func (k *Speed32) forward(dst, src []byte, gs *GateStats) ([]byte, bool) {
 		if keep == 0 {
 			continue
 		}
-		if zig {
+		if p, a, na, ok := simd.Pack32(buf, bp, acc, nacc, t, keep, zig); ok {
+			bp, acc, nacc = p, a, na
+		} else if zig {
 			for _, z := range t {
 				acc = acc<<keep | uint64(wordio.ZigZag32(z))
 				nacc += keep
@@ -204,6 +213,7 @@ func (k *Speed32) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 	totalBits := uint(len(body)) * 8
 	pos := uint(0)
 	prev := uint32(0)
+	var tile [mplgSubchunkWords32]uint32
 	for start := 0; start < nWords; start += mplgSubchunkWords32 {
 		end := start + mplgSubchunkWords32
 		if end > nWords {
@@ -228,6 +238,21 @@ func (k *Speed32) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 		}
 		if pos+keep*uint(len(sub)) > totalBits {
 			return nil, corruptf("MPLG: truncated values")
+		}
+		// SIMD: recover the DIFFMS stream words into the tile, then run
+		// the un-zigzag + prefix-sum reconstruction over them.
+		if np, ok := simd.Unpack32(tile[:len(sub)], pad, uint64(pos), keep, hdr>>6 == 1); ok {
+			t := tile[:len(sub)]
+			if p2, ok2 := simd.UnDiffZig32(sub, t, prev); ok2 {
+				prev = p2
+			} else {
+				for j := range sub {
+					prev += wordio.UnZigZag32(t[j])
+					sub[j] = prev
+				}
+			}
+			pos = uint(np)
+			continue
 		}
 		mask := uint32(1)<<keep - 1
 		sh := 64 - keep

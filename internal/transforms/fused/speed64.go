@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"fpcompress/internal/bitio"
+	"fpcompress/internal/simd"
 	"fpcompress/internal/transforms"
 	"fpcompress/internal/wordio"
 )
@@ -78,8 +79,15 @@ func (k *Speed64) forward(dst, src []byte, gs *GateStats) ([]byte, bool) {
 		}
 		sub := sw[start:end]
 		t := tile[:len(sub)]
-		m := uint64(0)
-		if gs != nil {
+		m, simdOK := simd.DiffZigOr64(t, sub, prev)
+		if simdOK {
+			prev = sub[len(sub)-1]
+			if gs != nil {
+				for _, z := range t {
+					gs.Hist[bits.LeadingZeros64(z)]++
+				}
+			}
+		} else if gs != nil {
 			for j, v := range sub {
 				z := wordio.ZigZag64(v - prev)
 				prev = v
@@ -99,9 +107,11 @@ func (k *Speed64) forward(dst, src []byte, gs *GateStats) ([]byte, bool) {
 		zig := false
 		if m >= 1<<63 {
 			flag, zig = 1, true
-			m = 0
-			for _, z := range t {
-				m |= wordio.ZigZag64(z)
+			if m, simdOK = simd.ZigOr64(t); !simdOK {
+				m = 0
+				for _, z := range t {
+					m |= wordio.ZigZag64(z)
+				}
 			}
 		}
 		keep := uint(64 - bits.LeadingZeros64(m))
@@ -116,7 +126,9 @@ func (k *Speed64) forward(dst, src []byte, gs *GateStats) ([]byte, bool) {
 		if keep == 0 {
 			continue
 		}
-		if keep <= 32 {
+		if p, a, na, ok := simd.Pack64(buf, bp, acc, nacc, t, keep, zig); ok {
+			bp, acc, nacc = p, a, na
+		} else if keep <= 32 {
 			for _, z := range t {
 				w := z
 				if zig {
@@ -195,6 +207,7 @@ func (k *Speed64) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 	totalBits := uint(len(body)) * 8
 	pos := uint(0)
 	prev := uint64(0)
+	var tile [mplgSubchunkWords64]uint64
 	for start := 0; start < nWords; start += mplgSubchunkWords64 {
 		end := start + mplgSubchunkWords64
 		if end > nWords {
@@ -218,6 +231,21 @@ func (k *Speed64) InverseInto(dst, enc []byte, maxDecoded int) ([]byte, error) {
 		}
 		if pos+keep*uint(len(sub)) > totalBits {
 			return nil, corruptf("MPLG: truncated values")
+		}
+		// SIMD: recover the DIFFMS stream words into the tile, then run
+		// the un-zigzag + prefix-sum reconstruction over them.
+		if np, ok := simd.Unpack64(tile[:len(sub)], pad, uint64(pos), keep, hdr>>7 == 1); ok {
+			t := tile[:len(sub)]
+			if p2, ok2 := simd.UnDiffZig64(sub, t, prev); ok2 {
+				prev = p2
+			} else {
+				for j := range sub {
+					prev += wordio.UnZigZag64(t[j])
+					sub[j] = prev
+				}
+			}
+			pos = uint(np)
+			continue
 		}
 		if hdr>>7 == 1 {
 			for j := range sub {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"fpcompress/internal/simd"
 	"fpcompress/internal/wordio"
 )
 
@@ -157,6 +158,49 @@ func TestKernelForwardAppend(t *testing.T) {
 							t.Fatalf("len %d: forward with dst prefix %d clobbered prefix byte %d", n, p, i)
 						}
 					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelScalarVsSIMD force-compares the SIMD dispatch path against the
+// scalar reference in one process: every ForwardInto encoding and
+// InverseInto decoding must be byte-identical with the SIMD kernels
+// enabled and disabled (simd.Disable is the programmatic form of the
+// FPC_DISABLE_SIMD=1 knob). On builds with no SIMD (noasm, purego,
+// other GOARCH) both runs take the scalar path and the test is a no-op
+// check.
+func TestKernelScalarVsSIMD(t *testing.T) {
+	if simd.Available() == "scalar" {
+		t.Skip("no SIMD kernels in this build")
+	}
+	defer simd.Enable()
+	for _, tr := range kernelTransforms() {
+		t.Run(tr.Name(), func(t *testing.T) {
+			for _, n := range kernelLengths {
+				data := kernelData(n)
+				simd.Enable()
+				encSIMD := tr.ForwardInto(nil, data)
+				simd.Disable()
+				encScalar := tr.ForwardInto(nil, data)
+				if !bytes.Equal(encSIMD, encScalar) {
+					t.Fatalf("len %d: SIMD and scalar encodings differ (lens %d vs %d)",
+						n, len(encSIMD), len(encScalar))
+				}
+				simd.Enable()
+				decSIMD, err := tr.InverseInto(nil, encSIMD, n)
+				if err != nil {
+					t.Fatalf("len %d: SIMD inverse: %v", n, err)
+				}
+				simd.Disable()
+				decScalar, err := tr.InverseInto(nil, encSIMD, n)
+				if err != nil {
+					t.Fatalf("len %d: scalar inverse: %v", n, err)
+				}
+				if !bytes.Equal(decSIMD, data) || !bytes.Equal(decScalar, data) {
+					t.Fatalf("len %d: inverse mismatch (simd ok=%v scalar ok=%v)",
+						n, bytes.Equal(decSIMD, data), bytes.Equal(decScalar, data))
 				}
 			}
 		})

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"fpcompress/internal/bitio"
+	"fpcompress/internal/simd"
 	"fpcompress/internal/wordio"
 )
 
@@ -116,25 +117,28 @@ func (m MPLG) forwardFast32(dst, src []byte, sw []uint32) []byte {
 			end = nWords
 		}
 		sub := sw[start:end]
-		maxv := uint32(0)
-		for _, v := range sub {
-			if v > maxv {
-				maxv = v
+		// The width scan uses OR rather than max: the OR of a set has the
+		// same bit length and the same top bit as its maximum, which are the
+		// only two properties keep and flag derive, and OR vectorizes.
+		orv, ok := simd.Or32(sub)
+		if !ok {
+			for _, v := range sub {
+				orv |= v
 			}
 		}
 		var flag uint64
 		zig := false
-		if maxv >= 1<<31 {
+		if orv >= 1<<31 {
 			// Enhancement: one more magnitude-sign conversion, then retry.
 			flag, zig = 1, true
-			maxv = 0
-			for _, v := range sub {
-				if z := wordio.ZigZag32(v); z > maxv {
-					maxv = z
+			if orv, ok = simd.ZigOr32(sub); !ok {
+				orv = 0
+				for _, v := range sub {
+					orv |= wordio.ZigZag32(v)
 				}
 			}
 		}
-		keep := uint(32 - bits.LeadingZeros32(maxv))
+		keep := uint(32 - bits.LeadingZeros32(orv))
 		// 1-bit flag + 6-bit kept width, MSB-first.
 		acc = acc<<7 | flag<<6 | uint64(keep)
 		nacc += 7
@@ -147,8 +151,10 @@ func (m MPLG) forwardFast32(dst, src []byte, sw []uint32) []byte {
 		if keep == 0 {
 			continue
 		}
-		// Every value fits in keep bits by construction of maxv.
-		if zig {
+		// Every value fits in keep bits by construction of orv.
+		if p, a, na, ok := simd.Pack32(buf, bp, acc, nacc, sub, keep, zig); ok {
+			bp, acc, nacc = p, a, na
+		} else if zig {
 			for _, v := range sub {
 				acc = acc<<keep | uint64(wordio.ZigZag32(v))
 				nacc += keep
@@ -199,24 +205,25 @@ func (m MPLG) forwardFast64(dst, src []byte, sw []uint64) []byte {
 			end = nWords
 		}
 		sub := sw[start:end]
-		maxv := uint64(0)
-		for _, v := range sub {
-			if v > maxv {
-				maxv = v
+		// OR width scan; see forwardFast32 for the OR/max equivalence.
+		orv, ok := simd.Or64(sub)
+		if !ok {
+			for _, v := range sub {
+				orv |= v
 			}
 		}
 		var flag uint64
 		zig := false
-		if maxv >= 1<<63 {
+		if orv >= 1<<63 {
 			flag, zig = 1, true
-			maxv = 0
-			for _, v := range sub {
-				if z := wordio.ZigZag64(v); z > maxv {
-					maxv = z
+			if orv, ok = simd.ZigOr64(sub); !ok {
+				orv = 0
+				for _, v := range sub {
+					orv |= wordio.ZigZag64(v)
 				}
 			}
 		}
-		keep := uint(64 - bits.LeadingZeros64(maxv))
+		keep := uint(64 - bits.LeadingZeros64(orv))
 		// 1-bit flag + 7-bit kept width, MSB-first.
 		acc = acc<<8 | flag<<7 | uint64(keep)
 		nacc += 8
@@ -229,7 +236,9 @@ func (m MPLG) forwardFast64(dst, src []byte, sw []uint64) []byte {
 		if keep == 0 {
 			continue
 		}
-		if keep <= 32 {
+		if p, a, na, ok := simd.Pack64(buf, bp, acc, nacc, sub, keep, zig); ok {
+			bp, acc, nacc = p, a, na
+		} else if keep <= 32 {
 			for _, v := range sub {
 				w := v
 				if zig {
@@ -465,6 +474,10 @@ func (m MPLG) inverseFast32(ow []uint32, out, body []byte, nWords, wordsPer, tai
 		if pos+keep*uint(len(sub)) > totalBits {
 			return corruptf("MPLG: truncated values")
 		}
+		if np, ok := simd.Unpack32(sub, pad, uint64(pos), keep, hdr>>6 == 1); ok {
+			pos = uint(np)
+			continue
+		}
 		mask := uint32(1)<<keep - 1
 		sh := 64 - keep
 		if hdr>>6 == 1 {
@@ -520,6 +533,10 @@ func (m MPLG) inverseFast64(ow []uint64, out, body []byte, nWords, wordsPer, tai
 		}
 		if pos+keep*uint(len(sub)) > totalBits {
 			return corruptf("MPLG: truncated values")
+		}
+		if np, ok := simd.Unpack64(sub, pad, uint64(pos), keep, hdr>>7 == 1); ok {
+			pos = uint(np)
+			continue
 		}
 		if hdr>>7 == 1 {
 			for j := range sub {

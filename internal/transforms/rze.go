@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"fpcompress/internal/bitio"
+	"fpcompress/internal/simd"
 	"fpcompress/internal/wordio"
 )
 
@@ -84,6 +85,9 @@ func EncodeRepeatBitmap(b []byte, out []byte) []byte {
 // exactly without encoding it: the output is always
 // uvarint(len) + repeat-bitmap + the non-zero bytes.
 func ZeroBitmap(bm, src []byte) int {
+	if nz, ok := simd.NonzeroBM(bm, src); ok {
+		return nz
+	}
 	clear(bm)
 	nonzero := 0
 	i := 0
@@ -113,6 +117,9 @@ func ZeroBitmap(bm, src []byte) int {
 // SWAR mask over a word view; the tail — and misaligned buffers — go byte
 // by byte.
 func buildChangeBitmap(bm, cur []byte) {
+	if simd.ChangeBM(bm, cur) {
+		return
+	}
 	clear(bm)
 	prev := byte(0)
 	i := 0
