@@ -2,9 +2,12 @@ package fpcompress
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
+	"fpcompress/internal/container"
 	"fpcompress/internal/sdr"
+	"fpcompress/internal/selector"
 )
 
 // autoDomainBytes concatenates the SDR sample files of the named domains,
@@ -107,5 +110,74 @@ func TestAutoSelection(t *testing.T) {
 					c.auto, len(autoBlob), best)
 			}
 		})
+	}
+}
+
+// mpiStream builds an MPI-message-trace-style corpus: a solver re-sends
+// the same halo block every timestep, so values repeat exactly with a
+// short period while their noisy mantissas make consecutive-value diffs
+// useless — the redundancy FCM finds and the diff predictors cannot.
+// Deterministic (xorshift64) so the selection assertions are stable.
+func mpiStream(n int) []byte {
+	const msgLen = 512
+	state := uint64(0x2545F4914F6CDD1D)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	msg := make([]float64, msgLen)
+	v := 1.0
+	for i := range msg {
+		v += 1e-3 * float64(int64(next()%2000)-1000) / 1000
+		msg[i] = math.Float64frombits(math.Float64bits(v) ^ (next() & 0x3FFFFF))
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = msg[i%msgLen]
+	}
+	return Float64Bytes(vals)
+}
+
+// TestAutoSelectionWindowedMPI is the acceptance gate for the windowed
+// selector's fourth candidate: on an MPI-stream-style corpus the
+// fcm+raze+rare64 pipeline must win most chunks (the selector prices it
+// exactly, so every pick is a strict per-chunk size win), and windowed
+// Auto64 must beat whole-input Auto64 outright — the default candidate
+// set has no FCM route at all, which is the gap the window closes.
+func TestAutoSelectionWindowedMPI(t *testing.T) {
+	src := mpiStream(1 << 18)
+	wblob, err := Compress(Auto64, src, &Options{WindowedFCM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(wblob, nil)
+	if err != nil || !bytes.Equal(back, src) {
+		t.Fatalf("windowed Auto64 roundtrip failed: %v", err)
+	}
+	dblob, err := Compress(Auto64, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("auto64-w %8d bytes, auto64 %8d bytes", len(wblob), len(dblob))
+	if len(wblob) >= len(dblob) {
+		t.Errorf("windowed Auto64 at %d bytes does not beat whole-input Auto64 at %d",
+			len(wblob), len(dblob))
+	}
+	h, err := container.Parse(wblob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcmWins := 0
+	for i := 0; i < h.ChunkCount; i++ {
+		if h.ChunkScheme(i) == selector.SchemeFCMRazeRare64 {
+			fcmWins++
+		}
+	}
+	t.Logf("fcm+raze+rare64 won %d/%d chunks", fcmWins, h.ChunkCount)
+	if fcmWins < h.ChunkCount*3/4 {
+		t.Errorf("fcm+raze+rare64 won only %d/%d chunks, want at least 3/4",
+			fcmWins, h.ChunkCount)
 	}
 }

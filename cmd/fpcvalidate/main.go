@@ -7,9 +7,10 @@
 //
 // With file arguments it switches to deep container verification: every
 // chunk of every named .fpcz file is checked against its stored CRC32-C
-// (self-healing v3 containers) or decoded under the whole-container CRC
-// (v1/v2), with parity repairs attempted, and the worst damage found
-// selects the exit code — 10 metadata corrupt, 11 data lost, 12 repairable
+// (self-healing v3 containers, and windowed v4 containers compressed with
+// integrity on) or decoded under the whole-container CRC (v1/v2 and plain
+// v4), with parity repairs attempted, and the worst damage found selects
+// the exit code — 10 metadata corrupt, 11 data lost, 12 repairable
 // damage, 1 I/O error, 0 clean.
 //
 // Usage:

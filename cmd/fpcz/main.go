@@ -11,6 +11,7 @@
 //	fpcz -info out.fpcz                           # inspect a compressed file
 //	fpcz -stats out.fpcz                          # per-chunk scheme breakdown (auto modes)
 //	fpcz -c -parity 8 input.f32 out.fpcz          # self-healing container (v3, XOR parity)
+//	fpcz -c -a dpratio -windowed in.f64 out.fpcz  # per-chunk FCM (v4): parallel + random access
 //	fpcz -scrub out.fpcz                          # deep per-chunk integrity check
 //	fpcz -repair damaged.fpcz restored.fpcz       # rewrite from salvaged + repaired chunks
 //
@@ -54,6 +55,7 @@ func main() {
 		verify     = flag.Bool("verify", false, "with -c: decompress the result and byte-compare against the input before committing the output (roughly doubles runtime and holds a second copy in memory)")
 		integrity  = flag.Bool("integrity", false, "with -c: write the self-healing container layout (v3): per-chunk CRC32-C values and checksummed metadata")
 		parity     = flag.Int("parity", 0, "with -c: append one XOR parity chunk per N data chunks, making any single lost chunk per group repairable (implies -integrity; storage overhead ~1/N)")
+		windowed   = flag.Bool("windowed", false, "with -c -a dpratio|auto64: reset the FCM predictor per chunk (container v4) — chunks compress in parallel and the output supports random access, at a small ratio cost (the default whole-input FCM spans chunks and supports neither)")
 		scrub      = flag.Bool("scrub", false, "deep per-chunk integrity check of one compressed file; exit 0 clean, 12 damaged-but-repairable, 11 data lost, 10 metadata corrupt")
 		repair     = flag.Bool("repair", false, "rewrite a damaged container from its intact and parity-repaired chunks: fpcz -repair in.fpcz out.fpcz")
 	)
@@ -66,7 +68,7 @@ func main() {
 		}
 		os.Exit(code)
 	}
-	if err := run(*compress, *decompress, *info, *stats, *stream, *verify, *algName, *chunkSize, *parallel, *maxDecoded, *integrity, *parity, *quiet, flag.Args()); err != nil {
+	if err := run(*compress, *decompress, *info, *stats, *stream, *verify, *algName, *chunkSize, *parallel, *maxDecoded, *integrity, *parity, *windowed, *quiet, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "fpcz:", err)
 		os.Exit(1)
 	}
@@ -176,8 +178,9 @@ func repairFile(inPath, outPath string, maxDecoded, parallel int, quiet bool) (i
 	blob, err := fpcompress.Compress(alg, dec, &fpcompress.Options{
 		ChunkSize:   rep.ChunkSize,
 		Parallelism: parallel,
-		Integrity:   rep.Version >= 3,
+		Integrity:   rep.Integrity,
 		Parity:      rep.ParityGroup,
+		WindowedFCM: rep.Windowed,
 	})
 	if err != nil {
 		return exitUsage, err
@@ -199,7 +202,7 @@ func repairFile(inPath, outPath string, maxDecoded, parallel int, quiet bool) (i
 	return exitOK, nil
 }
 
-func run(compress, decompress, info, stats, stream, verify bool, algName string, chunkSize, parallel, maxDecoded int, integrity bool, parity int, quiet bool, args []string) error {
+func run(compress, decompress, info, stats, stream, verify bool, algName string, chunkSize, parallel, maxDecoded int, integrity bool, parity int, windowed, quiet bool, args []string) error {
 	switch {
 	case info:
 		if len(args) != 1 {
@@ -219,6 +222,8 @@ func run(compress, decompress, info, stats, stream, verify bool, algName string,
 		return fmt.Errorf("-verify is not supported with -stream (the input is consumed as it is read); verify whole files instead")
 	case (integrity || parity != 0) && !compress:
 		return fmt.Errorf("-integrity and -parity only apply to -c (they choose the written layout)")
+	case windowed && !compress:
+		return fmt.Errorf("-windowed only applies to -c (decompression reads the mode from the container)")
 	}
 
 	in, out, err := openFiles(args)
@@ -231,7 +236,7 @@ func run(compress, decompress, info, stats, stream, verify bool, algName string,
 	defer in.close()
 
 	if stream {
-		opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel, MaxDecodedSize: maxDecoded, Integrity: integrity, Parity: parity}
+		opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel, MaxDecodedSize: maxDecoded, Integrity: integrity, Parity: parity, WindowedFCM: windowed}
 		start := time.Now()
 		var n int64
 		if compress {
@@ -263,7 +268,7 @@ func run(compress, decompress, info, stats, stream, verify bool, algName string,
 	if err != nil {
 		return err
 	}
-	opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel, MaxDecodedSize: maxDecoded, Integrity: integrity, Parity: parity}
+	opts := &fpcompress.Options{ChunkSize: chunkSize, Parallelism: parallel, MaxDecodedSize: maxDecoded, Integrity: integrity, Parity: parity, WindowedFCM: windowed}
 	start := time.Now()
 	var result []byte
 	if compress {
@@ -448,7 +453,10 @@ func selectionStats(path string, maxDecoded int) error {
 	if err != nil {
 		return err
 	}
-	a, err := core.New(core.ID(h.Algorithm))
+	// FromContainer picks the windowed selector for v4 windowed containers,
+	// so the re-run cost model prices the same candidate set (including the
+	// fcm+raze+rare64 scheme) the encoder chose from.
+	a, err := core.FromContainer(data)
 	if err != nil {
 		return err
 	}
@@ -511,11 +519,10 @@ func describe(path string, maxDecoded int) error {
 	if err != nil {
 		return err
 	}
-	alg, err := fpcompress.CompressedAlgorithm(data)
-	if err != nil {
-		return err
-	}
-	stages, err := fpcompress.Stages(alg)
+	// FromContainer resolves the windowed variants too, so -info reports
+	// the stages that actually encoded the file (e.g. DPratio-w's per-chunk
+	// FCM rather than the whole-input pre-stage).
+	a, err := core.FromContainer(data)
 	if err != nil {
 		return err
 	}
@@ -523,8 +530,8 @@ func describe(path string, maxDecoded int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %v (%s), %d compressed bytes, %d original bytes, ratio %.3f\n",
-		path, alg, strings.Join(stages, " -> "), len(data), len(dec),
+	fmt.Printf("%s: %s (%s), %d compressed bytes, %d original bytes, ratio %.3f\n",
+		path, a.Name(), strings.Join(a.Stages(), " -> "), len(data), len(dec),
 		float64(len(dec))/float64(len(data)))
 	return nil
 }

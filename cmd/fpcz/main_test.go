@@ -31,14 +31,14 @@ func TestRunCompressDecompressFiles(t *testing.T) {
 	packed := filepath.Join(dir, "out.fpcz")
 	restored := filepath.Join(dir, "back.f32")
 
-	if err := run(true, false, false, false, false, false, "spratio", 0, 0, -1, false, 0, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, false, false, "spratio", 0, 0, -1, false, 0, false, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
 	pinfo, _ := os.Stat(packed)
 	if pinfo.Size() >= int64(len(raw)) {
 		t.Error("compression produced no gain on smooth data")
 	}
-	if err := run(false, true, false, false, false, false, "", 0, 0, -1, false, 0, true, []string{packed, restored}); err != nil {
+	if err := run(false, true, false, false, false, false, "", 0, 0, -1, false, 0, false, true, []string{packed, restored}); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := os.ReadFile(restored)
@@ -52,10 +52,10 @@ func TestRunStreamMode(t *testing.T) {
 	dir := filepath.Dir(in)
 	packed := filepath.Join(dir, "out.fpczs")
 	restored := filepath.Join(dir, "back.f32")
-	if err := run(true, false, false, false, true, false, "spspeed", 0, 0, -1, false, 0, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, true, false, "spspeed", 0, 0, -1, false, 0, false, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(false, true, false, false, true, false, "", 0, 0, -1, false, 0, true, []string{packed, restored}); err != nil {
+	if err := run(false, true, false, false, true, false, "", 0, 0, -1, false, 0, false, true, []string{packed, restored}); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := os.ReadFile(restored)
@@ -67,26 +67,26 @@ func TestRunStreamMode(t *testing.T) {
 func TestRunInfo(t *testing.T) {
 	in, _ := writeTempValues(t, 1000)
 	packed := filepath.Join(filepath.Dir(in), "o.fpcz")
-	if err := run(true, false, false, false, false, false, "dpbalance", 0, 0, -1, false, 0, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, false, false, "dpbalance", 0, 0, -1, false, 0, false, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(false, false, true, false, false, false, "", 0, 0, -1, false, 0, true, []string{packed}); err != nil {
+	if err := run(false, false, true, false, false, false, "", 0, 0, -1, false, 0, false, true, []string{packed}); err != nil {
 		t.Fatalf("info: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(false, false, false, false, false, false, "", 0, 0, -1, false, 0, true, nil); err == nil {
+	if err := run(false, false, false, false, false, false, "", 0, 0, -1, false, 0, false, true, nil); err == nil {
 		t.Error("neither -c nor -d accepted")
 	}
-	if err := run(true, true, false, false, false, false, "spspeed", 0, 0, -1, false, 0, true, nil); err == nil {
+	if err := run(true, true, false, false, false, false, "spspeed", 0, 0, -1, false, 0, false, true, nil); err == nil {
 		t.Error("both -c and -d accepted")
 	}
 	in, _ := writeTempValues(t, 10)
-	if err := run(true, false, false, false, false, false, "nope", 0, 0, -1, false, 0, true, []string{in, in + ".x"}); err == nil {
+	if err := run(true, false, false, false, false, false, "nope", 0, 0, -1, false, 0, false, true, []string{in, in + ".x"}); err == nil {
 		t.Error("bad algorithm accepted")
 	}
-	if err := run(true, false, false, false, false, false, "spspeed", 0, 0, -1, false, 0, true, []string{"a", "b", "c"}); err == nil {
+	if err := run(true, false, false, false, false, false, "spspeed", 0, 0, -1, false, 0, false, true, []string{"a", "b", "c"}); err == nil {
 		t.Error("too many args accepted")
 	}
 }
@@ -111,25 +111,25 @@ func TestRunStats(t *testing.T) {
 	in, raw := writeTempValues(t, 50000)
 	dir := filepath.Dir(in)
 	packed := filepath.Join(dir, "auto.fpcz")
-	if err := run(true, false, false, false, false, false, "auto32", 0, 0, -1, false, 0, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, false, false, "auto32", 0, 0, -1, false, 0, false, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
 	restored := filepath.Join(dir, "auto.back")
-	if err := run(false, true, false, false, false, false, "", 0, 0, -1, false, 0, true, []string{packed, restored}); err != nil {
+	if err := run(false, true, false, false, false, false, "", 0, 0, -1, false, 0, false, true, []string{packed, restored}); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := os.ReadFile(restored)
 	if !bytes.Equal(got, raw) {
 		t.Error("auto roundtrip mismatch")
 	}
-	if err := run(false, false, false, true, false, false, "", 0, 0, -1, false, 0, true, []string{packed}); err != nil {
+	if err := run(false, false, false, true, false, false, "", 0, 0, -1, false, 0, false, true, []string{packed}); err != nil {
 		t.Fatalf("stats: %v", err)
 	}
 	fixed := filepath.Join(dir, "fixed.fpcz")
-	if err := run(true, false, false, false, false, false, "spspeed", 0, 0, -1, false, 0, true, []string{in, fixed}); err != nil {
+	if err := run(true, false, false, false, false, false, "spspeed", 0, 0, -1, false, 0, false, true, []string{in, fixed}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(false, false, false, true, false, false, "", 0, 0, -1, false, 0, true, []string{fixed}); err == nil {
+	if err := run(false, false, false, true, false, false, "", 0, 0, -1, false, 0, false, true, []string{fixed}); err == nil {
 		t.Error("-stats accepted a v1 container")
 	}
 }
@@ -139,20 +139,20 @@ func TestRunStats(t *testing.T) {
 func TestVerifyFlag(t *testing.T) {
 	in, _ := writeTempValues(t, 20000)
 	packed := filepath.Join(filepath.Dir(in), "v.fpcz")
-	if err := run(true, false, false, false, false, true, "spratio", 0, 0, -1, false, 0, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, false, true, "spratio", 0, 0, -1, false, 0, false, true, []string{in, packed}); err != nil {
 		t.Fatalf("compress -verify: %v", err)
 	}
 	if _, err := os.Stat(packed); err != nil {
 		t.Fatalf("verified output missing: %v", err)
 	}
 	restored := filepath.Join(filepath.Dir(in), "v.back")
-	if err := run(false, true, false, false, false, false, "", 0, 0, -1, false, 0, true, []string{packed, restored}); err != nil {
+	if err := run(false, true, false, false, false, false, "", 0, 0, -1, false, 0, false, true, []string{packed, restored}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(false, true, false, false, false, true, "", 0, 0, -1, false, 0, true, []string{packed, restored}); err == nil {
+	if err := run(false, true, false, false, false, true, "", 0, 0, -1, false, 0, false, true, []string{packed, restored}); err == nil {
 		t.Error("-verify with -d accepted")
 	}
-	if err := run(true, false, false, false, true, true, "spspeed", 0, 0, -1, false, 0, true, []string{in, packed}); err == nil {
+	if err := run(true, false, false, false, true, true, "spspeed", 0, 0, -1, false, 0, false, true, []string{in, packed}); err == nil {
 		t.Error("-verify with -stream accepted")
 	}
 }
@@ -165,7 +165,7 @@ func TestAtomicOutputNoPartialFile(t *testing.T) {
 	in, _ := writeTempValues(t, 50000)
 	dir := filepath.Dir(in)
 	packed := filepath.Join(dir, "whole.fpcz")
-	if err := run(true, false, false, false, false, false, "spspeed", 0, 0, -1, false, 0, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, false, false, "spspeed", 0, 0, -1, false, 0, false, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -179,7 +179,7 @@ func TestAtomicOutputNoPartialFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	target := filepath.Join(dir, "restored.f32")
-	if err := run(false, true, false, false, false, false, "", 0, 0, -1, false, 0, true, []string{corrupt, target}); err == nil {
+	if err := run(false, true, false, false, false, false, "", 0, 0, -1, false, 0, false, true, []string{corrupt, target}); err == nil {
 		t.Fatal("decompressing a truncated container succeeded")
 	}
 	if _, err := os.Stat(target); !os.IsNotExist(err) {
@@ -189,7 +189,7 @@ func TestAtomicOutputNoPartialFile(t *testing.T) {
 
 	// The same holds in stream mode: a torn frame aborts without output.
 	streamPacked := filepath.Join(dir, "s.fpczs")
-	if err := run(true, false, false, false, true, false, "spspeed", 0, 0, -1, false, 0, true, []string{in, streamPacked}); err != nil {
+	if err := run(true, false, false, false, true, false, "spspeed", 0, 0, -1, false, 0, false, true, []string{in, streamPacked}); err != nil {
 		t.Fatal(err)
 	}
 	sblob, err := os.ReadFile(streamPacked)
@@ -201,7 +201,7 @@ func TestAtomicOutputNoPartialFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	starget := filepath.Join(dir, "s-restored.f32")
-	if err := run(false, true, false, false, true, false, "", 0, 0, -1, false, 0, true, []string{scorrupt, starget}); err == nil {
+	if err := run(false, true, false, false, true, false, "", 0, 0, -1, false, 0, false, true, []string{scorrupt, starget}); err == nil {
 		t.Fatal("decompressing a torn stream succeeded")
 	}
 	if _, err := os.Stat(starget); !os.IsNotExist(err) {
@@ -245,7 +245,7 @@ func TestScrubRepair(t *testing.T) {
 	in, _ := writeTempValues(t, 50000)
 	dir := filepath.Dir(in)
 	packed := filepath.Join(dir, "p.fpcz")
-	if err := run(true, false, false, false, false, false, "spspeed", 4096, 0, -1, false, 4, true, []string{in, packed}); err != nil {
+	if err := run(true, false, false, false, false, false, "spspeed", 4096, 0, -1, false, 4, false, true, []string{in, packed}); err != nil {
 		t.Fatal(err)
 	}
 	pristine, err := os.ReadFile(packed)
@@ -286,7 +286,7 @@ func TestScrubRepair(t *testing.T) {
 	// Unrepairable: corrupt two chunks of one parity group (no integrity-
 	// only fallback — without parity a single flip is already fatal).
 	noParity := filepath.Join(dir, "np.fpcz")
-	if err := run(true, false, false, false, false, false, "spspeed", 4096, 0, -1, true, 0, true, []string{in, noParity}); err != nil {
+	if err := run(true, false, false, false, false, false, "spspeed", 4096, 0, -1, true, 0, false, true, []string{in, noParity}); err != nil {
 		t.Fatal(err)
 	}
 	npBlob, err := os.ReadFile(noParity)

@@ -11,8 +11,11 @@ package fpcompress
 
 import (
 	"encoding/json"
+	"math"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -44,6 +47,30 @@ type coreBenchReport struct {
 	BaselineNote string            `json:"baseline_note"`
 	Baseline     []coreBenchResult `json:"baseline"`
 	Comparison   []coreBenchDelta  `json:"comparison"`
+	// History accumulates one compact entry per emit (git SHA, date, and
+	// the headline compress MB/s per algorithm), carried forward from the
+	// previous file on every regeneration so the perf trajectory across
+	// PRs is recorded instead of overwritten.
+	History []coreBenchHistory `json:"history,omitempty"`
+}
+
+// coreBenchHistory is one emit's summary line in the accumulated
+// trajectory.
+type coreBenchHistory struct {
+	SHA            string             `json:"sha"`
+	Date           string             `json:"date"`
+	CompressMBPerS map[string]float64 `json:"compress_mb_per_sec"`
+}
+
+// gitHeadSHA reports the current commit for the history entry; benches
+// must still emit outside a git checkout, so failure degrades to
+// "unknown".
+func gitHeadSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // coreBenchDelta compares one (algorithm, op) pair against the pre-pooling
@@ -174,6 +201,80 @@ func TestEmitCoreBench(t *testing.T) {
 		t.Logf("%s decompress: %.1f MB/s, %.1f allocs/op, %.2f MB alloc/op", alg, mbps, apo, ampo)
 	}
 
+	// Windowed study: the per-chunk-FCM variants on the same DP payload.
+	// The default-parallelism rows sit beside the whole-input ones above;
+	// the single-thread rows pin the fused windowed pipeline's kernel
+	// speed (acceptance: windowed DPratio compress >= 250 MB/s at one
+	// worker, >= 3x the whole-input encoder) with the engine's worker
+	// scaling measured separately by the parallel rows.
+	oneThread := func(windowed bool) *Options {
+		return &Options{WindowedFCM: windowed, Parallelism: 1}
+	}
+	for _, alg := range []Algorithm{DPratio, Auto64} {
+		src := payloads[alg]
+		wblob, err := Compress(alg, src, &Options{WindowedFCM: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decompress(wblob, nil)
+		if err != nil || len(back) != len(src) {
+			t.Fatalf("%v windowed: roundtrip failed: %v", alg, err)
+		}
+		name := alg.String() + "-w"
+
+		mbps, apo, ampo, ops := measureCoreOp(t, len(src), func() {
+			if _, err := Compress(alg, src, &Options{WindowedFCM: true}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		report.Results = append(report.Results, coreBenchResult{
+			Algorithm: name, Op: "compress", PayloadBytes: len(src), Ops: ops,
+			MBPerS: mbps, AllocsPerOp: apo, AllocMBPerOp: ampo, CompressedBytes: len(wblob),
+		})
+		t.Logf("%s compress: %.1f MB/s, %.1f allocs/op, %.2f MB alloc/op", name, mbps, apo, ampo)
+
+		mbps, apo, ampo, ops = measureCoreOp(t, len(src), func() {
+			if _, err := Decompress(wblob, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		report.Results = append(report.Results, coreBenchResult{
+			Algorithm: name, Op: "decompress", PayloadBytes: len(src), Ops: ops,
+			MBPerS: mbps, AllocsPerOp: apo, AllocMBPerOp: ampo,
+		})
+		t.Logf("%s decompress: %.1f MB/s, %.1f allocs/op, %.2f MB alloc/op", name, mbps, apo, ampo)
+
+		mbps, apo, ampo, ops = measureCoreOp(t, len(src), func() {
+			if _, err := Compress(alg, src, oneThread(true)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		report.Results = append(report.Results, coreBenchResult{
+			Algorithm: name, Op: "compress", Corpus: "DP-1thread", PayloadBytes: len(src), Ops: ops,
+			MBPerS: mbps, AllocsPerOp: apo, AllocMBPerOp: ampo, CompressedBytes: len(wblob),
+		})
+		t.Logf("%s compress (1 thread): %.1f MB/s", name, mbps)
+	}
+	// The whole-input encoder at one worker, for the 3x comparison in
+	// place.
+	{
+		src := payloads[DPratio]
+		blob, err := Compress(DPratio, src, oneThread(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mbps, apo, ampo, ops := measureCoreOp(t, len(src), func() {
+			if _, err := Compress(DPratio, src, oneThread(false)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		report.Results = append(report.Results, coreBenchResult{
+			Algorithm: "DPratio", Op: "compress", Corpus: "DP-1thread", PayloadBytes: len(src), Ops: ops,
+			MBPerS: mbps, AllocsPerOp: apo, AllocMBPerOp: ampo, CompressedBytes: len(blob),
+		})
+		t.Logf("DPratio compress (1 thread): %.1f MB/s", mbps)
+	}
+
 	// Selection study: the adaptive modes against every fixed pipeline of
 	// their word size, compress-only, on one homogeneous corpus per
 	// precision plus the mixed double-precision corpus (the acceptance
@@ -239,6 +340,33 @@ func TestEmitCoreBench(t *testing.T) {
 			}
 		}
 	}
+
+	// Accumulate the perf trajectory: carry the previous file's history
+	// forward and append this emit's summary (default-corpus compress
+	// MB/s per algorithm, windowed variants included).
+	var prev coreBenchReport
+	if raw, err := os.ReadFile("BENCH_core.json"); err == nil {
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			t.Logf("existing BENCH_core.json unparseable, starting history fresh: %v", err)
+		}
+	}
+	entry := coreBenchHistory{
+		SHA:            gitHeadSHA(),
+		Date:           time.Now().Format("2006-01-02"),
+		CompressMBPerS: map[string]float64{},
+	}
+	for _, r := range report.Results {
+		if r.Op == "compress" && r.Corpus == "" {
+			entry.CompressMBPerS[r.Algorithm] = math.Round(r.MBPerS*10) / 10
+		}
+	}
+	// Re-emitting at the same commit refreshes that commit's entry rather
+	// than stacking duplicates.
+	hist := prev.History
+	if n := len(hist); n > 0 && hist[n-1].SHA == entry.SHA {
+		hist = hist[:n-1]
+	}
+	report.History = append(hist, entry)
 
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

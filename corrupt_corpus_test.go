@@ -179,6 +179,41 @@ func TestCorruptCorpusV3(t *testing.T) {
 	})
 }
 
+// TestCorruptCorpusV4 pins the windowed (v4) seeds to parse-time
+// rejection: the window flag is the version negotiation, so flag damage
+// must fail before any codec routing — a v4 container must never fall
+// back to whole-input FCM semantics.
+func TestCorruptCorpusV4(t *testing.T) {
+	files := corpusFiles(t)
+	for _, name := range []string{
+		"v4-no-window-flag.bin",
+		"v4-flag-truncated.bin",
+		"v4-scheme-flag-conflict.bin",
+		"v4-parity-no-integrity.bin",
+	} {
+		t.Run(name, func(t *testing.T) {
+			data, ok := files[name]
+			if !ok {
+				t.Fatalf("%s missing from corpus (run go run testdata/corrupt/gen.go)", name)
+			}
+			if _, err := Decompress(data, nil); err == nil {
+				t.Error("strict decode accepted a damaged v4 container")
+			}
+			if _, err := OpenRandomAccess(data, nil); err == nil {
+				t.Error("random access opened a damaged v4 container")
+			}
+			// The flag-contradiction seeds must also refuse partial decode:
+			// with the window negotiation unreadable there is no safe codec
+			// to degrade to (unlike payload damage, which quarantines).
+			if name != "v4-scheme-flag-conflict.bin" {
+				if _, _, err := DecompressPartial(data, nil); err == nil {
+					t.Error("partial decode accepted a v4 container with a broken window flag")
+				}
+			}
+		})
+	}
+}
+
 // FuzzDecompressPartial drives the degraded decoder with mutated
 // containers: it must never panic, must respect the decode budget, and on
 // success its ChunkReport must be consistent with the returned bytes —
@@ -197,6 +232,17 @@ func FuzzDecompressPartial(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(blob)
+	// A valid windowed (v4) container with integrity tables, so mutations
+	// explore the window-flag negotiation and the v4 degraded path.
+	wvals := make([]float64, 3000)
+	for i := range wvals {
+		wvals[i] = float64(i%83) * 0.125
+	}
+	wblob, err := CompressFloat64s(DPratio, wvals, &Options{ChunkSize: 4096, WindowedFCM: true, Integrity: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wblob)
 	opts := &Options{MaxDecodedSize: 1 << 20}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec, rep, err := DecompressPartial(data, opts)
@@ -246,6 +292,18 @@ func FuzzContainerDecompress(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(blob)
+	// A valid windowed (v4) Auto64 container: its chunks are independent,
+	// so mutations drive the window flag, the scheme table, and random
+	// access over the fcm+raze+rare64 route together.
+	wvals := make([]float64, 3000)
+	for i := range wvals {
+		wvals[i] = float64(i%83) * 0.125
+	}
+	wblob, err := CompressFloat64s(Auto64, wvals, &Options{ChunkSize: 4096, WindowedFCM: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wblob)
 	opts := &Options{MaxDecodedSize: 1 << 20}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if dec, err := Decompress(data, opts); err == nil && len(dec) > 1<<20 {

@@ -109,6 +109,17 @@ type Options struct {
 	// overhead is roughly 1/Parity of the original data size; Parity = 8
 	// is a reasonable durability/overhead midpoint.
 	Parity int
+	// WindowedFCM selects the windowed variant of DPratio (and of Auto64,
+	// whose candidate set embeds DPratio's pipeline): the FCM predictor
+	// resets at every chunk boundary instead of spanning the whole input,
+	// so chunks compress in parallel across workers and decode
+	// independently — windowed blocks support OpenRandomAccess and
+	// per-chunk DecompressPartial recovery, which whole-input DPratio
+	// cannot. The cost is the cross-chunk prediction context (typically a
+	// small ratio loss on smooth data). Blocks record the mode (container
+	// format v4) and Decompress detects it automatically; compressing any
+	// other algorithm with WindowedFCM set is an error.
+	WindowedFCM bool
 }
 
 // DefaultMaxDecodedSize is the decode budget applied when
@@ -150,11 +161,26 @@ func Compress(alg Algorithm, src []byte, opts *Options) ([]byte, error) {
 // returned slice and must not assume dst aliases it. Reusing one buffer
 // across calls keeps steady-state compression allocation-free.
 func AppendCompress(dst []byte, alg Algorithm, src []byte, opts *Options) ([]byte, error) {
-	a, err := core.New(alg)
+	a, err := newAlgorithm(alg, opts)
 	if err != nil {
 		return nil, err
 	}
 	return a.CompressAppend(dst, src, opts.params()), nil
+}
+
+// ErrWindowedAlgorithm reports Options.WindowedFCM set for an algorithm
+// with no windowed variant: windowed FCM applies to DPratio and Auto64
+// only (the other pipelines have no cross-chunk predictor state to
+// window).
+var ErrWindowedAlgorithm = core.ErrNotWindowable
+
+// newAlgorithm builds alg in the mode opts selects (whole-input by
+// default, windowed when opts.WindowedFCM is set).
+func newAlgorithm(alg Algorithm, opts *Options) (*core.Algorithm, error) {
+	if opts != nil && opts.WindowedFCM {
+		return core.NewWindowed(alg)
+	}
+	return core.New(alg)
 }
 
 // Decompress decodes a block produced by Compress. The algorithm is read

@@ -57,6 +57,37 @@ func TestGoldenCompressedDigests(t *testing.T) {
 	}
 }
 
+// TestGoldenWindowedDigests pins the exact compressed bytes the windowed
+// (per-chunk FCM) variants produce for the same fixed input. Windowed mode
+// writes container v4, so these digests are pinned separately from the
+// default whole-input set above — which must never move when windowed code
+// changes, and vice versa.
+func TestGoldenWindowedDigests(t *testing.T) {
+	want := map[Algorithm]string{
+		DPratio: "ebfd41c384d0d5162daddee0ffb00794b20a4e614de1181907b294d73a2f2832",
+		// Pins the v4 bytes AND the windowed selector's choices, including
+		// the fcm+raze+rare64 candidate's exact per-chunk pricing.
+		Auto64: "5c92694a2ce6a96bf87f6fea6c74e9b1160cc277fba4020eb8d7441196dc3cd3",
+	}
+	src := goldenInput(100000)
+	opts := &Options{WindowedFCM: true}
+	for alg, wantHex := range want {
+		blob, err := Compress(alg, src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(blob)
+		got := hex.EncodeToString(sum[:])
+		if got != wantHex {
+			t.Errorf("%v windowed: compressed digest %s, want %s — the on-disk format changed", alg, got, wantHex)
+		}
+		back, err := Decompress(blob, nil)
+		if err != nil || len(back) != len(src) {
+			t.Fatalf("%v windowed: golden decode failed: %v", alg, err)
+		}
+	}
+}
+
 // TestFrozenContainerDecodes pins decode-side compatibility: this hex blob
 // was produced by version 1 of the format and must decode to the same
 // eight float32 values forever (stronger than the digest test, which only
@@ -82,6 +113,42 @@ func TestFrozenContainerDecodes(t *testing.T) {
 	for i := range want {
 		if vals[i] != want[i] {
 			t.Errorf("value %d = %v, want %v", i, vals[i], want[i])
+		}
+	}
+}
+
+// TestFrozenWindowedContainerDecodes pins decode-side compatibility for
+// the container v4 (windowed FCM) layout: these hex blobs were produced
+// when windowed mode first shipped — one windowed DPratio container (flags
+// = windowed only) and one windowed Auto64 container (flags = windowed +
+// scheme table) — and must decode to the same eight float64 values
+// forever, whatever the encoder or selector would emit today.
+func TestFrozenWindowedContainerDecodes(t *testing.T) {
+	frozen := map[Algorithm]string{
+		DPratio: "4650435a040469fcabb70440808001018001000000000000f83f00000000000004400000000000000c40000000000000124000000000000016400000000000001a400000000000001e400000000000002140",
+		Auto64:  "4650435a040869fcabb7054080800101250641c880f0102000403fffe06080c001020406",
+	}
+	want := []float64{1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5}
+	for alg, frozenHex := range frozen {
+		blob, err := hex.DecodeString(frozenHex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CompressedAlgorithm(blob)
+		if err != nil || got != alg {
+			t.Fatalf("algorithm = %v, err %v, want %v", got, err, alg)
+		}
+		vals, err := DecompressFloat64s(blob, nil)
+		if err != nil {
+			t.Fatalf("%v windowed: %v", alg, err)
+		}
+		if len(vals) != len(want) {
+			t.Fatalf("%v windowed: got %d values", alg, len(vals))
+		}
+		for i := range want {
+			if vals[i] != want[i] {
+				t.Errorf("%v windowed: value %d = %v, want %v", alg, i, vals[i], want[i])
+			}
 		}
 	}
 }

@@ -46,18 +46,35 @@ var magic = [4]byte{'F', 'P', 'C', 'Z'}
 // already computes, optional XOR parity groups, and a metadata CRC32-C
 // covering everything before the payload (closing the v1/v2 gap where the
 // size and scheme tables sat outside any checksum). See integrity.go.
+//
+// formatVersionV4 is the windowed layout (Params.Windowed): the same flags
+// byte v3 introduced is always present and carries flagWindowed, recording
+// that every chunk was encoded with per-chunk (window-reset) predictor
+// state — so chunks decode independently even for algorithms whose default
+// mode runs a whole-input pre-stage. v4 makes the integrity tables
+// explicitly flagged (flagIntegrity) rather than implied by the version,
+// so a windowed container can be plain, scheme-routed, self-healing, or
+// any combination. Old decoders reject v4 by version — strict negotiation,
+// exactly like the v2 and v3 introductions — and this decoder rejects a v4
+// container without flagWindowed: v4 is emitted only for windowed data, so
+// the combination is corrupt.
 const (
 	formatVersion   = 1
 	formatVersionV2 = 2
 	formatVersionV3 = 3
+	formatVersionV4 = 4
 )
 
-// v3 header flag bits. Unknown bits are rejected: they would change the
-// layout in ways this decoder cannot skip.
+// Header flag bits (v3 introduced the flags byte; v4 extends it). Unknown
+// bits are rejected per version: they would change the layout in ways the
+// decoder cannot skip.
 const (
-	flagSchemes   byte = 1 << 0 // per-chunk scheme table present
-	flagParity    byte = 1 << 1 // XOR parity groups present
-	flagKnownMask      = flagSchemes | flagParity
+	flagSchemes     byte = 1 << 0 // per-chunk scheme table present
+	flagParity      byte = 1 << 1 // XOR parity groups present
+	flagWindowed    byte = 1 << 2 // v4: per-chunk (window-reset) predictor state
+	flagIntegrity   byte = 1 << 3 // v4: integrity tables present (implied by version in v3)
+	flagKnownMask        = flagSchemes | flagParity
+	flagKnownMaskV4      = flagSchemes | flagParity | flagWindowed | flagIntegrity
 )
 
 // ErrFormat reports an invalid or corrupt container.
@@ -150,6 +167,14 @@ type Params struct {
 	// corrupt chunk per group. Overhead is ~ChunkSize/Parity bytes per
 	// chunk-size worth of input plus 4 bytes per group.
 	Parity int
+	// Windowed selects container format v4: it records (via the flags byte)
+	// that every chunk was encoded with per-chunk predictor state — the
+	// codec resets any cross-chunk history at each chunk boundary — so
+	// chunks decode independently and random access works even for
+	// algorithms whose default mode runs a whole-input pre-stage. The
+	// container layer stores the flag and negotiates the version; producing
+	// actually window-reset chunk encodings is the codec's contract.
+	Windowed bool
 }
 
 func (p Params) chunkSize() int {
@@ -188,7 +213,9 @@ func (p Params) workers(nChunks int) int {
 // Header describes a parsed container.
 type Header struct {
 	// Version is the container layout version (1; 2 when the container
-	// carries a per-chunk scheme table; 3 for the self-healing layout).
+	// carries a per-chunk scheme table; 3 for the self-healing layout; 4
+	// for the windowed layout, whose flags byte selects the optional
+	// tables).
 	Version     byte
 	Algorithm   byte
 	OriginalLen int
@@ -197,7 +224,7 @@ type Header struct {
 	// CRC is the CRC32-C of the original (pre-compression) bytes; verified
 	// after decompression so corruption that survives decoding is caught.
 	CRC uint32
-	// Flags is the v3 flags byte (0 for v1/v2).
+	// Flags is the v3/v4 flags byte (0 for v1/v2).
 	Flags byte
 	// ParityGroup is the v3 parity group size N (one XOR parity chunk per N
 	// data chunks); 0 when the container carries no parity.
@@ -226,6 +253,35 @@ type Header struct {
 	// (group g's bytes occupy [g*ChunkSize, g*ChunkSize+parityLen(g))); it
 	// too may be short after a salvage parse.
 	parity []byte
+}
+
+// Windowed reports whether the container records per-chunk (window-reset)
+// predictor state: every chunk decodes independently of its neighbors,
+// even for algorithms whose default mode runs a whole-input pre-stage.
+func (h *Header) Windowed() bool { return h.Flags&flagWindowed != 0 }
+
+// hasIntegrity reports whether the container carries the integrity tables
+// (per-chunk CRCs, parity CRCs, metadata CRC): always in v3, flagged in v4.
+func (h *Header) hasIntegrity() bool {
+	return h.Version == formatVersionV3 ||
+		(h.Version >= formatVersionV4 && h.Flags&flagIntegrity != 0)
+}
+
+// IsWindowed peeks at a container's header bytes and reports whether it
+// uses the windowed (per-chunk predictor state) layout, without parsing
+// the tables. Callers use it to pick the matching codec mode before
+// decode; the full parse still validates the flags byte.
+func IsWindowed(data []byte) (bool, error) {
+	if len(data) < 10 || [4]byte(data[:4]) != magic {
+		return false, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if data[4] < formatVersionV4 {
+		return false, nil
+	}
+	if len(data) < 11 {
+		return false, fmt.Errorf("%w: truncated v%d header", ErrFormat, data[4])
+	}
+	return data[10]&flagWindowed != 0, nil
 }
 
 // ChunkScheme returns chunk i's scheme byte: 0 for raw chunks and for
@@ -368,6 +424,18 @@ func CompressAppend(dst, src []byte, algID byte, codec Codec, p Params) []byte {
 			flags |= flagParity
 		}
 	}
+	if p.Windowed {
+		// v4 subsumes the v2/v3 layouts: the flags byte records which
+		// optional tables follow instead of the version implying them.
+		version = formatVersionV4
+		flags |= flagWindowed
+		if hasScheme {
+			flags |= flagSchemes
+		}
+		if integrity {
+			flags |= flagIntegrity
+		}
+	}
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -450,7 +518,7 @@ func CompressAppend(dst, src []byte, algID byte, codec Codec, p Params) []byte {
 	dst = append(dst, magic[:]...)
 	dst = append(dst, version, algID)
 	dst = append(dst, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
-	if integrity {
+	if version >= formatVersionV3 {
 		dst = append(dst, flags)
 	}
 	dst = bitio.AppendUvarint(dst, uint64(len(src)))
@@ -559,8 +627,8 @@ func Parse(data []byte) (*Header, error) {
 }
 
 // ParseSalvage is Parse for damaged containers: the metadata (header, size
-// table, scheme table, and for v3 the integrity tables under their own
-// CRC32-C) must still be intact, but a payload cut short by truncation or a
+// table, scheme table, and when present the integrity tables under their
+// own CRC32-C) must still be intact, but a payload cut short by truncation or a
 // torn write is tolerated — the missing chunks simply read as unavailable.
 // Used by the degraded-decode layer and the scrub/repair tools.
 func ParseSalvage(data []byte) (*Header, error) {
@@ -596,7 +664,7 @@ func (h *Header) parse(data []byte, lenient bool) error {
 		return fmt.Errorf("%w: bad magic", ErrFormat)
 	}
 	switch data[4] {
-	case formatVersion, formatVersionV2, formatVersionV3:
+	case formatVersion, formatVersionV2, formatVersionV3, formatVersionV4:
 	default:
 		return fmt.Errorf("%w: unsupported version %d", ErrFormat, data[4])
 	}
@@ -606,13 +674,28 @@ func (h *Header) parse(data []byte, lenient bool) error {
 	h.Flags = 0
 	h.ParityGroup = 0
 	pos := 10
-	if h.Version == formatVersionV3 {
+	if h.Version >= formatVersionV3 {
 		if len(data) < 11 {
-			return fmt.Errorf("%w: truncated v3 header", ErrFormat)
+			return fmt.Errorf("%w: truncated v%d header", ErrFormat, h.Version)
 		}
 		h.Flags = data[10]
-		if h.Flags&^byte(flagKnownMask) != 0 {
-			return fmt.Errorf("%w: unknown v3 flags %#02x", ErrFormat, h.Flags)
+		known := byte(flagKnownMask)
+		if h.Version >= formatVersionV4 {
+			known = flagKnownMaskV4
+		}
+		if h.Flags&^known != 0 {
+			return fmt.Errorf("%w: unknown v%d flags %#02x", ErrFormat, h.Version, h.Flags)
+		}
+		if h.Version >= formatVersionV4 {
+			// v4 is emitted only for windowed encodings, and its parity
+			// table is keyed off the integrity flag; either inconsistency
+			// means the flags byte (or version) is corrupt.
+			if h.Flags&flagWindowed == 0 {
+				return fmt.Errorf("%w: v4 container without windowed flag", ErrFormat)
+			}
+			if h.Flags&flagParity != 0 && h.Flags&flagIntegrity == 0 {
+				return fmt.Errorf("%w: v4 parity flag without integrity flag", ErrFormat)
+			}
 		}
 		pos = 11
 	}
@@ -701,7 +784,7 @@ func (h *Header) parse(data []byte, lenient bool) error {
 			}
 		}
 	}
-	if h.Version == formatVersionV3 {
+	if h.hasIntegrity() {
 		// Integrity tables: the per-chunk CRC32-C table, the per-group
 		// parity CRC table, then a metadata CRC32-C covering every byte so
 		// far. The metadata CRC is what makes the rest trustworthy — a
@@ -867,10 +950,12 @@ func DecompressAppend(dst []byte, data []byte, codec Codec, p Params) ([]byte, e
 	if err != nil {
 		return nil, err
 	}
-	if h.Version >= formatVersionV3 {
-		// The self-healing layout verifies chunk by chunk against the stored
-		// CRC table and transparently repairs single-chunk-per-group damage
-		// from parity; anything beyond that is a typed ErrChunkCorrupt.
+	if h.chunkCRCs != nil {
+		// The self-healing layout (v3 always, v4 when flagged) verifies
+		// chunk by chunk against the stored CRC table and transparently
+		// repairs single-chunk-per-group damage from parity; anything
+		// beyond that is a typed ErrChunkCorrupt. A plain v4 container
+		// carries no integrity tables and takes the fast path below.
 		rep := &Report{}
 		return h.decodeResilient(dst, codec, sc, p, rep, true)
 	}

@@ -175,15 +175,18 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
-// FuzzDecompressContainer mutates genuine containers — v1 and v2 (whose
-// per-chunk scheme table the fuzzer freely rewrites) — through the full
-// engine under a small budget; arbitrary bytes must produce an error or
-// correct output, never a panic or a large allocation.
+// FuzzDecompressContainer mutates genuine containers — v1, v2 (whose
+// per-chunk scheme table the fuzzer freely rewrites), and windowed v4
+// (whose flags byte the fuzzer rewrites against the version/flag
+// consistency checks) — through the full engine under a small budget;
+// arbitrary bytes must produce an error or correct output, never a panic
+// or a large allocation.
 func FuzzDecompressContainer(f *testing.F) {
 	f.Add(buildValid(f, 1000, 256))
 	f.Add(buildValid(f, 100_000, 4096))
 	f.Add(Compress(schemeTestSrc(256, 9), 9, schemeTestCodec{}, Params{ChunkSize: 256}))
 	f.Add(Compress(schemeTestSrc(512, 30), 9, schemeTestCodec{}, Params{ChunkSize: 512}))
+	f.Add(Compress(schemeTestSrc(512, 30), 9, schemeTestCodec{}, Params{ChunkSize: 512, Windowed: true}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec, err := Decompress(data, shrinkCodec{}, Params{MaxDecoded: 1 << 20, Parallelism: 2})
 		if err == nil && len(dec) > 1<<20 {

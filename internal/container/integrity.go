@@ -81,6 +81,12 @@ type Report struct {
 	ChunkSize   int
 	// ParityGroup is the container's parity group size N (0: no parity).
 	ParityGroup int
+	// Windowed records the container's v4 windowed flag, so rewrites (fpcz
+	// -repair) reproduce the same per-chunk-predictor layout.
+	Windowed bool
+	// Integrity records whether the container carries the integrity tables
+	// (always for v3, flagged for v4) — again for faithful rewrites.
+	Integrity bool
 	// States has one entry per chunk.
 	States []ChunkState
 }
@@ -91,6 +97,8 @@ func (r *Report) init(h *Header) {
 	r.OriginalLen = h.OriginalLen
 	r.ChunkSize = h.ChunkSize
 	r.ParityGroup = h.ParityGroup
+	r.Windowed = h.Windowed()
+	r.Integrity = h.hasIntegrity()
 	if cap(r.States) < h.ChunkCount {
 		r.States = make([]ChunkState, h.ChunkCount)
 	}

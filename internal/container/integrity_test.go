@@ -281,7 +281,7 @@ func TestV3MetadataChecksum(t *testing.T) {
 		pos += n
 	}
 	for name, flip := range map[string]int{
-		"size-table":   pos,              // first size-table byte (bit 1 keeps the varint shape)
+		"size-table":   pos,                      // first size-table byte (bit 1 keeps the varint shape)
 		"metadata-crc": metaEnd(t, pristine) - 1, // stored metadata CRC itself
 	} {
 		t.Run(name, func(t *testing.T) {

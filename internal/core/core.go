@@ -10,6 +10,18 @@
 // the "DP" algorithms as 64-bit words (double precision); "speed" variants
 // use two cheap stages, "ratio" variants trade stages for compression.
 // Decompression applies the inverse stages in reverse order.
+//
+// # Windowed mode
+//
+// DPratio's FCM pre-stage spans the whole input, which serializes it and
+// forfeits per-chunk random access. NewWindowed builds the windowed
+// variant instead: the FCM predictor resets per container chunk (it moves
+// from the Pre stage into the chunk pipeline, in table mode), so chunks
+// encode and decode independently — parallel across workers, randomly
+// accessible, and exactly priceable by the Auto64 selector. The trade is
+// recorded as the container v4 windowed flag; whole-input and windowed
+// containers reject each other's decoders, and FromContainer picks the
+// right mode by peeking at the flag.
 package core
 
 import (
@@ -101,10 +113,20 @@ type Algorithm struct {
 	// Select is the per-chunk pipeline selector driving the Auto32/Auto64
 	// modes; nil for the fixed algorithms.
 	Select *selector.Selector
+	// Windowed marks the per-chunk-predictor variant (NewWindowed): any
+	// cross-chunk state resets at chunk boundaries, the container records
+	// the v4 windowed flag, and decode requires the flag to match.
+	Windowed bool
 }
 
-// Name returns the paper's name for the algorithm.
-func (a *Algorithm) Name() string { return a.ID.String() }
+// Name returns the paper's name for the algorithm, with a "-w" suffix for
+// the windowed variants.
+func (a *Algorithm) Name() string {
+	if a.Windowed {
+		return a.ID.String() + "-w"
+	}
+	return a.ID.String()
+}
 
 // Stages lists the stage names in application order, including the
 // whole-input pre-stage. The auto modes report one pseudo-stage naming
@@ -150,6 +172,7 @@ func (a *Algorithm) Compress(src []byte, p container.Params) []byte {
 // ownership (see the transforms package comment). The pre-stage
 // intermediate, when present, lives in a pooled buffer.
 func (a *Algorithm) CompressAppend(dst, src []byte, p container.Params) []byte {
+	p.Windowed = a.Windowed
 	buf := src
 	var pb *[]byte
 	if a.Pre != nil {
@@ -179,12 +202,8 @@ func (a *Algorithm) Decompress(data []byte, p container.Params) ([]byte, error) 
 // When a pre-stage is present its encoded intermediate decodes into a
 // pooled buffer; otherwise chunks decode straight into dst.
 func (a *Algorithm) DecompressAppend(dst []byte, data []byte, p container.Params) ([]byte, error) {
-	id, err := container.AlgorithmID(data)
-	if err != nil {
+	if err := a.checkContainer(data); err != nil {
 		return nil, err
-	}
-	if ID(id) != a.ID {
-		return nil, fmt.Errorf("%w: container says %s, decoding as %s", ErrUnknownAlgorithm, ID(id), a.ID)
 	}
 	budget := p.DecodeBudget()
 	if a.Pre == nil {
@@ -210,6 +229,36 @@ func (a *Algorithm) DecompressAppend(dst []byte, data []byte, p container.Params
 	return out, err
 }
 
+// ErrWindowedMismatch reports a container whose windowed flag disagrees
+// with the decoding algorithm's mode. The encodings are deliberately
+// incompatible — the whole-input FCM predictor carries history across
+// chunk boundaries that the windowed decoder resets, and vice versa — so
+// the mismatch is rejected before any chunk decodes.
+var ErrWindowedMismatch = errors.New("core: container windowed flag does not match algorithm mode")
+
+// checkContainer validates the container's algorithm ID and windowed flag
+// against this algorithm before any decode work.
+func (a *Algorithm) checkContainer(data []byte) error {
+	id, err := container.AlgorithmID(data)
+	if err != nil {
+		return err
+	}
+	if ID(id) != a.ID {
+		return fmt.Errorf("%w: container says %s, decoding as %s", ErrUnknownAlgorithm, ID(id), a.ID)
+	}
+	w, err := container.IsWindowed(data)
+	if err != nil {
+		return err
+	}
+	if w != a.Windowed {
+		if w {
+			return fmt.Errorf("%w: windowed container, whole-input %s decoder", ErrWindowedMismatch, a.ID)
+		}
+		return fmt.Errorf("%w: whole-input container, windowed %s decoder", ErrWindowedMismatch, a.ID)
+	}
+	return nil
+}
+
 // ErrPreStagePartial reports a degraded container whose algorithm runs a
 // whole-input pre-stage (DPratio's FCM): a quarantined chunk poisons every
 // later byte of the pre-stage stream, so no partial reconstruction is
@@ -229,12 +278,8 @@ func (a *Algorithm) DecompressPartial(data []byte, p container.Params) ([]byte, 
 // DecompressPartialAppend is DecompressPartial appending to dst (which may
 // be nil), with append-semantics buffer ownership.
 func (a *Algorithm) DecompressPartialAppend(dst, data []byte, p container.Params) ([]byte, *container.Report, error) {
-	id, err := container.AlgorithmID(data)
-	if err != nil {
+	if err := a.checkContainer(data); err != nil {
 		return nil, nil, err
-	}
-	if ID(id) != a.ID {
-		return nil, nil, fmt.Errorf("%w: container says %s, decoding as %s", ErrUnknownAlgorithm, ID(id), a.ID)
 	}
 	budget := p.DecodeBudget()
 	if a.Pre == nil {
@@ -377,6 +422,40 @@ func New(id ID) (*Algorithm, error) {
 	return nil, fmt.Errorf("%w: id %d", ErrUnknownAlgorithm, byte(id))
 }
 
+// ErrNotWindowable reports a NewWindowed request for an algorithm with no
+// windowed variant: only DPratio (and Auto64, whose ratio candidate embeds
+// it) carries cross-chunk predictor state to window.
+var ErrNotWindowable = errors.New("core: windowed FCM applies to DPratio and Auto64 only")
+
+// NewWindowed constructs the windowed (per-chunk predictor) variant of the
+// named algorithm. For DPratio the whole-input FCM pre-stage moves into
+// the chunk pipeline in table mode as FCMW64 — FCM(table) per chunk, with
+// the value and distance halves of its stream each encoded by its own
+// DIFFMS64 -> RAZE -> RARE segment (see transforms.FCMW), fused into a
+// single pass — so chunks compress in parallel and decode independently
+// (random access included). For Auto64 the selector prices that windowed
+// ratio pipeline as a fourth per-chunk candidate. Containers record the v4 windowed flag; whole-input
+// containers and decoders are unaffected and byte-identical.
+func NewWindowed(id ID) (*Algorithm, error) {
+	switch id {
+	case DPratio:
+		return &Algorithm{
+			ID:       DPratio,
+			Word:     wordio.W64,
+			Chunked:  transforms.Pipeline{transforms.FCMW{}},
+			Windowed: true,
+		}, nil
+	case Auto64:
+		return &Algorithm{
+			ID:       Auto64,
+			Word:     wordio.W64,
+			Select:   selector.NewWindowed(wordio.W64),
+			Windowed: true,
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: id %s", ErrNotWindowable, id)
+}
+
 // All returns the paper's four algorithms in paper order.
 func All() []*Algorithm {
 	return build(SPspeed, SPratio, DPspeed, DPratio)
@@ -401,11 +480,19 @@ func build(ids ...ID) []*Algorithm {
 }
 
 // FromContainer inspects compressed data and constructs the matching
-// algorithm for decompression.
+// algorithm for decompression, selecting the windowed variant when the
+// container's v4 flag records one.
 func FromContainer(data []byte) (*Algorithm, error) {
 	id, err := container.AlgorithmID(data)
 	if err != nil {
 		return nil, err
+	}
+	w, err := container.IsWindowed(data)
+	if err != nil {
+		return nil, err
+	}
+	if w {
+		return NewWindowed(ID(id))
 	}
 	return New(ID(id))
 }

@@ -24,6 +24,12 @@
 //     candidate: RAZE minimizes 65n − k·cnt[k] over the leading-zero
 //     histogram (transforms.SplitModelBits), and a calibrated multiplier
 //     accounts for the bitmap compression and the RARE pass on top.
+//   - The windowed selector (NewWindowed, behind the windowed Auto64 mode)
+//     adds windowed DPratio's per-chunk pipeline (FCMW64: table-FCM with
+//     per-half DIFFMS64 → RAZE → RARE segments) as a fourth candidate
+//     and prices both 64-bit ratio candidates exactly, by running the
+//     fused single-pass kernels into pooled scratch on the (rare)
+//     chunks that reach full pricing.
 //
 // Ties are broken toward speed: the fastest candidate within a small margin
 // (a percentage of the chunk size) of the best prediction wins, which keeps
@@ -74,9 +80,15 @@ const (
 	SchemeMPLGRZE32 byte = 5
 	// SchemeMPLGRZE64 is DIFFMS64 → MPLG64 → RZE (DPbalance's pipeline).
 	SchemeMPLGRZE64 byte = 6
+	// SchemeFCMRazeRare64 is FCMW64 — windowed DPratio's chunk pipeline:
+	// FCM(table) with the predictor reset per chunk, the value and distance
+	// halves of its stream each encoded by an independent DIFFMS64 → RAZE →
+	// RARE segment (transforms.FCMW). Only the windowed selector
+	// (NewWindowed) emits it, inside container v4; both selectors decode it.
+	SchemeFCMRazeRare64 byte = 7
 
 	// NumSchemes bounds the valid scheme byte range.
-	NumSchemes = 7
+	NumSchemes = 8
 )
 
 // ErrScheme is the typed error wrapped by every scheme-routing failure:
@@ -107,6 +119,8 @@ func SchemeName(scheme byte) string {
 		return "mplg+rze32"
 	case SchemeMPLGRZE64:
 		return "mplg+rze64"
+	case SchemeFCMRazeRare64:
+		return "fcm+raze+rare64"
 	}
 	return fmt.Sprintf("scheme%d", scheme)
 }
@@ -117,7 +131,8 @@ func ValidScheme(word wordio.WordSize, scheme byte) bool {
 	if word == wordio.W32 {
 		return scheme == SchemeMPLG32 || scheme == SchemeBitRZE32 || scheme == SchemeMPLGRZE32
 	}
-	return scheme == SchemeMPLG64 || scheme == SchemeRazeRare64 || scheme == SchemeMPLGRZE64
+	return scheme == SchemeMPLG64 || scheme == SchemeRazeRare64 ||
+		scheme == SchemeMPLGRZE64 || scheme == SchemeFCMRazeRare64
 }
 
 // RAZE→RARE cost model calibration (see calibrateRazeRare in the tests):
@@ -150,12 +165,16 @@ func marginPctFor(word wordio.WordSize) int {
 type Selector struct {
 	word      wordio.WordSize
 	marginPct int
-	cands     [3]byte // candidate schemes, fastest first
+	cands     [4]byte // candidate schemes, fastest first; first nc are valid
+	nc        int
+	windowed  bool // NewWindowed: the FCM candidate joins, priced exactly
 	diff      transforms.DiffMS
 	mplg      transforms.MPLG
 	ratioTail transforms.Pipeline             // W32: BIT→RZE, W64: RAZE→RARE (applied to the DIFFMS stream)
 	full      [NumSchemes]transforms.Pipeline // decode pipelines by scheme
 	fspeed    speedKernel                     // fused speed encoder (DIFFMS+MPLG with gate statistics)
+	fratio    *fused.Ratio64                  // windowed: fused DIFFMS64→RAZE→RARE encoder (exact pricing)
+	ffcm      *fused.FCMRatio64               // windowed: fused FCMW64 encoder (exact pricing)
 	fusedK    [NumSchemes]fused.Kernel        // fused decode kernels by scheme (nil where no fusion exists)
 }
 
@@ -178,19 +197,24 @@ func New(word wordio.WordSize) *Selector {
 		diff:      transforms.DiffMS{Word: word},
 		mplg:      transforms.MPLG{Word: word},
 	}
+	s.nc = 3
 	if word == wordio.W32 {
-		s.cands = [3]byte{SchemeMPLG32, SchemeMPLGRZE32, SchemeBitRZE32}
+		s.cands = [4]byte{SchemeMPLG32, SchemeMPLGRZE32, SchemeBitRZE32}
 		s.ratioTail = transforms.Pipeline{transforms.Bit{Word: word}, transforms.RZE{}}
 		s.full[SchemeMPLG32] = transforms.Pipeline{s.diff, s.mplg}
 		s.full[SchemeMPLGRZE32] = transforms.Pipeline{s.diff, s.mplg, transforms.RZE{}}
 		s.full[SchemeBitRZE32] = transforms.Pipeline{s.diff, transforms.Bit{Word: word}, transforms.RZE{}}
 		s.fspeed = fused.NewSpeed32()
 	} else {
-		s.cands = [3]byte{SchemeMPLG64, SchemeMPLGRZE64, SchemeRazeRare64}
+		s.cands = [4]byte{SchemeMPLG64, SchemeMPLGRZE64, SchemeRazeRare64}
 		s.ratioTail = transforms.Pipeline{transforms.RAZE{}, transforms.RARE{}}
 		s.full[SchemeMPLG64] = transforms.Pipeline{s.diff, s.mplg}
 		s.full[SchemeMPLGRZE64] = transforms.Pipeline{s.diff, s.mplg, transforms.RZE{}}
 		s.full[SchemeRazeRare64] = transforms.Pipeline{s.diff, transforms.RAZE{}, transforms.RARE{}}
+		// Decoding routes by the chunk's recorded scheme, so both selectors
+		// decode the windowed FCM scheme even though only the windowed one
+		// emits it.
+		s.full[SchemeFCMRazeRare64] = transforms.Pipeline{transforms.FCMW{}}
 		s.fspeed = fused.NewSpeed64()
 	}
 	for scheme := range s.full {
@@ -204,23 +228,48 @@ func New(word wordio.WordSize) *Selector {
 	return s
 }
 
+// NewWindowed returns the windowed-mode selector behind the windowed Auto64
+// algorithm (word must be W64, the only word size with cross-chunk
+// predictor state to window). It prices one extra candidate — windowed
+// DPratio's per-chunk pipeline, FCMW64 — and,
+// because every chunk is self-contained, prices both ratio candidates
+// exactly by encoding them through the fused kernels instead of through
+// the calibrated model (so the mis-prediction escape hatch never fires).
+func NewWindowed(word wordio.WordSize) *Selector {
+	if word != wordio.W64 {
+		panic("selector: windowed selector requires W64")
+	}
+	s := New(word)
+	s.windowed = true
+	s.cands[3] = SchemeFCMRazeRare64
+	s.nc = 4
+	s.fratio = fused.NewRatio64()
+	s.ffcm = fused.NewFCMRatio64()
+	return s
+}
+
 // Word returns the word size this selector prices for.
 func (s *Selector) Word() wordio.WordSize { return s.word }
 
+// Windowed reports whether this is the windowed-mode selector.
+func (s *Selector) Windowed() bool { return s.windowed }
+
 // Candidates returns the candidate scheme bytes, fastest first.
-func (s *Selector) Candidates() []byte { return s.cands[:] }
+func (s *Selector) Candidates() []byte { return s.cands[:s.nc] }
 
 // state is the pooled per-call scratch; every slice is reused across calls
 // so the hot path allocates only on first use or growth.
 type state struct {
-	diff []byte   // DIFFMS output (chunk-sized)
-	mplg []byte   // tentative MPLG encoding of diff
-	bm   []byte   // zero-bitmap scratch for RZE pricing
-	alt  []byte   // escape-hatch re-encode scratch
-	ors  []uint32 // byte-swapped 8-word group ORs (BIT pricing)
-	w32  []uint32 // word-copy fallback when views are unavailable
-	w64  []uint64
-	gs   fused.GateStats // gate statistics from the fused speed encoder
+	diff     []byte   // DIFFMS output (chunk-sized)
+	mplg     []byte   // tentative MPLG encoding of diff
+	bm       []byte   // zero-bitmap scratch for RZE pricing
+	alt      []byte   // escape-hatch re-encode scratch
+	ratioEnc []byte   // windowed: the ratio candidate's exact encoding
+	fcmEnc   []byte   // windowed: the FCM candidate's exact encoding
+	ors      []uint32 // byte-swapped 8-word group ORs (BIT pricing)
+	w32      []uint32 // word-copy fallback when views are unavailable
+	w64      []uint64
+	gs       fused.GateStats // gate statistics from the fused speed encoder
 }
 
 var statePool = sync.Pool{New: func() any { return new(state) }}
@@ -428,20 +477,29 @@ func razeRareCost64(hist *[65]int, n, chunkLen int) int {
 // leaving the DIFFMS stream in st.diff and the speed candidate's real
 // encoding in st.mplg. preds is indexed like s.cands (fastest first);
 // choice is the index of the winner under the speed-bias margin.
-func (s *Selector) analyze(st *state, chunk []byte) (preds [3]int, choice int) {
+func (s *Selector) analyze(st *state, chunk []byte) (preds [4]int, choice int) {
 	st.diff = s.diff.ForwardInto(st.diff[:0], chunk)
 	st.mplg = s.mplg.ForwardInto(st.mplg[:0], st.diff)
 	return s.price(st, chunk)
 }
 
 // price runs the per-candidate pricing over an already-computed st.diff /
-// st.mplg pair (see analyze).
-func (s *Selector) price(st *state, chunk []byte) (preds [3]int, choice int) {
-	preds[0] = len(st.mplg)          // speed: exact, already encoded
-	preds[1] = st.rzeCost(st.mplg)   // balance: exact via RZE's own bitmap machinery
-	if s.word == wordio.W32 {
+// st.mplg pair (see analyze). The windowed selector prices its two ratio
+// candidates exactly, by encoding them through the fused kernels into
+// pooled scratch (the winner's bytes are then appended, not recomputed);
+// the whole-input selectors keep the calibrated RAZE→RARE model.
+func (s *Selector) price(st *state, chunk []byte) (preds [4]int, choice int) {
+	preds[0] = len(st.mplg)        // speed: exact, already encoded
+	preds[1] = st.rzeCost(st.mplg) // balance: exact via RZE's own bitmap machinery
+	switch {
+	case s.word == wordio.W32:
 		preds[2] = st.bitRZECost32(st.diff)
-	} else {
+	case s.windowed:
+		st.ratioEnc = s.fratio.ForwardInto(st.ratioEnc[:0], chunk)
+		preds[2] = len(st.ratioEnc)
+		st.fcmEnc = s.ffcm.ForwardInto(st.fcmEnc[:0], chunk)
+		preds[3] = len(st.fcmEnc)
+	default:
 		dw := st.words64(st.diff)
 		var hist [65]int
 		for _, v := range dw {
@@ -450,14 +508,14 @@ func (s *Selector) price(st *state, chunk []byte) (preds [3]int, choice int) {
 		preds[2] = razeRareCost64(&hist, len(dw), len(chunk))
 	}
 	best := preds[0]
-	for _, p := range preds[1:] {
+	for _, p := range preds[1:s.nc] {
 		if p < best {
 			best = p
 		}
 	}
 	margin := len(chunk) * s.marginPct / 100
-	choice = 2
-	for i, p := range preds {
+	choice = s.nc - 1
+	for i, p := range preds[:s.nc] {
 		if p <= best+margin {
 			choice = i
 			break
@@ -467,14 +525,20 @@ func (s *Selector) price(st *state, chunk []byte) (preds [3]int, choice int) {
 }
 
 // encodeCandidate appends candidate i's encoding of the already-analyzed
-// chunk (st.diff, st.mplg) to dst.
+// chunk (st.diff, st.mplg, and for the windowed selector the ratio
+// encodings price already produced) to dst.
 func (s *Selector) encodeCandidate(st *state, dst []byte, i int) []byte {
 	switch i {
 	case 0: // speed: the tentative MPLG encoding is the output
 		return append(dst, st.mplg...)
 	case 1: // balance: RZE over the MPLG encoding
 		return transforms.RZE{}.ForwardInto(dst, st.mplg)
-	default: // ratio tail over the DIFFMS stream
+	case 3: // windowed FCM candidate: already encoded by price
+		return append(dst, st.fcmEnc...)
+	default: // ratio tail
+		if s.windowed {
+			return append(dst, st.ratioEnc...)
+		}
 		return s.ratioTail.ForwardInto(dst, st.diff)
 	}
 }
@@ -493,8 +557,8 @@ func (s *Selector) Predict(chunk []byte) ([]Prediction, int) {
 	st := statePool.Get().(*state)
 	defer statePool.Put(st)
 	preds, choice := s.analyze(st, chunk)
-	out := make([]Prediction, len(s.cands))
-	for i := range s.cands {
+	out := make([]Prediction, s.nc)
+	for i := range out {
 		out[i] = Prediction{Scheme: s.cands[i], Predicted: preds[i]}
 	}
 	return out, choice
@@ -515,6 +579,13 @@ func (s *Selector) speedWins(st *state, chunk, mplgEnc []byte) bool {
 	thresh := len(mplgEnc) - len(chunk)*s.marginPct/100
 	if thresh <= 0 {
 		return true // no candidate can beat speed by more than the margin
+	}
+	if s.windowed && len(mplgEnc) >= len(chunk)*7/8 {
+		// The FCM candidate has no cheap lower bound — its wins come from
+		// value reuse the diff pipelines cannot see. It wins essentially
+		// only where those pipelines compress poorly, so a barely-compressed
+		// speed encoding sends the chunk to full (exact) pricing.
+		return false
 	}
 	// Balance (MPLG→RZE): survivors of the MPLG encoding.
 	if bitio.UvarintLen(uint64(len(mplgEnc)))+nonzeroCount(mplgEnc) < thresh {
@@ -544,6 +615,10 @@ func (s *Selector) speedWinsStats(st *state, chunk, mplgEnc []byte) bool {
 	thresh := len(mplgEnc) - len(chunk)*s.marginPct/100
 	if thresh <= 0 {
 		return true // no candidate can beat speed by more than the margin
+	}
+	if s.windowed && len(mplgEnc) >= len(chunk)*7/8 {
+		// See speedWins: no cheap bound for the FCM candidate.
+		return false
 	}
 	// Balance (MPLG→RZE): survivors of the MPLG encoding.
 	if bitio.UvarintLen(uint64(len(mplgEnc)))+nonzeroCount(mplgEnc) < thresh {
@@ -609,7 +684,7 @@ func (s *Selector) ForwardSchemeInto(dst, chunk []byte) ([]byte, byte) {
 	if encLen := len(dst) - start; encLen > preds[choice]+preds[choice]/4 {
 		reencodeTried.Add(1)
 		runner, runnerPred := -1, 0
-		for i, p := range preds {
+		for i, p := range preds[:s.nc] {
 			if i != choice && (runner < 0 || p < runnerPred) {
 				runner, runnerPred = i, p
 			}

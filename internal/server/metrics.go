@@ -125,19 +125,19 @@ type OpSnapshot struct {
 // Snapshot is the stats op's JSON payload: a point-in-time view of the
 // server's counters since start.
 type Snapshot struct {
-	UptimeSeconds  float64               `json:"uptime_seconds"`
-	Concurrency    int                   `json:"concurrency"`
-	QueueDepth     int                   `json:"queue_depth"`
-	Inflight       int64                 `json:"inflight"`
-	BusyRejections uint64                `json:"busy_rejections"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Concurrency    int     `json:"concurrency"`
+	QueueDepth     int     `json:"queue_depth"`
+	Inflight       int64   `json:"inflight"`
+	BusyRejections uint64  `json:"busy_rejections"`
 	// Connection-level resilience gauges.
-	OpenConns             int64  `json:"open_conns"`
-	MaxConns              int    `json:"max_conns"`
-	ConnLimitRejections   uint64 `json:"conn_limit_rejections"`
-	SlowClientDisconnects uint64 `json:"slow_client_disconnects"`
-	InflightBytes         int64  `json:"inflight_bytes"`
-	MaxInflightBytes      int64  `json:"max_inflight_bytes"`
-	ByteBudgetRejections  uint64 `json:"byte_budget_rejections"`
+	OpenConns             int64                 `json:"open_conns"`
+	MaxConns              int                   `json:"max_conns"`
+	ConnLimitRejections   uint64                `json:"conn_limit_rejections"`
+	SlowClientDisconnects uint64                `json:"slow_client_disconnects"`
+	InflightBytes         int64                 `json:"inflight_bytes"`
+	MaxInflightBytes      int64                 `json:"max_inflight_bytes"`
+	ByteBudgetRejections  uint64                `json:"byte_budget_rejections"`
 	Ops                   map[string]OpSnapshot `json:"ops"`
 	// Auto-mode per-chunk selection counters (process-wide, from
 	// internal/selector): scheme name -> chunks encoded with that scheme,
@@ -158,17 +158,17 @@ type Snapshot struct {
 
 func (m *metrics) snapshot(concurrency, queueDepth int) Snapshot {
 	s := Snapshot{
-		UptimeSeconds:  time.Since(m.start).Seconds(),
-		Concurrency:    concurrency,
-		QueueDepth:     queueDepth,
-		Inflight:       m.inflight.Load(),
-		BusyRejections: m.busy.Load(),
+		UptimeSeconds:         time.Since(m.start).Seconds(),
+		Concurrency:           concurrency,
+		QueueDepth:            queueDepth,
+		Inflight:              m.inflight.Load(),
+		BusyRejections:        m.busy.Load(),
 		OpenConns:             m.openConns.Load(),
 		ConnLimitRejections:   m.connsRejected.Load(),
 		SlowClientDisconnects: m.slowClients.Load(),
 		InflightBytes:         m.inflightBytes.Load(),
 		ByteBudgetRejections:  m.bytesRejected.Load(),
-		Ops:            make(map[string]OpSnapshot, 3),
+		Ops:                   make(map[string]OpSnapshot, 3),
 	}
 	for _, op := range []Op{OpCompress, OpDecompress, OpStats} {
 		om := &m.ops[op]

@@ -462,10 +462,10 @@ func TestHostileContainerOverWire(t *testing.T) {
 	// Hand-assembled container declaring a 1 TiB output behind 4 payload
 	// bytes; the result budget must refuse it before allocating.
 	huge := []byte{'F', 'P', 'C', 'Z', 1, byte(core.SPspeed), 0, 0, 0, 0}
-	huge = appendUvarint(huge, 1<<40)     // original length
-	huge = appendUvarint(huge, 1<<40)     // chunk size
-	huge = appendUvarint(huge, 1)         // chunk count
-	huge = appendUvarint(huge, 4<<1|1)    // one 4-byte compressed chunk
+	huge = appendUvarint(huge, 1<<40)  // original length
+	huge = appendUvarint(huge, 1<<40)  // chunk size
+	huge = appendUvarint(huge, 1)      // chunk count
+	huge = appendUvarint(huge, 4<<1|1) // one 4-byte compressed chunk
 	huge = append(huge, 1, 2, 3, 4)
 
 	for _, hostile := range [][]byte{huge, []byte("FPCZ\x01\x01 garbage"), {0xFF}} {

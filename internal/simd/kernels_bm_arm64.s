@@ -1,0 +1,78 @@
+//go:build arm64 && !noasm && !purego
+
+#include "textflag.h"
+
+// RZE bitmap kernels (NEON). NEON has no movemask; instead the 0xFF/0x00
+// compare mask is ANDed with per-byte MSB-first weights (0x80 for byte 0 of
+// each group of 8 down to 0x01 for byte 7) and three pairwise adds collapse
+// each 8-byte group into its finished bitmap byte — the weights within a
+// group sum to at most 0xFF, so the byte lanes never overflow. Each
+// 16-byte block yields 2 bitmap bytes; the wrappers count set bits and
+// finish tails in Go.
+
+// bmw<>: weights, byte j of each 8-byte group = 0x80 >> (j&7).
+DATA bmw<>+0(SB)/8, $0x0102040810204080
+DATA bmw<>+8(SB)/8, $0x0102040810204080
+GLOBL bmw<>(SB), RODATA|NOPTR, $16
+
+// func nonzeroBMAsm(bm *byte, src *byte, blocks int)
+//
+// For each 16-byte block of src, writes 2 bitmap bytes (bit set = source
+// byte non-zero).
+TEXT ·nonzeroBMAsm(SB), NOSPLIT, $0-24
+	MOVD bm+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD blocks+16(FP), R2
+	MOVD $bmw<>(SB), R3
+	VLD1 (R3), [V5.B16]
+	VEOR V4.B16, V4.B16, V4.B16
+	VCMEQ V4.B16, V4.B16, V6.B16  // all-ones
+
+nzloop:
+	VLD1.P 16(R1), [V0.B16]
+	VCMEQ V4.B16, V0.B16, V1.B16  // 0xFF where byte == 0
+	VEOR  V6.B16, V1.B16, V1.B16  // non-zero mask
+	VAND  V5.B16, V1.B16, V2.B16  // MSB-first weight per flagged byte
+	VADDP V2.B16, V2.B16, V2.B16
+	VADDP V2.B16, V2.B16, V2.B16
+	VADDP V2.B16, V2.B16, V2.B16
+	VMOV  V2.H[0], R4             // bytes 0..7 then 8..15, little-endian
+	MOVH  R4, (R0)
+	ADD   $2, R0
+	SUBS  $1, R2, R2
+	BNE   nzloop
+	RET
+
+// func changeBMAsm(bm *byte, cur *byte, blocks int)
+//
+// For each 16-byte block of cur, writes 2 bitmap bytes with the bit set
+// when the byte differs from its predecessor. The caller guarantees
+// cur[-1] is addressable and holds the true predecessor (the wrapper
+// peels the first group).
+TEXT ·changeBMAsm(SB), NOSPLIT, $0-24
+	MOVD bm+0(FP), R0
+	MOVD cur+8(FP), R1
+	MOVD blocks+16(FP), R2
+	MOVD $bmw<>(SB), R3
+	VLD1 (R3), [V5.B16]
+	VEOR V4.B16, V4.B16, V4.B16
+	VCMEQ V4.B16, V4.B16, V6.B16
+	SUB  $1, R1, R3               // predecessor stream, one byte behind
+
+chloop:
+	VLD1 (R1), [V0.B16]
+	VLD1 (R3), [V1.B16]
+	ADD  $16, R1
+	ADD  $16, R3
+	VCMEQ V1.B16, V0.B16, V1.B16  // 0xFF where byte == predecessor
+	VEOR  V6.B16, V1.B16, V1.B16  // changed mask
+	VAND  V5.B16, V1.B16, V2.B16
+	VADDP V2.B16, V2.B16, V2.B16
+	VADDP V2.B16, V2.B16, V2.B16
+	VADDP V2.B16, V2.B16, V2.B16
+	VMOV  V2.H[0], R4
+	MOVH  R4, (R0)
+	ADD   $2, R0
+	SUBS  $1, R2, R2
+	BNE   chloop
+	RET

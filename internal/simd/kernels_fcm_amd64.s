@@ -1,0 +1,93 @@
+//go:build amd64 && !noasm && !purego
+
+#include "textflag.h"
+
+// FCM context-hash kernel (AVX2): four lanes of
+//
+//	Mix64(src[k+2] ^ rotl(src[k+1],23) ^ rotl(src[k],47))
+//
+// per iteration. AVX2 has no 64-bit vector multiply, so each splitmix64
+// multiply is emulated from three VPMULUDQ cross products with the
+// constant's halves pre-splatted: low64(x*C) = xl*Cl + ((xl*Ch + xh*Cl)
+// << 32). Still well ahead of four scalar rounds — the xors, rotates and
+// shifts all run 4-wide.
+
+// Mix64 multiplier halves, one per qword lane (VPMULUDQ reads the low
+// dword of each lane).
+DATA fcmc1l<>+0(SB)/8, $0x000000001ce4e5b9
+DATA fcmc1l<>+8(SB)/8, $0x000000001ce4e5b9
+DATA fcmc1l<>+16(SB)/8, $0x000000001ce4e5b9
+DATA fcmc1l<>+24(SB)/8, $0x000000001ce4e5b9
+GLOBL fcmc1l<>(SB), RODATA|NOPTR, $32
+DATA fcmc1h<>+0(SB)/8, $0x00000000bf58476d
+DATA fcmc1h<>+8(SB)/8, $0x00000000bf58476d
+DATA fcmc1h<>+16(SB)/8, $0x00000000bf58476d
+DATA fcmc1h<>+24(SB)/8, $0x00000000bf58476d
+GLOBL fcmc1h<>(SB), RODATA|NOPTR, $32
+DATA fcmc2l<>+0(SB)/8, $0x00000000133111eb
+DATA fcmc2l<>+8(SB)/8, $0x00000000133111eb
+DATA fcmc2l<>+16(SB)/8, $0x00000000133111eb
+DATA fcmc2l<>+24(SB)/8, $0x00000000133111eb
+GLOBL fcmc2l<>(SB), RODATA|NOPTR, $32
+DATA fcmc2h<>+0(SB)/8, $0x0000000094d049bb
+DATA fcmc2h<>+8(SB)/8, $0x0000000094d049bb
+DATA fcmc2h<>+16(SB)/8, $0x0000000094d049bb
+DATA fcmc2h<>+24(SB)/8, $0x0000000094d049bb
+GLOBL fcmc2h<>(SB), RODATA|NOPTR, $32
+
+// MUL64C multiplies Y0 by the constant whose splatted halves are in cl/ch
+// (Y1 = xh, Y2 = xl*Cl, Y3 = xl*Ch, then xh*Cl; the two cross products are
+// summed and shifted up 32), leaving the low 64 bits per lane in Y0.
+// Clobbers Y1-Y3.
+#define MUL64C(cl, ch) \
+	VPSRLQ   $32, Y0, Y1 \
+	VPMULUDQ cl, Y0, Y2  \
+	VPMULUDQ ch, Y0, Y3  \
+	VPMULUDQ cl, Y1, Y1  \
+	VPADDQ   Y3, Y1, Y1  \
+	VPSLLQ   $32, Y1, Y1 \
+	VPADDQ   Y1, Y2, Y0
+
+// func fcmHashAsm(dst, src *uint64, groups int)
+//
+// Groups of 4 hashes; reads src[k..k+5] per group, so the caller
+// guarantees len(src) >= 4*groups+2.
+TEXT ·fcmHashAsm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ groups+16(FP), CX
+	VMOVDQU fcmc1l<>(SB), Y12
+	VMOVDQU fcmc1h<>(SB), Y13
+	VMOVDQU fcmc2l<>(SB), Y14
+	VMOVDQU fcmc2h<>(SB), Y15
+
+fcmloop:
+	VMOVDQU (SI), Y4          // v3 lane-wise: src[k..k+3]
+	VMOVDQU 8(SI), Y5         // v2: src[k+1..k+4]
+	VMOVDQU 16(SI), Y0        // v1: src[k+2..k+5]
+	ADDQ $32, SI
+	// x = v1 ^ rotl(v2,23) ^ rotl(v3,47)
+	VPSLLQ $23, Y5, Y6
+	VPSRLQ $41, Y5, Y5
+	VPOR   Y6, Y5, Y5
+	VPXOR  Y5, Y0, Y0
+	VPSLLQ $47, Y4, Y6
+	VPSRLQ $17, Y4, Y4
+	VPOR   Y6, Y4, Y4
+	VPXOR  Y4, Y0, Y0
+	// splitmix64 finalizer
+	VPSRLQ $30, Y0, Y1
+	VPXOR  Y1, Y0, Y0
+	MUL64C(Y12, Y13)
+	VPSRLQ $27, Y0, Y1
+	VPXOR  Y1, Y0, Y0
+	MUL64C(Y14, Y15)
+	VPSRLQ $31, Y0, Y1
+	VPXOR  Y1, Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  fcmloop
+
+	VZEROUPPER
+	RET

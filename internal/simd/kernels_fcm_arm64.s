@@ -1,0 +1,36 @@
+//go:build arm64 && !noasm && !purego
+
+#include "textflag.h"
+
+// FCM context-hash kernel. NEON has no 64-bit vector multiply, so the
+// splitmix64 rounds run on the scalar unit — arm64's 64-bit MUL plus
+// shifted-operand EOR still fuses the whole hash into eight instructions
+// per word, with the rotates folded into the xors for free.
+
+// func fcmHashAsm(dst, src *uint64, groups int)
+//
+// One hash per group: dst[k] = Mix64(src[k+2] ^ rotl(src[k+1],23) ^
+// rotl(src[k],47)); rotl(x,23) = ror(x,41), rotl(x,47) = ror(x,17).
+TEXT ·fcmHashAsm(SB), NOSPLIT, $0-24
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD groups+16(FP), R2
+	MOVD $0xbf58476d1ce4e5b9, R7
+	MOVD $0x94d049bb133111eb, R8
+
+hashloop:
+	MOVD (R1), R3             // v3
+	MOVD 8(R1), R4            // v2
+	MOVD 16(R1), R5           // v1
+	ADD  $8, R1
+	EOR  R4@>41, R5, R6
+	EOR  R3@>17, R6, R6
+	EOR  R6>>30, R6, R6
+	MUL  R7, R6, R6
+	EOR  R6>>27, R6, R6
+	MUL  R8, R6, R6
+	EOR  R6>>31, R6, R6
+	MOVD.P R6, 8(R0)
+	SUBS $1, R2, R2
+	BNE  hashloop
+	RET

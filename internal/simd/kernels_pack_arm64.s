@@ -1,0 +1,135 @@
+//go:build arm64 && !noasm && !purego
+
+#include "textflag.h"
+
+// MPLG/RAZE/RARE pack accumulator. The bit stream is inherently serial
+// (each field's position depends on every predecessor), so like the amd64
+// version this mirrors the Go accumulator loop exactly — same flush
+// points, same big-endian 32-bit stores — just without Go's shift guards
+// and bounds checks, on scalar registers (REVW supplies the byte swap).
+
+// func pack64Asm(buf *byte, bp int, acc, nacc uint64, src *uint64, n int, keep, zig uint64) (newBp int, newAcc, newNacc uint64)
+//
+// Appends n keep-bit fields (1 <= keep <= 64; widths above 32 split into
+// two sub-32-bit fields exactly like the Go loop), preserving the
+// accumulator invariant nacc < 32 between calls.
+TEXT ·pack64Asm(SB), NOSPLIT, $0-88
+	MOVD buf+0(FP), R0
+	MOVD bp+8(FP), R1
+	ADD  R0, R1, R1           // write cursor
+	MOVD acc+16(FP), R3
+	MOVD nacc+24(FP), R4
+	MOVD src+32(FP), R5
+	MOVD n+40(FP), R6
+	MOVD keep+48(FP), R7
+	MOVD zig+56(FP), R8
+	CMP  $32, R7
+	BGT  p64wide
+	CBNZ R8, p64zig
+
+	// keep <= 32: one field per word.
+p64loop:
+	MOVD.P 8(R5), R9
+	LSL  R7, R3, R3
+	ORR  R9, R3, R3
+	ADD  R7, R4, R4
+	CMP  $32, R4
+	BLT  p64next
+	SUB  $32, R4, R4
+	LSR  R4, R3, R10
+	REVW R10, R10
+	MOVW R10, (R1)
+	ADD  $4, R1
+p64next:
+	SUBS $1, R6, R6
+	BNE  p64loop
+	B    p64done
+
+p64zig:
+	MOVD.P 8(R5), R9
+	LSL  $1, R9, R10          // zigzag64: x<<1 ^ x>>63 (arith)
+	EOR  R9->63, R10, R9
+	LSL  R7, R3, R3
+	ORR  R9, R3, R3
+	ADD  R7, R4, R4
+	CMP  $32, R4
+	BLT  p64znext
+	SUB  $32, R4, R4
+	LSR  R4, R3, R10
+	REVW R10, R10
+	MOVW R10, (R1)
+	ADD  $4, R1
+p64znext:
+	SUBS $1, R6, R6
+	BNE  p64zig
+	B    p64done
+
+p64wide:
+	SUB  $32, R7, R7          // hi = keep - 32 (1..32)
+	CBNZ R8, p64wzig
+p64wloop:
+	MOVD.P 8(R5), R9
+	LSR  $32, R9, R10         // high 32 bits
+	LSL  R7, R3, R3
+	ORR  R10, R3, R3
+	ADD  R7, R4, R4
+	CMP  $32, R4
+	BLT  p64wlow
+	SUB  $32, R4, R4
+	LSR  R4, R3, R10
+	REVW R10, R10
+	MOVW R10, (R1)
+	ADD  $4, R1
+p64wlow:
+	// Low 32 bits: appending 32 always reaches the flush threshold and
+	// flushing subtracts the same 32, so nacc is unchanged.
+	MOVWU R9, R10
+	LSL  $32, R3, R3
+	ORR  R10, R3, R3
+	LSR  R4, R3, R10
+	REVW R10, R10
+	MOVW R10, (R1)
+	ADD  $4, R1
+	SUBS $1, R6, R6
+	BNE  p64wloop
+	B    p64done
+
+p64wzig:
+	MOVD.P 8(R5), R9
+	LSL  $1, R9, R10
+	EOR  R9->63, R10, R9
+	LSR  $32, R9, R10
+	LSL  R7, R3, R3
+	ORR  R10, R3, R3
+	ADD  R7, R4, R4
+	CMP  $32, R4
+	BLT  p64wzlow
+	SUB  $32, R4, R4
+	LSR  R4, R3, R10
+	REVW R10, R10
+	MOVW R10, (R1)
+	ADD  $4, R1
+p64wzlow:
+	MOVWU R9, R10
+	LSL  $32, R3, R3
+	ORR  R10, R3, R3
+	LSR  R4, R3, R10
+	REVW R10, R10
+	MOVW R10, (R1)
+	ADD  $4, R1
+	SUBS $1, R6, R6
+	BNE  p64wzig
+
+p64done:
+	MOVD buf+0(FP), R0
+	SUB  R0, R1, R1
+	MOVD R1, newBp+64(FP)
+	// Return acc reduced to its low nacc valid bits, matching the Go
+	// loop's post-flush mask.
+	MOVD $1, R10
+	LSL  R4, R10, R10
+	SUB  $1, R10, R10
+	AND  R10, R3, R3
+	MOVD R3, newAcc+72(FP)
+	MOVD R4, newNacc+80(FP)
+	RET

@@ -1,0 +1,24 @@
+package simd
+
+// Scalar reference arithmetic for the FCM context-hash kernel tails. Kept
+// in sync with wordio.Mix64 / transforms.fcmHash by the differential tests
+// (simd stays import-free below wordio so the transforms package can layer
+// on top without cycles).
+
+func rotl64(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// mix64 is the splitmix64 finalizer (wordio.Mix64).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fcmHashRef is the reference for FCMHash64's per-element result:
+// dst[k] = fcmHashRef(src[k:]) over any window of three context words.
+func fcmHashRef(w []uint64) uint64 {
+	return mix64(w[2] ^ rotl64(w[1], 23) ^ rotl64(w[0], 47))
+}

@@ -265,6 +265,28 @@ func ChangeBM(bm, cur []byte) bool {
 }
 
 //go:noescape
+func fcmHashAsm(dst, src *uint64, groups int)
+
+// FCMHash64 computes dst[k] = Mix64(src[k+2] ^ rotl(src[k+1],23) ^
+// rotl(src[k],47)) for every k — the FCM context hash of word position k+3
+// when src starts three words before the first hashed position. Requires
+// len(src) >= len(dst)+2.
+func FCMHash64(dst, src []uint64) bool {
+	if active.Load() != levelAVX2 || len(dst) < minWords || len(src) < len(dst)+2 {
+		return false
+	}
+	n := 0
+	if g := len(dst) / 4; g > 0 {
+		fcmHashAsm(&dst[0], &src[0], g)
+		n = g * 4
+	}
+	for ; n < len(dst); n++ {
+		dst[n] = fcmHashRef(src[n:])
+	}
+	return true
+}
+
+//go:noescape
 func pack32Asm(buf *byte, bp int, acc, nacc uint64, src *uint32, n int, keep, zig uint64) (newBp int, newAcc, newNacc uint64)
 
 //go:noescape

@@ -2,10 +2,16 @@
 
 package simd
 
-// NEON covers the streaming kernels (diff+zigzag and the OR width-scans);
-// the remaining wrappers decline and the callers run their scalar
-// reference paths. See the package comment: per-kernel coverage may differ
-// between ISAs, the per-call ok contract makes that transparent.
+import "math/bits"
+
+// NEON covers the streaming kernels (diff+zigzag and the OR width-scans),
+// the RZE bitmap scans, the FCM context hash and the 64-bit pack
+// accumulator (the latter two as scalar-unit assembly — NEON has no 64-bit
+// vector multiply and the bit stream is serial, but the hand-scheduled
+// loops still beat the bounds-checked Go); the remaining wrappers decline
+// and the callers run their scalar reference paths. See the package
+// comment: per-kernel coverage may differ between ISAs, the per-call ok
+// contract makes that transparent.
 
 //go:noescape
 func diffZigOr32Asm(dst, src *uint32, groups int) uint32
@@ -161,20 +167,115 @@ func ZigOr64(src []uint64) (uint64, bool) {
 	return or, true
 }
 
-// NonzeroBM: movemask-style bitmaps; not implemented in NEON.
-func NonzeroBM(bm, src []byte) (int, bool) { return 0, false }
+//go:noescape
+func nonzeroBMAsm(bm *byte, src *byte, blocks int)
 
-// ChangeBM: movemask-style bitmaps; not implemented in NEON.
-func ChangeBM(bm, cur []byte) bool { return false }
+//go:noescape
+func changeBMAsm(bm *byte, cur *byte, blocks int)
 
-// Pack32: bit-stream accumulator; not implemented in NEON.
+// NonzeroBM fills bm (>= (len(src)+7)/8 bytes, which it clears first) with
+// RZE's non-zero-byte bitmap of src — bit i set when src[i] != 0,
+// MSB-first within each byte — and returns the number of set bits. The
+// NEON kernel emits the bitmap only; the count is a popcount over the
+// finished bitmap here.
+func NonzeroBM(bm, src []byte) (int, bool) {
+	if active.Load() != levelNEON || len(src) < 64 {
+		return 0, false
+	}
+	nb := (len(src) + 7) / 8
+	clear(bm[:nb])
+	n := 0
+	if b := len(src) / 16; b > 0 {
+		nonzeroBMAsm(&bm[0], &src[0], b)
+		n = b * 16
+	}
+	for ; n < len(src); n++ {
+		if src[n] != 0 {
+			bm[n>>3] |= 0x80 >> (n & 7)
+		}
+	}
+	nonzero := 0
+	for _, b := range bm[:nb] {
+		nonzero += bits.OnesCount8(b)
+	}
+	return nonzero, true
+}
+
+// ChangeBM fills bm (>= (len(cur)+7)/8 bytes, cleared first) with RZE's
+// changed-byte bitmap of cur: bit i set when cur[i] differs from its
+// predecessor (cur[-1] taken as zero), MSB-first within each byte.
+func ChangeBM(bm, cur []byte) bool {
+	if active.Load() != levelNEON || len(cur) < 64 {
+		return false
+	}
+	clear(bm[:(len(cur)+7)/8])
+	prev := byte(0)
+	for j := 0; j < 8; j++ { // head: predecessor crosses the slice start
+		if cur[j] != prev {
+			bm[0] |= 0x80 >> j
+		}
+		prev = cur[j]
+	}
+	n := 8
+	if b := (len(cur) - n) / 16; b > 0 {
+		changeBMAsm(&bm[1], &cur[8], b)
+		n += b * 16
+		prev = cur[n-1]
+	}
+	for ; n < len(cur); n++ {
+		if cur[n] != prev {
+			bm[n>>3] |= 0x80 >> (n & 7)
+		}
+		prev = cur[n]
+	}
+	return true
+}
+
+//go:noescape
+func fcmHashAsm(dst, src *uint64, groups int)
+
+// FCMHash64 computes dst[k] = Mix64(src[k+2] ^ rotl(src[k+1],23) ^
+// rotl(src[k],47)) for every k — the FCM context hash of word position k+3
+// when src starts three words before the first hashed position. Requires
+// len(src) >= len(dst)+2.
+func FCMHash64(dst, src []uint64) bool {
+	if active.Load() != levelNEON || len(dst) < minWords || len(src) < len(dst)+2 {
+		return false
+	}
+	fcmHashAsm(&dst[0], &src[0], len(dst))
+	return true
+}
+
+//go:noescape
+func pack64Asm(buf *byte, bp int, acc, nacc uint64, src *uint64, n int, keep, zig uint64) (newBp int, newAcc, newNacc uint64)
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Pack32: bit-stream accumulator; not implemented on arm64.
 func Pack32(buf []byte, bp int, acc uint64, nacc uint, src []uint32, keep uint, zig bool) (int, uint64, uint, bool) {
 	return bp, acc, nacc, false
 }
 
-// Pack64: bit-stream accumulator; not implemented in NEON.
+// Pack64 appends len(src) keep-bit fields (1 <= keep <= 64; widths above
+// 32 split into two sub-32-bit fields exactly like the scalar loop) to the
+// big-endian bit stream in buf. Same contract as the amd64 wrapper: the
+// caller guarantees the values fit keep bits, nacc < 32 on entry, and
+// capacity for every flushed 32-bit store.
 func Pack64(buf []byte, bp int, acc uint64, nacc uint, src []uint64, keep uint, zig bool) (int, uint64, uint, bool) {
-	return bp, acc, nacc, false
+	if active.Load() != levelNEON || len(src) < minWords || keep < 1 || keep > 64 || nacc >= 32 {
+		return bp, acc, nacc, false
+	}
+	total := uint64(nacc) + uint64(keep)*uint64(len(src))
+	if uint64(bp)+4*(total/32) > uint64(len(buf)) {
+		return bp, acc, nacc, false
+	}
+	nbp, nacc2, nn := pack64Asm(&buf[0], bp, acc, uint64(nacc), &src[0], len(src), uint64(keep), b2u(zig))
+	return nbp, nacc2, uint(nn), true
 }
 
 // Unpack32: gather-based field decode; not implemented in NEON.

@@ -15,6 +15,7 @@ func Or64(src []uint64) (uint64, bool)                          { return 0, fals
 func ZigOr64(src []uint64) (uint64, bool)                       { return 0, false }
 func NonzeroBM(bm, src []byte) (int, bool)                      { return 0, false }
 func ChangeBM(bm, cur []byte) bool                              { return false }
+func FCMHash64(dst, src []uint64) bool                          { return false }
 
 func Pack32(buf []byte, bp int, acc uint64, nacc uint, src []uint32, keep uint, zig bool) (int, uint64, uint, bool) {
 	return bp, acc, nacc, false

@@ -1,8 +1,8 @@
 // Package simd provides runtime-dispatched architecture-specific kernels
-// (AVX2 on amd64, NEON on arm64) for the four hottest transform inner
-// loops: the DIFFMS diff+zigzag pass, the BIT 32x32/64x64 plane transpose,
-// the MPLG pack/unpack bit accumulators, and the RZE nonzero/change
-// movemask scans.
+// (AVX2 on amd64, NEON on arm64) for the hottest transform inner loops:
+// the DIFFMS diff+zigzag pass, the BIT 32x32/64x64 plane transpose, the
+// MPLG/RAZE/RARE pack/unpack bit accumulators, the RZE nonzero/change
+// movemask scans, and the FCM context hash.
 //
 // # Dispatch contract
 //
@@ -24,11 +24,12 @@
 //   - the environment disables it (FPC_DISABLE_SIMD=1, read at init) or a
 //     test called Disable.
 //
-// On arm64, NEON currently covers the diff+zigzag and movemask-bitmap
-// families only; the BIT transpose and MPLG accumulators report
-// unavailable and run their scalar word kernels (see DESIGN.md §10 for the
-// extension recipe). The per-call ok contract exists exactly so coverage
-// can differ per ISA without any caller knowing.
+// On arm64, NEON covers the diff+zigzag, RZE-bitmap, FCM-hash and
+// 64-bit-pack families; the BIT transpose, the 32-bit pack and the
+// gather-based unpacks report unavailable and run their scalar word
+// kernels (see DESIGN.md §10 for the extension recipe). The per-call ok
+// contract exists exactly so coverage can differ per ISA without any
+// caller knowing.
 //
 // # Assembly calling conventions
 //

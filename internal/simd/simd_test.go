@@ -660,3 +660,37 @@ func TestBit64(t *testing.T) {
 		}
 	}
 }
+
+func refFCMHash(v1, v2, v3 uint64) uint64 {
+	x := v1 ^ (v2<<23 | v2>>41) ^ (v3<<47 | v3>>17)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func TestFCMHash64(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	for _, n := range testLengths {
+		for off := 0; off < 4; off++ {
+			backing := make([]uint64, n+2+off)
+			src := backing[off:]
+			fill64(r, src)
+			want := make([]uint64, n)
+			for k := range want {
+				want[k] = refFCMHash(src[k+2], src[k+1], src[k])
+			}
+			got := make([]uint64, n)
+			if !FCMHash64(got, src) {
+				continue
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("n=%d off=%d k=%d: got %#016x want %#016x", n, off, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}

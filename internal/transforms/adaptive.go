@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"fpcompress/internal/bitio"
+	"fpcompress/internal/simd"
 	"fpcompress/internal/wordio"
 )
 
@@ -69,19 +70,25 @@ func computeLead(lead []int, src []byte, n int, common bool) {
 	}
 }
 
-// computeLeadWords is computeLead over an aliased word slice.
-func computeLeadWords(lead []int, sw []uint64, common bool) {
+// computeLeadWords is computeLead over an aliased word slice, accumulating
+// the split-model histogram in the same pass so the encoder never rescans
+// lead just to bin it (bestSplitHist consumes hist directly).
+func computeLeadWords(lead []int, hist *[65]int, sw []uint64, common bool) {
 	lead = lead[:len(sw)]
 	if common {
 		prev := uint64(0)
 		for i, v := range sw {
-			lead[i] = bits.LeadingZeros64(v ^ prev)
+			l := bits.LeadingZeros64(v ^ prev)
+			lead[i] = l
+			hist[l]++
 			prev = v
 		}
 		return
 	}
 	for i, v := range sw {
-		lead[i] = bits.LeadingZeros64(v)
+		l := bits.LeadingZeros64(v)
+		lead[i] = l
+		hist[l]++
 	}
 }
 
@@ -129,15 +136,13 @@ func SplitModelBits(hist *[65]int, n int) int {
 func adaptiveForwardInto(dst, src []byte, common bool) []byte {
 	n := len(src) / 8
 	tail := src[n*8:]
+	if sw, ok := wordio.View64(src); ok {
+		return adaptiveForwardWords(dst, sw, tail, common)
+	}
 	lp := intPool.Get().(*[]int)
 	defer intPool.Put(lp)
 	lead := growInts(lp, n)
-	sw, swOK := wordio.View64(src)
-	if swOK {
-		computeLeadWords(lead, sw, common)
-	} else {
-		computeLead(lead, src, n, common)
-	}
+	computeLead(lead, src, n, common)
 	k := bestSplit(lead)
 
 	dst = growCap(dst, len(src)+len(src)/8+32)
@@ -159,27 +164,77 @@ func adaptiveForwardInto(dst, src []byte, common bool) []byte {
 		}
 	}
 	dst = appendRepeatBitmap(dst, bm)
+	w := bitio.NewWriterBuf(dst)
+	kw := uint(k)
+	for i := 0; i < n; i++ {
+		if lead[i] < k {
+			w.WriteBits(wordio.U64(src, i)>>(64-kw), kw)
+		}
+	}
+	w.Align()
+	bw := uint(64 - k)
+	for i := 0; i < n; i++ {
+		w.WriteBits(wordio.U64(src, i), bw) // WriteBits keeps the low bw bits
+	}
+	dst = w.Bytes()
+	return append(dst, tail...)
+}
+
+// adaptiveForwardWords is adaptiveForwardInto over an already-materialized
+// word stream plus its verbatim tail: the word-view hot path, and the entry
+// point the fused ratio kernels use to encode a diff stream that never
+// existed as bytes. Byte-identical to the byte path above.
+func adaptiveForwardWords(dst []byte, sw []uint64, tail []byte, common bool) []byte {
+	n := len(sw)
+	lp := intPool.Get().(*[]int)
+	defer intPool.Put(lp)
+	lead := growInts(lp, n)
+	var hist [65]int
+	computeLeadWords(lead, &hist, sw, common)
+	k, _ := bestSplitHist(&hist, n)
+
+	dst = growCap(dst, n*8+len(tail)+n+32)
+	dst = bitio.AppendUvarint(dst, uint64(n*8+len(tail)))
+	dst = append(dst, byte(k))
+	if k == 0 {
+		base := len(dst)
+		dst = grow(dst, n*8)
+		raw := dst[base:]
+		for i, v := range sw {
+			binary.LittleEndian.PutUint64(raw[i*8:], v)
+		}
+		return append(dst, tail...)
+	}
+	bp := getBuf()
+	defer putBuf(bp)
+	bm := pooledBytes(bp, (n+7)/8)
+	clear(bm)
+	wp := fcmWordPool.Get().(*[]uint64)
+	defer fcmWordPool.Put(wp)
+	scratch := pooledWords(wp, n)
+	bw := uint(64 - k)
+	nKept := 0
+	for i, v := range sw {
+		if lead[i] < k { // top piece must be emitted
+			bm[i>>3] |= 0x80 >> (i & 7)
+			scratch[nKept] = v >> bw
+			nKept++
+		}
+	}
+	dst = appendRepeatBitmap(dst, bm)
 	// Kept top pieces then bottom pieces, each padded to a byte boundary —
 	// the same layout PackWidth64 produces, without the intermediate
 	// []uint64 slices.
-	if swOK {
-		dst = adaptivePackFast(dst, sw, lead, k, nKept)
-	} else {
-		w := bitio.NewWriterBuf(dst)
-		kw := uint(k)
-		for i := 0; i < n; i++ {
-			if lead[i] < k {
-				w.WriteBits(wordio.U64(src, i)>>(64-kw), kw)
-			}
-		}
-		w.Align()
-		bw := uint(64 - k)
-		for i := 0; i < n; i++ {
-			w.WriteBits(wordio.U64(src, i), bw) // WriteBits keeps the low bw bits
-		}
-		dst = w.Bytes()
-	}
+	dst = adaptivePackFast(dst, sw, scratch, k, nKept)
 	return append(dst, tail...)
+}
+
+// AdaptiveEncodeWords appends the RAZE (common=false) or RARE (common=true)
+// encoding of the word stream sw followed by the verbatim tail — exactly
+// the bytes ForwardInto would produce for the equivalent byte stream. The
+// fused ratio kernels call it with their register-resident diff stream.
+func AdaptiveEncodeWords(dst []byte, sw []uint64, tail []byte, common bool) []byte {
+	return adaptiveForwardWords(dst, sw, tail, common)
 }
 
 // adaptivePackFast emits the kept-then-bottom bit layout with a
@@ -187,22 +242,45 @@ func adaptiveForwardInto(dst, src []byte, common bool) []byte {
 // dst (see mplg.go for the nacc < 32 invariant); fields wider than 32 bits
 // are written as two sub-32-bit halves. Byte-identical to the
 // bitio.Writer reference path above.
-func adaptivePackFast(dst []byte, sw []uint64, lead []int, k, nKept int) []byte {
+//
+// Both regions run through a dense word slice — kept top pieces already
+// shifted down to their k-bit fields by the caller's bitmap pass (scratch,
+// len(sw) capacity, first nKept entries valid), bottoms masked to 64-k
+// bits in place — so the accumulator loop can run on the simd.Pack64
+// kernel, which (like the MPLG loop it was built for) ORs whole source
+// words and so requires every value to fit its field.
+func adaptivePackFast(dst []byte, sw, scratch []uint64, k, nKept int) []byte {
 	kw := uint(k)
 	bw := uint(64 - k)
 	start := len(dst)
 	dst = grow(dst, (nKept*k+7)/8+(len(sw)*int(bw)+7)/8+8)
 	buf := dst
 	bp := start
+	bp = packDense(buf, bp, scratch[:nKept], kw)
+	if bw > 0 {
+		mask := uint64(1)<<bw - 1
+		for i, v := range sw {
+			scratch[i] = v & mask
+		}
+		bp = packDense(buf, bp, scratch, bw)
+	}
+	return dst[:bp]
+}
+
+// packDense appends len(vals) width-bit fields (every value already fits
+// its field) to buf at bit-aligned byte position bp and byte-aligns the
+// stream, returning the new position. The simd accumulator kernel runs
+// when dispatched; the scalar loop is the reference.
+func packDense(buf []byte, bp int, vals []uint64, width uint) int {
 	var acc uint64
 	var nacc uint
-	if kw <= 32 {
-		for i, v := range sw {
-			if lead[i] >= k {
-				continue
-			}
-			acc = acc<<kw | v>>bw
-			nacc += kw
+	if nbp, a, na, ok := simd.Pack64(buf, bp, acc, nacc, vals, width, false); ok {
+		return bitFinish(buf, nbp, a, na)
+	}
+	if width <= 32 {
+		for _, v := range vals {
+			acc = acc<<width | v
+			nacc += width
 			if nacc >= 32 {
 				nacc -= 32
 				binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
@@ -211,13 +289,9 @@ func adaptivePackFast(dst []byte, sw []uint64, lead []int, k, nKept int) []byte 
 			}
 		}
 	} else {
-		hi := kw - 32
-		for i, v := range sw {
-			if lead[i] >= k {
-				continue
-			}
-			t := v >> bw
-			acc = acc<<hi | t>>32
+		hi := width - 32
+		for _, v := range vals {
+			acc = acc<<hi | v>>32
 			nacc += hi
 			if nacc >= 32 {
 				nacc -= 32
@@ -227,48 +301,13 @@ func adaptivePackFast(dst []byte, sw []uint64, lead []int, k, nKept int) []byte 
 			}
 			// Appending 32 bits always reaches the flush threshold, and
 			// flushing subtracts the same 32, so nacc is unchanged.
-			acc = acc<<32 | t&0xffffffff
+			acc = acc<<32 | v&0xffffffff
 			binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
 			bp += 4
 			acc &= 1<<nacc - 1
 		}
 	}
-	bp = bitFinish(buf, bp, acc, nacc) // align between kept and bottom regions
-	acc, nacc = 0, 0
-	if bw > 0 {
-		if bw <= 32 {
-			mask := uint64(1)<<bw - 1
-			for _, v := range sw {
-				acc = acc<<bw | v&mask
-				nacc += bw
-				if nacc >= 32 {
-					nacc -= 32
-					binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
-					bp += 4
-					acc &= 1<<nacc - 1
-				}
-			}
-		} else {
-			hi := bw - 32
-			himask := uint64(1)<<hi - 1
-			for _, v := range sw {
-				acc = acc<<hi | v>>32&himask
-				nacc += hi
-				if nacc >= 32 {
-					nacc -= 32
-					binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
-					bp += 4
-					acc &= 1<<nacc - 1
-				}
-				acc = acc<<32 | v&0xffffffff
-				binary.BigEndian.PutUint32(buf[bp:], uint32(acc>>nacc))
-				bp += 4
-				acc &= 1<<nacc - 1
-			}
-		}
-		bp = bitFinish(buf, bp, acc, nacc)
-	}
-	return dst[:bp]
+	return bitFinish(buf, bp, acc, nacc)
 }
 
 // adaptiveInverseInto decodes the common RAZE/RARE layout appending to dst;

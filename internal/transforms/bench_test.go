@@ -57,6 +57,7 @@ func benchKernels() []benchKernel {
 		{RAZE{}, wordio.W64},
 		{RARE{}, wordio.W64},
 		{FCM{}, wordio.W64},
+		{FCM{Table: true}, wordio.W64},
 	}
 }
 

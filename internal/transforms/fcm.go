@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fpcompress/internal/simd"
 	"fpcompress/internal/wordio"
 )
 
@@ -42,8 +43,19 @@ const fcmParallelMin = 1 << 16
 // Window overrides the sorted-order match window for ablation experiments
 // (0 = the paper's 4). The window only affects which matches the encoder
 // finds; decoding is window-independent, so all settings interoperate.
+//
+// Table selects the direct-mapped hash-table encoder instead of the sorted
+// pairs: one last-occurrence slot per hash bucket (FPC-style), probed and
+// updated in a single O(n) pass with no sort. The windowed (per-chunk)
+// DPratio mode uses it — per-chunk inputs are small enough that the table
+// stays L1-resident and the sort would dominate. The table only changes
+// which matches the encoder finds, so its output decodes with the same
+// window-independent decoder, but the bytes differ from the sorted
+// encoder's: Table is part of the pipeline identity wherever outputs are
+// pinned.
 type FCM struct {
 	Window int
+	Table  bool
 }
 
 func (f FCM) window() int {
@@ -56,8 +68,15 @@ func (f FCM) window() int {
 // fcmHeaderLen is the fixed size of the decoded-length prefix.
 const fcmHeaderLen = 8
 
-// Name implements Transform.
-func (FCM) Name() string { return "FCM64" }
+// Name implements Transform. The table encoder is named apart from the
+// sorted one: the two emit different bytes for the same input, so bench
+// rows and stage listings must not conflate them.
+func (f FCM) Name() string {
+	if f.Table {
+		return "FCM64T"
+	}
+	return "FCM64"
+}
 
 // EncodedCap reports the largest Forward-output size for a decoded input of
 // n bytes (fixed header plus doubled word arrays plus the verbatim tail).
@@ -69,6 +88,36 @@ func (FCM) EncodedCap(n int) int { return fcmHeaderLen + 2*n }
 func fcmHash(v1, v2, v3 uint64) uint64 {
 	return wordio.Mix64(v1 ^ bits.RotateLeft64(v2, 23) ^ bits.RotateLeft64(v3, 47))
 }
+
+// fcmHashBlockLen is the batch size for the block-wise context hashing:
+// big enough to amortize the simd kernel, small enough that the hash
+// scratch stays cache-resident even for whole-input encodes.
+const fcmHashBlockLen = 4096
+
+// fcmHashBlock fills hw[j] with the context hash of position start+j of sw
+// for start >= 3 (all three predecessors real), through the simd batch
+// kernel when dispatched. The scalar loop is the reference; both produce
+// fcmHash exactly, so encoder output is path-independent.
+func fcmHashBlock(hw []uint64, sw []uint64, start int) {
+	if simd.FCMHash64(hw, sw[start-3:]) {
+		return
+	}
+	for j := range hw {
+		i := start + j
+		hw[j] = fcmHash(sw[i-1], sw[i-2], sw[i-3])
+	}
+}
+
+// fcmTableBits sizes the direct-mapped last-occurrence table: 1<<12 slots
+// (16 kB of int32) holds a 16 kB chunk's 2048 words with few collisions
+// and clears with one memclr per encode.
+const fcmTableBits = 12
+
+// fcmTablePool recycles the table encoder's last-occurrence slots.
+var fcmTablePool = sync.Pool{New: func() any {
+	t := make([]int32, 1<<fcmTableBits)
+	return &t
+}}
 
 // fcmPair couples a context hash with the input index it was computed at.
 type fcmPair struct {
@@ -152,6 +201,9 @@ func (f FCM) Forward(src []byte) []byte {
 // into the output region; the (hash, index) pairs and the radix-sort double
 // buffer are pooled.
 func (f FCM) ForwardInto(dst, src []byte) []byte {
+	if f.Table {
+		return f.forwardTable(dst, src)
+	}
 	window := f.window()
 	n := len(src) / 8
 	tail := src[n*8:]
@@ -163,10 +215,29 @@ func (f FCM) ForwardInto(dst, src []byte) []byte {
 	sw, swOK := wordio.View64(src)
 	if swOK {
 		var v1, v2, v3 uint64
-		for i, v := range sw {
-			pairs[i] = fcmPair{hash: fcmHash(v1, v2, v3), idx: uint32(i)}
-			v1, v2, v3 = v, v1, v2
+		head := n
+		if head > 3 {
+			head = 3
 		}
+		for i := 0; i < head; i++ {
+			pairs[i] = fcmPair{hash: fcmHash(v1, v2, v3), idx: uint32(i)}
+			v1, v2, v3 = sw[i], v1, v2
+		}
+		// Positions >= 3 have three real predecessors; hash them in
+		// cache-resident blocks through the batch kernel.
+		hp := fcmWordPool.Get().(*[]uint64)
+		hw := pooledWords(hp, fcmHashBlockLen)
+		for off := 3; off < n; off += fcmHashBlockLen {
+			m := n - off
+			if m > fcmHashBlockLen {
+				m = fcmHashBlockLen
+			}
+			fcmHashBlock(hw[:m], sw, off)
+			for j := 0; j < m; j++ {
+				pairs[off+j] = fcmPair{hash: hw[j], idx: uint32(off + j)}
+			}
+		}
+		fcmWordPool.Put(hp)
 	} else {
 		var v1, v2, v3 uint64
 		for i := 0; i < n; i++ {
@@ -226,6 +297,75 @@ func (f FCM) ForwardInto(dst, src []byte) []byte {
 			if !matched {
 				wordio.PutU64(vals, int(cur.idx), wordio.U64(src, int(cur.idx)))
 			}
+		}
+	}
+	copy(out[fcmHeaderLen+2*n*8:], tail)
+	return dst
+}
+
+// forwardTable is the Table-mode encoder: a direct-mapped last-occurrence
+// table indexed by the top hash bits, probed and updated once per word. A
+// slot holds index+1 (0 = empty) so the per-encode reset is a memclr. Any
+// equal-value backward reference is a legal distance under the format, so
+// the collision check is just value equality.
+func (f FCM) forwardTable(dst, src []byte) []byte {
+	n := len(src) / 8
+	tail := src[n*8:]
+	base := len(dst)
+	dst = grow(dst, fcmHeaderLen+2*n*8+len(tail))
+	out := dst[base:]
+	wordio.PutU64(out, 0, uint64(len(src)))
+	vals := out[fcmHeaderLen : fcmHeaderLen+n*8]
+	dists := out[fcmHeaderLen+n*8 : fcmHeaderLen+2*n*8]
+	// Each input word writes exactly one of the two arrays; the other entry
+	// must read as zero, so clear both first.
+	clear(vals)
+	clear(dists)
+
+	tp := fcmTablePool.Get().(*[]int32)
+	defer fcmTablePool.Put(tp)
+	table := *tp
+	clear(table)
+	hp := fcmWordPool.Get().(*[]uint64)
+	defer fcmWordPool.Put(hp)
+	hw := pooledWords(hp, n)
+	sw, swOK := wordio.View64(src)
+	vw, okV := wordio.View64(vals)
+	dw, okD := wordio.View64(dists)
+	if swOK && okV && okD {
+		var v1, v2, v3 uint64
+		head := n
+		if head > 3 {
+			head = 3
+		}
+		for i := 0; i < head; i++ {
+			hw[i] = fcmHash(v1, v2, v3)
+			v1, v2, v3 = sw[i], v1, v2
+		}
+		if n > 3 {
+			fcmHashBlock(hw[3:], sw, 3)
+		}
+		for i, v := range sw {
+			slot := hw[i] >> (64 - fcmTableBits)
+			if j := table[slot]; j != 0 && sw[j-1] == v {
+				dw[i] = uint64(i + 1 - int(j))
+			} else {
+				vw[i] = v
+			}
+			table[slot] = int32(i + 1)
+		}
+	} else {
+		var v1, v2, v3 uint64
+		for i := 0; i < n; i++ {
+			v := wordio.U64(src, i)
+			slot := fcmHash(v1, v2, v3) >> (64 - fcmTableBits)
+			if j := table[slot]; j != 0 && wordio.U64(src, int(j-1)) == v {
+				wordio.PutU64(dists, i, uint64(i+1-int(j)))
+			} else {
+				wordio.PutU64(vals, i, v)
+			}
+			table[slot] = int32(i + 1)
+			v1, v2, v3 = v, v1, v2
 		}
 	}
 	copy(out[fcmHeaderLen+2*n*8:], tail)

@@ -48,6 +48,8 @@ func benchKernels() []benchFused {
 		{NewSpeed32(), wordio.W32},
 		{NewSpeed64(), wordio.W64},
 		{NewRatio32(), wordio.W32},
+		{NewRatio64(), wordio.W64},
+		{NewFCMRatio64(), wordio.W64},
 	}
 }
 

@@ -4,6 +4,8 @@
 //	SPspeed: DIFFMS32 -> MPLG32   (Speed32)
 //	DPspeed: DIFFMS64 -> MPLG64   (Speed64)
 //	SPratio: DIFFMS32 -> BIT32 -> RZE   (Ratio32)
+//	windowed DPratio: DIFFMS64 -> RAZE -> RARE   (Ratio64)
+//	windowed DPratio with FCM: FCM(table) -> DIFFMS64 -> RAZE -> RARE   (FCMRatio64)
 //
 // The stage-by-stage transforms.Pipeline makes a full pass over the chunk
 // per stage, ping-ponging intermediates through pooled buffers: SPspeed
@@ -87,6 +89,15 @@ func Match(p transforms.Pipeline) (Kernel, bool) {
 		}
 		return sharedSpeed64, true
 	case 3:
+		if d, ok := p[0].(transforms.DiffMS); ok && d.Word == wordio.W64 {
+			if _, ok := p[1].(transforms.RAZE); !ok {
+				return nil, false
+			}
+			if _, ok := p[2].(transforms.RARE); !ok {
+				return nil, false
+			}
+			return sharedRatio64, true
+		}
 		d, ok := p[0].(transforms.DiffMS)
 		if !ok || d.Word != wordio.W32 {
 			return nil, false
@@ -100,6 +111,12 @@ func Match(p transforms.Pipeline) (Kernel, bool) {
 			return nil, false
 		}
 		return sharedRatio32, true
+	case 1:
+		// FCMW64 is itself a composite (FCM table encoder + two segmented
+		// DIFFMS64→RAZE→RARE chains); the kernel fuses both segments.
+		if _, ok := p[0].(transforms.FCMW); ok {
+			return sharedFCMRatio64, true
+		}
 	}
 	return nil, false
 }
@@ -107,9 +124,11 @@ func Match(p transforms.Pipeline) (Kernel, bool) {
 // Shared immutable kernel instances (the kernels hold only their reference
 // pipelines, so one instance serves every caller).
 var (
-	sharedSpeed32 = NewSpeed32()
-	sharedSpeed64 = NewSpeed64()
-	sharedRatio32 = NewRatio32()
+	sharedSpeed32    = NewSpeed32()
+	sharedSpeed64    = NewSpeed64()
+	sharedRatio32    = NewRatio32()
+	sharedRatio64    = NewRatio64()
+	sharedFCMRatio64 = NewFCMRatio64()
 )
 
 // mplgSubchunkWords32/64 is the paper's 512-byte MPLG subchunk in words.

@@ -21,7 +21,7 @@ import (
 // against the reference pipeline.
 
 func kernels() []Kernel {
-	return []Kernel{NewSpeed32(), NewSpeed64(), NewRatio32()}
+	return []Kernel{NewSpeed32(), NewSpeed64(), NewRatio32(), NewRatio64(), NewFCMRatio64()}
 }
 
 // kernelData builds n bytes mixing the regimes the kernels special-case:
@@ -205,11 +205,15 @@ func TestFusedMatch(t *testing.T) {
 		{transforms.Pipeline{d64, transforms.MPLG{Word: wordio.W64}}, "FUSED(DIFFMS64+MPLG64)"},
 		{transforms.Pipeline{d32, transforms.Bit{Word: wordio.W32}, transforms.RZE{}}, "FUSED(DIFFMS32+BIT32+RZE)"},
 		{transforms.Pipeline{d32, transforms.Bit{Word: wordio.W32}, transforms.RZE{Granularity: 1}}, "FUSED(DIFFMS32+BIT32+RZE)"},
-		{transforms.Pipeline{d32, transforms.MPLG{Word: wordio.W64}}, ""},                                // word mismatch
-		{transforms.Pipeline{d32, transforms.MPLG{Word: wordio.W32, Subchunk: 256}}, ""},                 // non-default subchunk
-		{transforms.Pipeline{d32, transforms.MPLG{Word: wordio.W32}, transforms.RZE{}}, ""},              // balance: not fused
-		{transforms.Pipeline{d64, transforms.RAZE{}, transforms.RARE{}}, ""},                             // DP ratio tail: not fused
-		{transforms.Pipeline{d32, transforms.Bit{Word: wordio.W32}, transforms.RZE{Granularity: 4}}, ""}, // non-byte RZE
+		{transforms.Pipeline{d32, transforms.MPLG{Word: wordio.W64}}, ""},                // word mismatch
+		{transforms.Pipeline{d32, transforms.MPLG{Word: wordio.W32, Subchunk: 256}}, ""}, // non-default subchunk
+		{transforms.Pipeline{d64, transforms.RAZE{}, transforms.RARE{}}, "FUSED(DIFFMS64+RAZE+RARE)"},
+		{transforms.Pipeline{transforms.FCMW{}}, "FUSED(FCMW64)"},
+		{transforms.Pipeline{d32, transforms.MPLG{Word: wordio.W32}, transforms.RZE{}}, ""},               // balance: not fused
+		{transforms.Pipeline{transforms.FCM{}, d64, transforms.RAZE{}, transforms.RARE{}}, ""},            // whole-input FCM stage chain: not fused
+		{transforms.Pipeline{transforms.FCM{Table: true}, d64, transforms.RAZE{}, transforms.RARE{}}, ""}, // unsegmented FCM chain: FCMW64 replaced it
+		{transforms.Pipeline{d32, transforms.RAZE{}, transforms.RARE{}}, ""},                              // 32-bit diff: not fused
+		{transforms.Pipeline{d32, transforms.Bit{Word: wordio.W32}, transforms.RZE{Granularity: 4}}, ""},  // non-byte RZE
 		{transforms.Pipeline{d32}, ""},
 		{transforms.Pipeline{}, ""},
 	}
@@ -291,6 +295,22 @@ func TestFusedGateStats(t *testing.T) {
 			}
 			if gs64.Hist != hist {
 				t.Fatalf("len %d: 64-bit histogram differs", n)
+			}
+
+			// Ratio64's stats pass runs over the same diff stream, so it
+			// must produce the identical histogram alongside a
+			// reference-identical encode.
+			kr := NewRatio64()
+			var gsr GateStats
+			encr, okr := kr.ForwardStatsInto(nil, data, &gsr)
+			if !okr {
+				continue
+			}
+			if want := kr.Pipeline().ForwardInto(nil, data); !bytes.Equal(encr, want) {
+				t.Fatalf("len %d: ratio64 stats forward differs from reference", n)
+			}
+			if gsr.Words != words || gsr.Hist != hist {
+				t.Fatalf("len %d: ratio64 gate stats differ", n)
 			}
 		}
 	}

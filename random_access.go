@@ -13,12 +13,15 @@ import (
 // (paper §3), a compressed block supports decompressing arbitrary byte
 // ranges without touching the rest — the capability ZFP markets for
 // compressed arrays. It is available for every algorithm without a
-// whole-input pre-stage, including the adaptive Auto32/Auto64 modes;
-// DPratio's whole-input FCM stage makes its chunks interdependent, so
-// opening a DPratio block returns ErrNoRandomAccess.
+// whole-input pre-stage, including the adaptive Auto32/Auto64 modes and
+// the windowed variants (Options.WindowedFCM), whose FCM predictor resets
+// per chunk. Only default (whole-input) DPratio blocks are excluded: their
+// FCM stage spans the whole input, making chunks interdependent, so
+// opening one returns ErrNoRandomAccess — recompress with
+// Options.WindowedFCM to get randomly accessible DPratio blocks.
 
-// ErrNoRandomAccess reports an algorithm whose chunks are not independent.
-var ErrNoRandomAccess = errors.New("fpcompress: algorithm does not support random access (DPratio's FCM stage spans the whole input)")
+// ErrNoRandomAccess reports a block whose chunks are not independent.
+var ErrNoRandomAccess = errors.New("fpcompress: block does not support random access (whole-input FCM spans chunks; compress with Options.WindowedFCM for random access)")
 
 // RandomAccess provides ranged reads over one compressed block.
 type RandomAccess struct {

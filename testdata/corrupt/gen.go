@@ -278,6 +278,48 @@ func main() {
 	sv[pos] ^= 0xFF // first scheme byte
 	files["v3-scheme-bitflip.bin"] = sv
 
+	// Container v4 (windowed FCM) seeds: v4 negotiates the window through
+	// the flags byte, so flag damage must be caught at parse time.
+	wopts := &fpcompress.Options{WindowedFCM: true}
+	w64, err := fpcompress.Compress(fpcompress.DPratio, fpcompress.Float64Bytes(vals), wopts)
+	if err != nil {
+		panic(err)
+	}
+	wauto, err := fpcompress.Compress(fpcompress.Auto64, fpcompress.Float64Bytes(vals), wopts)
+	if err != nil {
+		panic(err)
+	}
+
+	// A v4 container whose windowed flag is cleared: v4 exists only to
+	// carry that flag, so the version/flag combination is contradictory
+	// and must be rejected up front (no guessing which codec applies).
+	nw := clone(w64)
+	nw[10] &^= 1 << 2
+	files["v4-no-window-flag.bin"] = nw
+
+	// A v4 header cut off right before its mandatory flags byte: the
+	// window negotiation is unreadable, so parsing must fail rather than
+	// fall back to whole-input semantics.
+	files["v4-flag-truncated.bin"] = clone(w64[:10])
+
+	// A windowed Auto64 container with the scheme-table flag cleared while
+	// the table bytes remain in the stream: the flag and the layout
+	// disagree, so the size table walks into scheme bytes and the payload
+	// length no longer adds up — reject, never panic.
+	sc := clone(wauto)
+	if sc[10]&1 == 0 {
+		panic("expected a scheme table in the windowed auto container")
+	}
+	sc[10] &^= 1
+	files["v4-scheme-flag-conflict.bin"] = sc
+
+	// v4 declares parity without integrity: parity groups are only
+	// addressable through the per-chunk CRC tables, so the combination is
+	// structurally meaningless and must be refused.
+	pf := clone(w64)
+	pf[10] |= 1 << 1
+	files["v4-parity-no-integrity.bin"] = pf
+
 	for name, data := range files {
 		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
 			panic(err)

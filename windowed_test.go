@@ -1,0 +1,202 @@
+package fpcompress
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"fpcompress/internal/container"
+)
+
+// windowedOpts is the per-test Options literal for windowed compression;
+// tests that also need chunk sizing or parallelism build their own.
+func windowedOpts() *Options { return &Options{WindowedFCM: true} }
+
+// TestWindowedRoundtrip pins the core windowed contract: DPratio and
+// Auto64 with Options.WindowedFCM round-trip bit-exactly, the container
+// carries version 4 with the windowed flag, and plain Decompress (no
+// options) auto-detects the mode.
+func TestWindowedRoundtrip(t *testing.T) {
+	for _, alg := range []Algorithm{DPratio, Auto64} {
+		src := Float64Bytes(sampleFloats64(40000, 7))
+		blob, err := Compress(alg, src, windowedOpts())
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if blob[4] != 4 {
+			t.Errorf("%v: container version %d, want 4", alg, blob[4])
+		}
+		if w, err := container.IsWindowed(blob); err != nil || !w {
+			t.Errorf("%v: IsWindowed = (%v, %v), want (true, nil)", alg, w, err)
+		}
+		back, err := Decompress(blob, nil)
+		if err != nil || !bytes.Equal(back, src) {
+			t.Fatalf("%v: windowed roundtrip failed: %v", alg, err)
+		}
+		// The default (whole-input) container must not be windowed.
+		def, err := Compress(alg, src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, err := container.IsWindowed(def); err != nil || w {
+			t.Errorf("%v: default container reports windowed (%v, %v)", alg, w, err)
+		}
+	}
+}
+
+// TestWindowedWrongAlgorithm pins the typed error: WindowedFCM only
+// applies to the algorithms with an FCM stage to window (DPratio, Auto64).
+func TestWindowedWrongAlgorithm(t *testing.T) {
+	src := Float64Bytes(sampleFloats64(1000, 3))
+	for _, alg := range []Algorithm{SPspeed, SPratio, SPbalance, DPspeed, DPbalance, Auto32} {
+		if _, err := Compress(alg, src, windowedOpts()); !errors.Is(err, ErrWindowedAlgorithm) {
+			t.Errorf("%v: got %v, want ErrWindowedAlgorithm", alg, err)
+		}
+	}
+}
+
+// TestWindowedRandomAccess is the acceptance test for the carve-out drop:
+// windowed DPratio and Auto64 containers open for random access (the
+// default DPratio still refuses, pinned by TestRandomAccessDPratioRefused)
+// and arbitrary ReadAt ranges and typed Float64At reads come back exact.
+func TestWindowedRandomAccess(t *testing.T) {
+	vals := sampleFloats64(60000, 21)
+	src := Float64Bytes(vals)
+	for _, alg := range []Algorithm{DPratio, Auto64} {
+		blob, err := Compress(alg, src, windowedOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := OpenRandomAccess(blob, nil)
+		if err != nil {
+			t.Fatalf("%v: OpenRandomAccess on windowed container: %v", alg, err)
+		}
+		if ra.Len() != len(src) {
+			t.Fatalf("%v: Len %d, want %d", alg, ra.Len(), len(src))
+		}
+		rng := rand.New(rand.NewSource(2))
+		for trial := 0; trial < 30; trial++ {
+			off := rng.Intn(len(src))
+			n := rng.Intn(min(30000, len(src)-off)) + 1
+			buf := make([]byte, n)
+			if _, err := ra.ReadAt(buf, int64(off)); err != nil {
+				t.Fatalf("%v trial %d: %v", alg, trial, err)
+			}
+			if !bytes.Equal(buf, src[off:off+n]) {
+				t.Fatalf("%v trial %d: range [%d,%d) wrong", alg, trial, off, off+n)
+			}
+		}
+		got, err := ra.Float64At(12345, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != vals[12345+i] {
+				t.Fatalf("%v: Float64At value %d = %v, want %v", alg, i, v, vals[12345+i])
+			}
+		}
+		// The io.ReaderAt contract holds, so io.SectionReader composes.
+		sec := io.NewSectionReader(ra, 8000, 1600)
+		sbuf, err := io.ReadAll(sec)
+		if err != nil || !bytes.Equal(sbuf, src[8000:9600]) {
+			t.Fatalf("%v: SectionReader read failed: %v", alg, err)
+		}
+	}
+}
+
+// TestWindowedPartialDecode pins degraded-mode behavior for v4: an intact
+// windowed container partial-decodes with an all-OK report, and a flipped
+// payload byte is localized — strict decode fails, ReadAtPartial
+// quarantines rather than failing, and the undamaged chunks stay exact.
+func TestWindowedPartialDecode(t *testing.T) {
+	src := Float64Bytes(sampleFloats64(30000, 5))
+	blob, err := Compress(DPratio, src, windowedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, rep, err := DecompressPartial(blob, nil)
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Fatalf("partial decode of intact windowed container: %v", err)
+	}
+	if !rep.AllOK() {
+		t.Fatalf("intact container reported damage: %s", rep.Summary())
+	}
+
+	// Windowed + integrity: v4 with per-chunk CRCs localizes a flip.
+	iblob, err := Compress(DPratio, src, &Options{WindowedFCM: true, Integrity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), iblob...)
+	bad[len(bad)-len(bad)/4] ^= 0xFF
+	if _, err := Decompress(bad, nil); err == nil {
+		t.Fatal("strict decode accepted a damaged windowed container")
+	}
+	pdec, prep, err := DecompressPartial(bad, nil)
+	if err != nil {
+		t.Fatalf("partial decode of damaged windowed container: %v", err)
+	}
+	if c := prep.Counts(); c.Quarantined != 1 {
+		t.Fatalf("report = %s, want exactly 1 quarantined chunk", prep.Summary())
+	}
+	for i, st := range prep.States {
+		if st != ChunkOK {
+			continue
+		}
+		lo, hi := prep.Span(i)
+		if !bytes.Equal(pdec[lo:hi], src[lo:hi]) {
+			t.Fatalf("intact chunk %d decoded wrong under damage", i)
+		}
+	}
+}
+
+// TestWindowedParallel pins that windowed containers are chunk-parallel in
+// both directions: with Parallel workers and many chunks the output still
+// round-trips bit-exactly and stays byte-identical to the single-threaded
+// encoding (the engine must not let worker scheduling leak into the
+// bytes).
+func TestWindowedParallel(t *testing.T) {
+	src := Float64Bytes(sampleFloats64(200000, 13))
+	serial, err := Compress(DPratio, src, &Options{WindowedFCM: true, ChunkSize: 8192, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Compress(DPratio, src, &Options{WindowedFCM: true, ChunkSize: 8192, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, par) {
+		t.Fatal("parallel windowed encoding differs from serial")
+	}
+	back, err := Decompress(par, &Options{Parallelism: 8})
+	if err != nil || !bytes.Equal(back, src) {
+		t.Fatalf("parallel windowed decode failed: %v", err)
+	}
+}
+
+// TestWindowedStream pins the streaming API: a Writer with WindowedFCM
+// produces a windowed container and the Reader decodes it transparently.
+func TestWindowedStream(t *testing.T) {
+	src := Float64Bytes(sampleFloats64(50000, 17))
+	var buf bytes.Buffer
+	w := NewWriter(&buf, DPratio, 0, windowedOpts())
+	for i := 0; i < len(src); i += 10000 {
+		if _, err := w.Write(src[i:min(i+10000, len(src))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Each frame is a 4-byte length plus one container; the first frame's
+	// container must carry the windowed flag.
+	if wf, err := container.IsWindowed(buf.Bytes()[4:]); err != nil || !wf {
+		t.Fatalf("stream frame not windowed: (%v, %v)", wf, err)
+	}
+	back, err := io.ReadAll(NewReader(bytes.NewReader(buf.Bytes()), nil))
+	if err != nil || !bytes.Equal(back, src) {
+		t.Fatalf("stream roundtrip failed: %v", err)
+	}
+}
